@@ -1,0 +1,266 @@
+package rdfcube_test
+
+// One testing.B benchmark per experiment row of DESIGN.md §4. Each bench
+// pair contrasts direct evaluation of the transformed query (from the
+// AnS instance) with the paper's rewriting (from materialized pres(Q) /
+// ans(Q)); the /Direct vs /Rewrite ratio is the paper's headline claim.
+//
+// Dataset sizes are kept at "bench scale" (seconds per bench); the
+// cmd/benchrunner tool runs the full sweeps.
+
+import (
+	"testing"
+
+	"rdfcube"
+	"rdfcube/internal/benchmark"
+	"rdfcube/internal/core"
+	"rdfcube/internal/datagen"
+)
+
+// workloads are built once and shared across benches.
+var (
+	benchBlogger   *benchmark.Workload
+	benchBlogger4D *benchmark.Workload
+	benchVideo     *benchmark.Workload
+)
+
+func bloggerWorkload(b *testing.B) *benchmark.Workload {
+	b.Helper()
+	if benchBlogger == nil {
+		cfg := datagen.DefaultBloggerConfig()
+		cfg.Bloggers = 5000
+		cfg.Dimensions = 2
+		wl, err := benchmark.BuildBlogger(cfg, "count")
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchBlogger = wl
+	}
+	return benchBlogger
+}
+
+func blogger4DWorkload(b *testing.B) *benchmark.Workload {
+	b.Helper()
+	if benchBlogger4D == nil {
+		cfg := datagen.DefaultBloggerConfig()
+		cfg.Bloggers = 5000
+		cfg.Dimensions = 4
+		wl, err := benchmark.BuildBlogger(cfg, "sum")
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchBlogger4D = wl
+	}
+	return benchBlogger4D
+}
+
+func videoWorkload(b *testing.B) *benchmark.Workload {
+	b.Helper()
+	if benchVideo == nil {
+		cfg := datagen.DefaultVideoConfig()
+		cfg.Videos = 5000
+		cfg.Websites = 500
+		wl, err := benchmark.BuildVideo(cfg, "sum")
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchVideo = wl
+	}
+	return benchVideo
+}
+
+// E1: SLICE.
+func BenchmarkSliceDirect(b *testing.B) {
+	wl := bloggerWorkload(b)
+	sliced, err := core.Slice(wl.Query, "d0", datagen.DimValue(0, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.Ev.Answer(sliced); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSliceRewrite(b *testing.B) {
+	wl := bloggerWorkload(b)
+	sliced, err := core.Slice(wl.Query, "d0", datagen.DimValue(0, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.Ev.DiceRewrite(sliced, wl.Ans); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E2: DICE (25% of the age domain, both city restrictions).
+func dicedQuery(b *testing.B, wl *benchmark.Workload) *core.Query {
+	b.Helper()
+	var ages []rdfcube.Term
+	for v := 0; v < datagen.DimCardinality(0)/4; v++ {
+		ages = append(ages, datagen.DimValue(0, v))
+	}
+	diced, err := core.Dice(wl.Query, map[string][]rdfcube.Term{
+		"d0": ages,
+		"d1": {datagen.DimValue(1, 0), datagen.DimValue(1, 1), datagen.DimValue(1, 2)},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return diced
+}
+
+func BenchmarkDiceDirect(b *testing.B) {
+	wl := bloggerWorkload(b)
+	diced := dicedQuery(b, wl)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.Ev.Answer(diced); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiceRewrite(b *testing.B) {
+	wl := bloggerWorkload(b)
+	diced := dicedQuery(b, wl)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.Ev.DiceRewrite(diced, wl.Ans); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E3: DRILL-OUT on a 4-dimensional cube.
+func BenchmarkDrillOutDirect(b *testing.B) {
+	wl := blogger4DWorkload(b)
+	qOut, err := core.DrillOut(wl.Query, "d3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.Ev.Answer(qOut); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDrillOutRewrite(b *testing.B) {
+	wl := blogger4DWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.Ev.DrillOutRewrite(wl.Query, wl.Pres, "d3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E6 foil: the naive (incorrect) ans(Q)-based drill-out, for cost
+// comparison with Algorithm 1.
+func BenchmarkNaiveVsAlg1(b *testing.B) {
+	wl := blogger4DWorkload(b)
+	b.Run("NaiveFromAns", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NaiveDrillOutFromAns(wl.Query, wl.Ans, "d3"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Algorithm1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wl.Ev.DrillOutRewrite(wl.Query, wl.Pres, "d3"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E4: DRILL-IN.
+func BenchmarkDrillInDirect(b *testing.B) {
+	wl := videoWorkload(b)
+	qIn, err := core.DrillIn(wl.Query, "d3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.Ev.Answer(qIn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDrillInRewrite(b *testing.B) {
+	wl := videoWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.Ev.DrillInRewrite(wl.Query, wl.Pres, "d3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E7: materialization cost of pres(Q) vs ans(Q).
+func BenchmarkMaterializePres(b *testing.B) {
+	wl := bloggerWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.Ev.Pres(wl.Query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaterializeAns(b *testing.B) {
+	wl := bloggerWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.Ev.AnswerFromPres(wl.Query, wl.Pres); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E8: drill-out by aggregation function (distributive vs not).
+func BenchmarkAggFunctions(b *testing.B) {
+	for _, name := range []string{"count", "sum", "avg"} {
+		b.Run(name, func(b *testing.B) {
+			cfg := datagen.DefaultBloggerConfig()
+			cfg.Bloggers = 2000
+			wl, err := benchmark.BuildBlogger(cfg, name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wl.Ev.DrillOutRewrite(wl.Query, wl.Pres, "d1"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E5 umbrella: the full pipeline (generate → saturate → materialize →
+// pres) at a fixed scale; tracks end-to-end cost regressions.
+func BenchmarkAllOps(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := datagen.DefaultBloggerConfig()
+		cfg.Bloggers = 1000
+		cfg.Dimensions = 3
+		if _, err := benchmark.BuildBlogger(cfg, "sum"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command benchrunner regenerates the experiment tables of DESIGN.md §4:
+// for every OLAP operation it compares direct evaluation of the
+// transformed analytical query against the paper's view-based rewriting,
+// printing one table per experiment.
+//
+// Usage:
+//
+//	benchrunner [-experiment all|e1|e2|e3|e4|e5|e6|e7|e8] [-scale N]
+//
+// -scale multiplies the default dataset sizes (1 ≈ seconds, 10 ≈ minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rdfcube/internal/benchmark"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment to run: all, e1..e8")
+	scale := flag.Int("scale", 1, "dataset size multiplier")
+	flag.Parse()
+
+	w := os.Stdout
+	var err error
+	switch *experiment {
+	case "all":
+		err = benchmark.RunAll(w, *scale)
+	case "e1":
+		_, err = benchmark.RunE1Slice(w, scaled(benchmark.SliceSizes, *scale))
+	case "e2":
+		_, err = benchmark.RunE2Dice(w, 10000**scale, benchmark.Selectivities)
+	case "e3":
+		_, err = benchmark.RunE3DrillOut(w, 5000**scale, benchmark.DimSweep)
+	case "e4":
+		_, err = benchmark.RunE4DrillIn(w, scaled(benchmark.SliceSizes, *scale))
+	case "e5":
+		_, err = benchmark.RunE5Summary(w, 10000**scale)
+	case "e6":
+		_, err = benchmark.RunE6NaiveError(w, 5000**scale, benchmark.MultiValueSweep)
+	case "e7":
+		_, err = benchmark.RunE7Materialize(w, scaled(benchmark.SliceSizes, *scale))
+	case "e8":
+		_, err = benchmark.RunE8Aggregations(w, 5000**scale, benchmark.AggNames)
+	default:
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func scaled(sizes []int, scale int) []int {
+	out := make([]int, len(sizes))
+	for i, s := range sizes {
+		out[i] = s * scale
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+// Command rdfcube answers an analytical query — optionally after an OLAP
+// transformation — over an RDF graph loaded from an N-Triples file.
+//
+// The tool runs the full pipeline: load → RDFS saturation → evaluate the
+// AnQ (the instance is the loaded graph itself; use -schema-free data
+// such as the output of cmd/datagen piped through materialization, or
+// any graph whose vocabulary the queries match).
+//
+// Usage:
+//
+//	rdfcube -data graph.nt \
+//	   -classifier 'c(x, dage) :- x rdf:type :Blogger, x :hasAge dage' \
+//	   -measure    'm(x, v) :- x :wrotePost p, p :postedOn v' \
+//	   -agg count \
+//	   [-prefix :=http://example.org/] \
+//	   [-slice dage=28 | -drillout dage | -drillin d3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rdfcube"
+)
+
+func main() {
+	data := flag.String("data", "", "N-Triples input file (required)")
+	classifier := flag.String("classifier", "", "classifier query, datalog syntax (required)")
+	measure := flag.String("measure", "", "measure query, datalog syntax (required)")
+	aggName := flag.String("agg", "count", "aggregation: count, sum, avg, min, max, countdistinct")
+	var prefixFlags multiFlag
+	flag.Var(&prefixFlags, "prefix", "prefix binding name=IRI (repeatable)")
+	sliceSpec := flag.String("slice", "", "SLICE: dim=value")
+	diceSpec := flag.String("dice", "", "DICE: dim=v1|v2;dim2=v3|v4")
+	drillOut := flag.String("drillout", "", "DRILL-OUT: comma-separated dimensions")
+	drillIn := flag.String("drillin", "", "DRILL-IN: existential classifier variable")
+	saturate := flag.Bool("saturate", true, "apply RDFS saturation before answering")
+	format := flag.String("format", "text", "output format: text, csv or json")
+	flag.Parse()
+
+	if *data == "" || *classifier == "" || *measure == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	prefixes := rdfcube.DefaultPrefixes()
+	for _, p := range prefixFlags {
+		name, iri, ok := strings.Cut(p, "=")
+		if !ok {
+			die("bad -prefix %q, want name=IRI", p)
+		}
+		prefixes[strings.TrimSuffix(name, ":")] = iri
+	}
+
+	f, err := os.Open(*data)
+	if err != nil {
+		die("%v", err)
+	}
+	g := rdfcube.NewGraph()
+	n, err := rdfcube.ReadNTriples(g, f)
+	f.Close()
+	if err != nil {
+		die("loading %s: %v", *data, err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d triples\n", n)
+	if *saturate {
+		fmt.Fprintf(os.Stderr, "saturation added %d triples\n", rdfcube.Saturate(g))
+	}
+
+	c, err := rdfcube.ParseQuery(*classifier, prefixes)
+	if err != nil {
+		die("classifier: %v", err)
+	}
+	m, err := rdfcube.ParseQuery(*measure, prefixes)
+	if err != nil {
+		die("measure: %v", err)
+	}
+	aggFn, err := rdfcube.AggByName(*aggName)
+	if err != nil {
+		die("%v", err)
+	}
+	q, err := rdfcube.NewQuery(c, m, aggFn)
+	if err != nil {
+		die("%v", err)
+	}
+
+	switch {
+	case *sliceSpec != "":
+		dim, val, ok := strings.Cut(*sliceSpec, "=")
+		if !ok {
+			die("bad -slice %q, want dim=value", *sliceSpec)
+		}
+		q, err = rdfcube.SliceOp(q, dim, parseValue(val, prefixes))
+		if err != nil {
+			die("%v", err)
+		}
+	case *diceSpec != "":
+		restrictions := map[string][]rdfcube.Term{}
+		for _, part := range strings.Split(*diceSpec, ";") {
+			dim, vals, ok := strings.Cut(part, "=")
+			if !ok {
+				die("bad -dice %q, want dim=v1|v2;dim2=v3", *diceSpec)
+			}
+			for _, v := range strings.Split(vals, "|") {
+				restrictions[dim] = append(restrictions[dim], parseValue(v, prefixes))
+			}
+		}
+		q, err = rdfcube.DiceOp(q, restrictions)
+		if err != nil {
+			die("%v", err)
+		}
+	case *drillOut != "":
+		q, err = rdfcube.DrillOutOp(q, strings.Split(*drillOut, ",")...)
+		if err != nil {
+			die("%v", err)
+		}
+	case *drillIn != "":
+		q, err = rdfcube.DrillInOp(q, *drillIn)
+		if err != nil {
+			die("%v", err)
+		}
+	}
+
+	ev := rdfcube.NewEvaluator(g)
+	cube, err := ev.Answer(q)
+	if err != nil {
+		die("%v", err)
+	}
+	if err := rdfcube.WriteCube(os.Stdout, cube, g, *format, prefixes); err != nil {
+		die("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "%d cube cells\n", cube.Len())
+}
+
+// parseValue interprets a slice value: integer, float, prefixed name or
+// IRI; anything else becomes a plain literal.
+func parseValue(s string, prefixes rdfcube.Prefixes) rdfcube.Term {
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return rdfcube.NewInt(v)
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil && strings.ContainsAny(s, ".eE") {
+		return rdfcube.NewFloat(v)
+	}
+	if strings.HasPrefix(s, "<") && strings.HasSuffix(s, ">") {
+		return rdfcube.NewIRI(s[1 : len(s)-1])
+	}
+	if name, local, ok := strings.Cut(s, ":"); ok {
+		if ns, found := prefixes[name]; found {
+			return rdfcube.NewIRI(ns + local)
+		}
+	}
+	return rdfcube.NewLiteral(s)
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rdfcube: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// multiFlag collects repeated flag values.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

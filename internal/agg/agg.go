@@ -1,0 +1,176 @@
+// Package agg implements the aggregation functions ⊕ of analytical
+// queries: count, sum, avg, min, max and count-distinct.
+//
+// Each function reports whether it is distributive, i.e. whether
+// ⊕(a, ⊕(b, c)) = ⊕(⊕(a, b), c). Distributivity is central to the
+// paper's Section 3.2 discussion: even for distributive functions,
+// re-aggregating ans(Q) after a drill-out is incorrect when facts are
+// multi-valued, which is why Algorithm 1 works on pres(Q) instead.
+package agg
+
+import (
+	"fmt"
+	"math"
+
+	"rdfcube/internal/dict"
+)
+
+// Func describes an aggregation function and creates accumulators.
+type Func interface {
+	// Name returns the canonical lower-case name ("count", "sum", ...).
+	Name() string
+	// Distributive reports whether ⊕(a,⊕(b,c)) = ⊕(⊕(a,b),c).
+	Distributive() bool
+	// New returns a fresh accumulator.
+	New() Accumulator
+}
+
+// Accumulator folds a bag of measure values into one aggregate.
+type Accumulator interface {
+	// Add feeds one measure value. term is the value's dictionary ID;
+	// num is its numeric interpretation when numOK is true. Functions
+	// needing numbers (sum, avg, min, max) ignore non-numeric inputs.
+	Add(term dict.ID, num float64, numOK bool)
+	// Result returns the aggregate. ok is false when the accumulator is
+	// empty — per Definition 1, a fact with an empty measure bag does not
+	// contribute to the cube.
+	Result() (v float64, ok bool)
+}
+
+// The built-in aggregation functions.
+var (
+	Count         Func = countFunc{}
+	Sum           Func = sumFunc{}
+	Avg           Func = avgFunc{}
+	Min           Func = minFunc{}
+	Max           Func = maxFunc{}
+	CountDistinct Func = countDistinctFunc{}
+)
+
+// ByName resolves a function by its canonical name.
+func ByName(name string) (Func, error) {
+	switch name {
+	case "count":
+		return Count, nil
+	case "sum":
+		return Sum, nil
+	case "avg", "average":
+		return Avg, nil
+	case "min":
+		return Min, nil
+	case "max":
+		return Max, nil
+	case "countdistinct", "count_distinct":
+		return CountDistinct, nil
+	default:
+		return nil, fmt.Errorf("agg: unknown aggregation function %q", name)
+	}
+}
+
+type countFunc struct{}
+
+func (countFunc) Name() string       { return "count" }
+func (countFunc) Distributive() bool { return true }
+func (countFunc) New() Accumulator   { return &countAcc{} }
+
+type countAcc struct{ n int }
+
+func (a *countAcc) Add(dict.ID, float64, bool) { a.n++ }
+func (a *countAcc) Result() (float64, bool)    { return float64(a.n), a.n > 0 }
+
+type sumFunc struct{}
+
+func (sumFunc) Name() string       { return "sum" }
+func (sumFunc) Distributive() bool { return true }
+func (sumFunc) New() Accumulator   { return &sumAcc{} }
+
+type sumAcc struct {
+	sum float64
+	n   int
+}
+
+func (a *sumAcc) Add(_ dict.ID, num float64, numOK bool) {
+	if numOK {
+		a.sum += num
+		a.n++
+	}
+}
+func (a *sumAcc) Result() (float64, bool) { return a.sum, a.n > 0 }
+
+type avgFunc struct{}
+
+func (avgFunc) Name() string       { return "avg" }
+func (avgFunc) Distributive() bool { return false }
+func (avgFunc) New() Accumulator   { return &avgAcc{} }
+
+type avgAcc struct {
+	sum float64
+	n   int
+}
+
+func (a *avgAcc) Add(_ dict.ID, num float64, numOK bool) {
+	if numOK {
+		a.sum += num
+		a.n++
+	}
+}
+
+func (a *avgAcc) Result() (float64, bool) {
+	if a.n == 0 {
+		return 0, false
+	}
+	return a.sum / float64(a.n), true
+}
+
+type minFunc struct{}
+
+func (minFunc) Name() string       { return "min" }
+func (minFunc) Distributive() bool { return true }
+func (minFunc) New() Accumulator   { return &minAcc{best: math.Inf(1)} }
+
+type minAcc struct {
+	best float64
+	n    int
+}
+
+func (a *minAcc) Add(_ dict.ID, num float64, numOK bool) {
+	if numOK {
+		if num < a.best {
+			a.best = num
+		}
+		a.n++
+	}
+}
+func (a *minAcc) Result() (float64, bool) { return a.best, a.n > 0 }
+
+type maxFunc struct{}
+
+func (maxFunc) Name() string       { return "max" }
+func (maxFunc) Distributive() bool { return true }
+func (maxFunc) New() Accumulator   { return &maxAcc{best: math.Inf(-1)} }
+
+type maxAcc struct {
+	best float64
+	n    int
+}
+
+func (a *maxAcc) Add(_ dict.ID, num float64, numOK bool) {
+	if numOK {
+		if num > a.best {
+			a.best = num
+		}
+		a.n++
+	}
+}
+func (a *maxAcc) Result() (float64, bool) { return a.best, a.n > 0 }
+
+type countDistinctFunc struct{}
+
+func (countDistinctFunc) Name() string       { return "countdistinct" }
+func (countDistinctFunc) Distributive() bool { return false }
+func (countDistinctFunc) New() Accumulator   { return &cdAcc{seen: map[dict.ID]struct{}{}} }
+
+type cdAcc struct{ seen map[dict.ID]struct{} }
+
+func (a *cdAcc) Add(term dict.ID, _ float64, _ bool) { a.seen[term] = struct{}{} }
+func (a *cdAcc) Result() (float64, bool)             { return float64(len(a.seen)), len(a.seen) > 0 }

@@ -1,0 +1,207 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rdfcube/internal/dict"
+)
+
+func feedNums(a Accumulator, nums ...float64) {
+	for _, n := range nums {
+		a.Add(dict.NoID, n, true)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"count", "sum", "avg", "min", "max", "countdistinct"} {
+		f, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if f.Name() == "" {
+			t.Errorf("%q has empty canonical name", name)
+		}
+	}
+	// Aliases.
+	if f, err := ByName("average"); err != nil || f.Name() != "avg" {
+		t.Error("average alias broken")
+	}
+	if f, err := ByName("count_distinct"); err != nil || f.Name() != "countdistinct" {
+		t.Error("count_distinct alias broken")
+	}
+	if _, err := ByName("median"); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestDistributivityFlags(t *testing.T) {
+	want := map[string]bool{
+		"count": true, "sum": true, "min": true, "max": true,
+		"avg": false, "countdistinct": false,
+	}
+	for name, distributive := range want {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Distributive() != distributive {
+			t.Errorf("%s.Distributive() = %v, want %v", name, f.Distributive(), distributive)
+		}
+	}
+}
+
+func TestEmptyAccumulatorsUndefined(t *testing.T) {
+	// Definition 1: empty measure bags contribute nothing to the cube.
+	for _, f := range []Func{Count, Sum, Avg, Min, Max, CountDistinct} {
+		if _, ok := f.New().Result(); ok {
+			t.Errorf("%s: empty accumulator reported a result", f.Name())
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	a := Count.New()
+	// Count counts everything, including non-numeric values.
+	a.Add(dict.ID(5), 0, false)
+	a.Add(dict.ID(5), 0, false)
+	feedNums(a, 1.5)
+	if v, ok := a.Result(); !ok || v != 3 {
+		t.Errorf("count = %g, %v", v, ok)
+	}
+}
+
+func TestSum(t *testing.T) {
+	a := Sum.New()
+	feedNums(a, 1, 2, 3.5)
+	a.Add(dict.ID(9), 0, false) // non-numeric ignored
+	if v, ok := a.Result(); !ok || v != 6.5 {
+		t.Errorf("sum = %g, %v", v, ok)
+	}
+	// Only non-numeric input: undefined.
+	b := Sum.New()
+	b.Add(dict.ID(9), 0, false)
+	if _, ok := b.Result(); ok {
+		t.Error("sum over non-numeric values must be undefined")
+	}
+}
+
+func TestAvg(t *testing.T) {
+	a := Avg.New()
+	feedNums(a, 100, 120, 410)
+	if v, ok := a.Result(); !ok || v != 210 {
+		t.Errorf("avg = %g, %v (the Example 4 value)", v, ok)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	mn, mx := Min.New(), Max.New()
+	for _, v := range []float64{3, -1, 7, 0} {
+		mn.Add(dict.NoID, v, true)
+		mx.Add(dict.NoID, v, true)
+	}
+	if v, ok := mn.Result(); !ok || v != -1 {
+		t.Errorf("min = %g, %v", v, ok)
+	}
+	if v, ok := mx.Result(); !ok || v != 7 {
+		t.Errorf("max = %g, %v", v, ok)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	a := CountDistinct.New()
+	for _, id := range []dict.ID{1, 2, 2, 3, 1} {
+		a.Add(id, 0, false)
+	}
+	if v, ok := a.Result(); !ok || v != 3 {
+		t.Errorf("countdistinct = %g, %v", v, ok)
+	}
+}
+
+// TestDistributiveProperty verifies the ⊕(a,⊕(b,c)) = ⊕(⊕(a,b),c)
+// equality that the Distributive flag advertises, by splitting random
+// bags at random points and combining partial aggregates.
+func TestDistributiveProperty(t *testing.T) {
+	combine := map[string]func(x, y float64) float64{
+		"count": func(x, y float64) float64 { return x + y },
+		"sum":   func(x, y float64) float64 { return x + y },
+		"min":   math.Min,
+		"max":   math.Max,
+	}
+	rng := rand.New(rand.NewSource(21))
+	for name, comb := range combine {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.Distributive() {
+			t.Fatalf("%s must be distributive", name)
+		}
+		for trial := 0; trial < 100; trial++ {
+			n := 2 + rng.Intn(20)
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = float64(rng.Intn(100))
+			}
+			cut := 1 + rng.Intn(n-1)
+			whole, left, right := f.New(), f.New(), f.New()
+			feedNums(whole, vals...)
+			feedNums(left, vals[:cut]...)
+			feedNums(right, vals[cut:]...)
+			w, _ := whole.Result()
+			l, _ := left.Result()
+			r, _ := right.Result()
+			if got := comb(l, r); math.Abs(got-w) > 1e-9 {
+				t.Fatalf("%s: combine(%g, %g) = %g, whole = %g", name, l, r, got, w)
+			}
+		}
+	}
+}
+
+// TestAvgNotDistributive demonstrates why avg carries Distributive() ==
+// false: naively averaging partial averages diverges from the true mean.
+func TestAvgNotDistributive(t *testing.T) {
+	whole, left, right := Avg.New(), Avg.New(), Avg.New()
+	vals := []float64{1, 1, 1, 100}
+	feedNums(whole, vals...)
+	feedNums(left, vals[:3]...)
+	feedNums(right, vals[3:]...)
+	w, _ := whole.Result()
+	l, _ := left.Result()
+	r, _ := right.Result()
+	if math.Abs((l+r)/2-w) < 1e-9 {
+		t.Fatal("averaging partial averages accidentally matched; pick better test data")
+	}
+}
+
+func TestPropertySumOrderIndependent(t *testing.T) {
+	f := func(vals []float64) bool {
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true
+			}
+		}
+		a, b := Sum.New(), Sum.New()
+		feedNums(a, vals...)
+		rev := make([]float64, len(vals))
+		for i, v := range vals {
+			rev[len(vals)-1-i] = v
+		}
+		feedNums(b, rev...)
+		av, aok := a.Result()
+		bv, bok := b.Result()
+		if aok != bok {
+			return false
+		}
+		if !aok {
+			return true
+		}
+		return math.Abs(av-bv) <= 1e-6*math.Max(1, math.Abs(av))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

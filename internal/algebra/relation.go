@@ -1,0 +1,429 @@
+// Package algebra implements a small bag-semantics relational algebra —
+// selection σ, projection π, duplicate elimination δ, grouping with
+// aggregation γ, and hash joins ⋈ — over tables whose cells are RDF term
+// IDs, numbers, or the synthetic keys of extended measure results.
+//
+// Section 3 of the paper expresses its rewriting algorithms in exactly
+// these operators ("all relational algebra operators are assumed to have
+// bag semantics"); the core package executes Algorithms 1 and 2 as plain
+// algebra programs on pres(Q).
+package algebra
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"rdfcube/internal/agg"
+	"rdfcube/internal/dict"
+)
+
+// ValueKind discriminates cell types.
+type ValueKind uint8
+
+// Cell kinds: an RDF term ID, a numeric aggregate, or a measure key
+// produced by newk() (Section 3, extended measure result).
+const (
+	TermValue ValueKind = iota + 1
+	NumValue
+	KeyValue
+)
+
+// Value is one relation cell. Values are comparable; equality is
+// structural.
+type Value struct {
+	Kind ValueKind
+	ID   dict.ID // TermValue
+	Num  float64 // NumValue
+	Key  uint64  // KeyValue
+}
+
+// TermV wraps a dictionary ID as a cell.
+func TermV(id dict.ID) Value { return Value{Kind: TermValue, ID: id} }
+
+// NumV wraps a number as a cell.
+func NumV(f float64) Value { return Value{Kind: NumValue, Num: f} }
+
+// KeyV wraps a measure key as a cell.
+func KeyV(k uint64) Value { return Value{Kind: KeyValue, Key: k} }
+
+// String renders the cell for debugging and table output.
+func (v Value) String() string {
+	switch v.Kind {
+	case TermValue:
+		return fmt.Sprintf("t%d", v.ID)
+	case NumValue:
+		if v.Num == math.Trunc(v.Num) && math.Abs(v.Num) < 1e15 {
+			return fmt.Sprintf("%d", int64(v.Num))
+		}
+		return fmt.Sprintf("%g", v.Num)
+	case KeyValue:
+		return fmt.Sprintf("k%d", v.Key)
+	default:
+		return "?"
+	}
+}
+
+// Row is one tuple.
+type Row []Value
+
+// Relation is a named-column table with bag semantics: duplicate rows are
+// meaningful until an explicit δ.
+type Relation struct {
+	Cols []string
+	Rows []Row
+}
+
+// NewRelation returns an empty relation with the given columns.
+func NewRelation(cols ...string) *Relation {
+	return &Relation{Cols: append([]string(nil), cols...)}
+}
+
+// Len reports the number of rows (with duplicates).
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Column returns the index of col, or -1.
+func (r *Relation) Column(col string) int {
+	for i, c := range r.Cols {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustColumn returns the index of col, panicking if absent; for internal
+// invariants.
+func (r *Relation) MustColumn(col string) int {
+	i := r.Column(col)
+	if i < 0 {
+		panic(fmt.Sprintf("algebra: no column %q in %v", col, r.Cols))
+	}
+	return i
+}
+
+// Append adds a row; the row length must match the column count.
+func (r *Relation) Append(row Row) {
+	if len(row) != len(r.Cols) {
+		panic(fmt.Sprintf("algebra: row width %d != %d columns", len(row), len(r.Cols)))
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Cols: append([]string(nil), r.Cols...)}
+	out.Rows = make([]Row, len(r.Rows))
+	for i, row := range r.Rows {
+		out.Rows[i] = append(Row(nil), row...)
+	}
+	return out
+}
+
+// Select returns σ_pred(r): the rows satisfying pred, bag semantics.
+func (r *Relation) Select(pred func(Row) bool) *Relation {
+	out := &Relation{Cols: append([]string(nil), r.Cols...)}
+	for _, row := range r.Rows {
+		if pred(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Project returns π_cols(r) with bag semantics (duplicates retained).
+func (r *Relation) Project(cols ...string) *Relation {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = r.MustColumn(c)
+	}
+	out := &Relation{Cols: append([]string(nil), cols...)}
+	out.Rows = make([]Row, len(r.Rows))
+	for i, row := range r.Rows {
+		nr := make(Row, len(idx))
+		for j, c := range idx {
+			nr[j] = row[c]
+		}
+		out.Rows[i] = nr
+	}
+	return out
+}
+
+// Dedup returns δ(r): distinct rows. This is the deduplication step of
+// Algorithm 1, which repairs the fact duplication caused by projecting
+// out a multi-valued dimension.
+func (r *Relation) Dedup() *Relation {
+	out := &Relation{Cols: append([]string(nil), r.Cols...)}
+	seen := make(map[string]struct{}, len(r.Rows))
+	for _, row := range r.Rows {
+		k := rowKey(row)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// rowKey encodes a row as a map key.
+func rowKey(row Row) string {
+	var b strings.Builder
+	b.Grow(len(row) * 10)
+	for _, v := range row {
+		b.WriteByte(byte(v.Kind))
+		switch v.Kind {
+		case TermValue:
+			writeU64(&b, uint64(v.ID))
+		case NumValue:
+			writeU64(&b, math.Float64bits(v.Num))
+		case KeyValue:
+			writeU64(&b, v.Key)
+		}
+	}
+	return b.String()
+}
+
+func writeU64(b *strings.Builder, u uint64) {
+	for s := 0; s < 64; s += 8 {
+		b.WriteByte(byte(u >> s))
+	}
+}
+
+// keyFor builds a grouping key over the given column indexes.
+func keyFor(row Row, idx []int) string {
+	var b strings.Builder
+	b.Grow(len(idx) * 10)
+	for _, c := range idx {
+		v := row[c]
+		b.WriteByte(byte(v.Kind))
+		switch v.Kind {
+		case TermValue:
+			writeU64(&b, uint64(v.ID))
+		case NumValue:
+			writeU64(&b, math.Float64bits(v.Num))
+		case KeyValue:
+			writeU64(&b, v.Key)
+		}
+	}
+	return b.String()
+}
+
+// NumericResolver supplies the numeric interpretation of a term ID, used
+// by γ to feed sum/avg/min/max. The core package passes a resolver backed
+// by the term dictionary.
+type NumericResolver func(id dict.ID) (float64, bool)
+
+// GroupAggregate returns γ_{groupCols, ⊕(valueCol)}(r): one output row
+// per distinct group, carrying the group columns followed by a NumValue
+// column named aggCol with the aggregate of valueCol.
+//
+// Groups whose accumulator reports no result (empty measure bag for
+// functions requiring numeric input) are dropped, matching Definition 1's
+// "if qj(I) is empty, the fact does not contribute to the cube".
+// Output group order is deterministic (first-seen order).
+func (r *Relation) GroupAggregate(groupCols []string, valueCol, aggCol string, f agg.Func, resolve NumericResolver) *Relation {
+	gIdx := make([]int, len(groupCols))
+	for i, c := range groupCols {
+		gIdx[i] = r.MustColumn(c)
+	}
+	vIdx := r.MustColumn(valueCol)
+
+	type group struct {
+		repr Row
+		acc  agg.Accumulator
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range r.Rows {
+		k := keyFor(row, gIdx)
+		g, ok := groups[k]
+		if !ok {
+			repr := make(Row, len(gIdx))
+			for i, c := range gIdx {
+				repr[i] = row[c]
+			}
+			g = &group{repr: repr, acc: f.New()}
+			groups[k] = g
+			order = append(order, k)
+		}
+		v := row[vIdx]
+		switch v.Kind {
+		case TermValue:
+			if resolve != nil {
+				num, ok := resolve(v.ID)
+				g.acc.Add(v.ID, num, ok)
+			} else {
+				g.acc.Add(v.ID, 0, false)
+			}
+		case NumValue:
+			g.acc.Add(dict.NoID, v.Num, true)
+		case KeyValue:
+			g.acc.Add(dict.ID(v.Key), float64(v.Key), true)
+		}
+	}
+	out := NewRelation(append(append([]string(nil), groupCols...), aggCol)...)
+	for _, k := range order {
+		g := groups[k]
+		v, ok := g.acc.Result()
+		if !ok {
+			continue
+		}
+		out.Rows = append(out.Rows, append(append(Row(nil), g.repr...), NumV(v)))
+	}
+	return out
+}
+
+// Join returns r ⋈ other on leftCols = rightCols (hash join, bag
+// semantics). Output columns are r's columns followed by other's columns
+// minus the join columns. Column name collisions outside the join columns
+// are an error.
+func (r *Relation) Join(other *Relation, leftCols, rightCols []string) (*Relation, error) {
+	if len(leftCols) != len(rightCols) {
+		return nil, fmt.Errorf("algebra: join column arity mismatch %d vs %d", len(leftCols), len(rightCols))
+	}
+	lIdx := make([]int, len(leftCols))
+	for i, c := range leftCols {
+		j := r.Column(c)
+		if j < 0 {
+			return nil, fmt.Errorf("algebra: join column %q missing on left", c)
+		}
+		lIdx[i] = j
+	}
+	rIdx := make([]int, len(rightCols))
+	rightJoinCol := make(map[int]bool)
+	for i, c := range rightCols {
+		j := other.Column(c)
+		if j < 0 {
+			return nil, fmt.Errorf("algebra: join column %q missing on right", c)
+		}
+		rIdx[i] = j
+		rightJoinCol[j] = true
+	}
+	// Output schema.
+	outCols := append([]string(nil), r.Cols...)
+	leftNames := map[string]bool{}
+	for _, c := range r.Cols {
+		leftNames[c] = true
+	}
+	var keepRight []int
+	for j, c := range other.Cols {
+		if rightJoinCol[j] {
+			continue
+		}
+		if leftNames[c] {
+			return nil, fmt.Errorf("algebra: duplicate non-join column %q", c)
+		}
+		outCols = append(outCols, c)
+		keepRight = append(keepRight, j)
+	}
+	// Build on the smaller side? Keep it simple: build on right.
+	build := make(map[string][]Row, len(other.Rows))
+	for _, row := range other.Rows {
+		k := keyFor(row, rIdx)
+		build[k] = append(build[k], row)
+	}
+	out := &Relation{Cols: outCols}
+	for _, lrow := range r.Rows {
+		k := keyFor(lrow, lIdx)
+		for _, rrow := range build[k] {
+			nr := make(Row, 0, len(outCols))
+			nr = append(nr, lrow...)
+			for _, j := range keepRight {
+				nr = append(nr, rrow[j])
+			}
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return out, nil
+}
+
+// NaturalJoin joins on all shared column names.
+func (r *Relation) NaturalJoin(other *Relation) (*Relation, error) {
+	var shared []string
+	for _, c := range r.Cols {
+		if other.Column(c) >= 0 {
+			shared = append(shared, c)
+		}
+	}
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("algebra: natural join with no shared columns (%v vs %v)", r.Cols, other.Cols)
+	}
+	return r.Join(other, shared, shared)
+}
+
+// Sort orders rows lexicographically in place (Kind, then payload) for
+// deterministic output.
+func (r *Relation) Sort() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		return compareRows(r.Rows[i], r.Rows[j]) < 0
+	})
+}
+
+func compareRows(a, b Row) int {
+	for k := range a {
+		if c := compareValues(a[k], b[k]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func compareValues(a, b Value) int {
+	if a.Kind != b.Kind {
+		if a.Kind < b.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.Kind {
+	case TermValue:
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+	case NumValue:
+		switch {
+		case a.Num < b.Num:
+			return -1
+		case a.Num > b.Num:
+			return 1
+		}
+	case KeyValue:
+		switch {
+		case a.Key < b.Key:
+			return -1
+		case a.Key > b.Key:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Equal reports whether two relations have identical schema and identical
+// bags of rows (order-insensitive).
+func Equal(a, b *Relation) bool {
+	if len(a.Cols) != len(b.Cols) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] {
+			return false
+		}
+	}
+	counts := make(map[string]int, len(a.Rows))
+	for _, row := range a.Rows {
+		counts[rowKey(row)]++
+	}
+	for _, row := range b.Rows {
+		k := rowKey(row)
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,581 @@
+package benchmark
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"rdfcube/internal/algebra"
+	"rdfcube/internal/core"
+	"rdfcube/internal/datagen"
+	"rdfcube/internal/rdf"
+)
+
+// Row is one measured experiment data point.
+type Row struct {
+	// Label identifies the swept parameter value (e.g. "N=100000").
+	Label string
+	// Triples is the AnS instance size.
+	Triples int
+	// Direct and Rewrite are the evaluation times of Q_T from the
+	// instance and from the materialized results, respectively.
+	Direct, Rewrite time.Duration
+	// Cells is the transformed cube's size; Match reports whether the
+	// two strategies produced identical cubes.
+	Cells int
+	Match bool
+	// Extra carries experiment-specific columns (error rates, sizes).
+	Extra string
+}
+
+// printHeader and printRow render the paper-style result table.
+func printHeader(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	fmt.Fprintf(w, "%-22s %10s %12s %12s %8s %7s  %s\n",
+		"parameter", "triples", "direct", "rewrite", "speedup", "cells", "notes")
+}
+
+func printRow(w io.Writer, r Row) {
+	match := ""
+	if !r.Match {
+		match = "MISMATCH! "
+	}
+	fmt.Fprintf(w, "%-22s %10d %12s %12s %8s %7d  %s%s\n",
+		r.Label, r.Triples, r.Direct.Round(time.Microsecond), r.Rewrite.Round(time.Microsecond),
+		Speedup(r.Direct, r.Rewrite), r.Cells, match, r.Extra)
+}
+
+// SliceSizes is the default instance-size sweep of experiment E1
+// (bloggers; each blogger yields ~10 instance triples).
+var SliceSizes = []int{1000, 5000, 20000, 50000}
+
+// RunE1Slice measures SLICE: direct evaluation versus σ over ans(Q),
+// sweeping dataset scale.
+func RunE1Slice(w io.Writer, bloggers []int) ([]Row, error) {
+	printHeader(w, "E1  SLICE: direct vs σ-rewrite over ans(Q), scale sweep")
+	var rows []Row
+	for _, n := range bloggers {
+		cfg := datagen.DefaultBloggerConfig()
+		cfg.Bloggers = n
+		wl, err := BuildBlogger(cfg, "count")
+		if err != nil {
+			return rows, err
+		}
+		// Slice dimension 0 (age) to one mid-domain value.
+		sliced, err := core.Slice(wl.Query, "d0", datagen.DimValue(0, 10))
+		if err != nil {
+			return rows, err
+		}
+		row, err := measureDice(wl, sliced, fmt.Sprintf("bloggers=%d", n))
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+		printRow(w, row)
+	}
+	return rows, nil
+}
+
+// Selectivities is the default E2 sweep: fraction of the age domain
+// retained by the dice.
+var Selectivities = []float64{0.01, 0.10, 0.25, 0.50, 1.0}
+
+// RunE2Dice measures DICE at fixed scale, sweeping selectivity.
+func RunE2Dice(w io.Writer, bloggers int, selectivities []float64) ([]Row, error) {
+	printHeader(w, "E2  DICE: direct vs σ-rewrite over ans(Q), selectivity sweep")
+	cfg := datagen.DefaultBloggerConfig()
+	cfg.Bloggers = bloggers
+	wl, err := BuildBlogger(cfg, "count")
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, sel := range selectivities {
+		card := datagen.DimCardinality(0)
+		k := int(math.Max(1, math.Round(sel*float64(card))))
+		vals := make([]rdf.Term, 0, k)
+		for v := 0; v < k; v++ {
+			vals = append(vals, datagen.DimValue(0, v))
+		}
+		diced, err := core.Dice(wl.Query, map[string][]rdf.Term{"d0": vals})
+		if err != nil {
+			return rows, err
+		}
+		row, err := measureDice(wl, diced, fmt.Sprintf("selectivity=%.0f%%", sel*100))
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+		printRow(w, row)
+	}
+	return rows, nil
+}
+
+// measureDice times direct evaluation of a sliced/diced query against the
+// σ rewrite over the materialized ans(Q) and checks they agree.
+func measureDice(wl *Workload, diced *core.Query, label string) (Row, error) {
+	var direct, rewrite *algebra.Relation
+	dDur, err := Timed(func() (err error) {
+		direct, err = wl.Ev.Answer(diced)
+		return err
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	rDur, err := Timed(func() (err error) {
+		rewrite, err = wl.Ev.DiceRewrite(diced, wl.Ans)
+		return err
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		Label:   label,
+		Triples: wl.Inst.Len(),
+		Direct:  dDur,
+		Rewrite: rDur,
+		Cells:   rewrite.Len(),
+		Match:   algebra.Equal(direct, rewrite),
+	}, nil
+}
+
+// DimSweep is the default E3 dimensionality sweep.
+var DimSweep = []int{2, 3, 4, 5, 6}
+
+// RunE3DrillOut measures DRILL-OUT (drop the last dimension): direct
+// versus Algorithm 1 over pres(Q), sweeping classifier dimensionality.
+func RunE3DrillOut(w io.Writer, bloggers int, dims []int) ([]Row, error) {
+	printHeader(w, "E3  DRILL-OUT: direct vs Algorithm 1 over pres(Q), dimensionality sweep")
+	var rows []Row
+	for _, nd := range dims {
+		cfg := datagen.DefaultBloggerConfig()
+		cfg.Bloggers = bloggers
+		cfg.Dimensions = nd
+		wl, err := BuildBlogger(cfg, "sum")
+		if err != nil {
+			return rows, err
+		}
+		drop := fmt.Sprintf("d%d", nd-1)
+		qOut, err := core.DrillOut(wl.Query, drop)
+		if err != nil {
+			return rows, err
+		}
+		var direct, rewrite *algebra.Relation
+		dDur, err := Timed(func() (err error) {
+			direct, err = wl.Ev.Answer(qOut)
+			return err
+		})
+		if err != nil {
+			return rows, err
+		}
+		rDur, err := Timed(func() (err error) {
+			rewrite, err = wl.Ev.DrillOutRewrite(wl.Query, wl.Pres, drop)
+			return err
+		})
+		if err != nil {
+			return rows, err
+		}
+		row := Row{
+			Label:   fmt.Sprintf("dims=%d", nd),
+			Triples: wl.Inst.Len(),
+			Direct:  dDur,
+			Rewrite: rDur,
+			Cells:   rewrite.Len(),
+			Match:   algebra.Equal(direct, rewrite),
+			Extra:   fmt.Sprintf("pres=%d rows", wl.Pres.Len()),
+		}
+		rows = append(rows, row)
+		printRow(w, row)
+	}
+	return rows, nil
+}
+
+// RunE4DrillIn measures DRILL-IN: direct versus Algorithm 2 (pres(Q)
+// joined with the auxiliary query), sweeping dataset scale.
+func RunE4DrillIn(w io.Writer, videos []int) ([]Row, error) {
+	printHeader(w, "E4  DRILL-IN: direct vs Algorithm 2 over pres(Q)+q_aux, scale sweep")
+	var rows []Row
+	for _, n := range videos {
+		cfg := datagen.DefaultVideoConfig()
+		cfg.Videos = n
+		cfg.Websites = n/10 + 1
+		wl, err := BuildVideo(cfg, "sum")
+		if err != nil {
+			return rows, err
+		}
+		qIn, err := core.DrillIn(wl.Query, "d3")
+		if err != nil {
+			return rows, err
+		}
+		var direct, rewrite *algebra.Relation
+		dDur, err := Timed(func() (err error) {
+			direct, err = wl.Ev.Answer(qIn)
+			return err
+		})
+		if err != nil {
+			return rows, err
+		}
+		rDur, err := Timed(func() (err error) {
+			rewrite, err = wl.Ev.DrillInRewrite(wl.Query, wl.Pres, "d3")
+			return err
+		})
+		if err != nil {
+			return rows, err
+		}
+		row := Row{
+			Label:   fmt.Sprintf("videos=%d", n),
+			Triples: wl.Inst.Len(),
+			Direct:  dDur,
+			Rewrite: rDur,
+			Cells:   rewrite.Len(),
+			Match:   algebra.Equal(direct, rewrite),
+		}
+		rows = append(rows, row)
+		printRow(w, row)
+	}
+	return rows, nil
+}
+
+// RunE5Summary measures all four operations at one fixed scale — the
+// headline comparison table.
+func RunE5Summary(w io.Writer, bloggers int) ([]Row, error) {
+	printHeader(w, "E5  All operations at fixed scale: direct vs rewrite")
+	cfg := datagen.DefaultBloggerConfig()
+	cfg.Bloggers = bloggers
+	cfg.Dimensions = 3
+	wl, err := BuildBlogger(cfg, "sum")
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+
+	sliced, err := core.Slice(wl.Query, "d0", datagen.DimValue(0, 10))
+	if err != nil {
+		return rows, err
+	}
+	row, err := measureDice(wl, sliced, "SLICE d0")
+	if err != nil {
+		return rows, err
+	}
+	rows = append(rows, row)
+	printRow(w, row)
+
+	diced, err := core.Dice(wl.Query, map[string][]rdf.Term{
+		"d0": {datagen.DimValue(0, 1), datagen.DimValue(0, 2), datagen.DimValue(0, 3)},
+		"d1": {datagen.DimValue(1, 0), datagen.DimValue(1, 1)},
+	})
+	if err != nil {
+		return rows, err
+	}
+	row, err = measureDice(wl, diced, "DICE d0,d1")
+	if err != nil {
+		return rows, err
+	}
+	rows = append(rows, row)
+	printRow(w, row)
+
+	qOut, err := core.DrillOut(wl.Query, "d2")
+	if err != nil {
+		return rows, err
+	}
+	var direct, rewrite *algebra.Relation
+	dDur, err := Timed(func() (err error) {
+		direct, err = wl.Ev.Answer(qOut)
+		return err
+	})
+	if err != nil {
+		return rows, err
+	}
+	rDur, err := Timed(func() (err error) {
+		rewrite, err = wl.Ev.DrillOutRewrite(wl.Query, wl.Pres, "d2")
+		return err
+	})
+	if err != nil {
+		return rows, err
+	}
+	row = Row{Label: "DRILL-OUT d2", Triples: wl.Inst.Len(), Direct: dDur, Rewrite: rDur,
+		Cells: rewrite.Len(), Match: algebra.Equal(direct, rewrite)}
+	rows = append(rows, row)
+	printRow(w, row)
+
+	// DRILL-IN on the video workload at comparable scale.
+	vcfg := datagen.DefaultVideoConfig()
+	vcfg.Videos = bloggers
+	vcfg.Websites = bloggers/10 + 1
+	vwl, err := BuildVideo(vcfg, "sum")
+	if err != nil {
+		return rows, err
+	}
+	qIn, err := core.DrillIn(vwl.Query, "d3")
+	if err != nil {
+		return rows, err
+	}
+	dDur, err = Timed(func() (err error) {
+		direct, err = vwl.Ev.Answer(qIn)
+		return err
+	})
+	if err != nil {
+		return rows, err
+	}
+	rDur, err = Timed(func() (err error) {
+		rewrite, err = vwl.Ev.DrillInRewrite(vwl.Query, vwl.Pres, "d3")
+		return err
+	})
+	if err != nil {
+		return rows, err
+	}
+	row = Row{Label: "DRILL-IN d3 (video)", Triples: vwl.Inst.Len(), Direct: dDur, Rewrite: rDur,
+		Cells: rewrite.Len(), Match: algebra.Equal(direct, rewrite)}
+	rows = append(rows, row)
+	printRow(w, row)
+	return rows, nil
+}
+
+// MultiValueSweep is the default E6 multi-valuedness sweep.
+var MultiValueSweep = []float64{0, 0.1, 0.25, 0.5}
+
+// RunE6NaiveError quantifies the correctness ablation of Example 5: the
+// naive ans(Q)-based drill-out versus Algorithm 1, as multi-valuedness
+// grows. The error metric is the fraction of cube cells whose naive
+// aggregate differs from the correct one.
+func RunE6NaiveError(w io.Writer, bloggers int, multiValue []float64) ([]Row, error) {
+	printHeader(w, "E6  Naive ans(Q)-based DRILL-OUT error vs Algorithm 1, multi-valuedness sweep")
+	var rows []Row
+	for _, mv := range multiValue {
+		cfg := datagen.DefaultBloggerConfig()
+		cfg.Bloggers = bloggers
+		cfg.Dimensions = 2
+		cfg.MultiValueProb = mv
+		wl, err := BuildBlogger(cfg, "sum")
+		if err != nil {
+			return rows, err
+		}
+		correct, err := wl.Ev.DrillOutRewrite(wl.Query, wl.Pres, "d1")
+		if err != nil {
+			return rows, err
+		}
+		var naive *algebra.Relation
+		nDur, err := Timed(func() (err error) {
+			naive, err = core.NaiveDrillOutFromAns(wl.Query, wl.Ans, "d1")
+			return err
+		})
+		if err != nil {
+			return rows, err
+		}
+		aDur, err := Timed(func() (err error) {
+			_, err = wl.Ev.DrillOutRewrite(wl.Query, wl.Pres, "d1")
+			return err
+		})
+		if err != nil {
+			return rows, err
+		}
+		wrong, total, meanRelErr := cellErrors(correct, naive)
+		// Match stays true: the naive baseline *diverging* under
+		// multi-valuedness is the expected outcome, reported in Extra.
+		row := Row{
+			Label:   fmt.Sprintf("multivalue=%.0f%%", mv*100),
+			Triples: wl.Inst.Len(),
+			Direct:  nDur, // "direct" column shows the (cheaper, wrong) naive time
+			Rewrite: aDur,
+			Cells:   total,
+			Match:   true,
+			Extra: fmt.Sprintf("naive wrong cells %d/%d (%.1f%%), mean overcount %.1f%%",
+				wrong, total, 100*float64(wrong)/float64(maxI(total, 1)), 100*meanRelErr),
+		}
+		rows = append(rows, row)
+		printRow(w, row)
+	}
+	return rows, nil
+}
+
+// cellErrors compares two cubes cell by cell (keyed on dimensions) and
+// returns the number of differing cells, the total, and the mean
+// relative deviation of the naive value from the correct one.
+func cellErrors(correct, naive *algebra.Relation) (wrong, total int, meanRelErr float64) {
+	key := func(row algebra.Row) string {
+		k := ""
+		for _, v := range row[:len(row)-1] {
+			k += fmt.Sprintf("%d|", v.ID)
+		}
+		return k
+	}
+	naiveVals := map[string]float64{}
+	for _, row := range naive.Rows {
+		naiveVals[key(row)] = row[len(row)-1].Num
+	}
+	var sumRel float64
+	for _, row := range correct.Rows {
+		total++
+		want := row[len(row)-1].Num
+		nv, ok := naiveVals[key(row)]
+		if !ok || math.Abs(nv-want) > 1e-9 {
+			wrong++
+		}
+		if ok && want != 0 {
+			sumRel += math.Abs(nv-want) / math.Abs(want)
+		}
+	}
+	if total > 0 {
+		meanRelErr = sumRel / float64(total)
+	}
+	return wrong, total, meanRelErr
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RunE7Materialize measures materialization cost and size: pres(Q)
+// versus ans(Q) versus the instance, across scale.
+func RunE7Materialize(w io.Writer, bloggers []int) ([]Row, error) {
+	printHeader(w, "E7  Materialization cost: pres(Q) vs ans(Q)")
+	var rows []Row
+	for _, n := range bloggers {
+		cfg := datagen.DefaultBloggerConfig()
+		cfg.Bloggers = n
+		wl, err := BuildBlogger(cfg, "sum")
+		if err != nil {
+			return rows, err
+		}
+		row := Row{
+			Label:   fmt.Sprintf("bloggers=%d", n),
+			Triples: wl.Inst.Len(),
+			Direct:  wl.PresBuild,
+			Rewrite: wl.AnsBuild,
+			Cells:   wl.Ans.Len(),
+			Match:   true,
+			Extra:   fmt.Sprintf("pres=%d rows, ans=%d cells", wl.Pres.Len(), wl.Ans.Len()),
+		}
+		rows = append(rows, row)
+		printRow(w, row)
+	}
+	fmt.Fprintln(w, "   (direct column = pres(Q) build time; rewrite column = ans(Q) aggregation time)")
+	return rows, nil
+}
+
+// AggNames is the default E8 aggregation-function sweep.
+var AggNames = []string{"count", "sum", "min", "max", "avg"}
+
+// RunE8Aggregations measures DRILL-OUT across aggregation functions,
+// contrasting distributive and non-distributive ⊕ (the naive baseline is
+// undefined for avg).
+func RunE8Aggregations(w io.Writer, bloggers int, aggs []string) ([]Row, error) {
+	printHeader(w, "E8  DRILL-OUT by aggregation function (Algorithm 1)")
+	var rows []Row
+	for _, name := range aggs {
+		cfg := datagen.DefaultBloggerConfig()
+		cfg.Bloggers = bloggers
+		wl, err := BuildBlogger(cfg, name)
+		if err != nil {
+			return rows, err
+		}
+		qOut, err := core.DrillOut(wl.Query, "d1")
+		if err != nil {
+			return rows, err
+		}
+		var direct, rewrite *algebra.Relation
+		dDur, err := Timed(func() (err error) {
+			direct, err = wl.Ev.Answer(qOut)
+			return err
+		})
+		if err != nil {
+			return rows, err
+		}
+		rDur, err := Timed(func() (err error) {
+			rewrite, err = wl.Ev.DrillOutRewrite(wl.Query, wl.Pres, "d1")
+			return err
+		})
+		if err != nil {
+			return rows, err
+		}
+		extra := "distributive"
+		if !wl.Query.Agg.Distributive() {
+			extra = "non-distributive (naive rewrite undefined)"
+		}
+		row := Row{
+			Label:   "agg=" + name,
+			Triples: wl.Inst.Len(),
+			Direct:  dDur,
+			Rewrite: rDur,
+			Cells:   rewrite.Len(),
+			Match:   cubesEqualApprox(direct, rewrite),
+			Extra:   extra,
+		}
+		rows = append(rows, row)
+		printRow(w, row)
+	}
+	return rows, nil
+}
+
+// cubesEqualApprox compares cubes with a small numeric tolerance (avg
+// accumulates floating-point differences between evaluation orders).
+func cubesEqualApprox(a, b *algebra.Relation) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	key := func(row algebra.Row) string {
+		k := ""
+		for _, v := range row[:len(row)-1] {
+			k += fmt.Sprintf("%d|", v.ID)
+		}
+		return k
+	}
+	vals := map[string]float64{}
+	for _, row := range a.Rows {
+		vals[key(row)] = row[len(row)-1].Num
+	}
+	for _, row := range b.Rows {
+		want, ok := vals[key(row)]
+		if !ok {
+			return false
+		}
+		got := row[len(row)-1].Num
+		if math.Abs(want-got) > 1e-6*math.Max(1, math.Abs(want)) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunAll executes every experiment with default parameters, writing the
+// tables to w. scale tunes the base sizes (1 = quick, larger = closer to
+// the tech report's scales).
+func RunAll(w io.Writer, scale int) error {
+	if scale < 1 {
+		scale = 1
+	}
+	sizes := make([]int, len(SliceSizes))
+	for i, s := range SliceSizes {
+		sizes[i] = s * scale
+	}
+	mid := 10000 * scale
+	if _, err := RunE1Slice(w, sizes); err != nil {
+		return fmt.Errorf("E1: %w", err)
+	}
+	if _, err := RunE2Dice(w, mid, Selectivities); err != nil {
+		return fmt.Errorf("E2: %w", err)
+	}
+	if _, err := RunE3DrillOut(w, mid/2, DimSweep); err != nil {
+		return fmt.Errorf("E3: %w", err)
+	}
+	if _, err := RunE4DrillIn(w, sizes); err != nil {
+		return fmt.Errorf("E4: %w", err)
+	}
+	if _, err := RunE5Summary(w, mid); err != nil {
+		return fmt.Errorf("E5: %w", err)
+	}
+	if _, err := RunE6NaiveError(w, mid/2, MultiValueSweep); err != nil {
+		return fmt.Errorf("E6: %w", err)
+	}
+	if _, err := RunE7Materialize(w, sizes); err != nil {
+		return fmt.Errorf("E7: %w", err)
+	}
+	if _, err := RunE8Aggregations(w, mid/2, AggNames); err != nil {
+		return fmt.Errorf("E8: %w", err)
+	}
+	return nil
+}

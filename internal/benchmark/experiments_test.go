@@ -1,0 +1,159 @@
+package benchmark
+
+// Integration tests: every experiment runner must execute at small scale
+// with all correctness cross-checks (direct == rewrite) passing.
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfcube/internal/datagen"
+)
+
+func requireAllMatch(t *testing.T, rows []Row, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("experiment produced no rows")
+	}
+	for _, r := range rows {
+		if !r.Match {
+			t.Errorf("row %q: direct and rewrite disagree", r.Label)
+		}
+		if r.Direct <= 0 || r.Rewrite <= 0 {
+			t.Errorf("row %q: non-positive timings %v/%v", r.Label, r.Direct, r.Rewrite)
+		}
+	}
+}
+
+func TestE1Slice(t *testing.T) {
+	rows, err := RunE1Slice(io.Discard, []int{100, 300})
+	requireAllMatch(t, rows, err)
+	if rows[1].Triples <= rows[0].Triples {
+		t.Error("instance size must grow with the sweep")
+	}
+}
+
+func TestE2Dice(t *testing.T) {
+	rows, err := RunE2Dice(io.Discard, 300, []float64{0.1, 0.5, 1.0})
+	requireAllMatch(t, rows, err)
+	// Cells must grow (weakly) with selectivity.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Cells < rows[i-1].Cells {
+			t.Errorf("cells shrank with selectivity: %v", rows)
+		}
+	}
+}
+
+func TestE3DrillOut(t *testing.T) {
+	rows, err := RunE3DrillOut(io.Discard, 200, []int{2, 3})
+	requireAllMatch(t, rows, err)
+}
+
+func TestE4DrillIn(t *testing.T) {
+	rows, err := RunE4DrillIn(io.Discard, []int{100, 200})
+	requireAllMatch(t, rows, err)
+}
+
+func TestE5Summary(t *testing.T) {
+	rows, err := RunE5Summary(io.Discard, 300)
+	requireAllMatch(t, rows, err)
+	if len(rows) != 4 {
+		t.Errorf("E5 must cover all four operations, got %d rows", len(rows))
+	}
+}
+
+func TestE6NaiveError(t *testing.T) {
+	rows, err := RunE6NaiveError(io.Discard, 400, []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Without multi-valued dimensions the naive rewrite is correct...
+	if !strings.Contains(rows[0].Extra, "wrong cells 0/") {
+		t.Errorf("multivalue=0: naive drill-out must agree, got %q", rows[0].Extra)
+	}
+	// ...and with heavy multi-valuedness it must be wrong somewhere.
+	if strings.Contains(rows[1].Extra, "wrong cells 0/") {
+		t.Errorf("multivalue=50%%: naive drill-out must exhibit errors, got %q", rows[1].Extra)
+	}
+}
+
+func TestE7Materialize(t *testing.T) {
+	rows, err := RunE7Materialize(io.Discard, []int{100, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !strings.Contains(r.Extra, "pres=") {
+			t.Errorf("E7 extra column malformed: %q", r.Extra)
+		}
+	}
+}
+
+func TestE8Aggregations(t *testing.T) {
+	rows, err := RunE8Aggregations(io.Discard, 200, []string{"count", "sum", "avg"})
+	requireAllMatch(t, rows, err)
+	// avg must be flagged non-distributive.
+	found := false
+	for _, r := range rows {
+		if r.Label == "agg=avg" && strings.Contains(r.Extra, "non-distributive") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("avg row must note non-distributivity")
+	}
+}
+
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll takes several seconds")
+	}
+	var sb strings.Builder
+	if err := RunAll(&sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, header := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
+		if !strings.Contains(out, header) {
+			t.Errorf("RunAll output missing %s table", header)
+		}
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Error("RunAll reported a direct/rewrite mismatch")
+	}
+}
+
+func TestBuildWorkloadFields(t *testing.T) {
+	cfg := datagen.DefaultBloggerConfig()
+	cfg.Bloggers = 100
+	wl, err := BuildBlogger(cfg, "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Base.Len() == 0 || wl.Inst.Len() == 0 {
+		t.Error("workload graphs empty")
+	}
+	if wl.Pres.Len() == 0 || wl.Ans.Len() == 0 {
+		t.Error("materialized views empty")
+	}
+	if wl.PresBuild <= 0 || wl.AnsBuild <= 0 {
+		t.Error("materialization timings not recorded")
+	}
+}
+
+func TestSpeedupFormatting(t *testing.T) {
+	if got := Speedup(10*time.Millisecond, 1*time.Millisecond); got != "10.0x" {
+		t.Errorf("Speedup = %q", got)
+	}
+	if got := Speedup(time.Second, 0); got != "inf" {
+		t.Errorf("Speedup with zero rewrite = %q", got)
+	}
+}

@@ -1,0 +1,115 @@
+// Package benchmark implements the reconstructed experiment suite of
+// DESIGN.md §4: for each OLAP operation it measures answering the
+// transformed query directly from the AnS instance versus answering it
+// from the materialized results of the original query (ans(Q) for
+// SLICE/DICE, pres(Q) for DRILL-OUT/DRILL-IN), across sweeps of data
+// scale, dimensionality, selectivity and multi-valuedness.
+//
+// The workshop paper defers its measured numbers to tech report RR-8668;
+// this package regenerates the experiment *shape* the paper claims:
+// rewriting wins, with the gap growing with instance size.
+package benchmark
+
+import (
+	"fmt"
+	"time"
+
+	"rdfcube/internal/algebra"
+	"rdfcube/internal/core"
+	"rdfcube/internal/datagen"
+	"rdfcube/internal/rdfs"
+	"rdfcube/internal/store"
+)
+
+// Workload bundles everything an experiment needs: the pipeline output
+// (saturated base, AnS instance, query) plus the materialized views.
+type Workload struct {
+	// Base is the saturated base graph.
+	Base *store.Store
+	// Inst is the materialized AnS instance.
+	Inst *store.Store
+	// Query is the original analytical query Q.
+	Query *core.Query
+	// Ev evaluates queries over Inst.
+	Ev *core.Evaluator
+	// Pres is the materialized pres(Q); Ans the materialized ans(Q).
+	Pres, Ans *algebra.Relation
+	// PresBuild and AnsBuild record materialization cost.
+	PresBuild, AnsBuild time.Duration
+}
+
+// BuildBlogger runs the full pipeline on a blogger configuration:
+// generate → saturate → materialize schema → build the n-dimensional
+// AnQ → materialize pres(Q) and ans(Q).
+func BuildBlogger(cfg datagen.BloggerConfig, aggName string) (*Workload, error) {
+	base, err := cfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	rdfs.Saturate(base)
+	schema, err := datagen.BloggerSchema(cfg.Dimensions)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := schema.Materialize(base)
+	if err != nil {
+		return nil, err
+	}
+	q, err := datagen.BloggerQuery(cfg.Dimensions, aggName)
+	if err != nil {
+		return nil, err
+	}
+	return finishWorkload(base, inst, q)
+}
+
+// BuildVideo runs the pipeline on a video configuration.
+func BuildVideo(cfg datagen.VideoConfig, aggName string) (*Workload, error) {
+	base, err := cfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	rdfs.Saturate(base)
+	inst, err := datagen.VideoSchema().Materialize(base)
+	if err != nil {
+		return nil, err
+	}
+	q, err := datagen.VideoQuery(aggName)
+	if err != nil {
+		return nil, err
+	}
+	return finishWorkload(base, inst, q)
+}
+
+func finishWorkload(base, inst *store.Store, q *core.Query) (*Workload, error) {
+	w := &Workload{Base: base, Inst: inst, Query: q, Ev: core.NewEvaluator(inst)}
+	t0 := time.Now()
+	pres, err := w.Ev.Pres(q)
+	if err != nil {
+		return nil, err
+	}
+	w.PresBuild = time.Since(t0)
+	w.Pres = pres
+	t0 = time.Now()
+	ansQ, err := w.Ev.AnswerFromPres(q, pres)
+	if err != nil {
+		return nil, err
+	}
+	w.AnsBuild = time.Since(t0)
+	w.Ans = ansQ
+	return w, nil
+}
+
+// Timed runs f once and returns its duration, propagating errors.
+func Timed(f func() error) (time.Duration, error) {
+	t0 := time.Now()
+	err := f()
+	return time.Since(t0), err
+}
+
+// Speedup formats direct/rewrite as a ratio string ("12.3x").
+func Speedup(direct, rewrite time.Duration) string {
+	if rewrite <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(direct)/float64(rewrite))
+}

@@ -1,0 +1,375 @@
+// Package bgp evaluates basic graph pattern queries against a triple
+// store using index-nested-loop joins with greedy, statistics-driven
+// pattern ordering.
+//
+// Results are tables of dictionary IDs. Evaluation computes every
+// embedding of the body; projection onto the head happens afterwards,
+// under either set semantics (distinct rows — the default for classifier
+// queries) or bag semantics (all embeddings — required for measure
+// queries, Section 2 of the paper).
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfcube/internal/dict"
+	"rdfcube/internal/sparql"
+	"rdfcube/internal/store"
+)
+
+// Result is a table of variable bindings.
+type Result struct {
+	// Vars names the columns.
+	Vars []string
+	// Rows holds one dict.ID per column per row.
+	Rows [][]dict.ID
+}
+
+// Len reports the number of rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// Column returns the index of variable name, or -1.
+func (r *Result) Column(name string) int {
+	for i, v := range r.Vars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Project returns a new result with only the named columns, in order.
+// Under distinct, duplicate projected rows are collapsed (set semantics).
+func (r *Result) Project(vars []string, distinct bool) (*Result, error) {
+	cols := make([]int, len(vars))
+	for i, v := range vars {
+		c := r.Column(v)
+		if c < 0 {
+			return nil, fmt.Errorf("bgp: projection variable %q not in result", v)
+		}
+		cols[i] = c
+	}
+	out := &Result{Vars: append([]string(nil), vars...)}
+	var seen map[string]struct{}
+	if distinct {
+		seen = make(map[string]struct{}, len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		proj := make([]dict.ID, len(cols))
+		for i, c := range cols {
+			proj[i] = row[c]
+		}
+		if distinct {
+			k := rowKey(proj)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+		}
+		out.Rows = append(out.Rows, proj)
+	}
+	return out, nil
+}
+
+// rowKey renders a row as a compact map key.
+func rowKey(row []dict.ID) string {
+	b := make([]byte, 0, len(row)*8)
+	for _, id := range row {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(id>>s))
+		}
+	}
+	return string(b)
+}
+
+// Options controls evaluation.
+type Options struct {
+	// Distinct selects set semantics for the head projection. When false,
+	// every embedding contributes a row (bag semantics).
+	Distinct bool
+	// KeepAllVars retains every body variable instead of projecting onto
+	// the head. Used to materialize m̄ (Definition 3) and intermediary
+	// results.
+	KeepAllVars bool
+}
+
+// Eval evaluates q against st under opts.
+func Eval(st *store.Store, q *sparql.Query, opts Options) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	full, err := evalBody(st, q.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	if opts.KeepAllVars {
+		if opts.Distinct {
+			return full.Project(full.Vars, true)
+		}
+		return full, nil
+	}
+	return full.Project(q.Head, opts.Distinct)
+}
+
+// EvalSet evaluates q with set semantics projected on the head — the
+// default semantics of the paper's BGPs.
+func EvalSet(st *store.Store, q *sparql.Query) (*Result, error) {
+	return Eval(st, q, Options{Distinct: true})
+}
+
+// EvalBag evaluates q with bag semantics projected on the head — the
+// semantics of measure queries.
+func EvalBag(st *store.Store, q *sparql.Query) (*Result, error) {
+	return Eval(st, q, Options{})
+}
+
+// evalBody computes all embeddings of the body patterns. The returned
+// result has one column per body variable.
+func evalBody(st *store.Store, patterns []sparql.TriplePattern) (*Result, error) {
+	if len(patterns) == 0 {
+		return &Result{}, nil
+	}
+	compiled, vars, err := compile(st, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if compiled == nil {
+		// A constant in the query is unknown to the dictionary: no triple
+		// can match, so the result is empty.
+		return &Result{Vars: vars, Rows: nil}, nil
+	}
+	order := planOrder(st, compiled, len(vars))
+
+	result := &Result{Vars: vars}
+	current := [][]dict.ID{make([]dict.ID, len(vars))} // one all-unbound row
+	bound := make([]bool, len(vars))
+	for _, pi := range order {
+		cp := compiled[pi]
+		var next [][]dict.ID
+		for _, row := range current {
+			pat, checks := cp.instantiate(row, bound)
+			st.ForEach(pat, func(t store.IDTriple) bool {
+				if !cp.accepts(t, row, bound, checks) {
+					return true
+				}
+				nr := append([]dict.ID(nil), row...)
+				cp.bind(t, nr)
+				next = append(next, nr)
+				return true
+			})
+		}
+		current = next
+		cp.markBound(bound)
+		if len(current) == 0 {
+			break
+		}
+	}
+	result.Rows = current
+	return result, nil
+}
+
+// compiledPattern is a triple pattern with constants resolved to IDs and
+// variables resolved to column indexes (-1 means constant position).
+type compiledPattern struct {
+	constS, constP, constO dict.ID // valid when the var index is -1
+	varS, varP, varO       int
+}
+
+// compile resolves patterns; it returns (nil, vars, nil) when a constant
+// term is absent from the dictionary (empty result).
+func compile(st *store.Store, patterns []sparql.TriplePattern) ([]compiledPattern, []string, error) {
+	varIndex := map[string]int{}
+	var vars []string
+	idx := func(name string) int {
+		if i, ok := varIndex[name]; ok {
+			return i
+		}
+		i := len(vars)
+		varIndex[name] = i
+		vars = append(vars, name)
+		return i
+	}
+	d := st.Dict()
+	unknown := false
+	resolve := func(n sparql.Node) (dict.ID, int) {
+		if n.IsVar() {
+			return store.Wild, idx(n.Var)
+		}
+		id, ok := d.Lookup(n.Term)
+		if !ok {
+			unknown = true
+		}
+		return id, -1
+	}
+	out := make([]compiledPattern, len(patterns))
+	for i, tp := range patterns {
+		var cp compiledPattern
+		cp.constS, cp.varS = resolve(tp.S)
+		cp.constP, cp.varP = resolve(tp.P)
+		cp.constO, cp.varO = resolve(tp.O)
+		out[i] = cp
+	}
+	if unknown {
+		return nil, vars, nil
+	}
+	return out, vars, nil
+}
+
+// instantiate builds the store pattern for the current row: constant
+// positions use their IDs, bound variables use the row value, unbound
+// variables stay Wild. checks flags positions where the same unbound
+// variable repeats within the pattern (e.g. x p x) and must be verified
+// after matching.
+func (cp *compiledPattern) instantiate(row []dict.ID, bound []bool) (store.Pattern, [3]bool) {
+	var pat store.Pattern
+	var checks [3]bool
+	get := func(constID dict.ID, v int) dict.ID {
+		if v < 0 {
+			return constID
+		}
+		if bound[v] {
+			return row[v]
+		}
+		return store.Wild
+	}
+	pat.S = get(cp.constS, cp.varS)
+	pat.P = get(cp.constP, cp.varP)
+	pat.O = get(cp.constO, cp.varO)
+	// Repeated unbound variables inside one pattern need post-checks.
+	if cp.varS >= 0 && !bound[cp.varS] {
+		if cp.varP == cp.varS {
+			checks[1] = true
+		}
+		if cp.varO == cp.varS {
+			checks[2] = true
+		}
+	}
+	if cp.varP >= 0 && !bound[cp.varP] && cp.varO == cp.varP {
+		checks[2] = true
+	}
+	return pat, checks
+}
+
+// accepts verifies repeated-variable constraints for a matched triple.
+func (cp *compiledPattern) accepts(t store.IDTriple, row []dict.ID, bound []bool, checks [3]bool) bool {
+	if checks[1] && t.P != t.S {
+		return false
+	}
+	if checks[2] {
+		if cp.varO == cp.varS && t.O != t.S {
+			return false
+		}
+		if cp.varO == cp.varP && t.O != t.P {
+			return false
+		}
+	}
+	return true
+}
+
+// bind writes the matched triple's values into the row.
+func (cp *compiledPattern) bind(t store.IDTriple, row []dict.ID) {
+	if cp.varS >= 0 {
+		row[cp.varS] = t.S
+	}
+	if cp.varP >= 0 {
+		row[cp.varP] = t.P
+	}
+	if cp.varO >= 0 {
+		row[cp.varO] = t.O
+	}
+}
+
+// markBound records the pattern's variables as bound.
+func (cp *compiledPattern) markBound(bound []bool) {
+	if cp.varS >= 0 {
+		bound[cp.varS] = true
+	}
+	if cp.varP >= 0 {
+		bound[cp.varP] = true
+	}
+	if cp.varO >= 0 {
+		bound[cp.varO] = true
+	}
+}
+
+// vars lists the pattern's variable columns.
+func (cp *compiledPattern) patternVars() []int {
+	var out []int
+	for _, v := range []int{cp.varS, cp.varP, cp.varO} {
+		if v >= 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// staticEstimate is the store's cardinality estimate ignoring bindings.
+func (cp *compiledPattern) staticEstimate(st *store.Store) float64 {
+	pat := store.Pattern{}
+	if cp.varS < 0 {
+		pat.S = cp.constS
+	}
+	if cp.varP < 0 {
+		pat.P = cp.constP
+	}
+	if cp.varO < 0 {
+		pat.O = cp.constO
+	}
+	return st.EstimateCardinality(pat)
+}
+
+// planOrder greedily orders patterns: repeatedly pick the pattern with
+// the most already-bound variables (maximizing index use) breaking ties
+// by the smallest static cardinality estimate. Disconnected patterns
+// (cross products) are deferred until nothing connected remains.
+func planOrder(st *store.Store, compiled []compiledPattern, nVars int) []int {
+	n := len(compiled)
+	used := make([]bool, n)
+	bound := make([]bool, nVars)
+	order := make([]int, 0, n)
+	est := make([]float64, n)
+	for i := range compiled {
+		est[i] = compiled[i].staticEstimate(st)
+	}
+	for len(order) < n {
+		best := -1
+		bestBound := -1
+		bestEst := 0.0
+		for i := range compiled {
+			if used[i] {
+				continue
+			}
+			nb := 0
+			for _, v := range compiled[i].patternVars() {
+				if bound[v] {
+					nb++
+				}
+			}
+			// First pattern: pure estimate. Later: prefer connected.
+			if best < 0 || nb > bestBound || (nb == bestBound && est[i] < bestEst) {
+				best = i
+				bestBound = nb
+				bestEst = est[i]
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		compiled[best].markBound(bound)
+	}
+	return order
+}
+
+// SortRows orders rows lexicographically in place; useful for
+// deterministic output and comparisons in tests.
+func (r *Result) SortRows() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

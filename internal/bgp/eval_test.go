@@ -1,0 +1,315 @@
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rdfcube/internal/dict"
+	"rdfcube/internal/rdf"
+	"rdfcube/internal/sparql"
+	"rdfcube/internal/store"
+)
+
+const ns = "http://e.org/"
+
+func iri(s string) rdf.Term { return rdf.NewIRI(ns + s) }
+
+func px() sparql.Prefixes {
+	p := sparql.DefaultPrefixes()
+	p[""] = ns
+	return p
+}
+
+func smallGraph() *store.Store {
+	st := store.New()
+	add := func(s, p, o rdf.Term) { st.Add(rdf.NewTriple(s, p, o)) }
+	// alice -knows-> bob -knows-> carol; everyone typed Person;
+	// ages: alice 30, bob 25; carol has no age (heterogeneous).
+	add(iri("alice"), rdf.Type, iri("Person"))
+	add(iri("bob"), rdf.Type, iri("Person"))
+	add(iri("carol"), rdf.Type, iri("Person"))
+	add(iri("alice"), iri("knows"), iri("bob"))
+	add(iri("bob"), iri("knows"), iri("carol"))
+	add(iri("alice"), iri("age"), rdf.NewInt(30))
+	add(iri("bob"), iri("age"), rdf.NewInt(25))
+	return st
+}
+
+func decodeRows(t *testing.T, st *store.Store, res *Result) [][]string {
+	t.Helper()
+	var out [][]string
+	for _, row := range res.Rows {
+		var r []string
+		for _, id := range row {
+			term, ok := st.Dict().Decode(id)
+			if !ok {
+				t.Fatalf("unknown ID %d", id)
+			}
+			r = append(r, term.Value())
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func TestEvalSingistlePattern(t *testing.T) {
+	st := smallGraph()
+	q := sparql.MustParseDatalog("q(x) :- x rdf:type :Person", px())
+	res, err := EvalSet(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("got %d rows, want 3", res.Len())
+	}
+}
+
+func TestEvalJoin(t *testing.T) {
+	st := smallGraph()
+	q := sparql.MustParseDatalog("q(x, z) :- x :knows y, y :knows z", px())
+	res, err := EvalSet(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := decodeRows(t, st, res)
+	if len(rows) != 1 || rows[0][0] != ns+"alice" || rows[0][1] != ns+"carol" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestEvalConstantObject(t *testing.T) {
+	st := smallGraph()
+	q := sparql.MustParseDatalog("q(x) :- x :age 30", px())
+	res, err := EvalSet(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := decodeRows(t, st, res)
+	if len(rows) != 1 || rows[0][0] != ns+"alice" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestEvalUnknownConstantEmpty(t *testing.T) {
+	st := smallGraph()
+	q := sparql.MustParseDatalog("q(x) :- x :age 999", px())
+	res, err := EvalSet(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("unknown constant matched %d rows", res.Len())
+	}
+	// Unknown predicate too.
+	q2 := sparql.MustParseDatalog("q(x) :- x :neverSeen y", px())
+	res2, err := EvalSet(st, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Len() != 0 {
+		t.Fatalf("unknown predicate matched %d rows", res2.Len())
+	}
+}
+
+func TestSetVsBagSemantics(t *testing.T) {
+	st := store.New()
+	add := func(s, p, o rdf.Term) { st.Add(rdf.NewTriple(s, p, o)) }
+	// u has 3 posts on 2 sites: bag projection onto (u, site) has 3 rows,
+	// set projection 2.
+	add(iri("u"), iri("wrote"), iri("p1"))
+	add(iri("u"), iri("wrote"), iri("p2"))
+	add(iri("u"), iri("wrote"), iri("p3"))
+	add(iri("p1"), iri("on"), iri("s1"))
+	add(iri("p2"), iri("on"), iri("s1"))
+	add(iri("p3"), iri("on"), iri("s2"))
+	q := sparql.MustParseDatalog("q(x, s) :- x :wrote p, p :on s", px())
+	bag, err := EvalBag(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := EvalSet(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bag.Len() != 3 {
+		t.Errorf("bag size = %d, want 3", bag.Len())
+	}
+	if set.Len() != 2 {
+		t.Errorf("set size = %d, want 2", set.Len())
+	}
+}
+
+func TestVariablePredicate(t *testing.T) {
+	st := smallGraph()
+	q := sparql.MustParseDatalog("q(p) :- :alice p :bob", px())
+	res, err := EvalSet(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := decodeRows(t, st, res)
+	if len(rows) != 1 || rows[0][0] != ns+"knows" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestRepeatedVariableInPattern(t *testing.T) {
+	st := store.New()
+	st.Add(rdf.NewTriple(iri("a"), iri("p"), iri("a"))) // self loop
+	st.Add(rdf.NewTriple(iri("a"), iri("p"), iri("b")))
+	st.Add(rdf.NewTriple(iri("b"), iri("p"), iri("b"))) // self loop
+	q := sparql.MustParseDatalog("q(x) :- x :p x", px())
+	res, err := EvalSet(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("self-loop query matched %d, want 2", res.Len())
+	}
+}
+
+func TestRepeatedVariableBoundFirst(t *testing.T) {
+	st := store.New()
+	st.Add(rdf.NewTriple(iri("a"), iri("q"), iri("a")))
+	st.Add(rdf.NewTriple(iri("a"), iri("p"), iri("a")))
+	st.Add(rdf.NewTriple(iri("b"), iri("p"), iri("c")))
+	// x bound by the first pattern, then x :p x must check both positions.
+	q := sparql.MustParseDatalog("q(x) :- x :q a2, x :p x", px())
+	res, err := EvalSet(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("matched %d, want 1", res.Len())
+	}
+}
+
+func TestCrossProduct(t *testing.T) {
+	st := store.New()
+	st.Add(rdf.NewTriple(iri("a"), iri("p"), iri("b")))
+	st.Add(rdf.NewTriple(iri("c"), iri("q"), iri("d")))
+	q := sparql.MustParseDatalog("q(x, y) :- x :p b2, y :q d2", px())
+	res, err := EvalSet(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("cross product size %d, want 1", res.Len())
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	res := &Result{Vars: []string{"a"}, Rows: [][]dict.ID{{1}}}
+	if _, err := res.Project([]string{"missing"}, false); err == nil {
+		t.Error("projecting a missing variable must error")
+	}
+}
+
+func TestKeepAllVars(t *testing.T) {
+	st := smallGraph()
+	q := sparql.MustParseDatalog("q(x) :- x :knows y", px())
+	res, err := Eval(st, q, Options{KeepAllVars: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vars) != 2 {
+		t.Fatalf("KeepAllVars kept %v", res.Vars)
+	}
+}
+
+// TestEvalAgainstNaive cross-checks the evaluator against a brute-force
+// enumerator on random graphs and random 2–3 pattern queries.
+func TestEvalAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	preds := []string{"p", "q", "r"}
+	for trial := 0; trial < 50; trial++ {
+		st := store.New()
+		type edge struct{ s, p, o string }
+		var edges []edge
+		for i := 0; i < 60; i++ {
+			e := edge{
+				s: fmt.Sprintf("n%d", rng.Intn(10)),
+				p: preds[rng.Intn(len(preds))],
+				o: fmt.Sprintf("n%d", rng.Intn(10)),
+			}
+			if st.Add(rdf.NewTriple(iri(e.s), iri(e.p), iri(e.o))) {
+				edges = append(edges, e)
+			}
+		}
+		// Random chain query: x p0 y, y p1 z (set semantics on (x,z)).
+		p0, p1 := preds[rng.Intn(3)], preds[rng.Intn(3)]
+		q := sparql.MustParseDatalog(
+			fmt.Sprintf("q(x, z) :- x :%s y, y :%s z", p0, p1), px())
+		res, err := EvalSet(st, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[string]bool{}
+		for _, e1 := range edges {
+			if e1.p != p0 {
+				continue
+			}
+			for _, e2 := range edges {
+				if e2.p == p1 && e2.s == e1.o {
+					want[e1.s+"|"+e2.o] = true
+				}
+			}
+		}
+		got := map[string]bool{}
+		for _, row := range res.Rows {
+			a, _ := st.Dict().Decode(row[0])
+			b, _ := st.Dict().Decode(row[1])
+			got[a.Value()[len(ns):]+"|"+b.Value()[len(ns):]] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d pairs, want %d", trial, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("trial %d: missing pair %s", trial, k)
+			}
+		}
+		if res.Len() != len(want) {
+			t.Fatalf("trial %d: set semantics returned %d rows for %d distinct", trial, res.Len(), len(want))
+		}
+	}
+}
+
+func TestSortRowsDeterministic(t *testing.T) {
+	res := &Result{Vars: []string{"a", "b"}, Rows: [][]dict.ID{{3, 1}, {1, 2}, {1, 1}}}
+	res.SortRows()
+	want := [][]dict.ID{{1, 1}, {1, 2}, {3, 1}}
+	for i := range want {
+		if res.Rows[i][0] != want[i][0] || res.Rows[i][1] != want[i][1] {
+			t.Fatalf("SortRows: %v", res.Rows)
+		}
+	}
+}
+
+func BenchmarkEvalTwoHopJoin(b *testing.B) {
+	st := store.New()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50000; i++ {
+		st.Add(rdf.NewTriple(
+			iri(fmt.Sprintf("n%d", rng.Intn(5000))),
+			iri("knows"),
+			iri(fmt.Sprintf("n%d", rng.Intn(5000)))))
+	}
+	q := sparql.MustParseDatalog("q(x, z) :- x :knows y, y :knows z", px())
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalSet(st, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+
+	"rdfcube/internal/algebra"
+	"rdfcube/internal/bgp"
+	"rdfcube/internal/dict"
+	"rdfcube/internal/sparql"
+	"rdfcube/internal/store"
+)
+
+// Evaluator answers analytical queries against a materialized AnS
+// instance. It owns the direct-evaluation path (from the instance) and
+// the materialization of pres(Q)/ans(Q); the rewriting algorithms in
+// rewrite.go consume the materialized relations.
+type Evaluator struct {
+	inst *store.Store
+}
+
+// NewEvaluator returns an evaluator over the given AnS instance.
+func NewEvaluator(inst *store.Store) *Evaluator { return &Evaluator{inst: inst} }
+
+// Instance returns the underlying AnS instance store.
+func (e *Evaluator) Instance() *store.Store { return e.inst }
+
+// resolveNumeric interprets a term ID as a number for sum/avg/min/max.
+func (e *Evaluator) resolveNumeric(id dict.ID) (float64, bool) {
+	t, ok := e.inst.Dict().Decode(id)
+	if !ok {
+		return 0, false
+	}
+	return t.AsFloat()
+}
+
+// sigmaFilter compiles Σ into a row predicate over a relation whose
+// dimension columns hold term IDs. Values absent from the dictionary can
+// never match, so they are dropped at compile time.
+func (e *Evaluator) sigmaFilter(rel *algebra.Relation, dims []string, sigma Sigma) (func(algebra.Row) bool, error) {
+	if len(sigma) == 0 {
+		return func(algebra.Row) bool { return true }, nil
+	}
+	d := e.inst.Dict()
+	type colSet struct {
+		col     int
+		allowed map[dict.ID]struct{}
+	}
+	var sets []colSet
+	for _, dim := range dims {
+		vals, ok := sigma[dim]
+		if !ok {
+			continue
+		}
+		col := rel.Column(dim)
+		if col < 0 {
+			return nil, fmt.Errorf("core: Σ dimension %q not in relation %v", dim, rel.Cols)
+		}
+		allowed := make(map[dict.ID]struct{}, len(vals))
+		for _, t := range vals {
+			if id, ok := d.Lookup(t); ok {
+				allowed[id] = struct{}{}
+			}
+		}
+		sets = append(sets, colSet{col: col, allowed: allowed})
+	}
+	return func(row algebra.Row) bool {
+		for _, s := range sets {
+			if _, ok := s.allowed[row[s.col].ID]; !ok {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+// EvalClassifier evaluates the (extended) classifier c_Σ with set
+// semantics. Columns: root, d1..dn, holding term IDs.
+func (e *Evaluator) EvalClassifier(q *Query) (*algebra.Relation, error) {
+	res, err := bgp.EvalSet(e.inst, q.Classifier)
+	if err != nil {
+		return nil, err
+	}
+	rel := resultToRelation(res)
+	pred, err := e.sigmaFilter(rel, q.Dims(), q.Sigma)
+	if err != nil {
+		return nil, err
+	}
+	return rel.Select(pred), nil
+}
+
+// EvalMeasureKeyed evaluates the measure m with bag semantics and attaches
+// a fresh key to every tuple — the extended measure result m_k of
+// Section 3. Columns: KeyCol, root, v.
+func (e *Evaluator) EvalMeasureKeyed(q *Query) (*algebra.Relation, error) {
+	res, err := bgp.EvalBag(e.inst, q.Measure)
+	if err != nil {
+		return nil, err
+	}
+	root, v := q.Measure.Head[0], q.Measure.Head[1]
+	out := algebra.NewRelation(KeyCol, root, v)
+	// newk(): successive integers, one per measure tuple.
+	for i, row := range res.Rows {
+		out.Append(algebra.Row{
+			algebra.KeyV(uint64(i + 1)),
+			algebra.TermV(row[0]),
+			algebra.TermV(row[1]),
+		})
+	}
+	return out, nil
+}
+
+// Pres materializes pres(Q) = c_Σ(I) ⋈_x m_k(I) (Definition 4).
+// Columns: root, d1..dn, KeyCol, v.
+func (e *Evaluator) Pres(q *Query) (*algebra.Relation, error) {
+	c, err := e.EvalClassifier(q)
+	if err != nil {
+		return nil, err
+	}
+	mk, err := e.EvalMeasureKeyed(q)
+	if err != nil {
+		return nil, err
+	}
+	root := q.Root()
+	joined, err := c.Join(mk, []string{root}, []string{root})
+	if err != nil {
+		return nil, err
+	}
+	// Order columns canonically: root, dims..., KeyCol, v.
+	cols := append([]string{root}, q.Dims()...)
+	cols = append(cols, KeyCol, q.MeasureVar())
+	return joined.Project(cols...), nil
+}
+
+// Answer computes ans(Q) directly from the instance, via Equation (3):
+// ans(Q) = γ_{d1..dn,⊕(v)}(π_{x,d1..dn,v}(pres(Q))).
+// Columns: d1..dn, v (the aggregate).
+func (e *Evaluator) Answer(q *Query) (*algebra.Relation, error) {
+	pres, err := e.Pres(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.AnswerFromPres(q, pres)
+}
+
+// AnswerFromPres aggregates a materialized pres(Q) into ans(Q)
+// (Equation 3). pres must have the canonical column layout produced by
+// Pres for the same query.
+func (e *Evaluator) AnswerFromPres(q *Query, pres *algebra.Relation) (*algebra.Relation, error) {
+	if err := checkPresSchema(q, pres); err != nil {
+		return nil, err
+	}
+	v := q.MeasureVar()
+	// π_{x,d1..dn,v} has bag semantics: dropping the key keeps duplicate
+	// measure values as duplicate rows, exactly what γ must see.
+	proj := pres.Project(append([]string{q.Root()}, append(q.Dims(), v)...)...)
+	return proj.GroupAggregate(q.Dims(), v, v, q.Agg, e.resolveNumeric), nil
+}
+
+// Intermediary computes int(Q) = c ⋈_x m̄ (Definition 3), where m̄ is the
+// set-semantics query with m's body and all of m's body variables in the
+// head. It is conceptually useful (Equation 1) but never needed for
+// answering; provided for tests and completeness.
+func (e *Evaluator) Intermediary(q *Query) (*algebra.Relation, error) {
+	c, err := e.EvalClassifier(q)
+	if err != nil {
+		return nil, err
+	}
+	mbar := q.Measure.Clone()
+	root := q.Root()
+	// Rename non-root measure variables that collide with classifier
+	// columns; the classifier and measure only share the root.
+	taken := map[string]bool{}
+	for _, col := range c.Cols {
+		taken[col] = true
+	}
+	for _, vname := range mbar.Vars() {
+		if vname != root && taken[vname] {
+			renameVar(mbar, vname, vname+"_m")
+		}
+	}
+	mbar.Head = mbar.Vars() // all body variables, sorted
+	// Keep the root first for readability.
+	for i, vname := range mbar.Head {
+		if vname == root && i != 0 {
+			mbar.Head[0], mbar.Head[i] = mbar.Head[i], mbar.Head[0]
+			break
+		}
+	}
+	res, err := bgp.EvalSet(e.inst, mbar)
+	if err != nil {
+		return nil, err
+	}
+	mrel := resultToRelation(res)
+	return c.Join(mrel, []string{root}, []string{root})
+}
+
+// checkPresSchema verifies that rel has the canonical pres(Q) layout.
+func checkPresSchema(q *Query, rel *algebra.Relation) error {
+	want := append([]string{q.Root()}, q.Dims()...)
+	want = append(want, KeyCol, q.MeasureVar())
+	if len(rel.Cols) != len(want) {
+		return fmt.Errorf("core: pres schema %v does not match query (want %v)", rel.Cols, want)
+	}
+	for i := range want {
+		if rel.Cols[i] != want[i] {
+			return fmt.Errorf("core: pres schema %v does not match query (want %v)", rel.Cols, want)
+		}
+	}
+	return nil
+}
+
+// resultToRelation converts a BGP result into a TermValue relation.
+func resultToRelation(res *bgp.Result) *algebra.Relation {
+	rel := algebra.NewRelation(res.Vars...)
+	rel.Rows = make([]algebra.Row, len(res.Rows))
+	for i, row := range res.Rows {
+		r := make(algebra.Row, len(row))
+		for j, id := range row {
+			r[j] = algebra.TermV(id)
+		}
+		rel.Rows[i] = r
+	}
+	return rel
+}
+
+// renameVar rewrites every occurrence of variable old to new in q's body
+// and head.
+func renameVar(q *sparql.Query, old, new string) {
+	for i := range q.Head {
+		if q.Head[i] == old {
+			q.Head[i] = new
+		}
+	}
+	for i, tp := range q.Patterns {
+		if tp.S.Var == old {
+			q.Patterns[i].S = sparql.V(new)
+		}
+		if tp.P.Var == old {
+			q.Patterns[i].P = sparql.V(new)
+		}
+		if tp.O.Var == old {
+			q.Patterns[i].O = sparql.V(new)
+		}
+	}
+}
+
+// evalAux evaluates an auxiliary query (set semantics) into a relation.
+func (e *Evaluator) evalAux(q *sparql.Query) (*algebra.Relation, error) {
+	res, err := bgp.EvalSet(e.inst, q)
+	if err != nil {
+		return nil, err
+	}
+	return resultToRelation(res), nil
+}

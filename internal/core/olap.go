@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"rdfcube/internal/rdf"
+	"rdfcube/internal/sparql"
+)
+
+// The four OLAP operations of Section 2, as transformations producing a
+// new (extended) analytical query from an existing one. All four leave
+// the measure and aggregation function unchanged; only the classifier
+// head and the restriction Σ evolve.
+
+// Slice binds dimension dim to the single value v:
+// Σ' = (Σ \ {(dim, Σ(dim))}) ∪ {(dim, {v})}.
+func Slice(q *Query, dim string, v rdf.Term) (*Query, error) {
+	if !q.HasDim(dim) {
+		return nil, fmt.Errorf("core: SLICE on %q: not a dimension of %v", dim, q.Dims())
+	}
+	out := q.Clone()
+	if out.Sigma == nil {
+		out.Sigma = Sigma{}
+	}
+	out.Sigma[dim] = []rdf.Term{v}
+	return out, nil
+}
+
+// Dice restricts each listed dimension to the given value set:
+// Σ' = (Σ \ ⋃{(dj, Σ(dj))}) ∪ ⋃{(dj, Sj)}.
+func Dice(q *Query, restrictions map[string][]rdf.Term) (*Query, error) {
+	if len(restrictions) == 0 {
+		return nil, fmt.Errorf("core: DICE needs at least one restricted dimension")
+	}
+	out := q.Clone()
+	if out.Sigma == nil {
+		out.Sigma = Sigma{}
+	}
+	for dim, vals := range restrictions {
+		if !q.HasDim(dim) {
+			return nil, fmt.Errorf("core: DICE on %q: not a dimension of %v", dim, q.Dims())
+		}
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("core: DICE on %q: value set must be non-empty", dim)
+		}
+		out.Sigma[dim] = append([]rdf.Term(nil), vals...)
+	}
+	return out, nil
+}
+
+// DrillOut removes the listed dimensions from the classifier head (and
+// their Σ entries). The classifier body is unchanged — body(c') ≡ body(c),
+// as in Example 3.
+func DrillOut(q *Query, dims ...string) (*Query, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("core: DRILL-OUT needs at least one dimension")
+	}
+	drop := map[string]bool{}
+	for _, d := range dims {
+		if !q.HasDim(d) {
+			return nil, fmt.Errorf("core: DRILL-OUT on %q: not a dimension of %v", d, q.Dims())
+		}
+		drop[d] = true
+	}
+	if len(drop) == len(q.Dims()) {
+		return nil, fmt.Errorf("core: DRILL-OUT cannot remove every dimension")
+	}
+	out := q.Clone()
+	head := []string{q.Root()}
+	for _, d := range q.Dims() {
+		if !drop[d] {
+			head = append(head, d)
+		}
+	}
+	out.Classifier.Head = head
+	for d := range drop {
+		delete(out.Sigma, d)
+	}
+	return out, nil
+}
+
+// DrillIn adds dims — currently existential (non-distinguished) variables
+// of the classifier body — to the classifier head, unrestricted in Σ.
+func DrillIn(q *Query, dims ...string) (*Query, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("core: DRILL-IN needs at least one dimension")
+	}
+	out := q.Clone()
+	existential := map[string]bool{}
+	for _, v := range q.Classifier.ExistentialVars() {
+		existential[v] = true
+	}
+	for _, d := range dims {
+		if q.HasDim(d) {
+			return nil, fmt.Errorf("core: DRILL-IN on %q: already a dimension", d)
+		}
+		if !existential[d] {
+			return nil, fmt.Errorf("core: DRILL-IN on %q: not an existential variable of the classifier body", d)
+		}
+		out.Classifier.Head = append(out.Classifier.Head, d)
+	}
+	return out, nil
+}
+
+// AuxQuery derives the auxiliary DRILL-IN query q_aux of Definition 6 for
+// classifier c and new dimension newDim:
+//
+//   - every classifier triple containing newDim is in body_aux;
+//   - transitively, every classifier triple sharing a non-distinguished
+//     (existential) variable with a triple already in body_aux is added;
+//   - the distinguished variables of c occurring in body_aux, plus
+//     newDim, form the head (dvars..., newDim).
+func AuxQuery(c *sparql.Query, newDim string) (*sparql.Query, error) {
+	existential := map[string]bool{}
+	for _, v := range c.ExistentialVars() {
+		existential[v] = true
+	}
+	if !existential[newDim] {
+		return nil, fmt.Errorf("core: q_aux: %q is not an existential variable of the classifier", newDim)
+	}
+
+	inBody := make([]bool, len(c.Patterns))
+	// Seed: triples containing newDim.
+	frontierVars := map[string]bool{}
+	for i, tp := range c.Patterns {
+		if patternHasVar(tp, newDim) {
+			inBody[i] = true
+			for _, v := range tp.Vars() {
+				if existential[v] {
+					frontierVars[v] = true
+				}
+			}
+		}
+	}
+	// Closure over shared existential variables.
+	for {
+		grew := false
+		for i, tp := range c.Patterns {
+			if inBody[i] {
+				continue
+			}
+			shares := false
+			for _, v := range tp.Vars() {
+				if existential[v] && frontierVars[v] {
+					shares = true
+					break
+				}
+			}
+			if !shares {
+				continue
+			}
+			inBody[i] = true
+			grew = true
+			for _, v := range tp.Vars() {
+				if existential[v] {
+					frontierVars[v] = true
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	aux := &sparql.Query{Name: "q_aux"}
+	inAux := map[string]bool{}
+	for i, tp := range c.Patterns {
+		if inBody[i] {
+			aux.Patterns = append(aux.Patterns, tp)
+			for _, v := range tp.Vars() {
+				inAux[v] = true
+			}
+		}
+	}
+	// Head: distinguished variables of c present in body_aux, in c's head
+	// order, then newDim.
+	for _, v := range c.Head {
+		if inAux[v] {
+			aux.Head = append(aux.Head, v)
+		}
+	}
+	aux.Head = append(aux.Head, newDim)
+	if err := aux.Validate(); err != nil {
+		return nil, fmt.Errorf("core: q_aux: %w", err)
+	}
+	return aux, nil
+}
+
+func patternHasVar(tp sparql.TriplePattern, name string) bool {
+	return tp.S.Var == name || tp.P.Var == name || tp.O.Var == name
+}

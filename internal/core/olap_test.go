@@ -1,0 +1,296 @@
+package core
+
+// Unit tests for query construction, validation, and the OLAP
+// transformations' edge cases.
+
+import (
+	"strings"
+	"testing"
+
+	"rdfcube/internal/agg"
+	"rdfcube/internal/rdf"
+	"rdfcube/internal/sparql"
+)
+
+func validClassifier(t *testing.T) *sparql.Query {
+	t.Helper()
+	return sparql.MustParseDatalog(
+		"c(x, d1, d2) :- x rdf:type :Fact, x :p1 d1, x :p2 d2", exPrefixes())
+}
+
+func validMeasure(t *testing.T) *sparql.Query {
+	t.Helper()
+	return sparql.MustParseDatalog(
+		"m(x, v) :- x rdf:type :Fact, x :val v", exPrefixes())
+}
+
+func TestNewValidates(t *testing.T) {
+	q, err := New(validClassifier(t), validMeasure(t), agg.Count)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if q.Root() != "x" {
+		t.Errorf("Root = %q", q.Root())
+	}
+	if dims := q.Dims(); len(dims) != 2 || dims[0] != "d1" || dims[1] != "d2" {
+		t.Errorf("Dims = %v", dims)
+	}
+	if q.MeasureVar() != "v" {
+		t.Errorf("MeasureVar = %q", q.MeasureVar())
+	}
+	if !q.HasDim("d1") || q.HasDim("x") || q.HasDim("v") {
+		t.Error("HasDim wrong")
+	}
+}
+
+func TestNewRejections(t *testing.T) {
+	c, m := validClassifier(t), validMeasure(t)
+
+	if _, err := New(nil, m, agg.Count); err == nil {
+		t.Error("nil classifier accepted")
+	}
+	if _, err := New(c, nil, agg.Count); err == nil {
+		t.Error("nil measure accepted")
+	}
+	if _, err := New(c, m, nil); err == nil {
+		t.Error("nil aggregation accepted")
+	}
+
+	// Mismatched roots.
+	m2 := sparql.MustParseDatalog("m(y, v) :- y rdf:type :Fact, y :val v", exPrefixes())
+	if _, err := New(c, m2, agg.Count); err == nil || !strings.Contains(err.Error(), "root") {
+		t.Errorf("mismatched roots: %v", err)
+	}
+
+	// Measure with wrong arity.
+	m3 := sparql.MustParseDatalog("m(x, v, w) :- x :val v, x :val w", exPrefixes())
+	if _, err := New(c, m3, agg.Count); err == nil || !strings.Contains(err.Error(), "(x, v)") {
+		t.Errorf("ternary measure: %v", err)
+	}
+
+	// Unrooted classifier: y,z disconnected from x.
+	c2 := sparql.MustParseDatalog("c(x, d1) :- x rdf:type :Fact, y :p z, y :q d1", exPrefixes())
+	if _, err := New(c2, m, agg.Count); err == nil || !strings.Contains(err.Error(), "rooted") {
+		t.Errorf("unrooted classifier: %v", err)
+	}
+
+	// Reserved key column name.
+	c3 := sparql.MustParseDatalog("c(x, _k) :- x rdf:type :Fact, x :p1 _k", exPrefixes())
+	if _, err := New(c3, m, agg.Count); err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Errorf("reserved _k: %v", err)
+	}
+
+	// Dimension colliding with the measure variable.
+	c4 := sparql.MustParseDatalog("c(x, v) :- x rdf:type :Fact, x :p1 v", exPrefixes())
+	if _, err := New(c4, m, agg.Count); err == nil || !strings.Contains(err.Error(), "collides") {
+		t.Errorf("dim/measure collision: %v", err)
+	}
+}
+
+func TestSigmaValidation(t *testing.T) {
+	q := MustNew(validClassifier(t), validMeasure(t), agg.Count)
+	q.Sigma = Sigma{"nope": {rdf.NewInt(1)}}
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "not a dimension") {
+		t.Errorf("Σ on unknown dim: %v", err)
+	}
+	q.Sigma = Sigma{"d1": {}}
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "non-empty") {
+		t.Errorf("empty Σ set: %v", err)
+	}
+}
+
+func TestSliceTransform(t *testing.T) {
+	q := MustNew(validClassifier(t), validMeasure(t), agg.Count)
+	out, err := Slice(q, "d1", rdf.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Sigma["d1"]) != 1 || out.Sigma["d1"][0] != rdf.NewInt(5) {
+		t.Errorf("Σ after slice = %v", out.Sigma)
+	}
+	// The original is untouched.
+	if q.Sigma != nil {
+		t.Error("Slice mutated the original query")
+	}
+	// Slicing replaces a previous restriction on the same dimension.
+	out2, err := Slice(out, "d1", rdf.NewInt(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2.Sigma["d1"]) != 1 || out2.Sigma["d1"][0] != rdf.NewInt(6) {
+		t.Errorf("Σ after re-slice = %v", out2.Sigma)
+	}
+	if _, err := Slice(q, "nope", rdf.NewInt(1)); err == nil {
+		t.Error("slice on unknown dimension accepted")
+	}
+}
+
+func TestDiceTransform(t *testing.T) {
+	q := MustNew(validClassifier(t), validMeasure(t), agg.Count)
+	out, err := Dice(q, map[string][]rdf.Term{
+		"d1": {rdf.NewInt(1), rdf.NewInt(2)},
+		"d2": {rdf.NewInt(3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Sigma["d1"]) != 2 || len(out.Sigma["d2"]) != 1 {
+		t.Errorf("Σ after dice = %v", out.Sigma)
+	}
+	if _, err := Dice(q, nil); err == nil {
+		t.Error("empty dice accepted")
+	}
+	if _, err := Dice(q, map[string][]rdf.Term{"d1": {}}); err == nil {
+		t.Error("empty value set accepted")
+	}
+	if _, err := Dice(q, map[string][]rdf.Term{"zz": {rdf.NewInt(1)}}); err == nil {
+		t.Error("dice on unknown dimension accepted")
+	}
+}
+
+func TestDrillOutTransform(t *testing.T) {
+	q := MustNew(validClassifier(t), validMeasure(t), agg.Count)
+	q.Sigma = Sigma{"d1": {rdf.NewInt(1)}}
+	out, err := DrillOut(q, "d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims := out.Dims(); len(dims) != 1 || dims[0] != "d2" {
+		t.Errorf("Dims after drill-out = %v", dims)
+	}
+	if out.Sigma.Restricts("d1") {
+		t.Error("Σ entry for dropped dimension must be removed")
+	}
+	// Body unchanged (body(c') ≡ body(c)).
+	if len(out.Classifier.Patterns) != len(q.Classifier.Patterns) {
+		t.Error("drill-out must not change the classifier body")
+	}
+	if _, err := DrillOut(q); err == nil {
+		t.Error("drill-out with no dims accepted")
+	}
+	if _, err := DrillOut(q, "zz"); err == nil {
+		t.Error("drill-out on unknown dim accepted")
+	}
+	if _, err := DrillOut(q, "d1", "d2"); err == nil {
+		t.Error("drill-out of every dimension accepted")
+	}
+}
+
+func TestDrillInTransform(t *testing.T) {
+	c := sparql.MustParseDatalog(
+		"c(x, d1) :- x rdf:type :Fact, x :p1 d1, x :p2 d2, d2 :p3 d3", exPrefixes())
+	q := MustNew(c, validMeasure(t), agg.Count)
+	out, err := DrillIn(q, "d2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims := out.Dims(); len(dims) != 2 || dims[1] != "d2" {
+		t.Errorf("Dims after drill-in = %v", dims)
+	}
+	// Two at once.
+	out2, err := DrillIn(q, "d2", "d3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims := out2.Dims(); len(dims) != 3 {
+		t.Errorf("Dims after double drill-in = %v", dims)
+	}
+	if _, err := DrillIn(q, "d1"); err == nil {
+		t.Error("drill-in on existing dimension accepted")
+	}
+	if _, err := DrillIn(q, "zz"); err == nil {
+		t.Error("drill-in on unknown variable accepted")
+	}
+	if _, err := DrillIn(q, "x"); err == nil {
+		t.Error("drill-in on the root accepted")
+	}
+	if _, err := DrillIn(q); err == nil {
+		t.Error("drill-in with no dims accepted")
+	}
+}
+
+func TestAuxQueryConnectivity(t *testing.T) {
+	// Two existential chains: d3 hangs off y1; y2's chain must stay out.
+	c := sparql.MustParseDatalog(
+		"c(x, d1) :- x rdf:type :Fact, x :a y1, y1 :b d3, x :c y2, y2 :d d1", exPrefixes())
+	aux, err := AuxQuery(c, "d3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed {y1 :b d3}; closure adds {x :a y1} (shares y1). The y2 chain
+	// shares only the distinguished x, so it stays out.
+	if len(aux.Patterns) != 2 {
+		t.Fatalf("q_aux patterns = %d (%s), want 2", len(aux.Patterns), aux)
+	}
+	if len(aux.Head) != 2 || aux.Head[0] != "x" || aux.Head[1] != "d3" {
+		t.Fatalf("q_aux head = %v, want [x d3]", aux.Head)
+	}
+}
+
+func TestAuxQueryChainClosure(t *testing.T) {
+	// d4 at the end of a 3-hop existential chain: the whole chain joins.
+	c := sparql.MustParseDatalog(
+		"c(x, d1) :- x rdf:type :Fact, x :p1 d1, x :a y1, y1 :b y2, y2 :c d4", exPrefixes())
+	aux, err := AuxQuery(c, "d4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aux.Patterns) != 3 {
+		t.Fatalf("q_aux patterns = %d, want 3 (the full chain)", len(aux.Patterns))
+	}
+}
+
+func TestAuxQueryErrors(t *testing.T) {
+	c := validClassifier(t)
+	if _, err := AuxQuery(c, "d1"); err == nil {
+		t.Error("q_aux over a distinguished variable accepted")
+	}
+	if _, err := AuxQuery(c, "nope"); err == nil {
+		t.Error("q_aux over an unknown variable accepted")
+	}
+}
+
+func TestQueryStringRendering(t *testing.T) {
+	q := MustNew(validClassifier(t), validMeasure(t), agg.Avg)
+	s := q.String()
+	for _, want := range []string{"⟨", "avg", "⟩"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q lacks %q", s, want)
+		}
+	}
+	sliced, _ := Slice(q, "d1", rdf.NewInt(7))
+	if !strings.Contains(sliced.String(), "Σ") {
+		t.Errorf("extended query String() lacks Σ: %q", sliced.String())
+	}
+}
+
+func TestSigmaClone(t *testing.T) {
+	s := Sigma{"d": {rdf.NewInt(1)}}
+	cp := s.Clone()
+	cp["d"][0] = rdf.NewInt(2)
+	if s["d"][0] != rdf.NewInt(1) {
+		t.Error("Sigma.Clone shares value slices")
+	}
+	if Sigma(nil).Clone() != nil {
+		t.Error("nil Sigma must clone to nil")
+	}
+}
+
+func TestPresSchemaCheck(t *testing.T) {
+	q := MustNew(validClassifier(t), validMeasure(t), agg.Count)
+	q2 := MustNew(
+		sparql.MustParseDatalog("c(x, other) :- x rdf:type :Fact, x :p1 other", exPrefixes()),
+		validMeasure(t), agg.Count)
+	st := bloggerInstance()
+	ev := NewEvaluator(st)
+	pres, err := ev.Pres(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.DrillOutRewrite(q2, pres, "other"); err == nil {
+		t.Error("pres of a different query accepted")
+	}
+	if _, err := ev.AnswerFromPres(q2, pres); err == nil {
+		t.Error("AnswerFromPres with mismatched schema accepted")
+	}
+}

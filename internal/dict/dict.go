@@ -1,0 +1,123 @@
+// Package dict implements dictionary encoding of RDF terms: a bijective,
+// concurrency-safe mapping between rdf.Term values and dense uint64 IDs.
+//
+// Dictionary encoding is the standard first stage of an RDF store: every
+// term is interned once and all downstream structures (indexes, query
+// bindings, relations) operate on fixed-width IDs. IDs start at 1; 0 is
+// reserved as the invalid/absent ID so that zero values stay meaningful.
+package dict
+
+import (
+	"fmt"
+	"sync"
+
+	"rdfcube/internal/rdf"
+)
+
+// NoID is the reserved invalid term ID.
+const NoID ID = 0
+
+// ID identifies an interned term. IDs are dense, starting at 1, assigned
+// in interning order.
+type ID uint64
+
+// Dictionary interns rdf.Term values and resolves IDs back to terms.
+// The zero value is not usable; call New.
+//
+// Dictionary is safe for concurrent use. Lookups take a read lock;
+// Encode takes a write lock only on first sight of a term.
+type Dictionary struct {
+	mu      sync.RWMutex
+	termToI map[rdf.Term]ID
+	iToTerm []rdf.Term // index 0 unused (NoID)
+}
+
+// New returns an empty dictionary.
+func New() *Dictionary {
+	return &Dictionary{
+		termToI: make(map[rdf.Term]ID, 1024),
+		iToTerm: make([]rdf.Term, 1, 1025),
+	}
+}
+
+// Encode interns t and returns its ID, assigning a fresh ID on first sight.
+func (d *Dictionary) Encode(t rdf.Term) ID {
+	d.mu.RLock()
+	id, ok := d.termToI[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.termToI[t]; ok {
+		return id
+	}
+	id = ID(len(d.iToTerm))
+	d.termToI[t] = id
+	d.iToTerm = append(d.iToTerm, t)
+	return id
+}
+
+// Lookup returns the ID of t without interning. ok is false if t has
+// never been encoded.
+func (d *Dictionary) Lookup(t rdf.Term) (id ID, ok bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok = d.termToI[t]
+	return id, ok
+}
+
+// Decode returns the term for id. ok is false for NoID or out-of-range IDs.
+func (d *Dictionary) Decode(id ID) (t rdf.Term, ok bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == NoID || int(id) >= len(d.iToTerm) {
+		return rdf.Term{}, false
+	}
+	return d.iToTerm[id], true
+}
+
+// MustDecode returns the term for id, panicking on unknown IDs. It is
+// intended for internal invariants where the ID is known to be valid.
+func (d *Dictionary) MustDecode(id ID) rdf.Term {
+	t, ok := d.Decode(id)
+	if !ok {
+		panic(fmt.Sprintf("dict: unknown term ID %d", id))
+	}
+	return t
+}
+
+// Len reports the number of interned terms.
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.iToTerm) - 1
+}
+
+// EncodeTriple interns all three terms of tr.
+func (d *Dictionary) EncodeTriple(tr rdf.Triple) (s, p, o ID) {
+	return d.Encode(tr.S), d.Encode(tr.P), d.Encode(tr.O)
+}
+
+// DecodeTriple resolves an (s, p, o) ID triple back to terms. ok is false
+// if any ID is unknown.
+func (d *Dictionary) DecodeTriple(s, p, o ID) (tr rdf.Triple, ok bool) {
+	ts, ok1 := d.Decode(s)
+	tp, ok2 := d.Decode(p)
+	to, ok3 := d.Decode(o)
+	if !ok1 || !ok2 || !ok3 {
+		return rdf.Triple{}, false
+	}
+	return rdf.Triple{S: ts, P: tp, O: to}, true
+}
+
+// Terms returns a snapshot of all interned terms in ID order (index i
+// holds the term with ID i+1).
+func (d *Dictionary) Terms() []rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]rdf.Term, len(d.iToTerm)-1)
+	copy(out, d.iToTerm[1:])
+	return out
+}

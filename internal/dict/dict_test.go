@@ -1,0 +1,196 @@
+package dict
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"rdfcube/internal/rdf"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := New()
+	terms := []rdf.Term{
+		rdf.NewIRI("http://e.org/a"),
+		rdf.NewLiteral("x"),
+		rdf.NewTypedLiteral("5", rdf.XSDInteger),
+		rdf.NewLangLiteral("hi", "en"),
+		rdf.NewBlank("b0"),
+	}
+	ids := make([]ID, len(terms))
+	for i, term := range terms {
+		ids[i] = d.Encode(term)
+		if ids[i] == NoID {
+			t.Fatalf("Encode returned NoID for %v", term)
+		}
+	}
+	for i, term := range terms {
+		got, ok := d.Decode(ids[i])
+		if !ok || got != term {
+			t.Errorf("Decode(%d) = %v, %v; want %v", ids[i], got, ok, term)
+		}
+	}
+	if d.Len() != len(terms) {
+		t.Errorf("Len = %d, want %d", d.Len(), len(terms))
+	}
+}
+
+func TestEncodeIdempotent(t *testing.T) {
+	d := New()
+	a := d.Encode(rdf.NewIRI("http://e.org/a"))
+	b := d.Encode(rdf.NewIRI("http://e.org/a"))
+	if a != b {
+		t.Errorf("re-encoding same term gave %d then %d", a, b)
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestIDsAreDense(t *testing.T) {
+	d := New()
+	for i := 0; i < 100; i++ {
+		id := d.Encode(rdf.NewInt(int64(i)))
+		if id != ID(i+1) {
+			t.Fatalf("term %d got ID %d, want %d", i, id, i+1)
+		}
+	}
+}
+
+func TestLookupWithoutInterning(t *testing.T) {
+	d := New()
+	if _, ok := d.Lookup(rdf.NewIRI("http://absent")); ok {
+		t.Error("Lookup found never-encoded term")
+	}
+	if d.Len() != 0 {
+		t.Error("Lookup must not intern")
+	}
+	id := d.Encode(rdf.NewIRI("http://present"))
+	got, ok := d.Lookup(rdf.NewIRI("http://present"))
+	if !ok || got != id {
+		t.Errorf("Lookup = %d, %v; want %d, true", got, ok, id)
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	d := New()
+	d.Encode(rdf.NewIRI("http://e"))
+	if _, ok := d.Decode(NoID); ok {
+		t.Error("Decode(NoID) must fail")
+	}
+	if _, ok := d.Decode(99); ok {
+		t.Error("Decode of out-of-range ID must fail")
+	}
+}
+
+func TestMustDecodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDecode on unknown ID must panic")
+		}
+	}()
+	New().MustDecode(5)
+}
+
+func TestEncodeTriple(t *testing.T) {
+	d := New()
+	tr := rdf.NewTriple(rdf.NewIRI("http://s"), rdf.NewIRI("http://p"), rdf.NewInt(1))
+	s, p, o := d.EncodeTriple(tr)
+	back, ok := d.DecodeTriple(s, p, o)
+	if !ok || back != tr {
+		t.Errorf("DecodeTriple = %v, %v", back, ok)
+	}
+	if _, ok := d.DecodeTriple(s, p, 999); ok {
+		t.Error("DecodeTriple with unknown ID must fail")
+	}
+}
+
+func TestTermsSnapshot(t *testing.T) {
+	d := New()
+	want := []rdf.Term{rdf.NewIRI("http://a"), rdf.NewIRI("http://b")}
+	for _, term := range want {
+		d.Encode(term)
+	}
+	got := d.Terms()
+	if len(got) != len(want) {
+		t.Fatalf("Terms len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Terms[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentEncode(t *testing.T) {
+	d := New()
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	results := make([][]ID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]ID, perG)
+			for i := 0; i < perG; i++ {
+				// Heavy collision: all goroutines intern the same terms.
+				ids[i] = d.Encode(rdf.NewInt(int64(i)))
+			}
+			results[g] = ids
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != perG {
+		t.Fatalf("Len = %d, want %d", d.Len(), perG)
+	}
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d got different ID for term %d", g, i)
+			}
+		}
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	d := New()
+	f := func(s string, kind uint8) bool {
+		var term rdf.Term
+		switch kind % 4 {
+		case 0:
+			term = rdf.NewIRI(s)
+		case 1:
+			term = rdf.NewLiteral(s)
+		case 2:
+			term = rdf.NewBlank(s)
+		default:
+			term = rdf.NewTypedLiteral(s, rdf.XSDInteger)
+		}
+		id := d.Encode(term)
+		got, ok := d.Decode(id)
+		return ok && got == term
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeNew(b *testing.B) {
+	d := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Encode(rdf.NewIRI(fmt.Sprintf("http://e.org/r%d", i)))
+	}
+}
+
+func BenchmarkEncodeExisting(b *testing.B) {
+	d := New()
+	term := rdf.NewIRI("http://e.org/hot")
+	d.Encode(term)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Encode(term)
+	}
+}

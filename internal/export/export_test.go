@@ -1,0 +1,155 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rdfcube/internal/algebra"
+	"rdfcube/internal/dict"
+	"rdfcube/internal/rdf"
+	"rdfcube/internal/sparql"
+)
+
+func fixture() (*algebra.Relation, Options) {
+	d := dict.New()
+	madrid := d.Encode(rdf.NewIRI("http://e.org/Madrid"))
+	ny := d.Encode(rdf.NewIRI("http://e.org/NY"))
+	age28 := d.Encode(rdf.NewInt(28))
+	rel := algebra.NewRelation("dage", "dcity", "v")
+	rel.Append(algebra.Row{algebra.TermV(age28), algebra.TermV(ny), algebra.NumV(2)})
+	rel.Append(algebra.Row{algebra.TermV(age28), algebra.TermV(madrid), algebra.NumV(3.5)})
+	px := sparql.Prefixes{"ex": "http://e.org/"}
+	return rel, Options{Dict: d, Prefixes: px, SortRows: true}
+}
+
+func TestText(t *testing.T) {
+	rel, opts := fixture()
+	var buf bytes.Buffer
+	if err := Text(&buf, rel, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("text output has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "dage") || !strings.Contains(lines[0], "dcity") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "ex:Madrid") {
+		t.Errorf("IRI not abbreviated:\n%s", out)
+	}
+	// Sorted: Madrid row before NY row.
+	if strings.Index(out, "Madrid") > strings.Index(out, "NY") {
+		t.Error("rows not sorted")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	rel, opts := fixture()
+	var buf bytes.Buffer
+	if err := CSV(&buf, rel, opts); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("CSV rows = %d, want 3", len(records))
+	}
+	if records[0][2] != "v" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][1] != "ex:Madrid" || records[1][2] != "3.5" {
+		t.Errorf("first data row = %v", records[1])
+	}
+}
+
+func TestJSON(t *testing.T) {
+	rel, opts := fixture()
+	var buf bytes.Buffer
+	if err := JSON(&buf, rel, opts); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.Columns) != 3 || len(doc.Rows) != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+}
+
+func TestJSONEmptyRelation(t *testing.T) {
+	_, opts := fixture()
+	rel := algebra.NewRelation("a")
+	var buf bytes.Buffer
+	if err := JSON(&buf, rel, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"rows":[]`) {
+		t.Errorf("empty relation must serialize rows as []: %s", buf.String())
+	}
+}
+
+func TestFormatDispatch(t *testing.T) {
+	rel, opts := fixture()
+	for _, f := range []string{"text", "csv", "json", ""} {
+		var buf bytes.Buffer
+		if err := Format(&buf, rel, f, opts); err != nil {
+			t.Errorf("Format(%q): %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("Format(%q) wrote nothing", f)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Format(&buf, rel, "xml", opts); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestUnknownTermID(t *testing.T) {
+	_, opts := fixture()
+	rel := algebra.NewRelation("a")
+	rel.Append(algebra.Row{algebra.TermV(9999)})
+	var buf bytes.Buffer
+	if err := Text(&buf, rel, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "?9999") {
+		t.Errorf("unknown ID not flagged: %s", buf.String())
+	}
+}
+
+func TestNoAbbreviationWithoutPrefixes(t *testing.T) {
+	rel, opts := fixture()
+	opts.Prefixes = nil
+	var buf bytes.Buffer
+	if err := Text(&buf, rel, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "http://e.org/Madrid") {
+		t.Error("full IRI expected without prefixes")
+	}
+}
+
+func TestKeyAndNumCells(t *testing.T) {
+	d := dict.New()
+	rel := algebra.NewRelation("k", "v")
+	rel.Append(algebra.Row{algebra.KeyV(7), algebra.NumV(1.25)})
+	var buf bytes.Buffer
+	if err := Text(&buf, rel, Options{Dict: d}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "k7") || !strings.Contains(buf.String(), "1.25") {
+		t.Errorf("cell rendering: %s", buf.String())
+	}
+}

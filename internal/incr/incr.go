@@ -1,0 +1,517 @@
+// Package incr maintains the materialized partial result pres(Q) of an
+// analytical query incrementally as triples are added to the AnS
+// instance, so the rewriting algorithms keep paying view-maintenance
+// cost instead of recomputation cost.
+//
+// The paper materializes pres(Q) once, as a by-product of answering Q;
+// its companion line of work (reference [5], dynamic RDF databases)
+// motivates keeping such materializations alive under updates. The delta
+// rules follow from Definition 4:
+//
+//	pres(Q) = c(I) ⋈_x m_k(I)
+//	Δpres   = Δc ⋈ m_k(I ∪ Δ)  ∪  c(I) ⋈ Δm_k
+//
+// where Δc (Δm̄) are the classifier (measure) embeddings that use at
+// least one inserted triple. Definition 3's bijection between the bag
+// result of m and the set result of m̄ (the measure with all body
+// variables distinguished) is what makes exact maintenance possible:
+// new measure *tuples* are identified by new m̄ *embeddings*, each of
+// which receives a fresh key continuing the newk() sequence.
+//
+// Deletions are out of scope (the paper's warehouse is append-oriented);
+// Refresh recomputes from scratch when needed.
+package incr
+
+import (
+	"fmt"
+
+	"rdfcube/internal/algebra"
+	"rdfcube/internal/bgp"
+	"rdfcube/internal/core"
+	"rdfcube/internal/dict"
+	"rdfcube/internal/rdf"
+	"rdfcube/internal/sparql"
+	"rdfcube/internal/store"
+)
+
+// MaintainedPres is a pres(Q) materialization that absorbs instance
+// insertions incrementally.
+type MaintainedPres struct {
+	q    *core.Query
+	ev   *core.Evaluator
+	inst *store.Store
+
+	// c is the current classifier result (set semantics, Σ applied);
+	// cKeys indexes its rows.
+	c     *algebra.Relation
+	cKeys map[string]struct{}
+	// mbarKeys indexes the current m̄ embeddings (all measure body
+	// variables); mk is the keyed measure m_k.
+	mbarKeys map[string]struct{}
+	mbarQ    *sparql.Query
+	mk       *algebra.Relation
+	nextKey  uint64
+
+	pres *algebra.Relation
+}
+
+// New fully evaluates q over the evaluator's instance and returns a
+// maintained materialization.
+func New(ev *core.Evaluator, q *core.Query) (*MaintainedPres, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	mp := &MaintainedPres{
+		q:        q.Clone(),
+		ev:       ev,
+		inst:     ev.Instance(),
+		cKeys:    map[string]struct{}{},
+		mbarKeys: map[string]struct{}{},
+	}
+	mp.mbarQ = mbarQuery(q)
+
+	c, err := ev.EvalClassifier(q)
+	if err != nil {
+		return nil, err
+	}
+	mp.c = c
+	for _, row := range c.Rows {
+		mp.cKeys[rowKey(row)] = struct{}{}
+	}
+
+	// Evaluate m̄ once; each embedding becomes one keyed measure tuple.
+	res, err := bgp.Eval(mp.inst, mp.mbarQ, bgp.Options{Distinct: true, KeepAllVars: true})
+	if err != nil {
+		return nil, err
+	}
+	root, v := q.Measure.Head[0], q.Measure.Head[1]
+	rootCol, vCol := res.Column(root), res.Column(v)
+	if rootCol < 0 || vCol < 0 {
+		return nil, fmt.Errorf("incr: measure head variables missing from m̄ result")
+	}
+	mp.mk = algebra.NewRelation(core.KeyCol, root, v)
+	for _, row := range res.Rows {
+		mp.mbarKeys[idKey(row)] = struct{}{}
+		mp.nextKey++
+		mp.mk.Append(algebra.Row{
+			algebra.KeyV(mp.nextKey),
+			algebra.TermV(row[rootCol]),
+			algebra.TermV(row[vCol]),
+		})
+	}
+	return mp, mp.rebuildPres()
+}
+
+// mbarQuery returns m̄: the measure body with every body variable
+// distinguished (Definition 3), root first.
+func mbarQuery(q *core.Query) *sparql.Query {
+	mbar := q.Measure.Clone()
+	mbar.Head = mbar.Vars()
+	root := q.Measure.Head[0]
+	for i, v := range mbar.Head {
+		if v == root && i != 0 {
+			mbar.Head[0], mbar.Head[i] = mbar.Head[i], mbar.Head[0]
+			break
+		}
+	}
+	return mbar
+}
+
+// rebuildPres recomputes pres from the maintained c and mk.
+func (mp *MaintainedPres) rebuildPres() error {
+	root := mp.q.Root()
+	joined, err := mp.c.Join(mp.mk, []string{root}, []string{root})
+	if err != nil {
+		return err
+	}
+	cols := append([]string{root}, mp.q.Dims()...)
+	cols = append(cols, core.KeyCol, mp.q.MeasureVar())
+	mp.pres = joined.Project(cols...)
+	return nil
+}
+
+// Pres returns the current materialized pres(Q). The caller must not
+// mutate it.
+func (mp *MaintainedPres) Pres() *algebra.Relation { return mp.pres }
+
+// Answer aggregates the maintained pres(Q) into ans(Q) (Equation 3).
+func (mp *MaintainedPres) Answer() (*algebra.Relation, error) {
+	return mp.ev.AnswerFromPres(mp.q, mp.pres)
+}
+
+// Query returns the maintained query.
+func (mp *MaintainedPres) Query() *core.Query { return mp.q }
+
+// Insert adds triples to the AnS instance and updates the
+// materialization incrementally. It returns the number of new classifier
+// rows and new measure tuples absorbed.
+func (mp *MaintainedPres) Insert(triples []rdf.Triple) (newFacts, newMeasures int, err error) {
+	var delta []store.IDTriple
+	for _, tr := range triples {
+		s, p, o := mp.inst.Dict().EncodeTriple(tr)
+		t := store.IDTriple{S: s, P: p, O: o}
+		if mp.inst.AddID(t) {
+			delta = append(delta, t)
+		}
+	}
+	if len(delta) == 0 {
+		return 0, 0, nil
+	}
+
+	// Δc: classifier embeddings touching a delta triple, Σ-filtered,
+	// projected to the head, minus rows already present.
+	cRows, err := deltaHeadRows(mp.inst, mp.q.Classifier, delta)
+	if err != nil {
+		return 0, 0, err
+	}
+	dims := mp.q.Dims()
+	deltaC := algebra.NewRelation(mp.c.Cols...)
+	for _, row := range cRows {
+		deltaC.Append(row)
+	}
+	pred, err := sigmaFilterFor(mp.ev, deltaC, dims, mp.q.Sigma)
+	if err != nil {
+		return 0, 0, err
+	}
+	deltaC = deltaC.Select(pred)
+	freshC := algebra.NewRelation(mp.c.Cols...)
+	for _, row := range deltaC.Rows {
+		k := rowKey(row)
+		if _, dup := mp.cKeys[k]; dup {
+			continue
+		}
+		mp.cKeys[k] = struct{}{}
+		freshC.Append(row)
+		mp.c.Append(row)
+	}
+
+	// Δm̄: new measure embeddings; each gets a fresh key.
+	root, v := mp.q.Measure.Head[0], mp.q.Measure.Head[1]
+	mRows, mVars, err := deltaFullRows(mp.inst, mp.mbarQ, delta)
+	if err != nil {
+		return 0, 0, err
+	}
+	rootCol, vCol := -1, -1
+	for i, name := range mVars {
+		if name == root {
+			rootCol = i
+		}
+		if name == v {
+			vCol = i
+		}
+	}
+	freshMk := algebra.NewRelation(core.KeyCol, root, v)
+	for _, row := range mRows {
+		k := idKey(row)
+		if _, dup := mp.mbarKeys[k]; dup {
+			continue
+		}
+		mp.mbarKeys[k] = struct{}{}
+		mp.nextKey++
+		nr := algebra.Row{
+			algebra.KeyV(mp.nextKey),
+			algebra.TermV(row[rootCol]),
+			algebra.TermV(row[vCol]),
+		}
+		freshMk.Append(nr)
+		mp.mk.Append(nr)
+	}
+
+	// Δpres = Δc ⋈ mk(all) ∪ c_old ⋈ Δmk. The first term uses the full
+	// mk (which already includes Δmk); the second must exclude Δc rows
+	// to avoid double-counting, so join against c *before* this batch's
+	// rows were appended — equivalently, subtract the overlap. We join
+	// freshC against full mk, and (c minus freshC) against freshMk; since
+	// c already contains freshC, build the old-c view explicitly.
+	cols := append([]string{mp.q.Root()}, dims...)
+	cols = append(cols, core.KeyCol, mp.q.MeasureVar())
+
+	part1, err := freshC.Join(mp.mk, []string{mp.q.Root()}, []string{mp.q.Root()})
+	if err != nil {
+		return 0, 0, err
+	}
+	freshKeys := map[string]struct{}{}
+	for _, row := range freshC.Rows {
+		freshKeys[rowKey(row)] = struct{}{}
+	}
+	oldC := mp.c.Select(func(row algebra.Row) bool {
+		_, isFresh := freshKeys[rowKey(row)]
+		return !isFresh
+	})
+	part2, err := oldC.Join(freshMk, []string{mp.q.Root()}, []string{mp.q.Root()})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, part := range []*algebra.Relation{part1, part2} {
+		proj := part.Project(cols...)
+		for _, row := range proj.Rows {
+			mp.pres.Append(row)
+		}
+	}
+	return freshC.Len(), freshMk.Len(), nil
+}
+
+// Refresh recomputes the materialization from scratch; used after
+// out-of-band instance mutations (e.g. deletions).
+func (mp *MaintainedPres) Refresh() error {
+	fresh, err := New(mp.ev, mp.q)
+	if err != nil {
+		return err
+	}
+	*mp = *fresh
+	return nil
+}
+
+// deltaHeadRows returns the head projections of embeddings of q's body
+// that use at least one delta triple. Rows may repeat across seeds; the
+// caller deduplicates. Evaluation seeds each body pattern in turn with
+// each matching delta triple and evaluates the remainder of the body.
+func deltaHeadRows(st *store.Store, q *sparql.Query, delta []store.IDTriple) ([]algebra.Row, error) {
+	full, _, err := deltaFullRowsProjected(st, q, delta, q.Head)
+	if err != nil {
+		return nil, err
+	}
+	return full, nil
+}
+
+// deltaFullRows returns the distinct full-body embeddings (all body
+// variables) using at least one delta triple, and the variable order.
+func deltaFullRows(st *store.Store, q *sparql.Query, delta []store.IDTriple) ([][]dict.ID, []string, error) {
+	vars := q.Vars()
+	rows, names, err := deltaFullRowsProjected(st, q, delta, vars)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]dict.ID, len(rows))
+	for i, row := range rows {
+		ids := make([]dict.ID, len(row))
+		for j, cell := range row {
+			ids[j] = cell.ID
+		}
+		out[i] = ids
+	}
+	return out, names, nil
+}
+
+// deltaFullRowsProjected enumerates embeddings touching the delta,
+// projected onto the given variables, deduplicated on the *full* body
+// binding so one embedding is reported once even if several of its
+// triples are new.
+func deltaFullRowsProjected(st *store.Store, q *sparql.Query, delta []store.IDTriple, project []string) ([]algebra.Row, []string, error) {
+	allVars := q.Vars()
+	varPos := map[string]int{}
+	for i, v := range allVars {
+		varPos[v] = i
+	}
+	d := st.Dict()
+	seen := map[string]struct{}{}
+	var out []algebra.Row
+
+	for i, tp := range q.Patterns {
+		for _, t := range delta {
+			binding, ok := matchPattern(d, tp, t)
+			if !ok {
+				continue
+			}
+			// Substitute the seed bindings into a copy of the query.
+			sub := q.Clone()
+			for name, id := range binding {
+				term, ok := d.Decode(id)
+				if !ok {
+					return nil, nil, fmt.Errorf("incr: unknown ID %d", id)
+				}
+				substituteBody(sub, name, term)
+			}
+			// Drop the seeded pattern (it is now fully constant and
+			// known to hold); keep the rest.
+			sub.Patterns = append(sub.Patterns[:i:i], sub.Patterns[i+1:]...)
+			var res *bgp.Result
+			switch {
+			case len(sub.Patterns) == 0:
+				res = &bgp.Result{}
+			case len(sub.Vars()) == 0:
+				// The seed bound every variable: the remaining patterns
+				// are ground; verify they hold.
+				holds := true
+				for _, g := range sub.Patterns {
+					if !groundHolds(st, g) {
+						holds = false
+						break
+					}
+				}
+				if !holds {
+					continue
+				}
+				res = &bgp.Result{}
+				sub.Patterns = nil
+			default:
+				var err error
+				res, err = bgp.Eval(st, sub, bgp.Options{Distinct: true, KeepAllVars: true})
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			colOf := map[string]int{}
+			for ci, name := range res.Vars {
+				colOf[name] = ci
+			}
+			emit := func(row []dict.ID) {
+				// Assemble the full binding: seed values + row values.
+				fullRow := make([]dict.ID, len(allVars))
+				complete := true
+				for vi, name := range allVars {
+					if id, ok := binding[name]; ok {
+						fullRow[vi] = id
+						continue
+					}
+					ci, ok := colOf[name]
+					if !ok || row == nil {
+						complete = false
+						break
+					}
+					fullRow[vi] = row[ci]
+				}
+				if !complete {
+					return
+				}
+				k := idKeyIDs(fullRow)
+				if _, dup := seen[k]; dup {
+					return
+				}
+				seen[k] = struct{}{}
+				proj := make(algebra.Row, len(project))
+				for pi, name := range project {
+					proj[pi] = algebra.TermV(fullRow[varPos[name]])
+				}
+				out = append(out, proj)
+			}
+			if len(sub.Patterns) == 0 {
+				// The whole body was the seeded pattern.
+				emit(nil)
+				continue
+			}
+			for _, row := range res.Rows {
+				emit(row)
+			}
+		}
+	}
+	return out, project, nil
+}
+
+// groundHolds reports whether a fully-constant pattern is in the store.
+func groundHolds(st *store.Store, tp sparql.TriplePattern) bool {
+	return st.Contains(rdf.Triple{S: tp.S.Term, P: tp.P.Term, O: tp.O.Term})
+}
+
+// matchPattern unifies a triple pattern with a concrete triple,
+// returning the variable binding, or ok=false on mismatch (including
+// repeated variables that would bind inconsistently).
+func matchPattern(d *dict.Dictionary, tp sparql.TriplePattern, t store.IDTriple) (map[string]dict.ID, bool) {
+	binding := map[string]dict.ID{}
+	bind := func(n sparql.Node, id dict.ID) bool {
+		if n.IsVar() {
+			if prev, ok := binding[n.Var]; ok {
+				return prev == id
+			}
+			binding[n.Var] = id
+			return true
+		}
+		want, ok := d.Lookup(n.Term)
+		return ok && want == id
+	}
+	if !bind(tp.S, t.S) || !bind(tp.P, t.P) || !bind(tp.O, t.O) {
+		return nil, false
+	}
+	return binding, true
+}
+
+// substituteBody replaces a variable with a constant in the body only
+// (head membership is irrelevant here; results are reassembled from the
+// seed bindings).
+func substituteBody(q *sparql.Query, name string, t rdf.Term) {
+	var head []string
+	for _, v := range q.Head {
+		if v != name {
+			head = append(head, v)
+		}
+	}
+	q.Head = head
+	for i, tp := range q.Patterns {
+		if tp.S.Var == name {
+			q.Patterns[i].S = sparql.C(t)
+		}
+		if tp.P.Var == name {
+			q.Patterns[i].P = sparql.C(t)
+		}
+		if tp.O.Var == name {
+			q.Patterns[i].O = sparql.C(t)
+		}
+	}
+	if len(q.Head) == 0 && len(q.Patterns) > 0 {
+		// Keep the query valid: promote any remaining variable.
+		if vs := q.Vars(); len(vs) > 0 {
+			q.Head = []string{vs[0]}
+		}
+	}
+}
+
+// sigmaFilterFor adapts the evaluator's Σ filtering to a delta relation.
+func sigmaFilterFor(ev *core.Evaluator, rel *algebra.Relation, dims []string, sigma core.Sigma) (func(algebra.Row) bool, error) {
+	if len(sigma) == 0 {
+		return func(algebra.Row) bool { return true }, nil
+	}
+	d := ev.Instance().Dict()
+	type colSet struct {
+		col     int
+		allowed map[dict.ID]struct{}
+	}
+	var sets []colSet
+	for _, dim := range dims {
+		vals, ok := sigma[dim]
+		if !ok {
+			continue
+		}
+		col := rel.Column(dim)
+		if col < 0 {
+			return nil, fmt.Errorf("incr: Σ dimension %q missing from relation %v", dim, rel.Cols)
+		}
+		allowed := make(map[dict.ID]struct{}, len(vals))
+		for _, t := range vals {
+			if id, ok := d.Lookup(t); ok {
+				allowed[id] = struct{}{}
+			}
+		}
+		sets = append(sets, colSet{col: col, allowed: allowed})
+	}
+	return func(row algebra.Row) bool {
+		for _, s := range sets {
+			if _, ok := s.allowed[row[s.col].ID]; !ok {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+// rowKey encodes a term row.
+func rowKey(row algebra.Row) string {
+	b := make([]byte, 0, len(row)*8)
+	for _, cell := range row {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(uint64(cell.ID)>>s))
+		}
+	}
+	return string(b)
+}
+
+func idKey(row []dict.ID) string { return idKeyIDs(row) }
+
+func idKeyIDs(row []dict.ID) string {
+	b := make([]byte, 0, len(row)*8)
+	for _, id := range row {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(uint64(id)>>s))
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,254 @@
+package nt
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rdfcube/internal/rdf"
+)
+
+func TestParseBasicNTriples(t *testing.T) {
+	doc := `
+<http://e/s> <http://e/p> <http://e/o> .
+<http://e/s> <http://e/p> "literal" .
+<http://e/s> <http://e/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://e/s> <http://e/p> "hi"@en .
+_:b0 <http://e/p> _:b1 .
+`
+	triples, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if len(triples) != 5 {
+		t.Fatalf("parsed %d triples, want 5", len(triples))
+	}
+	if triples[1].O != rdf.NewLiteral("literal") {
+		t.Errorf("literal object = %v", triples[1].O)
+	}
+	if triples[2].O != rdf.NewInt(5) {
+		t.Errorf("typed literal = %v", triples[2].O)
+	}
+	if triples[3].O != rdf.NewLangLiteral("hi", "en") {
+		t.Errorf("lang literal = %v", triples[3].O)
+	}
+	if !triples[4].S.IsBlank() || !triples[4].O.IsBlank() {
+		t.Errorf("blank nodes = %v", triples[4])
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	doc := `
+# full line comment
+
+<http://e/s> <http://e/p> <http://e/o> . # trailing comment
+`
+	triples, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if len(triples) != 1 {
+		t.Fatalf("parsed %d triples, want 1", len(triples))
+	}
+}
+
+func TestParseTurtlePrefixes(t *testing.T) {
+	doc := `
+@prefix ex: <http://e.org/> .
+@prefix : <http://default.org/> .
+ex:s ex:p ex:o .
+:a ex:p :b .
+ex:s a ex:Class .
+`
+	triples, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if len(triples) != 3 {
+		t.Fatalf("parsed %d triples, want 3", len(triples))
+	}
+	if triples[0].S != rdf.NewIRI("http://e.org/s") {
+		t.Errorf("prefixed subject = %v", triples[0].S)
+	}
+	if triples[1].S != rdf.NewIRI("http://default.org/a") {
+		t.Errorf("default-prefixed subject = %v", triples[1].S)
+	}
+	if triples[2].P != rdf.Type {
+		t.Errorf(`"a" keyword = %v`, triples[2].P)
+	}
+}
+
+func TestParseTurtleLists(t *testing.T) {
+	doc := `
+@prefix : <http://e/> .
+:s :p :o1 , :o2 ; :q :o3 .
+`
+	triples, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if len(triples) != 3 {
+		t.Fatalf("parsed %d triples, want 3", len(triples))
+	}
+	if triples[0].P != triples[1].P {
+		t.Error("object list must share predicate")
+	}
+	if triples[2].P == triples[0].P {
+		t.Error("';' must switch predicate")
+	}
+	for _, tr := range triples {
+		if tr.S != rdf.NewIRI("http://e/s") {
+			t.Error("all triples must share the subject")
+		}
+	}
+}
+
+func TestParseMultipleStatementsPerLine(t *testing.T) {
+	doc := `@prefix : <http://e/> .
+:a :p :b . :c :p :d . :e :p :f .
+`
+	triples, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if len(triples) != 3 {
+		t.Fatalf("parsed %d triples, want 3", len(triples))
+	}
+}
+
+func TestParseBareNumbersAndBooleans(t *testing.T) {
+	doc := `@prefix : <http://e/> .
+:s :age 42 .
+:s :score 3.14 .
+:s :neg -7 .
+:s :ok true .
+`
+	triples, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if triples[0].O != rdf.NewTypedLiteral("42", rdf.XSDInteger) {
+		t.Errorf("integer = %v", triples[0].O)
+	}
+	if triples[1].O != rdf.NewTypedLiteral("3.14", rdf.XSDDouble) {
+		t.Errorf("double = %v", triples[1].O)
+	}
+	if triples[2].O != rdf.NewTypedLiteral("-7", rdf.XSDInteger) {
+		t.Errorf("negative = %v", triples[2].O)
+	}
+	if triples[3].O != rdf.NewTypedLiteral("true", rdf.XSDBoolean) {
+		t.Errorf("boolean = %v", triples[3].O)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	doc := `<http://e/s> <http://e/p> "tab\there \"quoted\" é\U0001F600" .` + "\n"
+	triples, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	want := "tab\there \"quoted\" é😀"
+	if got := triples[0].O.Value(); got != want {
+		t.Errorf("unescaped = %q, want %q", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<http://e/s> <http://e/p> <http://e/o>`,         // missing dot
+		`<http://e/s> <http://e/p> .`,                    // missing object
+		`<http://e/s> "lit" <http://e/o> .`,              // literal predicate
+		`"lit" <http://e/p> <http://e/o> .`,              // literal subject
+		`<http://e/s <http://e/p> <http://e/o> .`,        // unterminated IRI
+		`<http://e/s> <http://e/p> "unterminated .`,      // unterminated literal
+		`ex:s ex:p ex:o .`,                               // unknown prefix
+		`<http://e/s> <http://e/p> "x"^^bad .`,           // malformed datatype
+		`<http://e/s> <http://e/p> "bad\q" .`,            // unknown escape
+		`<http://e/s> <http://e/p> <http://e/o> extra .`, // trailing token
+		"@prefix broken <http://e/> .\n<a> <b> <c> .",    // malformed prefix
+		`<http://e/s> <http://e/p> "trunc\u12" .`,        // truncated \u
+	}
+	for _, doc := range bad {
+		if _, err := ParseString(doc + "\n"); err == nil {
+			t.Errorf("accepted malformed input %q", doc)
+		}
+	}
+	// Parse errors carry line numbers.
+	_, err := ParseString("<http://a> <http://b> <http://c> .\nbroken line .\n")
+	perr, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("error line = %d, want 2", perr.Line)
+	}
+	if !strings.Contains(perr.Error(), "line 2") {
+		t.Errorf("error message %q lacks line info", perr.Error())
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	triples := []rdf.Triple{
+		rdf.NewTriple(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/o")),
+		rdf.NewTriple(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewLiteral("with \"quotes\" and\nnewline")),
+		rdf.NewTriple(rdf.NewBlank("b0"), rdf.NewIRI("http://e/p"), rdf.NewInt(12)),
+		rdf.NewTriple(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewLangLiteral("salut", "fr")),
+	}
+	doc := FormatAll(triples)
+	back, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("re-parsing serialized output: %v\n%s", err, doc)
+	}
+	if len(back) != len(triples) {
+		t.Fatalf("round trip %d triples, want %d", len(back), len(triples))
+	}
+	sort.Slice(back, func(i, j int) bool { return rdf.CompareTriples(back[i], back[j]) < 0 })
+	want := append([]rdf.Triple(nil), triples...)
+	sort.Slice(want, func(i, j int) bool { return rdf.CompareTriples(want[i], want[j]) < 0 })
+	for i := range want {
+		if back[i] != want[i] {
+			t.Errorf("triple %d: got %v, want %v", i, back[i], want[i])
+		}
+	}
+}
+
+// TestPropertyRoundTrip: serialize-then-parse is the identity on
+// arbitrary literal content.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(lex string) bool {
+		if !validUTF8(lex) {
+			return true
+		}
+		tr := rdf.NewTriple(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewLiteral(lex))
+		back, err := ParseString(FormatAll([]rdf.Triple{tr}))
+		return err == nil && len(back) == 1 && back[0] == tr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func validUTF8(s string) bool {
+	for _, r := range s {
+		if r == 0xFFFD {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkParse(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 1000; i++ {
+		sb.WriteString(`<http://e/s> <http://e/p> "some literal value" .` + "\n")
+	}
+	doc := sb.String()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,440 @@
+// Package nt implements streaming readers and writers for the N-Triples
+// serialization of RDF, plus a pragmatic Turtle subset (@prefix
+// declarations, prefixed names, the "a" keyword, and ";" / "," predicate
+// and object lists) sufficient for loading hand-written test fixtures.
+package nt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+
+	"rdfcube/internal/rdf"
+)
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("nt: line %d: %s", e.Line, e.Msg)
+}
+
+// Reader parses N-Triples (and the Turtle subset) from an input stream.
+type Reader struct {
+	scanner  *bufio.Scanner
+	line     int
+	prefixes map[string]string
+	// pending holds triples already parsed from the current statement
+	// (Turtle ";"/"," lists expand to several triples).
+	pending []rdf.Triple
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{scanner: sc, prefixes: map[string]string{}}
+}
+
+// Next returns the next triple, or io.EOF when the input is exhausted.
+func (r *Reader) Next() (rdf.Triple, error) {
+	for {
+		if len(r.pending) > 0 {
+			t := r.pending[0]
+			r.pending = r.pending[1:]
+			return t, nil
+		}
+		if !r.scanner.Scan() {
+			if err := r.scanner.Err(); err != nil {
+				return rdf.Triple{}, err
+			}
+			return rdf.Triple{}, io.EOF
+		}
+		r.line++
+		line := strings.TrimSpace(r.scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "@prefix") {
+			if err := r.parsePrefix(line); err != nil {
+				return rdf.Triple{}, err
+			}
+			continue
+		}
+		triples, err := r.parseStatement(line)
+		if err != nil {
+			return rdf.Triple{}, err
+		}
+		r.pending = triples
+	}
+}
+
+// ReadAll drains the reader into a slice.
+func (r *Reader) ReadAll() ([]rdf.Triple, error) {
+	var out []rdf.Triple
+	for {
+		t, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+// ParseString parses a complete N-Triples/Turtle-lite document.
+func ParseString(s string) ([]rdf.Triple, error) {
+	return NewReader(strings.NewReader(s)).ReadAll()
+}
+
+func (r *Reader) errf(format string, args ...any) error {
+	return &ParseError{Line: r.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parsePrefix handles "@prefix ex: <http://...> .".
+func (r *Reader) parsePrefix(line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "@prefix"))
+	colon := strings.Index(rest, ":")
+	if colon < 0 {
+		return r.errf("malformed @prefix: missing ':'")
+	}
+	name := strings.TrimSpace(rest[:colon])
+	rest = strings.TrimSpace(rest[colon+1:])
+	if !strings.HasPrefix(rest, "<") {
+		return r.errf("malformed @prefix: expected IRI")
+	}
+	end := strings.Index(rest, ">")
+	if end < 0 {
+		return r.errf("malformed @prefix: unterminated IRI")
+	}
+	r.prefixes[name] = rest[1:end]
+	return nil
+}
+
+// parseStatement parses one input line, which may contain several
+// "."-terminated statements, expanding Turtle ";" and "," lists.
+// Statements must not span lines (a deliberate simplification; the
+// synthetic generators and fixtures emit complete statements per line).
+func (r *Reader) parseStatement(line string) ([]rdf.Triple, error) {
+	toks, err := r.tokenize(line)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return nil, nil
+	}
+	if toks[len(toks)-1] != "." {
+		return nil, r.errf("statement must end with '.'")
+	}
+	var all []rdf.Triple
+	start := 0
+	for i, tok := range toks {
+		if tok != "." {
+			continue
+		}
+		stmt, err := r.parseOneStatement(toks[start:i])
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, stmt...)
+		start = i + 1
+	}
+	return all, nil
+}
+
+// parseOneStatement parses the tokens of a single statement (without the
+// terminating dot).
+func (r *Reader) parseOneStatement(toks []string) ([]rdf.Triple, error) {
+	if len(toks) < 3 {
+		return nil, r.errf("statement needs subject, predicate, object")
+	}
+	subj, err := r.parseTerm(toks[0], false)
+	if err != nil {
+		return nil, err
+	}
+	var out []rdf.Triple
+	i := 1
+	for {
+		if i >= len(toks) {
+			return nil, r.errf("expected predicate")
+		}
+		pred, err := r.parseTerm(toks[i], true)
+		if err != nil {
+			return nil, err
+		}
+		i++
+		for {
+			if i >= len(toks) {
+				return nil, r.errf("expected object")
+			}
+			obj, err := r.parseTerm(toks[i], false)
+			if err != nil {
+				return nil, err
+			}
+			i++
+			t := rdf.Triple{S: subj, P: pred, O: obj}
+			if !t.IsValid() {
+				return nil, r.errf("invalid triple %s", t)
+			}
+			out = append(out, t)
+			if i < len(toks) && toks[i] == "," {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(toks) && toks[i] == ";" {
+			i++
+			continue
+		}
+		break
+	}
+	if i != len(toks) {
+		return nil, r.errf("trailing tokens after object")
+	}
+	return out, nil
+}
+
+// tokenize splits a statement into IRI refs, literals, blank nodes,
+// prefixed names, and the punctuation tokens "." ";" ",".
+func (r *Reader) tokenize(line string) ([]string, error) {
+	var toks []string
+	i := 0
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '#':
+			i = n // comment to end of line
+		case c == '<':
+			end := strings.IndexByte(line[i:], '>')
+			if end < 0 {
+				return nil, r.errf("unterminated IRI")
+			}
+			toks = append(toks, line[i:i+end+1])
+			i += end + 1
+		case c == '"':
+			j := i + 1
+			for j < n {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= n {
+				return nil, r.errf("unterminated literal")
+			}
+			j++ // past closing quote
+			// Absorb @lang or ^^<datatype> suffix.
+			for j < n && line[j] != ' ' && line[j] != '\t' && line[j] != ';' && line[j] != ',' {
+				if line[j] == '.' {
+					// "." terminates the statement only if followed by
+					// whitespace or end of line (avoid eating decimals
+					// inside datatype IRIs, which can't occur here, but
+					// keep the rule uniform).
+					if j+1 >= n || line[j+1] == ' ' || line[j+1] == '\t' {
+						break
+					}
+				}
+				j++
+			}
+			toks = append(toks, line[i:j])
+			i = j
+		case c == '.' || c == ';' || c == ',':
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < n && line[j] != ' ' && line[j] != '\t' && line[j] != ';' && line[j] != ',' {
+				if line[j] == '.' && (j+1 >= n || line[j+1] == ' ' || line[j+1] == '\t') {
+					break
+				}
+				j++
+			}
+			toks = append(toks, line[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+// parseTerm converts one token to a term. predicatePos enables the Turtle
+// "a" shorthand for rdf:type.
+func (r *Reader) parseTerm(tok string, predicatePos bool) (rdf.Term, error) {
+	switch {
+	case predicatePos && tok == "a":
+		return rdf.Type, nil
+	case strings.HasPrefix(tok, "<") && strings.HasSuffix(tok, ">"):
+		return rdf.NewIRI(tok[1 : len(tok)-1]), nil
+	case strings.HasPrefix(tok, "_:"):
+		return rdf.NewBlank(tok[2:]), nil
+	case strings.HasPrefix(tok, `"`):
+		return r.parseLiteral(tok)
+	default:
+		// Prefixed name, or bare integer/double literal (Turtle).
+		if isNumeric(tok) {
+			if strings.ContainsAny(tok, ".eE") {
+				return rdf.NewTypedLiteral(tok, rdf.XSDDouble), nil
+			}
+			return rdf.NewTypedLiteral(tok, rdf.XSDInteger), nil
+		}
+		if tok == "true" || tok == "false" {
+			return rdf.NewTypedLiteral(tok, rdf.XSDBoolean), nil
+		}
+		colon := strings.Index(tok, ":")
+		if colon < 0 {
+			return rdf.Term{}, r.errf("unrecognized token %q", tok)
+		}
+		ns, ok := r.prefixes[tok[:colon]]
+		if !ok {
+			return rdf.Term{}, r.errf("unknown prefix %q", tok[:colon])
+		}
+		return rdf.NewIRI(ns + tok[colon+1:]), nil
+	}
+}
+
+func isNumeric(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	i := 0
+	if tok[0] == '+' || tok[0] == '-' {
+		i = 1
+		if i == len(tok) {
+			return false
+		}
+	}
+	digits := false
+	for ; i < len(tok); i++ {
+		c := tok[i]
+		if c >= '0' && c <= '9' {
+			digits = true
+			continue
+		}
+		if c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-' {
+			continue
+		}
+		return false
+	}
+	return digits
+}
+
+// parseLiteral handles "lex", "lex"@lang and "lex"^^<dt>.
+func (r *Reader) parseLiteral(tok string) (rdf.Term, error) {
+	// Find the closing quote, honoring escapes.
+	j := 1
+	for j < len(tok) {
+		if tok[j] == '\\' {
+			j += 2
+			continue
+		}
+		if tok[j] == '"' {
+			break
+		}
+		j++
+	}
+	if j >= len(tok) {
+		return rdf.Term{}, r.errf("unterminated literal %q", tok)
+	}
+	lex, err := unescape(tok[1:j])
+	if err != nil {
+		return rdf.Term{}, r.errf("bad escape in literal: %v", err)
+	}
+	rest := tok[j+1:]
+	switch {
+	case rest == "":
+		return rdf.NewLiteral(lex), nil
+	case strings.HasPrefix(rest, "@"):
+		return rdf.NewLangLiteral(lex, rest[1:]), nil
+	case strings.HasPrefix(rest, "^^<") && strings.HasSuffix(rest, ">"):
+		return rdf.NewTypedLiteral(lex, rest[3:len(rest)-1]), nil
+	default:
+		return rdf.Term{}, r.errf("malformed literal suffix %q", rest)
+	}
+}
+
+// unescape processes N-Triples string escapes.
+func unescape(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		if i+1 >= len(s) {
+			return "", fmt.Errorf("dangling backslash")
+		}
+		switch s[i+1] {
+		case 't':
+			b.WriteByte('\t')
+			i += 2
+		case 'n':
+			b.WriteByte('\n')
+			i += 2
+		case 'r':
+			b.WriteByte('\r')
+			i += 2
+		case '"':
+			b.WriteByte('"')
+			i += 2
+		case '\\':
+			b.WriteByte('\\')
+			i += 2
+		case 'u', 'U':
+			width := 4
+			if s[i+1] == 'U' {
+				width = 8
+			}
+			if i+2+width > len(s) {
+				return "", fmt.Errorf("truncated \\%c escape", s[i+1])
+			}
+			var r rune
+			for _, h := range s[i+2 : i+2+width] {
+				d, ok := hexVal(byte(h))
+				if !ok {
+					return "", fmt.Errorf("bad hex digit %q", h)
+				}
+				r = r<<4 | rune(d)
+			}
+			if !utf8.ValidRune(r) {
+				return "", fmt.Errorf("invalid code point %U", r)
+			}
+			b.WriteRune(r)
+			i += 2 + width
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", s[i+1])
+		}
+	}
+	return b.String(), nil
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

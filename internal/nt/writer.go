@@ -1,0 +1,47 @@
+package nt
+
+import (
+	"bufio"
+	"io"
+
+	"rdfcube/internal/rdf"
+)
+
+// Writer serializes triples in canonical N-Triples, one statement per line.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter returns a Writer targeting w.
+func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriter(w)} }
+
+// Write serializes one triple.
+func (w *Writer) Write(t rdf.Triple) error {
+	if _, err := w.bw.WriteString(t.String()); err != nil {
+		return err
+	}
+	return w.bw.WriteByte('\n')
+}
+
+// WriteAll serializes a batch of triples.
+func (w *Writer) WriteAll(ts []rdf.Triple) error {
+	for _, t := range ts {
+		if err := w.Write(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output. Call it once after the last Write.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// FormatAll renders triples as an N-Triples document string.
+func FormatAll(ts []rdf.Triple) string {
+	var sb []byte
+	for _, t := range ts {
+		sb = append(sb, t.String()...)
+		sb = append(sb, '\n')
+	}
+	return string(sb)
+}

@@ -1,0 +1,252 @@
+// Package rdf implements the core RDF data model: terms (IRIs, literals,
+// blank nodes), triples, and well-known vocabulary constants.
+//
+// The model follows RDF 1.1 Concepts. Literals carry an optional datatype
+// IRI and are compared by lexical form plus datatype, so "1"^^xsd:integer
+// and "1"^^xsd:string are distinct terms. Terms are immutable value types
+// usable as map keys.
+package rdf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind uint8
+
+// The three RDF term kinds.
+const (
+	KindIRI TermKind = iota + 1
+	KindLiteral
+	KindBlank
+)
+
+// String returns the kind name.
+func (k TermKind) String() string {
+	switch k {
+	case KindIRI:
+		return "IRI"
+	case KindLiteral:
+		return "Literal"
+	case KindBlank:
+		return "BlankNode"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is an RDF term: an IRI, a literal, or a blank node.
+//
+// A Term is a comparable value type; two Terms are equal iff they denote
+// the same RDF term. The zero Term is invalid and reports !IsValid().
+type Term struct {
+	kind TermKind
+	// value holds the IRI string, the literal lexical form, or the blank
+	// node label depending on kind.
+	value string
+	// datatype holds the datatype IRI for literals ("" means xsd:string
+	// per RDF 1.1 simple literals).
+	datatype string
+	// lang holds the language tag for language-tagged literals.
+	lang string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{kind: KindIRI, value: iri} }
+
+// NewBlank returns a blank node term with the given label (without the
+// leading "_:").
+func NewBlank(label string) Term { return Term{kind: KindBlank, value: label} }
+
+// NewLiteral returns a simple (xsd:string) literal.
+func NewLiteral(lexical string) Term {
+	return Term{kind: KindLiteral, value: lexical}
+}
+
+// NewTypedLiteral returns a literal with an explicit datatype IRI.
+func NewTypedLiteral(lexical, datatype string) Term {
+	if datatype == XSDString {
+		datatype = ""
+	}
+	return Term{kind: KindLiteral, value: lexical, datatype: datatype}
+}
+
+// NewLangLiteral returns a language-tagged literal. Language tags are
+// normalized to lower case per RDF 1.1.
+func NewLangLiteral(lexical, lang string) Term {
+	return Term{kind: KindLiteral, value: lexical, lang: strings.ToLower(lang), datatype: RDFLangString}
+}
+
+// NewInt returns an xsd:integer literal.
+func NewInt(v int64) Term {
+	return Term{kind: KindLiteral, value: strconv.FormatInt(v, 10), datatype: XSDInteger}
+}
+
+// NewFloat returns an xsd:double literal.
+func NewFloat(v float64) Term {
+	return Term{kind: KindLiteral, value: strconv.FormatFloat(v, 'g', -1, 64), datatype: XSDDouble}
+}
+
+// NewBool returns an xsd:boolean literal.
+func NewBool(v bool) Term {
+	return Term{kind: KindLiteral, value: strconv.FormatBool(v), datatype: XSDBoolean}
+}
+
+// Kind reports the term kind. The zero Term has kind 0.
+func (t Term) Kind() TermKind { return t.kind }
+
+// IsValid reports whether t is a well-formed term (not the zero value).
+func (t Term) IsValid() bool { return t.kind != 0 }
+
+// IsIRI reports whether t is an IRI.
+func (t Term) IsIRI() bool { return t.kind == KindIRI }
+
+// IsLiteral reports whether t is a literal.
+func (t Term) IsLiteral() bool { return t.kind == KindLiteral }
+
+// IsBlank reports whether t is a blank node.
+func (t Term) IsBlank() bool { return t.kind == KindBlank }
+
+// Value returns the IRI string, literal lexical form, or blank node label.
+func (t Term) Value() string { return t.value }
+
+// Datatype returns the datatype IRI of a literal. Simple literals report
+// xsd:string. Non-literals report "".
+func (t Term) Datatype() string {
+	if t.kind != KindLiteral {
+		return ""
+	}
+	if t.datatype == "" {
+		return XSDString
+	}
+	return t.datatype
+}
+
+// Lang returns the language tag of a language-tagged literal, or "".
+func (t Term) Lang() string { return t.lang }
+
+// AsInt returns the literal value as int64. ok is false if t is not a
+// numeric literal with an integral lexical form.
+func (t Term) AsInt() (v int64, ok bool) {
+	if t.kind != KindLiteral {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(t.value, 10, 64)
+	return v, err == nil
+}
+
+// AsFloat returns the literal value as float64. ok is false if t is not a
+// literal with a numeric lexical form.
+func (t Term) AsFloat() (v float64, ok bool) {
+	if t.kind != KindLiteral {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(t.value, 64)
+	return v, err == nil
+}
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.kind {
+	case KindIRI:
+		return "<" + t.value + ">"
+	case KindBlank:
+		return "_:" + t.value
+	case KindLiteral:
+		q := quoteLiteral(t.value)
+		if t.lang != "" {
+			return q + "@" + t.lang
+		}
+		if t.datatype != "" && t.datatype != RDFLangString {
+			return q + "^^<" + t.datatype + ">"
+		}
+		return q
+	default:
+		return "<invalid>"
+	}
+}
+
+// quoteLiteral escapes a lexical form for N-Triples output.
+func quoteLiteral(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// Compare orders terms: IRIs < literals < blank nodes; within a kind,
+// lexicographic on (value, datatype, lang). It returns -1, 0 or +1.
+func Compare(a, b Term) int {
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(a.value, b.value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.datatype, b.datatype); c != 0 {
+		return c
+	}
+	return strings.Compare(a.lang, b.lang)
+}
+
+// Triple is an RDF triple (statement).
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple returns the triple (s, p, o).
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// String renders the triple in N-Triples syntax, with the trailing dot.
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}
+
+// IsValid reports whether all three positions hold valid terms and the
+// subject/predicate positions satisfy RDF constraints (predicate must be
+// an IRI; subject must not be a literal).
+func (t Triple) IsValid() bool {
+	if !t.S.IsValid() || !t.P.IsValid() || !t.O.IsValid() {
+		return false
+	}
+	if !t.P.IsIRI() {
+		return false
+	}
+	if t.S.IsLiteral() {
+		return false
+	}
+	return true
+}
+
+// CompareTriples orders triples by (S, P, O).
+func CompareTriples(a, b Triple) int {
+	if c := Compare(a.S, b.S); c != 0 {
+		return c
+	}
+	if c := Compare(a.P, b.P); c != 0 {
+		return c
+	}
+	return Compare(a.O, b.O)
+}

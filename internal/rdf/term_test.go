@@ -1,0 +1,219 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermKinds(t *testing.T) {
+	cases := []struct {
+		term    Term
+		kind    TermKind
+		isIRI   bool
+		isLit   bool
+		isBlank bool
+	}{
+		{NewIRI("http://e.org/a"), KindIRI, true, false, false},
+		{NewLiteral("hello"), KindLiteral, false, true, false},
+		{NewTypedLiteral("5", XSDInteger), KindLiteral, false, true, false},
+		{NewLangLiteral("bonjour", "FR"), KindLiteral, false, true, false},
+		{NewBlank("b0"), KindBlank, false, false, true},
+	}
+	for _, c := range cases {
+		if c.term.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.term, c.term.Kind(), c.kind)
+		}
+		if c.term.IsIRI() != c.isIRI || c.term.IsLiteral() != c.isLit || c.term.IsBlank() != c.isBlank {
+			t.Errorf("%v: kind predicates wrong", c.term)
+		}
+		if !c.term.IsValid() {
+			t.Errorf("%v: should be valid", c.term)
+		}
+	}
+	var zero Term
+	if zero.IsValid() {
+		t.Error("zero Term must be invalid")
+	}
+}
+
+func TestLiteralDatatypes(t *testing.T) {
+	if got := NewLiteral("x").Datatype(); got != XSDString {
+		t.Errorf("simple literal datatype = %q, want xsd:string", got)
+	}
+	if got := NewTypedLiteral("x", XSDString).Datatype(); got != XSDString {
+		t.Errorf("explicit xsd:string datatype = %q", got)
+	}
+	// Simple and explicitly-typed xsd:string literals are the same term.
+	if NewLiteral("x") != NewTypedLiteral("x", XSDString) {
+		t.Error("xsd:string literal not normalized")
+	}
+	if got := NewLangLiteral("x", "EN").Lang(); got != "en" {
+		t.Errorf("lang tag not lowercased: %q", got)
+	}
+	if got := NewLangLiteral("x", "en").Datatype(); got != RDFLangString {
+		t.Errorf("lang literal datatype = %q, want rdf:langString", got)
+	}
+}
+
+func TestLiteralIdentity(t *testing.T) {
+	// Same lexical form, different datatype: distinct terms.
+	a := NewTypedLiteral("1", XSDInteger)
+	b := NewTypedLiteral("1", XSDString)
+	if a == b {
+		t.Error(`"1"^^xsd:integer must differ from "1"^^xsd:string`)
+	}
+	// Different language: distinct.
+	if NewLangLiteral("chat", "fr") == NewLangLiteral("chat", "en") {
+		t.Error("language-tagged literals with different tags must differ")
+	}
+}
+
+func TestNumericAccessors(t *testing.T) {
+	if v, ok := NewInt(-42).AsInt(); !ok || v != -42 {
+		t.Errorf("AsInt = %d, %v", v, ok)
+	}
+	if v, ok := NewFloat(2.5).AsFloat(); !ok || v != 2.5 {
+		t.Errorf("AsFloat = %g, %v", v, ok)
+	}
+	if _, ok := NewLiteral("abc").AsInt(); ok {
+		t.Error("AsInt on non-numeric should fail")
+	}
+	if _, ok := NewIRI("http://e.org").AsFloat(); ok {
+		t.Error("AsFloat on IRI should fail")
+	}
+	// Integers parse as floats too.
+	if v, ok := NewInt(7).AsFloat(); !ok || v != 7 {
+		t.Errorf("AsFloat on integer literal = %g, %v", v, ok)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://e.org/a"), "<http://e.org/a>"},
+		{NewBlank("b1"), "_:b1"},
+		{NewLiteral("hi"), `"hi"`},
+		{NewLiteral(`say "hi"` + "\n"), `"say \"hi\"\n"`},
+		{NewTypedLiteral("5", XSDInteger), `"5"^^<` + XSDInteger + `>`},
+		{NewLangLiteral("hi", "en"), `"hi"@en`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	ordered := []Term{
+		NewIRI("http://a.org"),
+		NewIRI("http://b.org"),
+		NewLiteral("a"),
+		NewTypedLiteral("a", XSDInteger),
+		NewBlank("x"),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b string, k1, k2 uint8) bool {
+		mk := func(s string, k uint8) Term {
+			switch k % 3 {
+			case 0:
+				return NewIRI(s)
+			case 1:
+				return NewLiteral(s)
+			default:
+				return NewBlank(s)
+			}
+		}
+		x, y := mk(a, k1), mk(b, k2)
+		return Compare(x, y) == -Compare(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTripleValidity(t *testing.T) {
+	s := NewIRI("http://e.org/s")
+	p := NewIRI("http://e.org/p")
+	o := NewLiteral("v")
+	if !NewTriple(s, p, o).IsValid() {
+		t.Error("well-formed triple reported invalid")
+	}
+	if NewTriple(o, p, s).IsValid() {
+		t.Error("literal subject must be invalid")
+	}
+	if NewTriple(s, o, s).IsValid() {
+		t.Error("literal predicate must be invalid")
+	}
+	if NewTriple(s, NewBlank("b"), o).IsValid() {
+		t.Error("blank predicate must be invalid")
+	}
+	if (Triple{S: s, P: p}).IsValid() {
+		t.Error("zero object must be invalid")
+	}
+	// Blank subject is fine.
+	if !NewTriple(NewBlank("b"), p, o).IsValid() {
+		t.Error("blank subject must be valid")
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := NewTriple(NewIRI("http://e/s"), NewIRI("http://e/p"), NewInt(3))
+	want := `<http://e/s> <http://e/p> "3"^^<` + XSDInteger + `> .`
+	if tr.String() != want {
+		t.Errorf("Triple.String() = %q, want %q", tr.String(), want)
+	}
+}
+
+func TestCompareTriples(t *testing.T) {
+	a := NewTriple(NewIRI("http://e/a"), NewIRI("http://e/p"), NewInt(1))
+	b := NewTriple(NewIRI("http://e/b"), NewIRI("http://e/p"), NewInt(1))
+	c := NewTriple(NewIRI("http://e/a"), NewIRI("http://e/q"), NewInt(1))
+	if CompareTriples(a, b) >= 0 || CompareTriples(b, a) <= 0 {
+		t.Error("subject ordering wrong")
+	}
+	if CompareTriples(a, c) >= 0 {
+		t.Error("predicate ordering wrong")
+	}
+	if CompareTriples(a, a) != 0 {
+		t.Error("equal triples must compare 0")
+	}
+}
+
+func TestQuoteLiteralEscapes(t *testing.T) {
+	term := NewLiteral("tab\there\r\nslash\\")
+	s := term.String()
+	for _, want := range []string{`\t`, `\r`, `\n`, `\\`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("escaped form %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if KindIRI.String() != "IRI" || KindLiteral.String() != "Literal" || KindBlank.String() != "BlankNode" {
+		t.Error("TermKind names wrong")
+	}
+	if !strings.Contains(TermKind(99).String(), "99") {
+		t.Error("unknown kind should include its number")
+	}
+}

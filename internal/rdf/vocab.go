@@ -1,0 +1,43 @@
+package rdf
+
+// Well-known vocabulary IRIs used throughout the library.
+const (
+	// RDF vocabulary.
+	RDFNS         = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFType       = RDFNS + "type"
+	RDFProperty   = RDFNS + "Property"
+	RDFLangString = RDFNS + "langString"
+
+	// RDFS vocabulary.
+	RDFSNS            = "http://www.w3.org/2000/01/rdf-schema#"
+	RDFSClass         = RDFSNS + "Class"
+	RDFSSubClassOf    = RDFSNS + "subClassOf"
+	RDFSSubPropertyOf = RDFSNS + "subPropertyOf"
+	RDFSDomain        = RDFSNS + "domain"
+	RDFSRange         = RDFSNS + "range"
+	RDFSLabel         = RDFSNS + "label"
+
+	// XSD datatypes.
+	XSDNS       = "http://www.w3.org/2001/XMLSchema#"
+	XSDString   = XSDNS + "string"
+	XSDInteger  = XSDNS + "integer"
+	XSDDecimal  = XSDNS + "decimal"
+	XSDDouble   = XSDNS + "double"
+	XSDBoolean  = XSDNS + "boolean"
+	XSDDateTime = XSDNS + "dateTime"
+)
+
+// Type is the rdf:type IRI term, predeclared for convenience.
+var Type = NewIRI(RDFType)
+
+// SubClassOf is the rdfs:subClassOf IRI term.
+var SubClassOf = NewIRI(RDFSSubClassOf)
+
+// SubPropertyOf is the rdfs:subPropertyOf IRI term.
+var SubPropertyOf = NewIRI(RDFSSubPropertyOf)
+
+// Domain is the rdfs:domain IRI term.
+var Domain = NewIRI(RDFSDomain)
+
+// Range is the rdfs:range IRI term.
+var Range = NewIRI(RDFSRange)

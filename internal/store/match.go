@@ -1,0 +1,161 @@
+package store
+
+import "rdfcube/internal/dict"
+
+// Wild is the wildcard ID in a pattern: it matches any term. It equals
+// dict.NoID, so an unbound pattern position is simply the zero value.
+const Wild = dict.NoID
+
+// Pattern is a triple pattern over IDs; Wild positions are unconstrained.
+type Pattern struct {
+	S, P, O dict.ID
+}
+
+// ForEach calls fn for every triple matching pat, stopping early if fn
+// returns false. Iteration order is unspecified.
+//
+// The lookup strategy picks the index whose prefix covers the bound
+// positions:
+//
+//	S P O  -> spo point lookup        S - -  -> spo[s] walk
+//	S P -  -> spo[s][p] walk          - P O  -> pos[p][o] walk
+//	S - O  -> osp[o][s] walk          - P -  -> pos[p] walk
+//	- - O  -> osp[o] walk             - - -  -> full spo walk
+func (st *Store) ForEach(pat Pattern, fn func(t IDTriple) bool) {
+	sB, pB, oB := pat.S != Wild, pat.P != Wild, pat.O != Wild
+	switch {
+	case sB && pB && oB:
+		if st.ContainsID(IDTriple{pat.S, pat.P, pat.O}) {
+			fn(IDTriple{pat.S, pat.P, pat.O})
+		}
+	case sB && pB:
+		for o := range st.spo[pat.S][pat.P] {
+			if !fn(IDTriple{pat.S, pat.P, o}) {
+				return
+			}
+		}
+	case pB && oB:
+		for s := range st.pos[pat.P][pat.O] {
+			if !fn(IDTriple{s, pat.P, pat.O}) {
+				return
+			}
+		}
+	case sB && oB:
+		for p := range st.osp[pat.O][pat.S] {
+			if !fn(IDTriple{pat.S, p, pat.O}) {
+				return
+			}
+		}
+	case sB:
+		for p, leaf := range st.spo[pat.S] {
+			for o := range leaf {
+				if !fn(IDTriple{pat.S, p, o}) {
+					return
+				}
+			}
+		}
+	case pB:
+		for o, leaf := range st.pos[pat.P] {
+			for s := range leaf {
+				if !fn(IDTriple{s, pat.P, o}) {
+					return
+				}
+			}
+		}
+	case oB:
+		for s, leaf := range st.osp[pat.O] {
+			for p := range leaf {
+				if !fn(IDTriple{s, p, pat.O}) {
+					return
+				}
+			}
+		}
+	default:
+		for s, m2 := range st.spo {
+			for p, leaf := range m2 {
+				for o := range leaf {
+					if !fn(IDTriple{s, p, o}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Match returns all triples matching pat. Prefer ForEach when the caller
+// can consume triples incrementally.
+func (st *Store) Match(pat Pattern) []IDTriple {
+	var out []IDTriple
+	st.ForEach(pat, func(t IDTriple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of triples matching pat without materializing
+// them. Fully-bound and prefix-bound shapes are O(1) or proportional to
+// the first free dimension only.
+func (st *Store) Count(pat Pattern) int {
+	sB, pB, oB := pat.S != Wild, pat.P != Wild, pat.O != Wild
+	switch {
+	case sB && pB && oB:
+		if st.ContainsID(IDTriple{pat.S, pat.P, pat.O}) {
+			return 1
+		}
+		return 0
+	case sB && pB:
+		return len(st.spo[pat.S][pat.P])
+	case pB && oB:
+		return len(st.pos[pat.P][pat.O])
+	case sB && oB:
+		return len(st.osp[pat.O][pat.S])
+	case sB:
+		n := 0
+		for _, leaf := range st.spo[pat.S] {
+			n += len(leaf)
+		}
+		return n
+	case pB:
+		return st.predCount[pat.P]
+	case oB:
+		n := 0
+		for _, leaf := range st.osp[pat.O] {
+			n += len(leaf)
+		}
+		return n
+	default:
+		return st.size
+	}
+}
+
+// Subjects returns the distinct subject IDs of triples with predicate p
+// and object o (either may be Wild).
+func (st *Store) Subjects(p, o dict.ID) []dict.ID {
+	seen := make(map[dict.ID]struct{})
+	st.ForEach(Pattern{P: p, O: o}, func(t IDTriple) bool {
+		seen[t.S] = struct{}{}
+		return true
+	})
+	out := make([]dict.ID, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Objects returns the distinct object IDs of triples with subject s and
+// predicate p (either may be Wild).
+func (st *Store) Objects(s, p dict.ID) []dict.ID {
+	seen := make(map[dict.ID]struct{})
+	st.ForEach(Pattern{S: s, P: p}, func(t IDTriple) bool {
+		seen[t.O] = struct{}{}
+		return true
+	})
+	out := make([]dict.ID, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	return out
+}

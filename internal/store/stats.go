@@ -1,0 +1,72 @@
+package store
+
+import "rdfcube/internal/dict"
+
+// Stats exposes cardinality statistics for query optimization.
+type Stats struct {
+	// Triples is the total triple count.
+	Triples int
+	// Predicates is the number of distinct predicates.
+	Predicates int
+}
+
+// Stats returns store-level statistics.
+func (st *Store) Stats() Stats {
+	return Stats{Triples: st.size, Predicates: len(st.predCount)}
+}
+
+// PredicateCount returns the number of triples with predicate p.
+func (st *Store) PredicateCount(p dict.ID) int { return st.predCount[p] }
+
+// DistinctSubjects returns the number of distinct subjects of predicate p.
+// It walks pos[p] and so costs O(objects-of-p); callers should cache it.
+func (st *Store) DistinctSubjects(p dict.ID) int {
+	seen := make(map[dict.ID]struct{})
+	for _, leaf := range st.pos[p] {
+		for s := range leaf {
+			seen[s] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// DistinctObjects returns the number of distinct objects of predicate p.
+func (st *Store) DistinctObjects(p dict.ID) int { return len(st.pos[p]) }
+
+// EstimateCardinality estimates the number of triples matching pat using
+// the maintained statistics. It never underestimates the fully-wild and
+// predicate-bound shapes (exact counts) and uses uniformity assumptions
+// for the rest. Used by the BGP optimizer to order joins.
+func (st *Store) EstimateCardinality(pat Pattern) float64 {
+	sB, pB, oB := pat.S != Wild, pat.P != Wild, pat.O != Wild
+	n := float64(st.size)
+	if n == 0 {
+		return 0
+	}
+	switch {
+	case sB && pB && oB:
+		return 1
+	case sB && pB:
+		return float64(len(st.spo[pat.S][pat.P])) // exact, cheap
+	case pB && oB:
+		return float64(len(st.pos[pat.P][pat.O])) // exact, cheap
+	case sB && oB:
+		return float64(len(st.osp[pat.O][pat.S])) // exact, cheap
+	case sB:
+		// Average triples per subject.
+		return n / float64(maxInt(len(st.spo), 1))
+	case pB:
+		return float64(st.predCount[pat.P]) // exact
+	case oB:
+		return n / float64(maxInt(len(st.osp), 1))
+	default:
+		return n
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

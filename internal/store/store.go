@@ -1,0 +1,175 @@
+// Package store implements an in-memory, dictionary-encoded RDF triple
+// store with SPO, POS and OSP indexes.
+//
+// The store answers the eight triple-pattern shapes (each of S, P, O
+// either bound or free) by picking the index whose prefix covers the
+// bound positions, so every lookup is a hash-map walk rather than a scan.
+// Cardinality statistics (per-predicate counts, distinct subjects/objects
+// per predicate) feed the BGP evaluator's join ordering.
+//
+// The store is safe for concurrent readers; writes must not be concurrent
+// with reads or other writes (the usual load-then-query lifecycle of an
+// analytical system).
+package store
+
+import (
+	"rdfcube/internal/dict"
+	"rdfcube/internal/rdf"
+)
+
+// IDTriple is a dictionary-encoded triple.
+type IDTriple struct {
+	S, P, O dict.ID
+}
+
+// Store is an indexed triple store over a term dictionary.
+type Store struct {
+	dict *dict.Dictionary
+
+	// Three nested-map indexes. The leaf set is map[dict.ID]struct{}.
+	spo map[dict.ID]map[dict.ID]idSet
+	pos map[dict.ID]map[dict.ID]idSet
+	osp map[dict.ID]map[dict.ID]idSet
+
+	size int
+
+	// Per-predicate statistics, maintained incrementally.
+	predCount map[dict.ID]int
+}
+
+type idSet map[dict.ID]struct{}
+
+// New returns an empty store over a fresh dictionary.
+func New() *Store { return NewWithDict(dict.New()) }
+
+// NewWithDict returns an empty store sharing the given dictionary.
+// Sharing lets several graphs (base data, AnS instance, materialized
+// cubes) use one ID space so results join without re-encoding.
+func NewWithDict(d *dict.Dictionary) *Store {
+	return &Store{
+		dict:      d,
+		spo:       make(map[dict.ID]map[dict.ID]idSet),
+		pos:       make(map[dict.ID]map[dict.ID]idSet),
+		osp:       make(map[dict.ID]map[dict.ID]idSet),
+		predCount: make(map[dict.ID]int),
+	}
+}
+
+// Dict returns the store's term dictionary.
+func (st *Store) Dict() *dict.Dictionary { return st.dict }
+
+// Len reports the number of distinct triples.
+func (st *Store) Len() int { return st.size }
+
+// Add inserts the term triple tr, interning its terms. It reports whether
+// the triple was new.
+func (st *Store) Add(tr rdf.Triple) bool {
+	s, p, o := st.dict.EncodeTriple(tr)
+	return st.AddID(IDTriple{s, p, o})
+}
+
+// AddID inserts an already-encoded triple. It reports whether the triple
+// was new.
+func (st *Store) AddID(t IDTriple) bool {
+	if !insert3(st.spo, t.S, t.P, t.O) {
+		return false
+	}
+	insert3(st.pos, t.P, t.O, t.S)
+	insert3(st.osp, t.O, t.S, t.P)
+	st.size++
+	st.predCount[t.P]++
+	return true
+}
+
+// Remove deletes the term triple tr. It reports whether the triple was
+// present.
+func (st *Store) Remove(tr rdf.Triple) bool {
+	s, ok1 := st.dict.Lookup(tr.S)
+	p, ok2 := st.dict.Lookup(tr.P)
+	o, ok3 := st.dict.Lookup(tr.O)
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	return st.RemoveID(IDTriple{s, p, o})
+}
+
+// RemoveID deletes an encoded triple. It reports whether the triple was
+// present.
+func (st *Store) RemoveID(t IDTriple) bool {
+	if !remove3(st.spo, t.S, t.P, t.O) {
+		return false
+	}
+	remove3(st.pos, t.P, t.O, t.S)
+	remove3(st.osp, t.O, t.S, t.P)
+	st.size--
+	st.predCount[t.P]--
+	if st.predCount[t.P] == 0 {
+		delete(st.predCount, t.P)
+	}
+	return true
+}
+
+// Contains reports whether the term triple tr is in the store.
+func (st *Store) Contains(tr rdf.Triple) bool {
+	s, ok1 := st.dict.Lookup(tr.S)
+	p, ok2 := st.dict.Lookup(tr.P)
+	o, ok3 := st.dict.Lookup(tr.O)
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	return st.ContainsID(IDTriple{s, p, o})
+}
+
+// ContainsID reports whether the encoded triple is in the store.
+func (st *Store) ContainsID(t IDTriple) bool {
+	m2, ok := st.spo[t.S]
+	if !ok {
+		return false
+	}
+	leaf, ok := m2[t.P]
+	if !ok {
+		return false
+	}
+	_, ok = leaf[t.O]
+	return ok
+}
+
+func insert3(idx map[dict.ID]map[dict.ID]idSet, a, b, c dict.ID) bool {
+	m2, ok := idx[a]
+	if !ok {
+		m2 = make(map[dict.ID]idSet)
+		idx[a] = m2
+	}
+	leaf, ok := m2[b]
+	if !ok {
+		leaf = make(idSet)
+		m2[b] = leaf
+	}
+	if _, dup := leaf[c]; dup {
+		return false
+	}
+	leaf[c] = struct{}{}
+	return true
+}
+
+func remove3(idx map[dict.ID]map[dict.ID]idSet, a, b, c dict.ID) bool {
+	m2, ok := idx[a]
+	if !ok {
+		return false
+	}
+	leaf, ok := m2[b]
+	if !ok {
+		return false
+	}
+	if _, present := leaf[c]; !present {
+		return false
+	}
+	delete(leaf, c)
+	if len(leaf) == 0 {
+		delete(m2, b)
+		if len(m2) == 0 {
+			delete(idx, a)
+		}
+	}
+	return true
+}
