@@ -84,6 +84,25 @@ func BenchmarkSliceDirect(b *testing.B) {
 	}
 }
 
+// BenchmarkSliceDirectMapIndex is BenchmarkSliceDirect forced onto the
+// mutable nested-map indexes (Thaw), quantifying the frozen sorted-array
+// layout's win on the same workload.
+func BenchmarkSliceDirectMapIndex(b *testing.B) {
+	wl := bloggerWorkload(b)
+	sliced, err := core.Slice(wl.Query, "d0", datagen.DimValue(0, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl.Inst.Thaw()
+	defer wl.Inst.Freeze()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.Ev.Answer(sliced); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSliceRewrite(b *testing.B) {
 	wl := bloggerWorkload(b)
 	sliced, err := core.Slice(wl.Query, "d0", datagen.DimValue(0, 10))
@@ -118,6 +137,21 @@ func dicedQuery(b *testing.B, wl *benchmark.Workload) *core.Query {
 func BenchmarkDiceDirect(b *testing.B) {
 	wl := bloggerWorkload(b)
 	diced := dicedQuery(b, wl)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wl.Ev.Answer(diced); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiceDirectMapIndex is BenchmarkDiceDirect on the map indexes;
+// see BenchmarkSliceDirectMapIndex.
+func BenchmarkDiceDirectMapIndex(b *testing.B) {
+	wl := bloggerWorkload(b)
+	diced := dicedQuery(b, wl)
+	wl.Inst.Thaw()
+	defer wl.Inst.Freeze()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := wl.Ev.Answer(diced); err != nil {

@@ -5,9 +5,12 @@
 //
 // Usage:
 //
-//	benchrunner [-experiment all|e1|e2|e3|e4|e5|e6|e7|e8] [-scale N]
+//	benchrunner [-experiment all|e1|e2|e3|e4|e5|e6|e7|e8] [-scale N] [-json FILE]
 //
 // -scale multiplies the default dataset sizes (1 ≈ seconds, 10 ≈ minutes).
+// -json additionally writes the measured rows as a machine-readable
+// report (conventionally BENCH_<experiment>.json) so successive PRs can
+// track the performance trajectory.
 package main
 
 import (
@@ -21,43 +24,47 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "experiment to run: all, e1..e8")
 	scale := flag.Int("scale", 1, "dataset size multiplier")
+	jsonPath := flag.String("json", "", "write a machine-readable report to this file (e.g. BENCH_all.json)")
 	flag.Parse()
 
-	w := os.Stdout
-	var err error
-	switch *experiment {
-	case "all":
-		err = benchmark.RunAll(w, *scale)
-	case "e1":
-		_, err = benchmark.RunE1Slice(w, scaled(benchmark.SliceSizes, *scale))
-	case "e2":
-		_, err = benchmark.RunE2Dice(w, 10000**scale, benchmark.Selectivities)
-	case "e3":
-		_, err = benchmark.RunE3DrillOut(w, 5000**scale, benchmark.DimSweep)
-	case "e4":
-		_, err = benchmark.RunE4DrillIn(w, scaled(benchmark.SliceSizes, *scale))
-	case "e5":
-		_, err = benchmark.RunE5Summary(w, 10000**scale)
-	case "e6":
-		_, err = benchmark.RunE6NaiveError(w, 5000**scale, benchmark.MultiValueSweep)
-	case "e7":
-		_, err = benchmark.RunE7Materialize(w, scaled(benchmark.SliceSizes, *scale))
-	case "e8":
-		_, err = benchmark.RunE8Aggregations(w, 5000**scale, benchmark.AggNames)
+	var selected []string
+	switch {
+	case *experiment == "all":
+		selected = benchmark.ExperimentOrder
+	case benchmark.Experiments[*experiment] != nil:
+		selected = []string{*experiment}
 	default:
 		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
-		os.Exit(1)
-	}
-}
 
-func scaled(sizes []int, scale int) []int {
-	out := make([]int, len(sizes))
-	for i, s := range sizes {
-		out[i] = s * scale
+	w := os.Stdout
+	s := benchmark.ClampScale(*scale)
+	report := benchmark.NewReport(s)
+	for _, name := range selected {
+		rows, err := benchmark.Experiments[name](w, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		report.Add(name, rows)
 	}
-	return out
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", *jsonPath)
+	}
 }

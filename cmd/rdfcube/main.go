@@ -69,6 +69,8 @@ func main() {
 	if *saturate {
 		fmt.Fprintf(os.Stderr, "saturation added %d triples\n", rdfcube.Saturate(g))
 	}
+	// Loading is done: compact onto the read-optimized sorted indexes.
+	g.Freeze()
 
 	c, err := rdfcube.ParseQuery(*classifier, prefixes)
 	if err != nil {

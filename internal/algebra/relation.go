@@ -13,10 +13,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 
 	"rdfcube/internal/agg"
 	"rdfcube/internal/dict"
+	"rdfcube/internal/hash64"
 )
 
 // ValueKind discriminates cell types.
@@ -155,59 +155,90 @@ func (r *Relation) Project(cols ...string) *Relation {
 // out a multi-valued dimension.
 func (r *Relation) Dedup() *Relation {
 	out := &Relation{Cols: append([]string(nil), r.Cols...)}
-	seen := make(map[string]struct{}, len(r.Rows))
+	out.Rows = make([]Row, 0, len(r.Rows))
+	buckets := make(map[uint64][]int, len(r.Rows))
 	for _, row := range r.Rows {
-		k := rowKey(row)
-		if _, dup := seen[k]; dup {
+		h := hashRow(row)
+		dup := false
+		for _, idx := range buckets[h] {
+			if rowsEqualBits(out.Rows[idx], row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		buckets[h] = append(buckets[h], len(out.Rows))
 		out.Rows = append(out.Rows, row)
 	}
 	return out
 }
 
-// rowKey encodes a row as a map key.
-func rowKey(row Row) string {
-	var b strings.Builder
-	b.Grow(len(row) * 10)
+// Hashing: rows and column subsets are keyed by a word-wise FNV-1a hash
+// of (kind, payload-bits) pairs instead of allocated string keys. Every
+// hash lookup verifies candidates with rowsEqualBits/colsEqualBits, so
+// collisions cost a comparison, never correctness. NumValue cells
+// compare by bit pattern, preserving the previous string-key semantics
+// (NaN equals NaN, -0 differs from +0).
+
+func valueBits(v Value) uint64 {
+	switch v.Kind {
+	case TermValue:
+		return uint64(v.ID)
+	case NumValue:
+		return math.Float64bits(v.Num)
+	default:
+		return v.Key
+	}
+}
+
+func mixValue(h uint64, v Value) uint64 {
+	return hash64.Mix(hash64.Mix(h, uint64(v.Kind)), valueBits(v))
+}
+
+// hashRow hashes every cell of the row.
+func hashRow(row Row) uint64 {
+	h := uint64(hash64.Offset)
 	for _, v := range row {
-		b.WriteByte(byte(v.Kind))
-		switch v.Kind {
-		case TermValue:
-			writeU64(&b, uint64(v.ID))
-		case NumValue:
-			writeU64(&b, math.Float64bits(v.Num))
-		case KeyValue:
-			writeU64(&b, v.Key)
-		}
+		h = mixValue(h, v)
 	}
-	return b.String()
+	return h
 }
 
-func writeU64(b *strings.Builder, u uint64) {
-	for s := 0; s < 64; s += 8 {
-		b.WriteByte(byte(u >> s))
-	}
-}
-
-// keyFor builds a grouping key over the given column indexes.
-func keyFor(row Row, idx []int) string {
-	var b strings.Builder
-	b.Grow(len(idx) * 10)
+// hashCols hashes the cells at the given column indexes.
+func hashCols(row Row, idx []int) uint64 {
+	h := uint64(hash64.Offset)
 	for _, c := range idx {
-		v := row[c]
-		b.WriteByte(byte(v.Kind))
-		switch v.Kind {
-		case TermValue:
-			writeU64(&b, uint64(v.ID))
-		case NumValue:
-			writeU64(&b, math.Float64bits(v.Num))
-		case KeyValue:
-			writeU64(&b, v.Key)
+		h = mixValue(h, row[c])
+	}
+	return h
+}
+
+func valueEqualBits(a, b Value) bool {
+	return a.Kind == b.Kind && valueBits(a) == valueBits(b)
+}
+
+func rowsEqualBits(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !valueEqualBits(a[i], b[i]) {
+			return false
 		}
 	}
-	return b.String()
+	return true
+}
+
+// colsEqualBits compares a[aIdx[i]] to b[bIdx[i]] for all i.
+func colsEqualBits(a Row, aIdx []int, b Row, bIdx []int) bool {
+	for i := range aIdx {
+		if !valueEqualBits(a[aIdx[i]], b[bIdx[i]]) {
+			return false
+		}
+	}
+	return true
 }
 
 // NumericResolver supplies the numeric interpretation of a term ID, used
@@ -234,19 +265,29 @@ func (r *Relation) GroupAggregate(groupCols []string, valueCol, aggCol string, f
 		repr Row
 		acc  agg.Accumulator
 	}
-	groups := make(map[string]*group)
-	var order []string
+	reprIdx := make([]int, len(gIdx))
+	for i := range reprIdx {
+		reprIdx[i] = i
+	}
+	buckets := make(map[uint64][]*group)
+	var order []*group
 	for _, row := range r.Rows {
-		k := keyFor(row, gIdx)
-		g, ok := groups[k]
-		if !ok {
+		h := hashCols(row, gIdx)
+		var g *group
+		for _, cand := range buckets[h] {
+			if colsEqualBits(cand.repr, reprIdx, row, gIdx) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
 			repr := make(Row, len(gIdx))
 			for i, c := range gIdx {
 				repr[i] = row[c]
 			}
 			g = &group{repr: repr, acc: f.New()}
-			groups[k] = g
-			order = append(order, k)
+			buckets[h] = append(buckets[h], g)
+			order = append(order, g)
 		}
 		v := row[vIdx]
 		switch v.Kind {
@@ -264,13 +305,13 @@ func (r *Relation) GroupAggregate(groupCols []string, valueCol, aggCol string, f
 		}
 	}
 	out := NewRelation(append(append([]string(nil), groupCols...), aggCol)...)
-	for _, k := range order {
-		g := groups[k]
+	out.Rows = make([]Row, 0, len(order))
+	for _, g := range order {
 		v, ok := g.acc.Result()
 		if !ok {
 			continue
 		}
-		out.Rows = append(out.Rows, append(append(Row(nil), g.repr...), NumV(v)))
+		out.Rows = append(out.Rows, append(append(make(Row, 0, len(g.repr)+1), g.repr...), NumV(v)))
 	}
 	return out
 }
@@ -318,16 +359,21 @@ func (r *Relation) Join(other *Relation, leftCols, rightCols []string) (*Relatio
 		outCols = append(outCols, c)
 		keepRight = append(keepRight, j)
 	}
-	// Build on the smaller side? Keep it simple: build on right.
-	build := make(map[string][]Row, len(other.Rows))
+	// Build on the right side, bucketed by join-column hash; probes
+	// verify the actual join columns, so hash collisions only cost a
+	// comparison.
+	build := make(map[uint64][]Row, len(other.Rows))
 	for _, row := range other.Rows {
-		k := keyFor(row, rIdx)
-		build[k] = append(build[k], row)
+		h := hashCols(row, rIdx)
+		build[h] = append(build[h], row)
 	}
 	out := &Relation{Cols: outCols}
 	for _, lrow := range r.Rows {
-		k := keyFor(lrow, lIdx)
-		for _, rrow := range build[k] {
+		h := hashCols(lrow, lIdx)
+		for _, rrow := range build[h] {
+			if !colsEqualBits(lrow, lIdx, rrow, rIdx) {
+				continue
+			}
 			nr := make(Row, 0, len(outCols))
 			nr = append(nr, lrow...)
 			for _, j := range keepRight {
@@ -414,16 +460,29 @@ func Equal(a, b *Relation) bool {
 			return false
 		}
 	}
-	counts := make(map[string]int, len(a.Rows))
+	// Multiset comparison: bucket a's rows by hash, then tick off each
+	// of b's rows against a verified match (swap-delete). Row counts are
+	// equal, so full drainage follows from every b row matching.
+	buckets := make(map[uint64][]Row, len(a.Rows))
 	for _, row := range a.Rows {
-		counts[rowKey(row)]++
+		h := hashRow(row)
+		buckets[h] = append(buckets[h], row)
 	}
 	for _, row := range b.Rows {
-		k := rowKey(row)
-		counts[k]--
-		if counts[k] < 0 {
+		h := hashRow(row)
+		cands := buckets[h]
+		found := -1
+		for i, cand := range cands {
+			if rowsEqualBits(cand, row) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
 			return false
 		}
+		cands[found] = cands[len(cands)-1]
+		buckets[h] = cands[:len(cands)-1]
 	}
 	return true
 }

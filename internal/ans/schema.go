@@ -134,7 +134,12 @@ func (s *Schema) Validate() error {
 }
 
 // Materialize evaluates every node and edge query on base and returns
-// the AnS instance as a new store sharing base's dictionary.
+// the AnS instance as a new store sharing base's dictionary. The
+// returned instance is frozen onto the read-optimized sorted indexes
+// (later writes transparently invalidate); base is only read. Callers
+// that own base and have finished loading it should base.Freeze()
+// beforehand — the node/edge query evaluation is much faster on the
+// frozen layout.
 func (s *Schema) Materialize(base *store.Store) (*store.Store, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -162,6 +167,7 @@ func (s *Schema) Materialize(base *store.Store) (*store.Store, error) {
 			inst.AddID(store.IDTriple{S: row[0], P: propID, O: row[1]})
 		}
 	}
+	inst.Freeze()
 	return inst, nil
 }
 

@@ -541,41 +541,49 @@ func cubesEqualApprox(a, b *algebra.Relation) bool {
 	return true
 }
 
+// ExperimentOrder lists the experiment names in presentation order.
+var ExperimentOrder = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"}
+
+// Experiments maps each experiment name to a runner applying the
+// default parameters at the given scale multiplier — the single place
+// the e1-e8 sweep parameters are wired, shared by RunAll and
+// cmd/benchrunner.
+var Experiments = map[string]func(w io.Writer, scale int) ([]Row, error){
+	"e1": func(w io.Writer, s int) ([]Row, error) { return RunE1Slice(w, scaledSizes(s)) },
+	"e2": func(w io.Writer, s int) ([]Row, error) { return RunE2Dice(w, 10000*s, Selectivities) },
+	"e3": func(w io.Writer, s int) ([]Row, error) { return RunE3DrillOut(w, 5000*s, DimSweep) },
+	"e4": func(w io.Writer, s int) ([]Row, error) { return RunE4DrillIn(w, scaledSizes(s)) },
+	"e5": func(w io.Writer, s int) ([]Row, error) { return RunE5Summary(w, 10000*s) },
+	"e6": func(w io.Writer, s int) ([]Row, error) { return RunE6NaiveError(w, 5000*s, MultiValueSweep) },
+	"e7": func(w io.Writer, s int) ([]Row, error) { return RunE7Materialize(w, scaledSizes(s)) },
+	"e8": func(w io.Writer, s int) ([]Row, error) { return RunE8Aggregations(w, 5000*s, AggNames) },
+}
+
+func scaledSizes(scale int) []int {
+	out := make([]int, len(SliceSizes))
+	for i, s := range SliceSizes {
+		out[i] = s * scale
+	}
+	return out
+}
+
+// ClampScale normalizes a scale multiplier (anything below 1 means 1).
+func ClampScale(scale int) int {
+	if scale < 1 {
+		return 1
+	}
+	return scale
+}
+
 // RunAll executes every experiment with default parameters, writing the
 // tables to w. scale tunes the base sizes (1 = quick, larger = closer to
 // the tech report's scales).
 func RunAll(w io.Writer, scale int) error {
-	if scale < 1 {
-		scale = 1
-	}
-	sizes := make([]int, len(SliceSizes))
-	for i, s := range SliceSizes {
-		sizes[i] = s * scale
-	}
-	mid := 10000 * scale
-	if _, err := RunE1Slice(w, sizes); err != nil {
-		return fmt.Errorf("E1: %w", err)
-	}
-	if _, err := RunE2Dice(w, mid, Selectivities); err != nil {
-		return fmt.Errorf("E2: %w", err)
-	}
-	if _, err := RunE3DrillOut(w, mid/2, DimSweep); err != nil {
-		return fmt.Errorf("E3: %w", err)
-	}
-	if _, err := RunE4DrillIn(w, sizes); err != nil {
-		return fmt.Errorf("E4: %w", err)
-	}
-	if _, err := RunE5Summary(w, mid); err != nil {
-		return fmt.Errorf("E5: %w", err)
-	}
-	if _, err := RunE6NaiveError(w, mid/2, MultiValueSweep); err != nil {
-		return fmt.Errorf("E6: %w", err)
-	}
-	if _, err := RunE7Materialize(w, sizes); err != nil {
-		return fmt.Errorf("E7: %w", err)
-	}
-	if _, err := RunE8Aggregations(w, mid/2, AggNames); err != nil {
-		return fmt.Errorf("E8: %w", err)
+	scale = ClampScale(scale)
+	for _, name := range ExperimentOrder {
+		if _, err := Experiments[name](w, scale); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
 	}
 	return nil
 }

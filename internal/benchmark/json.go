@@ -1,0 +1,62 @@
+package benchmark
+
+// Machine-readable experiment output. cmd/benchrunner writes one
+// BENCH_*.json report per invocation so successive PRs can diff the
+// performance trajectory instead of eyeballing tables.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONRow is the machine-readable form of a Row.
+type JSONRow struct {
+	Label     string  `json:"label"`
+	Triples   int     `json:"triples"`
+	DirectNs  int64   `json:"direct_ns"`
+	RewriteNs int64   `json:"rewrite_ns"`
+	Speedup   float64 `json:"speedup"`
+	Cells     int     `json:"cells"`
+	Match     bool    `json:"match"`
+	Extra     string  `json:"extra,omitempty"`
+}
+
+// Report aggregates experiment results for one benchrunner invocation.
+type Report struct {
+	Scale       int                  `json:"scale"`
+	Experiments map[string][]JSONRow `json:"experiments"`
+}
+
+// NewReport returns an empty report for the given scale factor.
+func NewReport(scale int) *Report {
+	return &Report{Scale: scale, Experiments: map[string][]JSONRow{}}
+}
+
+// Add records an experiment's measured rows under its name ("e1"..."e8").
+func (r *Report) Add(name string, rows []Row) {
+	out := make([]JSONRow, len(rows))
+	for i, row := range rows {
+		speedup := 0.0
+		if row.Rewrite > 0 {
+			speedup = float64(row.Direct) / float64(row.Rewrite)
+		}
+		out[i] = JSONRow{
+			Label:     row.Label,
+			Triples:   row.Triples,
+			DirectNs:  row.Direct.Nanoseconds(),
+			RewriteNs: row.Rewrite.Nanoseconds(),
+			Speedup:   speedup,
+			Cells:     row.Cells,
+			Match:     row.Match,
+			Extra:     row.Extra,
+		}
+	}
+	r.Experiments[name] = out
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

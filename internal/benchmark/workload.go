@@ -47,6 +47,7 @@ func BuildBlogger(cfg datagen.BloggerConfig, aggName string) (*Workload, error) 
 		return nil, err
 	}
 	rdfs.Saturate(base)
+	base.Freeze() // loading done; materialization queries run on the fast path
 	schema, err := datagen.BloggerSchema(cfg.Dimensions)
 	if err != nil {
 		return nil, err
@@ -69,6 +70,7 @@ func BuildVideo(cfg datagen.VideoConfig, aggName string) (*Workload, error) {
 		return nil, err
 	}
 	rdfs.Saturate(base)
+	base.Freeze()
 	inst, err := datagen.VideoSchema().Materialize(base)
 	if err != nil {
 		return nil, err

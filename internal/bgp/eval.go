@@ -2,6 +2,13 @@
 // store using index-nested-loop joins with greedy, statistics-driven
 // pattern ordering.
 //
+// Evaluation is parallel and allocation-lean: the first pattern's
+// matching range is partitioned across workers (one per CPU by default),
+// each joining the remaining patterns over its slice with rows carved
+// out of a per-worker chunked arena; worker buffers are concatenated at
+// the end. Join ordering uses bound-aware cardinality estimates fed by
+// the store's offset directories (exact range counts on a frozen store).
+//
 // Results are tables of dictionary IDs. Evaluation computes every
 // embedding of the body; projection onto the head happens afterwards,
 // under either set semantics (distinct rows — the default for classifier
@@ -11,12 +18,23 @@ package bgp
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"rdfcube/internal/dict"
+	"rdfcube/internal/hash64"
 	"rdfcube/internal/sparql"
 	"rdfcube/internal/store"
 )
+
+// Workers overrides the evaluation parallelism; 0 (the default) uses
+// runtime.GOMAXPROCS. Exposed for tests and tuning.
+var Workers int
+
+// seedsPerWorker is the minimum first-pattern matches per worker before
+// evaluation fans out; below it goroutine overhead dominates.
+const seedsPerWorker = 512
 
 // Result is a table of variable bindings.
 type Result struct {
@@ -39,8 +57,60 @@ func (r *Result) Column(name string) int {
 	return -1
 }
 
+// rowArena hands out fixed-width rows carved from chunked backing
+// slices, amortizing one allocation over arenaChunkRows rows. Rows stay
+// valid forever (chunks are never reused), so results can reference them
+// directly.
+type rowArena struct {
+	width int
+	buf   []dict.ID
+}
+
+const arenaChunkRows = 1024
+
+func newRowArena(width int) *rowArena { return &rowArena{width: width} }
+
+func (a *rowArena) newRow() []dict.ID {
+	w := a.width
+	if w == 0 {
+		return nil
+	}
+	if len(a.buf) < w {
+		a.buf = make([]dict.ID, arenaChunkRows*w)
+	}
+	r := a.buf[:w:w]
+	a.buf = a.buf[w:]
+	return r
+}
+
+// hashIDs hashes a row of IDs (word-wise FNV-1a; collisions are
+// verified by callers with idRowsEqual).
+func hashIDs(row []dict.ID) uint64 {
+	h := uint64(hash64.Offset)
+	for _, id := range row {
+		h = hash64.Mix(h, uint64(id))
+	}
+	return h
+}
+
+func idRowsEqual(a, b []dict.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Project returns a new result with only the named columns, in order.
 // Under distinct, duplicate projected rows are collapsed (set semantics).
+// The projection buffer is reused across input rows; only surviving rows
+// are committed to the arena, and the dedup set stores 64-bit hashes
+// (verified against the emitted rows on collision) instead of string
+// keys.
 func (r *Result) Project(vars []string, distinct bool) (*Result, error) {
 	cols := make([]int, len(vars))
 	for i, v := range vars {
@@ -51,36 +121,36 @@ func (r *Result) Project(vars []string, distinct bool) (*Result, error) {
 		cols[i] = c
 	}
 	out := &Result{Vars: append([]string(nil), vars...)}
-	var seen map[string]struct{}
+	out.Rows = make([][]dict.ID, 0, len(r.Rows))
+	ar := newRowArena(len(cols))
+	buf := make([]dict.ID, len(cols))
+	var buckets map[uint64][]int
 	if distinct {
-		seen = make(map[string]struct{}, len(r.Rows))
+		buckets = make(map[uint64][]int, len(r.Rows))
 	}
 	for _, row := range r.Rows {
-		proj := make([]dict.ID, len(cols))
 		for i, c := range cols {
-			proj[i] = row[c]
+			buf[i] = row[c]
 		}
 		if distinct {
-			k := rowKey(proj)
-			if _, dup := seen[k]; dup {
+			h := hashIDs(buf)
+			dup := false
+			for _, idx := range buckets[h] {
+				if idRowsEqual(out.Rows[idx], buf) {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			seen[k] = struct{}{}
+			buckets[h] = append(buckets[h], len(out.Rows))
 		}
-		out.Rows = append(out.Rows, proj)
+		nr := ar.newRow()
+		copy(nr, buf)
+		out.Rows = append(out.Rows, nr)
 	}
 	return out, nil
-}
-
-// rowKey renders a row as a compact map key.
-func rowKey(row []dict.ID) string {
-	b := make([]byte, 0, len(row)*8)
-	for _, id := range row {
-		for s := 0; s < 64; s += 8 {
-			b = append(b, byte(id>>s))
-		}
-	}
-	return string(b)
 }
 
 // Options controls evaluation.
@@ -139,34 +209,121 @@ func evalBody(st *store.Store, patterns []sparql.TriplePattern) (*Result, error)
 		// can match, so the result is empty.
 		return &Result{Vars: vars, Rows: nil}, nil
 	}
-	order := planOrder(st, compiled, len(vars))
+	nv := len(vars)
+	order := planOrder(st, compiled, nv)
 
-	result := &Result{Vars: vars}
-	current := [][]dict.ID{make([]dict.ID, len(vars))} // one all-unbound row
-	bound := make([]bool, len(vars))
-	for _, pi := range order {
-		cp := compiled[pi]
-		var next [][]dict.ID
+	// Stage 0: materialize the first pattern's matches as seed rows.
+	first := &compiled[order[0]]
+	zeroRow := make([]dict.ID, nv)
+	bound0 := make([]bool, nv)
+	pat0, checks0 := first.instantiate(zeroRow, bound0)
+	seedArena := newRowArena(nv)
+	var seeds [][]dict.ID
+	if st.IsFrozen() {
+		seeds = make([][]dict.ID, 0, st.Count(pat0)) // exact, O(log n)
+	}
+	st.ForEach(pat0, func(t store.IDTriple) bool {
+		if !first.accepts(t, zeroRow, bound0, checks0) {
+			return true
+		}
+		nr := seedArena.newRow()
+		first.bind(t, nr)
+		seeds = append(seeds, nr)
+		return true
+	})
+
+	rest := order[1:]
+	if len(rest) == 0 || len(seeds) == 0 {
+		return &Result{Vars: vars, Rows: seeds}, nil
+	}
+
+	// The bound-variable state entering each join stage depends only on
+	// the pattern order, so the per-stage states are computed once and
+	// shared read-only by every worker.
+	boundStages := make([][]bool, len(rest))
+	cur := make([]bool, nv)
+	first.markBound(cur)
+	for k, pi := range rest {
+		boundStages[k] = append([]bool(nil), cur...)
+		compiled[pi].markBound(cur)
+	}
+
+	// An explicit Workers setting is honored as-is (tests, tuning); the
+	// default caps fan-out so each worker gets a meaningful seed slice.
+	nw := Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+		if max := len(seeds) / seedsPerWorker; nw > max {
+			nw = max
+		}
+	}
+	if nw > len(seeds) {
+		nw = len(seeds)
+	}
+	if nw <= 1 {
+		return &Result{Vars: vars, Rows: joinChunk(st, compiled, rest, boundStages, seeds, seedArena)}, nil
+	}
+
+	// Partition the seeds into contiguous chunks, one worker each, with
+	// per-worker arenas and result buffers; concatenation preserves seed
+	// order, keeping output deterministic for a given plan.
+	parts := make([][][]dict.ID, nw)
+	var wg sync.WaitGroup
+	chunk := (len(seeds) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(seeds) {
+			hi = len(seeds)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = joinChunk(st, compiled, rest, boundStages, seeds[lo:hi], newRowArena(nv))
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	rows := make([][]dict.ID, 0, total)
+	for _, p := range parts {
+		rows = append(rows, p...)
+	}
+	return &Result{Vars: vars, Rows: rows}, nil
+}
+
+// joinChunk runs the index-nested-loop join of the remaining patterns
+// over one slice of seed rows. New rows come from the arena; the input
+// rows are never mutated.
+func joinChunk(st *store.Store, compiled []compiledPattern, rest []int, boundStages [][]bool, current [][]dict.ID, ar *rowArena) [][]dict.ID {
+	for k, pi := range rest {
+		cp := &compiled[pi]
+		bound := boundStages[k]
+		next := make([][]dict.ID, 0, len(current))
 		for _, row := range current {
 			pat, checks := cp.instantiate(row, bound)
 			st.ForEach(pat, func(t store.IDTriple) bool {
 				if !cp.accepts(t, row, bound, checks) {
 					return true
 				}
-				nr := append([]dict.ID(nil), row...)
+				nr := ar.newRow()
+				copy(nr, row)
 				cp.bind(t, nr)
 				next = append(next, nr)
 				return true
 			})
 		}
 		current = next
-		cp.markBound(bound)
 		if len(current) == 0 {
 			break
 		}
 	}
-	result.Rows = current
-	return result, nil
+	return current
 }
 
 // compiledPattern is a triple pattern with constants resolved to IDs and
@@ -293,19 +450,20 @@ func (cp *compiledPattern) markBound(bound []bool) {
 	}
 }
 
-// vars lists the pattern's variable columns.
-func (cp *compiledPattern) patternVars() []int {
-	var out []int
-	for _, v := range []int{cp.varS, cp.varP, cp.varO} {
-		if v >= 0 {
-			out = append(out, v)
-		}
-	}
-	return out
+// connected reports whether any of the pattern's variables is bound.
+func (cp *compiledPattern) connected(bound []bool) bool {
+	return (cp.varS >= 0 && bound[cp.varS]) ||
+		(cp.varP >= 0 && bound[cp.varP]) ||
+		(cp.varO >= 0 && bound[cp.varO])
 }
 
-// staticEstimate is the store's cardinality estimate ignoring bindings.
-func (cp *compiledPattern) staticEstimate(st *store.Store) float64 {
+// boundEstimate estimates how many triples the pattern matches per input
+// row, given which variables are already bound: start from the
+// constants-only cardinality (exact ranges on a frozen store) and divide
+// by the distinct-value count of every bound position — per-predicate
+// distinct subjects/objects from the freeze-time stats when the
+// predicate is constant, store-wide counts otherwise.
+func (cp *compiledPattern) boundEstimate(st *store.Store, bound []bool) float64 {
 	pat := store.Pattern{}
 	if cp.varS < 0 {
 		pat.S = cp.constS
@@ -316,41 +474,102 @@ func (cp *compiledPattern) staticEstimate(st *store.Store) float64 {
 	if cp.varO < 0 {
 		pat.O = cp.constO
 	}
-	return st.EstimateCardinality(pat)
+	est := st.EstimateCardinality(pat)
+	if est == 0 {
+		return 0
+	}
+	pConst := cp.varP < 0
+	if cp.varS >= 0 && bound[cp.varS] {
+		d := 0
+		if pConst {
+			d = st.DistinctSubjects(pat.P)
+		}
+		if d == 0 {
+			d = st.DistinctSubjectsAll()
+		}
+		est /= float64(maxI(d, 1))
+	}
+	if cp.varO >= 0 && bound[cp.varO] {
+		d := 0
+		if pConst {
+			d = st.DistinctObjects(pat.P)
+		}
+		if d == 0 {
+			d = st.DistinctObjectsAll()
+		}
+		est /= float64(maxI(d, 1))
+	}
+	if cp.varP >= 0 && bound[cp.varP] {
+		est /= float64(maxI(st.Stats().Predicates, 1))
+	}
+	return est
 }
 
-// planOrder greedily orders patterns: repeatedly pick the pattern with
-// the most already-bound variables (maximizing index use) breaking ties
-// by the smallest static cardinality estimate. Disconnected patterns
-// (cross products) are deferred until nothing connected remains.
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// nBound counts the pattern's already-bound variables.
+func (cp *compiledPattern) nBound(bound []bool) int {
+	n := 0
+	if cp.varS >= 0 && bound[cp.varS] {
+		n++
+	}
+	if cp.varP >= 0 && bound[cp.varP] {
+		n++
+	}
+	if cp.varO >= 0 && bound[cp.varO] {
+		n++
+	}
+	return n
+}
+
+// planOrder greedily orders patterns, deferring patterns disconnected
+// from the already-bound variables (cross products) until nothing
+// connected remains.
+//
+// On a frozen store the pick is the cheapest bound-aware cardinality
+// estimate — each probe is an O(log n) range count plus O(1) distinct
+// stats. On the mutable maps those distinct counts would cost a leaf
+// walk per probe, so ordering falls back to the static heuristic:
+// most bound variables first, ties broken by the per-pattern static
+// estimate computed once up front.
 func planOrder(st *store.Store, compiled []compiledPattern, nVars int) []int {
 	n := len(compiled)
 	used := make([]bool, n)
 	bound := make([]bool, nVars)
 	order := make([]int, 0, n)
-	est := make([]float64, n)
-	for i := range compiled {
-		est[i] = compiled[i].staticEstimate(st)
+	frozen := st.IsFrozen()
+	var static []float64
+	if !frozen {
+		static = make([]float64, n)
+		for i := range compiled {
+			static[i] = compiled[i].boundEstimate(st, bound) // nothing bound: static
+		}
 	}
 	for len(order) < n {
 		best := -1
-		bestBound := -1
+		bestConn := false
 		bestEst := 0.0
+		bestNB := -1
 		for i := range compiled {
 			if used[i] {
 				continue
 			}
-			nb := 0
-			for _, v := range compiled[i].patternVars() {
-				if bound[v] {
-					nb++
+			if frozen {
+				conn := compiled[i].connected(bound)
+				est := compiled[i].boundEstimate(st, bound)
+				if best < 0 || (conn && !bestConn) || (conn == bestConn && est < bestEst) {
+					best, bestConn, bestEst = i, conn, est
 				}
-			}
-			// First pattern: pure estimate. Later: prefer connected.
-			if best < 0 || nb > bestBound || (nb == bestBound && est[i] < bestEst) {
-				best = i
-				bestBound = nb
-				bestEst = est[i]
+			} else {
+				nb := compiled[i].nBound(bound)
+				if best < 0 || nb > bestNB || (nb == bestNB && static[i] < bestEst) {
+					best, bestNB, bestEst = i, nb, static[i]
+				}
 			}
 		}
 		used[best] = true

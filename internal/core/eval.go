@@ -98,13 +98,16 @@ func (e *Evaluator) EvalMeasureKeyed(q *Query) (*algebra.Relation, error) {
 	}
 	root, v := q.Measure.Head[0], q.Measure.Head[1]
 	out := algebra.NewRelation(KeyCol, root, v)
-	// newk(): successive integers, one per measure tuple.
+	// newk(): successive integers, one per measure tuple. Rows are carved
+	// from one flat cell block to keep the allocation count constant.
+	out.Rows = make([]algebra.Row, len(res.Rows))
+	cells := make([]algebra.Value, 3*len(res.Rows))
 	for i, row := range res.Rows {
-		out.Append(algebra.Row{
-			algebra.KeyV(uint64(i + 1)),
-			algebra.TermV(row[0]),
-			algebra.TermV(row[1]),
-		})
+		r := cells[3*i : 3*i+3 : 3*i+3]
+		r[0] = algebra.KeyV(uint64(i + 1))
+		r[1] = algebra.TermV(row[0])
+		r[2] = algebra.TermV(row[1])
+		out.Rows[i] = r
 	}
 	return out, nil
 }
@@ -210,11 +213,15 @@ func checkPresSchema(q *Query, rel *algebra.Relation) error {
 }
 
 // resultToRelation converts a BGP result into a TermValue relation.
+// Rows are carved from one flat cell block: two allocations total
+// instead of one per row.
 func resultToRelation(res *bgp.Result) *algebra.Relation {
 	rel := algebra.NewRelation(res.Vars...)
 	rel.Rows = make([]algebra.Row, len(res.Rows))
+	w := len(res.Vars)
+	cells := make([]algebra.Value, w*len(res.Rows))
 	for i, row := range res.Rows {
-		r := make(algebra.Row, len(row))
+		r := cells[w*i : w*i+w : w*i+w]
 		for j, id := range row {
 			r[j] = algebra.TermV(id)
 		}

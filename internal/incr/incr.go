@@ -53,7 +53,16 @@ type MaintainedPres struct {
 	nextKey  uint64
 
 	pres *algebra.Relation
+
+	// refreeze records whether the instance was on the frozen fast path
+	// when the materialization was built; Insert then restores it for
+	// batches large enough to amortize the compaction.
+	refreeze bool
 }
+
+// refreezeBatchMin is the smallest insertion batch worth an O(n log n)
+// re-freeze of the instance; smaller deltas evaluate on the map path.
+const refreezeBatchMin = 64
 
 // New fully evaluates q over the evaluator's instance and returns a
 // maintained materialization.
@@ -67,6 +76,7 @@ func New(ev *core.Evaluator, q *core.Query) (*MaintainedPres, error) {
 		inst:     ev.Instance(),
 		cKeys:    map[string]struct{}{},
 		mbarKeys: map[string]struct{}{},
+		refreeze: ev.Instance().IsFrozen(),
 	}
 	mp.mbarQ = mbarQuery(q)
 
@@ -156,6 +166,13 @@ func (mp *MaintainedPres) Insert(triples []rdf.Triple) (newFacts, newMeasures in
 	}
 	if len(delta) == 0 {
 		return 0, 0, nil
+	}
+	// The writes above invalidated any frozen indexes. For batches big
+	// enough to amortize the O(n log n) compaction, re-freeze before the
+	// delta evaluations below so they run on the sorted-array fast path;
+	// tiny deltas evaluate faster on the maps than a full rebuild costs.
+	if mp.refreeze && len(delta) >= refreezeBatchMin {
+		mp.inst.Freeze()
 	}
 
 	// Δc: classifier embeddings touching a delta triple, Σ-filtered,

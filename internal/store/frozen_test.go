@@ -1,0 +1,297 @@
+package store
+
+// Differential tests: the frozen sorted-array indexes must return
+// identical result sets to the map-based path for every operation and
+// all eight triple-pattern shapes, on random instances mirroring the
+// generator style of internal/core/property_test.go (multi-valued,
+// heterogeneous, skewed). Plus regression coverage for write-after-
+// Freeze invalidation and rebuild.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rdfcube/internal/dict"
+	"rdfcube/internal/rdf"
+)
+
+func mkTerm(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://e.org/t%d", i)) }
+
+// randomTripleStore fills a store with n random triples drawn from small
+// ID domains (dense collisions exercise runs and duplicates). Returns
+// the store and the encoded triples.
+func randomTripleStore(rng *rand.Rand, n int) *Store {
+	st := New()
+	d := st.Dict()
+	// Intern enough terms that IDs 1..60 exist; patterns below draw from
+	// the same domain.
+	for i := 0; i < 60; i++ {
+		d.Encode(mkTerm(i))
+	}
+	for i := 0; i < n; i++ {
+		s := dict.ID(1 + rng.Intn(25))
+		p := dict.ID(26 + rng.Intn(8))
+		o := dict.ID(34 + rng.Intn(20))
+		if rng.Intn(10) == 0 {
+			// Occasionally reuse a subject as object (graph shape).
+			o = dict.ID(1 + rng.Intn(25))
+		}
+		st.AddID(IDTriple{S: s, P: p, O: o})
+	}
+	return st
+}
+
+func sortTriples(ts []IDTriple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.O < b.O
+	})
+}
+
+func sortIDs(ids []dict.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func triplesEqual(a, b []IDTriple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func idsEqual(a, b []dict.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randomPatterns yields patterns covering all eight shapes, with bound
+// positions drawn from both present and absent IDs.
+func randomPatterns(rng *rand.Rand) []Pattern {
+	pick := func() dict.ID { return dict.ID(1 + rng.Intn(58)) }
+	var pats []Pattern
+	for shape := 0; shape < 8; shape++ {
+		for rep := 0; rep < 6; rep++ {
+			var p Pattern
+			if shape&4 != 0 {
+				p.S = pick()
+			}
+			if shape&2 != 0 {
+				p.P = pick()
+			}
+			if shape&1 != 0 {
+				p.O = pick()
+			}
+			pats = append(pats, p)
+		}
+	}
+	return pats
+}
+
+// TestFrozenDifferentialAllShapes cross-checks every read operation
+// between the map path and the frozen path on random stores.
+func TestFrozenDifferentialAllShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		st := randomTripleStore(rng, 50+rng.Intn(400))
+		pats := randomPatterns(rng)
+
+		type snapshot struct {
+			match    [][]IDTriple
+			count    []int
+			est      []float64
+			subjects [][]dict.ID
+			objects  [][]dict.ID
+		}
+		capture := func() snapshot {
+			var snap snapshot
+			for _, pat := range pats {
+				m := st.Match(pat)
+				sortTriples(m)
+				snap.match = append(snap.match, m)
+				snap.count = append(snap.count, st.Count(pat))
+				subj := st.Subjects(pat.P, pat.O)
+				sortIDs(subj)
+				snap.subjects = append(snap.subjects, subj)
+				obj := st.Objects(pat.S, pat.P)
+				sortIDs(obj)
+				snap.objects = append(snap.objects, obj)
+			}
+			return snap
+		}
+
+		if st.IsFrozen() {
+			t.Fatal("fresh store must not be frozen")
+		}
+		fromMaps := capture()
+		st.Freeze()
+		if !st.IsFrozen() {
+			t.Fatal("Freeze did not freeze")
+		}
+		fromFrozen := capture()
+
+		for i, pat := range pats {
+			if !triplesEqual(fromMaps.match[i], fromFrozen.match[i]) {
+				t.Fatalf("trial %d pattern %+v: Match differs\n maps:   %v\n frozen: %v",
+					trial, pat, fromMaps.match[i], fromFrozen.match[i])
+			}
+			if fromMaps.count[i] != fromFrozen.count[i] {
+				t.Fatalf("trial %d pattern %+v: Count differs: maps %d frozen %d",
+					trial, pat, fromMaps.count[i], fromFrozen.count[i])
+			}
+			// Frozen estimates are exact range lengths.
+			if got, want := st.EstimateCardinality(pat), float64(fromMaps.count[i]); got != want {
+				t.Fatalf("trial %d pattern %+v: frozen estimate %v != exact count %v",
+					trial, pat, got, want)
+			}
+			if !idsEqual(fromMaps.subjects[i], fromFrozen.subjects[i]) {
+				t.Fatalf("trial %d pattern %+v: Subjects differ\n maps:   %v\n frozen: %v",
+					trial, pat, fromMaps.subjects[i], fromFrozen.subjects[i])
+			}
+			if !idsEqual(fromMaps.objects[i], fromFrozen.objects[i]) {
+				t.Fatalf("trial %d pattern %+v: Objects differ\n maps:   %v\n frozen: %v",
+					trial, pat, fromMaps.objects[i], fromFrozen.objects[i])
+			}
+		}
+
+		// ForEach early-stop must work on the frozen path.
+		n := 0
+		st.ForEach(Pattern{}, func(IDTriple) bool {
+			n++
+			return n < 3
+		})
+		if st.Len() >= 3 && n != 3 {
+			t.Fatalf("trial %d: early stop visited %d triples", trial, n)
+		}
+	}
+}
+
+// TestFrozenStats cross-checks the freeze-time distinct statistics
+// against the map-path computations.
+func TestFrozenStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	st := randomTripleStore(rng, 300)
+
+	type predStat struct{ s, o int }
+	fromMaps := map[dict.ID]predStat{}
+	for p := dict.ID(1); p < 60; p++ {
+		fromMaps[p] = predStat{st.DistinctSubjects(p), st.DistinctObjects(p)}
+	}
+	mapDS, mapDO := st.DistinctSubjectsAll(), st.DistinctObjectsAll()
+
+	st.Freeze()
+	for p, want := range fromMaps {
+		if got := st.DistinctSubjects(p); got != want.s {
+			t.Fatalf("DistinctSubjects(%d): frozen %d, maps %d", p, got, want.s)
+		}
+		if got := st.DistinctObjects(p); got != want.o {
+			t.Fatalf("DistinctObjects(%d): frozen %d, maps %d", p, got, want.o)
+		}
+	}
+	if got := st.DistinctSubjectsAll(); got != mapDS {
+		t.Fatalf("DistinctSubjectsAll: frozen %d, maps %d", got, mapDS)
+	}
+	if got := st.DistinctObjectsAll(); got != mapDO {
+		t.Fatalf("DistinctObjectsAll: frozen %d, maps %d", got, mapDO)
+	}
+}
+
+// TestFreezeInvalidationOnWrite: writes after Freeze must invalidate the
+// frozen view, be visible immediately, and a re-Freeze must rebuild a
+// consistent index.
+func TestFreezeInvalidationOnWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	st := randomTripleStore(rng, 120)
+	st.Freeze()
+
+	fresh := IDTriple{S: 2, P: 27, O: 59}
+	for st.ContainsID(fresh) {
+		fresh.O-- // find a triple not yet present
+	}
+	before := st.Count(Pattern{P: fresh.P})
+
+	if !st.AddID(fresh) {
+		t.Fatal("AddID reported duplicate for a missing triple")
+	}
+	if st.IsFrozen() {
+		t.Fatal("AddID did not invalidate the frozen index")
+	}
+	if !st.ContainsID(fresh) {
+		t.Fatal("triple invisible after post-freeze write")
+	}
+	if got := st.Count(Pattern{P: fresh.P}); got != before+1 {
+		t.Fatalf("Count after write: got %d, want %d", got, before+1)
+	}
+
+	// Rebuild and verify the new triple is served from the frozen path.
+	st.Freeze()
+	if !st.IsFrozen() {
+		t.Fatal("re-Freeze failed")
+	}
+	if !st.ContainsID(fresh) {
+		t.Fatal("rebuilt frozen index lost the new triple")
+	}
+	if got := st.Count(Pattern{P: fresh.P}); got != before+1 {
+		t.Fatalf("frozen Count after rebuild: got %d, want %d", got, before+1)
+	}
+
+	// Removal must likewise invalidate and rebuild correctly.
+	if !st.RemoveID(fresh) {
+		t.Fatal("RemoveID failed")
+	}
+	if st.IsFrozen() {
+		t.Fatal("RemoveID did not invalidate the frozen index")
+	}
+	st.Freeze()
+	if st.ContainsID(fresh) {
+		t.Fatal("rebuilt frozen index kept a removed triple")
+	}
+	if got := st.Count(Pattern{P: fresh.P}); got != before {
+		t.Fatalf("frozen Count after removal: got %d, want %d", got, before)
+	}
+
+	// Thaw drops the compacted view without losing data.
+	st.Freeze()
+	st.Thaw()
+	if st.IsFrozen() {
+		t.Fatal("Thaw left the store frozen")
+	}
+	if got := st.Count(Pattern{P: fresh.P}); got != before {
+		t.Fatalf("map Count after thaw: got %d, want %d", got, before)
+	}
+}
+
+// TestFreezeEmptyStore: freezing an empty store must be safe.
+func TestFreezeEmptyStore(t *testing.T) {
+	st := New()
+	st.Freeze()
+	if got := st.Count(Pattern{}); got != 0 {
+		t.Fatalf("empty frozen store Count = %d", got)
+	}
+	if m := st.Match(Pattern{S: 1}); len(m) != 0 {
+		t.Fatalf("empty frozen store Match = %v", m)
+	}
+	st.ForEach(Pattern{}, func(IDTriple) bool {
+		t.Fatal("callback on empty store")
+		return false
+	})
+}

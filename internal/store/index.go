@@ -1,0 +1,371 @@
+package store
+
+// Frozen, read-optimized triple indexes: the RDF-3X/HDT-style layout.
+//
+// Freeze() compacts the mutable nested-map indexes into three sorted
+// permutations of the triple set — SPO, POS and OSP — stored column-wise
+// (three parallel []dict.ID slices per permutation) with a first-level
+// offset directory over the leading component. Every triple-pattern
+// shape then resolves to one contiguous range:
+//
+//	first component bound        -> directory binary search, O(log k)
+//	first two components bound   -> + binary search inside the run
+//	all three bound              -> + binary search on the third column
+//
+// so prefix counts are O(log n), range scans are linear walks over
+// contiguous memory, and the Subjects/Objects dedup becomes a sorted-run
+// walk with no maps. Freeze also precomputes per-predicate distinct
+// subject/object counts (one O(n) pass over SPO and POS), which feed the
+// BGP optimizer's bound-aware cardinality estimates.
+//
+// Any write (AddID/RemoveID) invalidates the frozen state and falls back
+// to the maps; calling Freeze again rebuilds. The two-phase lifecycle —
+// mutable load, frozen query — matches the analytical workloads this
+// engine serves; incremental maintenance (internal/incr) re-freezes
+// when an insertion batch is large enough to amortize the compaction.
+
+import (
+	"sort"
+
+	"rdfcube/internal/dict"
+)
+
+// permKind names a permutation's component order.
+type permKind uint8
+
+const (
+	permSPO permKind = iota // c1=S c2=P c3=O
+	permPOS                 // c1=P c2=O c3=S
+	permOSP                 // c1=O c2=S c3=P
+)
+
+// permIndex is one sorted permutation in columnar layout. The triple set
+// is sorted lexicographically by (c1, c2, c3); keys/off form the
+// first-level offset directory: keys holds the distinct c1 values in
+// ascending order and off[i:i+2] bounds keys[i]'s run.
+type permIndex struct {
+	kind       permKind
+	c1, c2, c3 []dict.ID
+	keys       []dict.ID
+	off        []int
+}
+
+// frozen is the read-optimized view of a store.
+type frozen struct {
+	spo, pos, osp permIndex
+
+	// Per-predicate distinct-subject/object counts, computed at freeze
+	// time in one pass over SPO (distinct (s,p) pairs per p) and POS
+	// (distinct (p,o) pairs per p).
+	predDistinctS map[dict.ID]int
+	predDistinctO map[dict.ID]int
+}
+
+// Freeze compacts the store into sorted-array indexes. It is idempotent:
+// repeated calls on an unmodified store are no-ops. Reads automatically
+// prefer the frozen indexes; any write invalidates them.
+func (st *Store) Freeze() {
+	if st.frz != nil {
+		return
+	}
+	n := st.size
+	base := make([]IDTriple, 0, n)
+	for s, m2 := range st.spo {
+		for p, leaf := range m2 {
+			for o := range leaf {
+				base = append(base, IDTriple{s, p, o})
+			}
+		}
+	}
+	f := &frozen{
+		predDistinctS: make(map[dict.ID]int, len(st.predCount)),
+		predDistinctO: make(map[dict.ID]int, len(st.predCount)),
+	}
+	// One scratch slice is re-copied from base for each permutation's
+	// sort, keeping Freeze's transient footprint at 2x the triple set
+	// instead of 4x.
+	scratch := make([]IDTriple, n)
+	f.spo.build(permSPO, base, scratch, func(t IDTriple) (a, b, c dict.ID) { return t.S, t.P, t.O })
+	f.pos.build(permPOS, base, scratch, func(t IDTriple) (a, b, c dict.ID) { return t.P, t.O, t.S })
+	f.osp.build(permOSP, base, scratch, func(t IDTriple) (a, b, c dict.ID) { return t.O, t.S, t.P })
+
+	// Distinct subjects per predicate: distinct (c1,c2)=(s,p) pairs in
+	// SPO, grouped by p. Distinct objects per predicate: distinct
+	// (c1,c2)=(p,o) pairs in POS, grouped by p.
+	spo := &f.spo
+	for i := range spo.c1 {
+		if i == 0 || spo.c1[i] != spo.c1[i-1] || spo.c2[i] != spo.c2[i-1] {
+			f.predDistinctS[spo.c2[i]]++
+		}
+	}
+	pos := &f.pos
+	for i := range pos.c1 {
+		if i == 0 || pos.c1[i] != pos.c1[i-1] || pos.c2[i] != pos.c2[i-1] {
+			f.predDistinctO[pos.c1[i]]++
+		}
+	}
+	st.frz = f
+}
+
+// Thaw drops the frozen indexes, returning the store to its mutable
+// map-only state. Useful for benchmarking the two paths against each
+// other and before sustained write bursts.
+func (st *Store) Thaw() { st.frz = nil }
+
+// IsFrozen reports whether the frozen indexes are current.
+func (st *Store) IsFrozen() bool { return st.frz != nil }
+
+// invalidate is called on every successful write.
+func (st *Store) invalidate() { st.frz = nil }
+
+// build sorts base under the permutation's component order (using
+// scratch, len(base), as sort space) and scatters it into the columnar
+// layout, then derives the first-level directory.
+func (px *permIndex) build(kind permKind, base, scratch []IDTriple, comp func(IDTriple) (a, b, c dict.ID)) {
+	px.kind = kind
+	n := len(base)
+	perm := scratch
+	copy(perm, base)
+	sort.Slice(perm, func(i, j int) bool {
+		ai, bi, ci := comp(perm[i])
+		aj, bj, cj := comp(perm[j])
+		if ai != aj {
+			return ai < aj
+		}
+		if bi != bj {
+			return bi < bj
+		}
+		return ci < cj
+	})
+	cols := make([]dict.ID, 3*n)
+	px.c1, px.c2, px.c3 = cols[:n:n], cols[n:2*n:2*n], cols[2*n:]
+	for i, t := range perm {
+		px.c1[i], px.c2[i], px.c3[i] = comp(t)
+	}
+	for i := 0; i < n; i++ {
+		if i == 0 || px.c1[i] != px.c1[i-1] {
+			px.keys = append(px.keys, px.c1[i])
+			px.off = append(px.off, i)
+		}
+	}
+	px.off = append(px.off, n)
+}
+
+// len reports the triple count.
+func (px *permIndex) len() int { return len(px.c1) }
+
+// keyRange returns the [lo, hi) run of first-component value v, or an
+// empty range when v is absent.
+func (px *permIndex) keyRange(v dict.ID) (int, int) {
+	i := sort.Search(len(px.keys), func(i int) bool { return px.keys[i] >= v })
+	if i == len(px.keys) || px.keys[i] != v {
+		return 0, 0
+	}
+	return px.off[i], px.off[i+1]
+}
+
+// pairRange narrows a first-component run [lo, hi) to the subrange where
+// the second component equals v.
+func (px *permIndex) pairRange(lo, hi int, v dict.ID) (int, int) {
+	l := lo + sort.Search(hi-lo, func(i int) bool { return px.c2[lo+i] >= v })
+	r := l + sort.Search(hi-l, func(i int) bool { return px.c2[l+i] > v })
+	return l, r
+}
+
+// contains reports whether the permuted triple (a, b, c) is present.
+func (px *permIndex) contains(a, b, c dict.ID) bool {
+	lo, hi := px.keyRange(a)
+	lo, hi = px.pairRange(lo, hi, b)
+	i := lo + sort.Search(hi-lo, func(i int) bool { return px.c3[lo+i] >= c })
+	return i < hi && px.c3[i] == c
+}
+
+// triple reconstructs the i-th triple in (S, P, O) orientation.
+func (px *permIndex) triple(i int) IDTriple {
+	switch px.kind {
+	case permPOS:
+		return IDTriple{S: px.c3[i], P: px.c1[i], O: px.c2[i]}
+	case permOSP:
+		return IDTriple{S: px.c2[i], P: px.c3[i], O: px.c1[i]}
+	default:
+		return IDTriple{S: px.c1[i], P: px.c2[i], O: px.c3[i]}
+	}
+}
+
+// forEachRange calls fn for triples [lo, hi), reporting false on early
+// stop. The per-kind loops keep triple reconstruction branch-free inside
+// the hot loop.
+func (px *permIndex) forEachRange(lo, hi int, fn func(IDTriple) bool) bool {
+	switch px.kind {
+	case permPOS:
+		for i := lo; i < hi; i++ {
+			if !fn(IDTriple{S: px.c3[i], P: px.c1[i], O: px.c2[i]}) {
+				return false
+			}
+		}
+	case permOSP:
+		for i := lo; i < hi; i++ {
+			if !fn(IDTriple{S: px.c2[i], P: px.c3[i], O: px.c1[i]}) {
+				return false
+			}
+		}
+	default:
+		for i := lo; i < hi; i++ {
+			if !fn(IDTriple{S: px.c1[i], P: px.c2[i], O: px.c3[i]}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// appendRange appends the triples [lo, hi) to out.
+func (px *permIndex) appendRange(out []IDTriple, lo, hi int) []IDTriple {
+	px.forEachRange(lo, hi, func(t IDTriple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// patternRange resolves pat to a contiguous range of one permutation.
+// In this three-permutation set every shape is contiguous (S+O lands on
+// OSP, where the two bounds are adjacent):
+//
+//	S P O -> spo   S P - -> spo   S - - -> spo
+//	- P O -> pos   - P - -> pos
+//	S - O -> osp   - - O -> osp   - - - -> spo (full)
+func (f *frozen) patternRange(pat Pattern) (px *permIndex, lo, hi int) {
+	sB, pB, oB := pat.S != Wild, pat.P != Wild, pat.O != Wild
+	switch {
+	case sB && pB: // S P O and S P -
+		px = &f.spo
+		lo, hi = px.keyRange(pat.S)
+		lo, hi = px.pairRange(lo, hi, pat.P)
+		if oB {
+			l := lo + sort.Search(hi-lo, func(i int) bool { return px.c3[lo+i] >= pat.O })
+			if l < hi && px.c3[l] == pat.O {
+				return px, l, l + 1
+			}
+			return px, 0, 0
+		}
+		return px, lo, hi
+	case pB: // - P O and - P -
+		px = &f.pos
+		lo, hi = px.keyRange(pat.P)
+		if oB {
+			lo, hi = px.pairRange(lo, hi, pat.O)
+		}
+		return px, lo, hi
+	case oB: // S - O and - - O
+		px = &f.osp
+		lo, hi = px.keyRange(pat.O)
+		if sB {
+			lo, hi = px.pairRange(lo, hi, pat.S)
+		}
+		return px, lo, hi
+	case sB: // S - -
+		px = &f.spo
+		lo, hi = px.keyRange(pat.S)
+		return px, lo, hi
+	default: // - - -
+		px = &f.spo
+		return px, 0, px.len()
+	}
+}
+
+// forEach is the frozen implementation of Store.ForEach.
+func (f *frozen) forEach(pat Pattern, fn func(IDTriple) bool) {
+	px, lo, hi := f.patternRange(pat)
+	px.forEachRange(lo, hi, fn)
+}
+
+// count is the frozen implementation of Store.Count: every shape is a
+// range length, O(log n).
+func (f *frozen) count(pat Pattern) int {
+	_, lo, hi := f.patternRange(pat)
+	return hi - lo
+}
+
+// match materializes the matching triples with exact preallocation.
+func (f *frozen) match(pat Pattern) []IDTriple {
+	px, lo, hi := f.patternRange(pat)
+	if hi <= lo {
+		return nil
+	}
+	return px.appendRange(make([]IDTriple, 0, hi-lo), lo, hi)
+}
+
+// distinctRuns appends the distinct values of col[lo:hi] — which must be
+// sorted ascending — to out via a run walk.
+func distinctRuns(out []dict.ID, col []dict.ID, lo, hi int) []dict.ID {
+	for i := lo; i < hi; i++ {
+		if i == lo || col[i] != col[i-1] {
+			out = append(out, col[i])
+		}
+	}
+	return out
+}
+
+// sortDedup sorts ids in place and removes adjacent duplicates.
+func sortDedup(ids []dict.ID) []dict.ID {
+	if len(ids) < 2 {
+		return ids
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w := 1
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1] {
+			ids[w] = ids[i]
+			w++
+		}
+	}
+	return ids[:w]
+}
+
+// subjects is the frozen implementation of Store.Subjects.
+func (f *frozen) subjects(p, o dict.ID) []dict.ID {
+	pB, oB := p != Wild, o != Wild
+	switch {
+	case pB && oB:
+		// POS run (p, o): c3 holds the subjects, sorted and distinct.
+		lo, hi := f.pos.keyRange(p)
+		lo, hi = f.pos.pairRange(lo, hi, o)
+		return append(make([]dict.ID, 0, hi-lo), f.pos.c3[lo:hi]...)
+	case pB:
+		// POS run p: subjects repeat across object runs; gather and
+		// sort-dedup (one allocation, no map).
+		lo, hi := f.pos.keyRange(p)
+		return sortDedup(append(make([]dict.ID, 0, hi-lo), f.pos.c3[lo:hi]...))
+	case oB:
+		// OSP run o: c2 holds the subjects, sorted with duplicates.
+		lo, hi := f.osp.keyRange(o)
+		return distinctRuns(nil, f.osp.c2, lo, hi)
+	default:
+		// All distinct subjects: the SPO directory keys.
+		return append(make([]dict.ID, 0, len(f.spo.keys)), f.spo.keys...)
+	}
+}
+
+// objects is the frozen implementation of Store.Objects.
+func (f *frozen) objects(s, p dict.ID) []dict.ID {
+	sB, pB := s != Wild, p != Wild
+	switch {
+	case sB && pB:
+		// SPO run (s, p): c3 holds the objects, sorted and distinct.
+		lo, hi := f.spo.keyRange(s)
+		lo, hi = f.spo.pairRange(lo, hi, p)
+		return append(make([]dict.ID, 0, hi-lo), f.spo.c3[lo:hi]...)
+	case sB:
+		// SPO run s: objects sorted only within each predicate run.
+		lo, hi := f.spo.keyRange(s)
+		return sortDedup(append(make([]dict.ID, 0, hi-lo), f.spo.c3[lo:hi]...))
+	case pB:
+		// POS run p: c2 holds the objects, sorted with duplicates.
+		lo, hi := f.pos.keyRange(p)
+		return distinctRuns(nil, f.pos.c2, lo, hi)
+	default:
+		// All distinct objects: the OSP directory keys.
+		return append(make([]dict.ID, 0, len(f.osp.keys)), f.osp.keys...)
+	}
+}

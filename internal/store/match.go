@@ -12,16 +12,22 @@ type Pattern struct {
 }
 
 // ForEach calls fn for every triple matching pat, stopping early if fn
-// returns false. Iteration order is unspecified.
+// returns false. Iteration order is unspecified on a mutable store and
+// sorted (in the chosen permutation's order) on a frozen one.
 //
-// The lookup strategy picks the index whose prefix covers the bound
-// positions:
+// On a frozen store every shape is one contiguous range of a sorted
+// permutation (see index.go). The map fallback picks the index whose
+// prefix covers the bound positions:
 //
 //	S P O  -> spo point lookup        S - -  -> spo[s] walk
 //	S P -  -> spo[s][p] walk          - P O  -> pos[p][o] walk
 //	S - O  -> osp[o][s] walk          - P -  -> pos[p] walk
 //	- - O  -> osp[o] walk             - - -  -> full spo walk
 func (st *Store) ForEach(pat Pattern, fn func(t IDTriple) bool) {
+	if st.frz != nil {
+		st.frz.forEach(pat, fn)
+		return
+	}
 	sB, pB, oB := pat.S != Wild, pat.P != Wild, pat.O != Wild
 	switch {
 	case sB && pB && oB:
@@ -84,8 +90,12 @@ func (st *Store) ForEach(pat Pattern, fn func(t IDTriple) bool) {
 }
 
 // Match returns all triples matching pat. Prefer ForEach when the caller
-// can consume triples incrementally.
+// can consume triples incrementally. On a frozen store the result is
+// preallocated to its exact size.
 func (st *Store) Match(pat Pattern) []IDTriple {
+	if st.frz != nil {
+		return st.frz.match(pat)
+	}
 	var out []IDTriple
 	st.ForEach(pat, func(t IDTriple) bool {
 		out = append(out, t)
@@ -95,9 +105,13 @@ func (st *Store) Match(pat Pattern) []IDTriple {
 }
 
 // Count returns the number of triples matching pat without materializing
-// them. Fully-bound and prefix-bound shapes are O(1) or proportional to
-// the first free dimension only.
+// them. On a frozen store every shape is O(log n) via the offset
+// directories; on the mutable maps the single-bound S and O shapes cost
+// one leaf-map walk.
 func (st *Store) Count(pat Pattern) int {
+	if st.frz != nil {
+		return st.frz.count(pat)
+	}
 	sB, pB, oB := pat.S != Wild, pat.P != Wild, pat.O != Wild
 	switch {
 	case sB && pB && oB:
@@ -131,8 +145,12 @@ func (st *Store) Count(pat Pattern) int {
 }
 
 // Subjects returns the distinct subject IDs of triples with predicate p
-// and object o (either may be Wild).
+// and object o (either may be Wild). On a frozen store this is a
+// sorted-run walk with no intermediate map.
 func (st *Store) Subjects(p, o dict.ID) []dict.ID {
+	if st.frz != nil {
+		return st.frz.subjects(p, o)
+	}
 	seen := make(map[dict.ID]struct{})
 	st.ForEach(Pattern{P: p, O: o}, func(t IDTriple) bool {
 		seen[t.S] = struct{}{}
@@ -148,6 +166,9 @@ func (st *Store) Subjects(p, o dict.ID) []dict.ID {
 // Objects returns the distinct object IDs of triples with subject s and
 // predicate p (either may be Wild).
 func (st *Store) Objects(s, p dict.ID) []dict.ID {
+	if st.frz != nil {
+		return st.frz.objects(s, p)
+	}
 	seen := make(map[dict.ID]struct{})
 	st.ForEach(Pattern{S: s, P: p}, func(t IDTriple) bool {
 		seen[t.O] = struct{}{}

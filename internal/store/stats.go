@@ -19,8 +19,12 @@ func (st *Store) Stats() Stats {
 func (st *Store) PredicateCount(p dict.ID) int { return st.predCount[p] }
 
 // DistinctSubjects returns the number of distinct subjects of predicate p.
-// It walks pos[p] and so costs O(objects-of-p); callers should cache it.
+// On a frozen store this is a precomputed O(1) lookup; the map fallback
+// walks pos[p] and so costs O(triples-of-p).
 func (st *Store) DistinctSubjects(p dict.ID) int {
+	if st.frz != nil {
+		return st.frz.predDistinctS[p]
+	}
 	seen := make(map[dict.ID]struct{})
 	for _, leaf := range st.pos[p] {
 		for s := range leaf {
@@ -31,13 +35,41 @@ func (st *Store) DistinctSubjects(p dict.ID) int {
 }
 
 // DistinctObjects returns the number of distinct objects of predicate p.
-func (st *Store) DistinctObjects(p dict.ID) int { return len(st.pos[p]) }
+func (st *Store) DistinctObjects(p dict.ID) int {
+	if st.frz != nil {
+		return st.frz.predDistinctO[p]
+	}
+	return len(st.pos[p])
+}
 
-// EstimateCardinality estimates the number of triples matching pat using
-// the maintained statistics. It never underestimates the fully-wild and
-// predicate-bound shapes (exact counts) and uses uniformity assumptions
-// for the rest. Used by the BGP optimizer to order joins.
+// DistinctSubjectsAll returns the number of distinct subjects in the
+// store (any predicate).
+func (st *Store) DistinctSubjectsAll() int {
+	if st.frz != nil {
+		return len(st.frz.spo.keys)
+	}
+	return len(st.spo)
+}
+
+// DistinctObjectsAll returns the number of distinct objects in the store
+// (any predicate).
+func (st *Store) DistinctObjectsAll() int {
+	if st.frz != nil {
+		return len(st.frz.osp.keys)
+	}
+	return len(st.osp)
+}
+
+// EstimateCardinality estimates the number of triples matching pat. On a
+// frozen store every shape resolves to an exact range length through the
+// offset directories (O(log n)); on the mutable maps the prefix-covered
+// shapes are exact and the single-bound S/O shapes use uniformity
+// assumptions to avoid a leaf walk. Used by the BGP optimizer to order
+// joins.
 func (st *Store) EstimateCardinality(pat Pattern) float64 {
+	if st.frz != nil {
+		return float64(st.frz.count(pat))
+	}
 	sB, pB, oB := pat.S != Wild, pat.P != Wild, pat.O != Wild
 	n := float64(st.size)
 	if n == 0 {

@@ -23,6 +23,12 @@ type IDTriple struct {
 }
 
 // Store is an indexed triple store over a term dictionary.
+//
+// The store is two-phase: a mutable build phase backed by the nested-map
+// indexes below, and a read-optimized frozen phase (see index.go)
+// entered via Freeze, which compacts the triple set into sorted columnar
+// arrays. Reads transparently use whichever representation is current;
+// writes invalidate the frozen state.
 type Store struct {
 	dict *dict.Dictionary
 
@@ -35,6 +41,9 @@ type Store struct {
 
 	// Per-predicate statistics, maintained incrementally.
 	predCount map[dict.ID]int
+
+	// frz is the compacted sorted-array view, nil while dirty.
+	frz *frozen
 }
 
 type idSet map[dict.ID]struct{}
@@ -78,6 +87,7 @@ func (st *Store) AddID(t IDTriple) bool {
 	insert3(st.osp, t.O, t.S, t.P)
 	st.size++
 	st.predCount[t.P]++
+	st.invalidate()
 	return true
 }
 
@@ -106,6 +116,7 @@ func (st *Store) RemoveID(t IDTriple) bool {
 	if st.predCount[t.P] == 0 {
 		delete(st.predCount, t.P)
 	}
+	st.invalidate()
 	return true
 }
 
@@ -122,6 +133,9 @@ func (st *Store) Contains(tr rdf.Triple) bool {
 
 // ContainsID reports whether the encoded triple is in the store.
 func (st *Store) ContainsID(t IDTriple) bool {
+	if st.frz != nil {
+		return st.frz.spo.contains(t.S, t.P, t.O)
+	}
 	m2, ok := st.spo[t.S]
 	if !ok {
 		return false
