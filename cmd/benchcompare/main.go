@@ -1,0 +1,132 @@
+// Command benchcompare gates the performance trajectory: it compares a
+// benchrunner JSON report against a checked-in baseline and fails
+// (exit 1) when
+//
+//   - any row that matched direct evaluation in the baseline no longer
+//     does (a correctness regression is never noise), or
+//   - a baseline row is missing from the current report, or
+//   - the geometric mean of the per-row speedup ratios
+//     (current/baseline) regresses by more than -max-regress.
+//
+// Speedups — not absolute nanoseconds — are compared, so the gate is
+// robust to CI machines being faster or slower than the machine that
+// recorded the baseline, and the aggregate (geometric-mean) gate keeps
+// single-row scheduler noise from failing a build while a real
+// regression — which drags every row — still trips it. Rows whose
+// baseline times sit below a noise floor on either path carry
+// meaningless ratios and are checked for correctness only. Record both
+// reports with `benchrunner -best-of 3` to damp the remaining variance.
+//
+// Usage:
+//
+//	benchcompare -baseline BENCH_baseline.json -current BENCH_all.json
+//	             [-max-regress 0.15] [-min-ns 1000000]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"rdfcube/internal/benchmark"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline report")
+	currentPath := flag.String("current", "", "report to check (required)")
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum tolerated fractional regression of the geomean speedup ratio")
+	minNs := flag.Int64("min-ns", 1_000_000, "noise floor: rows with a baseline path faster than this are correctness-checked only")
+	flag.Parse()
+	if *currentPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	baseline, err := readReport(*baselinePath)
+	if err != nil {
+		fatal("baseline: %v", err)
+	}
+	current, err := readReport(*currentPath)
+	if err != nil {
+		fatal("current: %v", err)
+	}
+
+	failures := 0
+	var logRatios []float64
+	fmt.Printf("%-4s %-22s %10s %10s %8s  %s\n", "exp", "row", "base", "current", "ratio", "note")
+	for _, name := range benchmark.ExperimentOrder {
+		baseRows, ok := baseline.Experiments[name]
+		if !ok {
+			continue // experiment not in baseline: nothing to gate
+		}
+		curByLabel := map[string]benchmark.JSONRow{}
+		for _, row := range current.Experiments[name] {
+			curByLabel[row.Label] = row
+		}
+		for _, base := range baseRows {
+			cur, ok := curByLabel[base.Label]
+			if !ok {
+				failures++
+				fmt.Printf("%-4s %-22s %10.2fx %10s %8s  FAIL: row missing\n", name, base.Label, base.Speedup, "-", "-")
+				continue
+			}
+			note := "ok"
+			ratio := 0.0
+			switch {
+			case base.Match && !cur.Match:
+				note = "FAIL: rewrite no longer matches direct evaluation"
+				failures++
+			case base.DirectNs < *minNs || base.RewriteNs < *minNs:
+				note = "below noise floor; correctness only"
+			case base.Speedup > 0 && cur.Speedup > 0:
+				ratio = cur.Speedup / base.Speedup
+				logRatios = append(logRatios, math.Log(ratio))
+			}
+			rs := "-"
+			if ratio > 0 {
+				rs = fmt.Sprintf("%.2f", ratio)
+			}
+			fmt.Printf("%-4s %-22s %10.2fx %10.2fx %8s  %s\n",
+				name, base.Label, base.Speedup, cur.Speedup, rs, note)
+		}
+	}
+
+	if len(logRatios) > 0 {
+		sum := 0.0
+		for _, lr := range logRatios {
+			sum += lr
+		}
+		geomean := math.Exp(sum / float64(len(logRatios)))
+		verdict := "ok"
+		if geomean < 1-*maxRegress {
+			verdict = fmt.Sprintf("FAIL: regressed > %.0f%%", *maxRegress*100)
+			failures++
+		}
+		fmt.Printf("\ngeomean speedup ratio over %d gated rows: %.3f  %s\n", len(logRatios), geomean, verdict)
+	}
+	if failures > 0 {
+		fmt.Printf("benchcompare: %d failure(s) vs %s\n", failures, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcompare: trajectory holds vs %s\n", *baselinePath)
+}
+
+func readReport(path string) (*benchmark.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r benchmark.Report
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcompare: "+format+"\n", args...)
+	os.Exit(1)
+}

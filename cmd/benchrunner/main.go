@@ -5,17 +5,21 @@
 //
 // Usage:
 //
-//	benchrunner [-experiment all|e1|e2|e3|e4|e5|e6|e7|e8] [-scale N] [-json FILE]
+//	benchrunner [-experiment all|e1|e2|e3|e4|e5|e6|e7|e8] [-scale N]
+//	            [-json FILE] [-best-of N]
 //
 // -scale multiplies the default dataset sizes (1 ≈ seconds, 10 ≈ minutes).
 // -json additionally writes the measured rows as a machine-readable
 // report (conventionally BENCH_<experiment>.json) so successive PRs can
-// track the performance trajectory.
+// track the performance trajectory; cmd/benchcompare gates CI on it.
+// -best-of repeats every experiment N times and keeps each path's best
+// time per row, damping scheduler noise in the recorded speedups.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rdfcube/internal/benchmark"
@@ -25,7 +29,11 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment to run: all, e1..e8")
 	scale := flag.Int("scale", 1, "dataset size multiplier")
 	jsonPath := flag.String("json", "", "write a machine-readable report to this file (e.g. BENCH_all.json)")
+	bestOf := flag.Int("best-of", 1, "repetitions per experiment; each row keeps its best times")
 	flag.Parse()
+	if *bestOf < 1 {
+		*bestOf = 1
+	}
 
 	var selected []string
 	switch {
@@ -46,6 +54,16 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", name, err)
 			os.Exit(1)
+		}
+		// Repetitions print nothing; each folds its best times into the
+		// first run's rows.
+		for rep := 1; rep < *bestOf; rep++ {
+			again, err := benchmark.Experiments[name](io.Discard, s)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: %s (rep %d): %v\n", name, rep+1, err)
+				os.Exit(1)
+			}
+			rows = benchmark.MergeBest(rows, again)
 		}
 		report.Add(name, rows)
 	}

@@ -20,7 +20,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"rdfcube"
@@ -137,22 +136,12 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%d cube cells\n", cube.Len())
 }
 
-// parseValue interprets a slice value: integer, float, prefixed name or
-// IRI; anything else becomes a plain literal.
+// parseValue interprets a slice/dice value through the shared constant-
+// term parser (integer, float, prefixed name, <IRI>, quoted literal);
+// bare words fall back to a plain literal for CLI convenience.
 func parseValue(s string, prefixes rdfcube.Prefixes) rdfcube.Term {
-	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
-		return rdfcube.NewInt(v)
-	}
-	if v, err := strconv.ParseFloat(s, 64); err == nil && strings.ContainsAny(s, ".eE") {
-		return rdfcube.NewFloat(v)
-	}
-	if strings.HasPrefix(s, "<") && strings.HasSuffix(s, ">") {
-		return rdfcube.NewIRI(s[1 : len(s)-1])
-	}
-	if name, local, ok := strings.Cut(s, ":"); ok {
-		if ns, found := prefixes[name]; found {
-			return rdfcube.NewIRI(ns + local)
-		}
+	if t, err := rdfcube.ParseTerm(s, prefixes); err == nil {
+		return t
 	}
 	return rdfcube.NewLiteral(s)
 }

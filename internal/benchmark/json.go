@@ -54,6 +54,34 @@ func (r *Report) Add(name string, rows []Row) {
 	r.Experiments[name] = out
 }
 
+// MergeBest folds a repeat measurement into base, row by row (matched
+// by label): each path keeps its best (minimum) observed time — the
+// standard best-of-N noise reduction — and Match holds only if every
+// repetition matched. Rows present in just one input pass through.
+func MergeBest(base, rep []Row) []Row {
+	byLabel := make(map[string]int, len(base))
+	out := append([]Row(nil), base...)
+	for i, r := range out {
+		byLabel[r.Label] = i
+	}
+	for _, r := range rep {
+		i, ok := byLabel[r.Label]
+		if !ok {
+			byLabel[r.Label] = len(out)
+			out = append(out, r)
+			continue
+		}
+		if r.Direct < out[i].Direct {
+			out[i].Direct = r.Direct
+		}
+		if r.Rewrite < out[i].Rewrite {
+			out[i].Rewrite = r.Rewrite
+		}
+		out[i].Match = out[i].Match && r.Match
+	}
+	return out
+}
+
 // WriteJSON renders the report as indented JSON.
 func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

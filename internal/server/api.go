@@ -1,0 +1,328 @@
+package server
+
+// Wire types of the HTTP/JSON API, and their translation to the core
+// query model. Queries travel in the paper's datalog surface syntax;
+// Σ restrictions and OLAP operation values as constant-term strings
+// (see sparql.ParseTerm).
+
+import (
+	"fmt"
+
+	"rdfcube/internal/agg"
+	"rdfcube/internal/algebra"
+	"rdfcube/internal/ans"
+	"rdfcube/internal/core"
+	"rdfcube/internal/dict"
+	"rdfcube/internal/rdf"
+	"rdfcube/internal/sparql"
+	"rdfcube/internal/viewreg"
+)
+
+// QueryRequest submits an analytical query, optionally transformed by a
+// sequence of OLAP operations (applied in order to the base query).
+type QueryRequest struct {
+	// Classifier and Measure are datalog-syntax BGP queries, e.g.
+	// "c(x, age) :- x rdf:type :Blogger, x :hasAge age".
+	Classifier string `json:"classifier"`
+	Measure    string `json:"measure"`
+	// Agg names the aggregation function: count, sum, avg, min, max,
+	// countdistinct.
+	Agg string `json:"agg"`
+	// Sigma restricts dimensions to value sets (extended AnQ), values in
+	// constant-term syntax.
+	Sigma map[string][]string `json:"sigma,omitempty"`
+	// Prefixes extends the default rdf/rdfs/xsd prefix table for this
+	// request.
+	Prefixes map[string]string `json:"prefixes,omitempty"`
+	// Ops transforms the base query before answering.
+	Ops []OpSpec `json:"ops,omitempty"`
+	// Direct bypasses the view registry and evaluates from the instance
+	// (differential testing, benchmarking). Direct answers are not
+	// registered and do not touch strategy counters.
+	Direct bool `json:"direct,omitempty"`
+}
+
+// OpSpec is one OLAP operation application.
+type OpSpec struct {
+	// Op is slice, dice, drillout or drillin.
+	Op string `json:"op"`
+	// Dim names the dimension for slice (existing) or drillin (new).
+	Dim string `json:"dim,omitempty"`
+	// Value is the slice value (constant-term syntax).
+	Value string `json:"value,omitempty"`
+	// Restrictions maps dimensions to allowed value sets for dice.
+	Restrictions map[string][]string `json:"restrictions,omitempty"`
+	// Dims lists the dimensions a drillout removes.
+	Dims []string `json:"dims,omitempty"`
+}
+
+// QueryResponse carries the answered cube. Rows are sorted
+// lexicographically and rendered with terms in N-Triples syntax, so two
+// equal cubes serialize byte-identically.
+type QueryResponse struct {
+	Strategy  string     `json:"strategy"`
+	Cols      []string   `json:"cols"`
+	Rows      [][]string `json:"rows"`
+	Cells     int        `json:"cells"`
+	ElapsedNs int64      `json:"elapsed_ns"`
+}
+
+// LoadResponse reports a data load.
+type LoadResponse struct {
+	Added   int  `json:"added"`
+	Triples int  `json:"triples"`
+	Frozen  bool `json:"frozen"`
+}
+
+// SchemaRequest declares an analytical schema to materialize over the
+// base graph. The serving instance becomes the materialization and the
+// view registry is reset.
+type SchemaRequest struct {
+	Name     string            `json:"name,omitempty"`
+	Prefixes map[string]string `json:"prefixes,omitempty"`
+	// Saturate applies RDFS entailment to the base graph first.
+	Saturate bool         `json:"saturate,omitempty"`
+	Nodes    []SchemaNode `json:"nodes"`
+	Edges    []SchemaEdge `json:"edges"`
+}
+
+// SchemaNode declares an analysis class and its defining unary query.
+type SchemaNode struct {
+	Class string `json:"class"`
+	Query string `json:"query"`
+}
+
+// SchemaEdge declares an analysis property, its endpoints, and its
+// defining binary query.
+type SchemaEdge struct {
+	Property string `json:"property"`
+	From     string `json:"from,omitempty"`
+	To       string `json:"to,omitempty"`
+	Query    string `json:"query"`
+}
+
+// MaterializeResponse reports a schema materialization.
+type MaterializeResponse struct {
+	Name            string `json:"name,omitempty"`
+	InstanceTriples int    `json:"instance_triples"`
+	SaturationAdded int    `json:"saturation_added,omitempty"`
+}
+
+// StatsResponse is the /statsz payload.
+type StatsResponse struct {
+	UptimeNs int64      `json:"uptime_ns"`
+	Base     GraphStats `json:"base"`
+	Instance GraphStats `json:"instance"`
+	Registry RegStats   `json:"registry"`
+	// Endpoints maps route to request metrics.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// GraphStats describes one graph.
+type GraphStats struct {
+	Triples int    `json:"triples"`
+	Frozen  bool   `json:"frozen"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// RegStats describes the view registry.
+type RegStats struct {
+	Entries       int              `json:"entries"`
+	Bytes         int64            `json:"bytes"`
+	MaxBytes      int64            `json:"max_bytes,omitempty"`
+	Evictions     int64            `json:"evictions"`
+	Invalidations int64            `json:"invalidations"`
+	Coalesced     int64            `json:"coalesced"`
+	Strategies    map[string]int64 `json:"strategies"`
+}
+
+// EndpointStats aggregates per-route request metrics.
+type EndpointStats struct {
+	Count    int64 `json:"count"`
+	Errors   int64 `json:"errors"`
+	TotalNs  int64 `json:"total_ns"`
+	MaxNs    int64 `json:"max_ns"`
+	AvgNs    int64 `json:"avg_ns"`
+	LastNs   int64 `json:"last_ns"`
+	InFlight int64 `json:"in_flight"`
+}
+
+// errorResponse is the uniform error payload.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// requestPrefixes merges the default prefix table with a request's.
+func requestPrefixes(extra map[string]string) sparql.Prefixes {
+	px := sparql.DefaultPrefixes()
+	for name, iri := range extra {
+		px[name] = iri
+	}
+	return px
+}
+
+// buildQuery translates a QueryRequest into a validated core.Query with
+// all OLAP operations applied.
+func buildQuery(req *QueryRequest) (*core.Query, error) {
+	px := requestPrefixes(req.Prefixes)
+	if req.Classifier == "" || req.Measure == "" {
+		return nil, fmt.Errorf("classifier and measure are required")
+	}
+	c, err := sparql.ParseDatalog(req.Classifier, px)
+	if err != nil {
+		return nil, fmt.Errorf("classifier: %w", err)
+	}
+	m, err := sparql.ParseDatalog(req.Measure, px)
+	if err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	aggName := req.Agg
+	if aggName == "" {
+		aggName = "count"
+	}
+	f, err := agg.ByName(aggName)
+	if err != nil {
+		return nil, err
+	}
+	q, err := core.New(c, m, f)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Sigma) > 0 {
+		q.Sigma = core.Sigma{}
+		for dim, vals := range req.Sigma {
+			terms, err := parseTerms(vals, px)
+			if err != nil {
+				return nil, fmt.Errorf("sigma[%s]: %w", dim, err)
+			}
+			q.Sigma[dim] = terms
+		}
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	for i, op := range req.Ops {
+		q, err = applyOp(q, op, px)
+		if err != nil {
+			return nil, fmt.Errorf("ops[%d] %s: %w", i, op.Op, err)
+		}
+	}
+	return q, nil
+}
+
+// applyOp applies one OLAP operation to q.
+func applyOp(q *core.Query, op OpSpec, px sparql.Prefixes) (*core.Query, error) {
+	switch op.Op {
+	case "slice":
+		v, err := sparql.ParseTerm(op.Value, px)
+		if err != nil {
+			return nil, err
+		}
+		return core.Slice(q, op.Dim, v)
+	case "dice":
+		restrictions := make(map[string][]rdf.Term, len(op.Restrictions))
+		for dim, vals := range op.Restrictions {
+			terms, err := parseTerms(vals, px)
+			if err != nil {
+				return nil, fmt.Errorf("restrictions[%s]: %w", dim, err)
+			}
+			restrictions[dim] = terms
+		}
+		return core.Dice(q, restrictions)
+	case "drillout":
+		return core.DrillOut(q, op.Dims...)
+	case "drillin":
+		return core.DrillIn(q, op.Dim)
+	default:
+		return nil, fmt.Errorf("unknown op %q (want slice, dice, drillout or drillin)", op.Op)
+	}
+}
+
+func parseTerms(vals []string, px sparql.Prefixes) ([]rdf.Term, error) {
+	terms := make([]rdf.Term, len(vals))
+	for i, v := range vals {
+		t, err := sparql.ParseTerm(v, px)
+		if err != nil {
+			return nil, err
+		}
+		terms[i] = t
+	}
+	return terms, nil
+}
+
+// buildSchema translates a SchemaRequest into a validated ans.Schema.
+func buildSchema(req *SchemaRequest) (*ans.Schema, error) {
+	px := requestPrefixes(req.Prefixes)
+	if len(req.Nodes) == 0 {
+		return nil, fmt.Errorf("schema needs at least one node")
+	}
+	s := &ans.Schema{Name: req.Name}
+	for i, n := range req.Nodes {
+		class, err := sparql.ParseTerm(n.Class, px)
+		if err != nil {
+			return nil, fmt.Errorf("nodes[%d].class: %w", i, err)
+		}
+		q, err := sparql.ParseDatalog(n.Query, px)
+		if err != nil {
+			return nil, fmt.Errorf("nodes[%d].query: %w", i, err)
+		}
+		s.AddNode(class, q)
+	}
+	for i, e := range req.Edges {
+		prop, err := sparql.ParseTerm(e.Property, px)
+		if err != nil {
+			return nil, fmt.Errorf("edges[%d].property: %w", i, err)
+		}
+		var from, to rdf.Term
+		if e.From != "" {
+			if from, err = sparql.ParseTerm(e.From, px); err != nil {
+				return nil, fmt.Errorf("edges[%d].from: %w", i, err)
+			}
+		}
+		if e.To != "" {
+			if to, err = sparql.ParseTerm(e.To, px); err != nil {
+				return nil, fmt.Errorf("edges[%d].to: %w", i, err)
+			}
+		}
+		q, err := sparql.ParseDatalog(e.Query, px)
+		if err != nil {
+			return nil, fmt.Errorf("edges[%d].query: %w", i, err)
+		}
+		s.AddEdge(prop, from, to, q)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// renderCube sorts a copy of the cube and renders its cells
+// deterministically: term IDs in N-Triples syntax through the
+// dictionary, numbers like algebra.Value (integral floats without a
+// point). Equal cubes therefore serialize byte-identically regardless of
+// the strategy that produced them.
+func renderCube(cube *algebra.Relation, d *dict.Dictionary, strategy viewreg.Strategy, elapsedNs int64) *QueryResponse {
+	sorted := cube.Clone()
+	sorted.Sort()
+	rows := make([][]string, len(sorted.Rows))
+	for i, row := range sorted.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			if v.Kind == algebra.TermValue {
+				if t, ok := d.Decode(v.ID); ok {
+					cells[j] = t.String()
+					continue
+				}
+			}
+			cells[j] = v.String()
+		}
+		rows[i] = cells
+	}
+	return &QueryResponse{
+		Strategy:  string(strategy),
+		Cols:      append([]string(nil), sorted.Cols...),
+		Rows:      rows,
+		Cells:     len(rows),
+		ElapsedNs: elapsedNs,
+	}
+}

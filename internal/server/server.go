@@ -1,0 +1,416 @@
+// Package server exposes the OLAP engine over HTTP/JSON: load or
+// snapshot a graph, materialize an analytical schema, submit analytical
+// queries and OLAP operations, and inspect server statistics. Every
+// query is answered through a shared viewreg.Registry, so concurrent
+// clients transparently reuse each other's materialized views — the
+// paper's rewriting (Figure 2) as a multi-tenant service.
+//
+// Endpoints:
+//
+//	POST /load           N-Triples body → add to the base graph
+//	                     (?saturate=1 applies RDFS entailment,
+//	                      ?freeze=0 skips re-freezing after the load)
+//	POST /load-snapshot  binary snapshot body → replace the base graph
+//	GET  /snapshot       binary snapshot of the base graph (?graph=instance)
+//	POST /materialize    SchemaRequest → serve the materialized instance
+//	POST /freeze         compact base and instance onto the sorted indexes
+//	POST /query          QueryRequest → QueryResponse
+//	GET  /statsz         StatsResponse (strategies, latencies, registry)
+//	GET  /healthz        liveness probe
+//
+// Concurrency model: queries run under a read lock (the store and the
+// registry are concurrency-safe for readers); anything that writes the
+// graphs — load, load-snapshot, materialize, freeze — takes the write
+// lock, so a mutation never races an evaluation. View invalidation
+// after a write is handled by the registry's epoch validation.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdfcube/internal/algebra"
+	"rdfcube/internal/nt"
+	"rdfcube/internal/rdf"
+	"rdfcube/internal/rdfs"
+	"rdfcube/internal/store"
+	"rdfcube/internal/viewreg"
+)
+
+// Config parameterizes a server.
+type Config struct {
+	// MaxViewBytes bounds the shared view registry (0 = unbounded).
+	MaxViewBytes int64
+	// MaxViewEntries additionally bounds the entry count.
+	MaxViewEntries int
+	// MaxBodyBytes caps request bodies (default 1 GiB).
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP facade over one base graph, one serving instance
+// and one shared view registry.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	// mu orders graph mutations before queries: RLock for answering,
+	// Lock for load/materialize/freeze.
+	mu   sync.RWMutex
+	base *store.Store
+	inst *store.Store // == base until a schema is materialized
+	reg  *viewreg.Registry
+
+	metricsMu sync.Mutex
+	metrics   map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	count, errors, totalNs, maxNs, lastNs int64
+	inFlight                              atomic.Int64
+}
+
+// New returns a server over the given base graph (nil for an empty one).
+// The graph is served as-is until /materialize installs an instance.
+func New(base *store.Store, cfg Config) *Server {
+	if base == nil {
+		base = store.New()
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 1 << 30
+	}
+	s := &Server{
+		cfg:     cfg,
+		start:   time.Now(),
+		base:    base,
+		metrics: map[string]*endpointMetrics{},
+	}
+	s.installInstance(base)
+	return s
+}
+
+// installInstance swaps the serving instance and resets the registry.
+// Caller must hold the write lock (or be the constructor).
+func (s *Server) installInstance(inst *store.Store) {
+	s.inst = inst
+	s.reg = viewreg.New(inst, viewreg.Config{
+		MaxBytes:   s.cfg.MaxViewBytes,
+		MaxEntries: s.cfg.MaxViewEntries,
+	})
+}
+
+// Registry exposes the shared view registry (tests, diagnostics).
+func (s *Server) Registry() *viewreg.Registry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reg
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /load", s.instrument("/load", s.handleLoad))
+	mux.Handle("POST /load-snapshot", s.instrument("/load-snapshot", s.handleLoadSnapshot))
+	mux.Handle("GET /snapshot", s.instrument("/snapshot", s.handleSnapshot))
+	mux.Handle("POST /materialize", s.instrument("/materialize", s.handleMaterialize))
+	mux.Handle("POST /freeze", s.instrument("/freeze", s.handleFreeze))
+	mux.Handle("POST /query", s.instrument("/query", s.handleQuery))
+	mux.Handle("GET /statsz", s.instrument("/statsz", s.handleStatsz))
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	return mux
+}
+
+// handlerFunc is a handler returning an HTTP status and optional error.
+// A non-nil error with a zero status is counted in the endpoint metrics
+// but rendered by the handler itself (or not at all — e.g. a failure
+// mid-stream, after the response headers have gone out).
+type handlerFunc func(w http.ResponseWriter, r *http.Request) (int, error)
+
+// instrument wraps a handler with body capping, latency/error metrics
+// and uniform error rendering.
+func (s *Server) instrument(route string, h handlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := s.endpoint(route)
+		m.inFlight.Add(1)
+		t0 := time.Now()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		status, err := h(w, r)
+		elapsed := time.Since(t0).Nanoseconds()
+		if err != nil && status != 0 {
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+		}
+		s.metricsMu.Lock()
+		m.count++
+		if err != nil {
+			m.errors++
+		}
+		m.totalNs += elapsed
+		m.lastNs = elapsed
+		if elapsed > m.maxNs {
+			m.maxNs = elapsed
+		}
+		s.metricsMu.Unlock()
+		m.inFlight.Add(-1)
+	})
+}
+
+func (s *Server) endpoint(route string) *endpointMetrics {
+	s.metricsMu.Lock()
+	defer s.metricsMu.Unlock()
+	m, ok := s.metrics[route]
+	if !ok {
+		m = &endpointMetrics{}
+		s.metrics[route] = m
+	}
+	return m
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// boolParam reads a query parameter as a boolean with a default.
+func boolParam(r *http.Request, name string, def bool) bool {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	switch strings.ToLower(v) {
+	case "1", "true", "yes", "on":
+		return true
+	default:
+		return false
+	}
+}
+
+// handleLoad streams an N-Triples body into the base graph. The body is
+// parsed into a staging batch *before* the write lock is taken, so a
+// slow upload never stalls concurrent queries; only the in-memory
+// apply/saturate/freeze happens inside the critical section.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) (int, error) {
+	saturate := boolParam(r, "saturate", false)
+	freeze := boolParam(r, "freeze", true)
+
+	var batch []rdf.Triple
+	rd := nt.NewReader(r.Body)
+	for {
+		t, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return http.StatusBadRequest, fmt.Errorf("parse: %v (after %d triples)", err, len(batch))
+		}
+		batch = append(batch, t)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	added := 0
+	for _, t := range batch {
+		if s.base.Add(t) {
+			added++
+		}
+	}
+	if saturate {
+		added += rdfs.Saturate(s.base)
+	}
+	if freeze {
+		s.base.Freeze()
+		if s.inst != s.base {
+			s.inst.Freeze()
+		}
+	}
+	writeJSON(w, http.StatusOK, LoadResponse{
+		Added:   added,
+		Triples: s.base.Len(),
+		Frozen:  s.base.IsFrozen(),
+	})
+	return http.StatusOK, nil
+}
+
+// handleLoadSnapshot replaces the base graph from a binary snapshot.
+// The serving instance and the view registry reset with it.
+func (s *Server) handleLoadSnapshot(w http.ResponseWriter, r *http.Request) (int, error) {
+	st, err := store.ReadSnapshotFrozen(r.Body)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	s.mu.Lock()
+	s.base = st
+	s.installInstance(st)
+	triples := st.Len()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, LoadResponse{Added: triples, Triples: triples, Frozen: true})
+	return http.StatusOK, nil
+}
+
+// handleSnapshot streams a binary snapshot of the base graph (or the
+// serving instance with ?graph=instance).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := s.base
+	if r.URL.Query().Get("graph") == "instance" {
+		g = s.inst
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := g.WriteSnapshot(w); err != nil {
+		// Headers are gone: abort the stream, but surface the failure in
+		// the endpoint error metrics (zero status = do not render JSON).
+		return 0, fmt.Errorf("snapshot stream: %w", err)
+	}
+	return http.StatusOK, nil
+}
+
+// handleMaterialize materializes an analytical schema over the base
+// graph and installs the result as the serving instance. Saturation and
+// freezing of the base happen before materialization can fail, so an
+// errored request may still have grown the base graph by (monotone,
+// semantically redundant) RDFS-entailed triples; re-POSTing after
+// fixing the schema is always safe.
+func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req SchemaRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	schema, err := buildSchema(&req)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	satAdded := 0
+	if req.Saturate {
+		satAdded = rdfs.Saturate(s.base)
+	}
+	s.base.Freeze() // materialization queries run on the fast path
+	inst, err := schema.Materialize(s.base)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	s.installInstance(inst)
+	writeJSON(w, http.StatusOK, MaterializeResponse{
+		Name:            req.Name,
+		InstanceTriples: inst.Len(),
+		SaturationAdded: satAdded,
+	})
+	return http.StatusOK, nil
+}
+
+// handleFreeze compacts both graphs onto the read-optimized indexes.
+func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.base.Freeze()
+	if s.inst != s.base {
+		s.inst.Freeze()
+	}
+	writeJSON(w, http.StatusOK, LoadResponse{Triples: s.base.Len(), Frozen: true})
+	return http.StatusOK, nil
+}
+
+// handleQuery answers an analytical query through the shared registry
+// (or directly, when requested).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	q, err := buildQuery(&req)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t0 := time.Now()
+	var (
+		cube     *algebra.Relation
+		strategy viewreg.Strategy
+	)
+	if req.Direct {
+		c, err := s.reg.Evaluator().Answer(q)
+		if err != nil {
+			return http.StatusUnprocessableEntity, err
+		}
+		cube, strategy = c, viewreg.StrategyDirect
+	} else {
+		c, strat, err := s.reg.Answer(q)
+		if err != nil {
+			return http.StatusUnprocessableEntity, err
+		}
+		cube, strategy = c, strat
+	}
+	elapsed := time.Since(t0).Nanoseconds()
+	writeJSON(w, http.StatusOK, renderCube(cube, s.inst.Dict(), strategy, elapsed))
+	return http.StatusOK, nil
+}
+
+// handleStatsz reports registry, graph and endpoint statistics.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, error) {
+	// Store fields (size, frozen state) are written by the load/
+	// materialize endpoints, so they must be read under the lock; the
+	// registry snapshot is internally synchronized.
+	s.mu.RLock()
+	baseStats := GraphStats{Triples: s.base.Len(), Frozen: s.base.IsFrozen(), Epoch: s.base.Epoch()}
+	instStats := GraphStats{Triples: s.inst.Len(), Frozen: s.inst.IsFrozen(), Epoch: s.inst.Epoch()}
+	reg := s.reg
+	s.mu.RUnlock()
+	rs := reg.Stats()
+	strategies := make(map[string]int64, len(rs.ByStrategy))
+	for k, v := range rs.ByStrategy {
+		strategies[string(k)] = v
+	}
+	for _, k := range viewreg.Strategies {
+		if _, ok := strategies[string(k)]; !ok {
+			strategies[string(k)] = 0
+		}
+	}
+	resp := StatsResponse{
+		UptimeNs: time.Since(s.start).Nanoseconds(),
+		Base:     baseStats,
+		Instance: instStats,
+		Registry: RegStats{
+			Entries:       rs.Entries,
+			Bytes:         rs.Bytes,
+			MaxBytes:      s.cfg.MaxViewBytes,
+			Evictions:     rs.Evictions,
+			Invalidations: rs.Invalidations,
+			Coalesced:     rs.Coalesced,
+			Strategies:    strategies,
+		},
+		Endpoints: map[string]EndpointStats{},
+	}
+	s.metricsMu.Lock()
+	for route, m := range s.metrics {
+		es := EndpointStats{
+			Count:    m.count,
+			Errors:   m.errors,
+			TotalNs:  m.totalNs,
+			MaxNs:    m.maxNs,
+			LastNs:   m.lastNs,
+			InFlight: m.inFlight.Load(),
+		}
+		if m.count > 0 {
+			es.AvgNs = m.totalNs / m.count
+		}
+		resp.Endpoints[route] = es
+	}
+	s.metricsMu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) (int, error) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	return http.StatusOK, nil
+}

@@ -12,75 +12,68 @@
 //   - otherwise                → direct evaluation, after which the new
 //     query's results are materialized for future reuse.
 //
-// Detection is syntactic: classifier/measure bodies must match pattern
-// for pattern (order-insensitive) with identical variable names, the
-// aggregation function must be the same, and Σ must relate by refinement.
-// This mirrors an interactive OLAP session, where each operation is a
-// transformation of the previous query, so syntactic matching is exactly
-// what occurs in practice.
+// The manager is a thin per-client façade over internal/viewreg, which
+// holds the detection logic and the materialized views. A Manager owns a
+// private registry, preserving the classic single-analyst session; to
+// share materializations across many clients, point several frontends
+// (or internal/server) at one viewreg.Registry instead.
 package session
 
 import (
-	"fmt"
-	"sort"
-
 	"rdfcube/internal/algebra"
 	"rdfcube/internal/core"
-	"rdfcube/internal/rdf"
-	"rdfcube/internal/sparql"
 	"rdfcube/internal/store"
+	"rdfcube/internal/viewreg"
 )
 
 // Strategy identifies how a query was answered.
-type Strategy string
+type Strategy = viewreg.Strategy
 
 // The five answering strategies, in preference order.
 const (
-	StrategyCached   Strategy = "cached"
-	StrategyDice     Strategy = "dice-rewrite"
-	StrategyDrillOut Strategy = "drillout-rewrite"
-	StrategyDrillIn  Strategy = "drillin-rewrite"
-	StrategyDirect   Strategy = "direct"
+	StrategyCached   = viewreg.StrategyCached
+	StrategyDice     = viewreg.StrategyDice
+	StrategyDrillOut = viewreg.StrategyDrillOut
+	StrategyDrillIn  = viewreg.StrategyDrillIn
+	StrategyDirect   = viewreg.StrategyDirect
 )
-
-// Materialized bundles a query with its stored results.
-type Materialized struct {
-	Query *core.Query
-	Pres  *algebra.Relation
-	Ans   *algebra.Relation
-}
 
 // Manager answers analytical queries over one AnS instance, reusing
 // materialized results of earlier queries whenever a rewriting applies.
-// Manager is not safe for concurrent use.
+// Unlike the historical implementation it is safe for concurrent use
+// (the backing registry is), though a Manager models one client.
 type Manager struct {
-	ev *core.Evaluator
-	// entries holds materialized queries, most recent first; lookup
-	// prefers recent entries, matching OLAP session locality.
-	entries []*Materialized
-	// MaxEntries bounds the cache (0 = unbounded). Old entries are
-	// evicted FIFO.
+	reg *viewreg.Registry
+	// MaxEntries bounds the cache (0 = unbounded). Least-recently-used
+	// entries are evicted past it.
 	MaxEntries int
-	// stats counts answers by strategy.
-	stats map[Strategy]int
 }
 
-// NewManager returns a manager over the given AnS instance.
+// NewManager returns a manager over the given AnS instance, backed by a
+// fresh private registry.
 func NewManager(inst *store.Store) *Manager {
-	return &Manager{ev: core.NewEvaluator(inst), stats: map[Strategy]int{}}
+	return &Manager{reg: viewreg.New(inst, viewreg.Config{})}
 }
+
+// Registry exposes the backing view registry (e.g. to share it or to
+// read its extended stats). The registry's *entry-count* bound is owned
+// by this manager — set MaxEntries rather than calling SetLimits, which
+// Answer would override; a *byte* budget set directly on the registry
+// is preserved.
+func (m *Manager) Registry() *viewreg.Registry { return m.reg }
 
 // Evaluator exposes the underlying evaluator.
-func (m *Manager) Evaluator() *core.Evaluator { return m.ev }
+func (m *Manager) Evaluator() *core.Evaluator { return m.reg.Evaluator() }
 
 // Entries returns the current number of materialized queries.
-func (m *Manager) Entries() int { return len(m.entries) }
+func (m *Manager) Entries() int { return m.reg.Entries() }
 
 // Stats reports how many queries each strategy has answered.
 func (m *Manager) Stats() map[Strategy]int {
-	out := make(map[Strategy]int, len(m.stats))
-	for k, v := range m.stats {
-		out[k] = v
+	by := m.reg.Stats().ByStrategy
+	out := make(map[Strategy]int, len(by))
+	for k, v := range by {
+		out[k] = int(v)
 	}
 	return out
 }
@@ -89,279 +82,13 @@ func (m *Manager) Stats() map[Strategy]int {
 // returned cube has the canonical (dims..., measure) layout of
 // Evaluator.Answer.
 func (m *Manager) Answer(q *core.Query) (*algebra.Relation, Strategy, error) {
-	if err := q.Validate(); err != nil {
-		return nil, "", err
-	}
-	for _, e := range m.entries {
-		strategy, cube, err := m.tryRewrite(e, q)
-		if err != nil {
-			return nil, "", err
-		}
-		if cube != nil {
-			m.stats[strategy]++
-			return cube, strategy, nil
-		}
-	}
-	// No reuse possible: evaluate directly and materialize.
-	pres, err := m.ev.Pres(q)
-	if err != nil {
-		return nil, "", err
-	}
-	ansQ, err := m.ev.AnswerFromPres(q, pres)
-	if err != nil {
-		return nil, "", err
-	}
-	m.remember(&Materialized{Query: q.Clone(), Pres: pres, Ans: ansQ})
-	m.stats[StrategyDirect]++
-	return ansQ, StrategyDirect, nil
-}
-
-// remember inserts a materialized entry, evicting the oldest if needed.
-func (m *Manager) remember(e *Materialized) {
-	m.entries = append([]*Materialized{e}, m.entries...)
-	if m.MaxEntries > 0 && len(m.entries) > m.MaxEntries {
-		m.entries = m.entries[:m.MaxEntries]
-	}
-}
-
-// tryRewrite attempts to answer q from entry e. A nil cube with nil
-// error means "not applicable".
-func (m *Manager) tryRewrite(e *Materialized, q *core.Query) (Strategy, *algebra.Relation, error) {
-	if !sameMeasure(e.Query, q) || e.Query.Agg.Name() != q.Agg.Name() {
-		return "", nil, nil
-	}
-	if !sameBody(e.Query.Classifier, q.Classifier) {
-		return "", nil, nil
-	}
-	headRel := headRelation(e.Query.Classifier.Head, q.Classifier.Head)
-	switch headRel {
-	case headEqual:
-		if sigmaEqual(e.Query.Sigma, q.Sigma) {
-			return StrategyCached, e.Ans, nil
-		}
-		if sigmaRefines(e.Query.Sigma, q.Sigma) {
-			cube, err := m.ev.DiceRewrite(q, e.Ans)
-			if err != nil {
-				return "", nil, err
-			}
-			return StrategyDice, cube, nil
-		}
-	case headSubset:
-		// q drops dimensions from e. Algorithm 1 applies when the
-		// surviving dimensions carry identical restrictions and the
-		// dropped dimensions were unrestricted in e — DrillOut removes a
-		// dropped dimension's Σ entry, so a restriction baked into
-		// e.Pres would over-filter q's answer.
-		if !sigmaEqualOn(e.Query.Sigma, q.Sigma, q.Dims()) {
-			return "", nil, nil
-		}
-		drop := missingDims(e.Query.Dims(), q.Dims())
-		for _, d := range drop {
-			if e.Query.Sigma.Restricts(d) {
-				return "", nil, nil
-			}
-		}
-		cube, err := m.ev.DrillOutRewrite(e.Query, e.Pres, drop...)
-		if err != nil {
-			return "", nil, err
-		}
-		// Reorder to q's dimension order if needed.
-		cols := append(append([]string(nil), q.Dims()...), q.MeasureVar())
-		return StrategyDrillOut, cube.Project(cols...), nil
-	case headSuperset:
-		// q adds dimensions; Algorithm 2 handles one added existential
-		// dimension per application. Apply iteratively for several.
-		added := missingDims(q.Dims(), e.Query.Dims())
-		if len(added) != 1 {
-			return "", nil, nil // multi-dim drill-in: fall back to direct
-		}
-		if !sigmaEqualOn(e.Query.Sigma, q.Sigma, e.Query.Dims()) || q.Sigma.Restricts(added[0]) {
-			return "", nil, nil
-		}
-		cube, err := m.ev.DrillInRewrite(e.Query, e.Pres, added[0])
-		if err != nil {
-			// The added variable may not be existential in e's
-			// classifier; treat as not applicable.
-			return "", nil, nil
-		}
-		cols := append(append([]string(nil), q.Dims()...), q.MeasureVar())
-		return StrategyDrillIn, cube.Project(cols...), nil
-	}
-	return "", nil, nil
-}
-
-type headRelationKind int
-
-const (
-	headUnrelated headRelationKind = iota
-	headEqual
-	headSubset   // q's dims ⊂ e's dims (drill-out candidate)
-	headSuperset // q's dims ⊃ e's dims (drill-in candidate)
-)
-
-// headRelation compares classifier heads. The root (first variable) must
-// match; dimension order is irrelevant.
-func headRelation(eHead, qHead []string) headRelationKind {
-	if len(eHead) == 0 || len(qHead) == 0 || eHead[0] != qHead[0] {
-		return headUnrelated
-	}
-	eDims := toSet(eHead[1:])
-	qDims := toSet(qHead[1:])
-	eInQ, qInE := true, true
-	for d := range eDims {
-		if !qDims[d] {
-			eInQ = false
-		}
-	}
-	for d := range qDims {
-		if !eDims[d] {
-			qInE = false
-		}
-	}
-	switch {
-	case eInQ && qInE:
-		return headEqual
-	case qInE:
-		return headSubset
-	case eInQ:
-		return headSuperset
-	default:
-		return headUnrelated
-	}
-}
-
-func toSet(ss []string) map[string]bool {
-	out := make(map[string]bool, len(ss))
-	for _, s := range ss {
-		out[s] = true
-	}
-	return out
-}
-
-// missingDims returns the elements of all that are absent from kept,
-// preserving all's order.
-func missingDims(all, kept []string) []string {
-	k := toSet(kept)
-	var out []string
-	for _, d := range all {
-		if !k[d] {
-			out = append(out, d)
-		}
-	}
-	return out
-}
-
-// sameMeasure reports whether the two queries' measures are syntactically
-// identical (same head, same body patterns up to order).
-func sameMeasure(a, b *core.Query) bool {
-	if len(a.Measure.Head) != len(b.Measure.Head) {
-		return false
-	}
-	for i := range a.Measure.Head {
-		if a.Measure.Head[i] != b.Measure.Head[i] {
-			return false
-		}
-	}
-	return sameBody(a.Measure, b.Measure)
-}
-
-// sameBody reports whether two queries have the same pattern multiset.
-func sameBody(a, b *sparql.Query) bool {
-	if len(a.Patterns) != len(b.Patterns) {
-		return false
-	}
-	ka := patternKeys(a)
-	kb := patternKeys(b)
-	for i := range ka {
-		if ka[i] != kb[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func patternKeys(q *sparql.Query) []string {
-	keys := make([]string, len(q.Patterns))
-	for i, tp := range q.Patterns {
-		keys[i] = tp.String()
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-// sigmaEqual reports Σ_a == Σ_b (same restricted dims, same value sets).
-func sigmaEqual(a, b core.Sigma) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for dim, va := range a {
-		vb, ok := b[dim]
-		if !ok || !sameTermSet(va, vb) {
-			return false
-		}
-	}
-	return true
-}
-
-// sigmaEqualOn reports Σ_a == Σ_b restricted to the given dimensions.
-func sigmaEqualOn(a, b core.Sigma, dims []string) bool {
-	for _, d := range dims {
-		va, aOK := a[d]
-		vb, bOK := b[d]
-		if aOK != bOK {
-			return false
-		}
-		if aOK && !sameTermSet(va, vb) {
-			return false
-		}
-	}
-	return true
-}
-
-// sigmaRefines reports whether Σ_q refines Σ_e: every restriction of e
-// is at least as strong in q (q's value sets are subsets), so filtering
-// e's cube by Σ_q yields exactly q's cube.
-func sigmaRefines(e, q core.Sigma) bool {
-	for dim, ve := range e {
-		vq, ok := q[dim]
-		if !ok {
-			// q relaxes a restriction of e: e's cube lacks the cells q
-			// needs; not a refinement.
-			return false
-		}
-		if !termSubset(vq, ve) {
-			return false
-		}
-	}
-	return true
-}
-
-func sameTermSet(a, b []rdf.Term) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	return termSubset(a, b) && termSubset(b, a)
-}
-
-func termSubset(sub, super []rdf.Term) bool {
-	set := make(map[rdf.Term]bool, len(super))
-	for _, t := range super {
-		set[t] = true
-	}
-	for _, t := range sub {
-		if !set[t] {
-			return false
-		}
-	}
-	return true
+	// Forward the legacy count bound without touching any byte budget a
+	// caller configured on the shared registry.
+	m.reg.SetMaxEntries(m.MaxEntries)
+	return m.reg.Answer(q)
 }
 
 // Describe renders the manager state for diagnostics.
 func (m *Manager) Describe() string {
-	s := fmt.Sprintf("session: %d materialized queries\n", len(m.entries))
-	for i, e := range m.entries {
-		s += fmt.Sprintf("  [%d] dims=%v agg=%s pres=%d rows ans=%d cells\n",
-			i, e.Query.Dims(), e.Query.Agg.Name(), e.Pres.Len(), e.Ans.Len())
-	}
-	return s
+	return "session: " + m.reg.Describe()
 }

@@ -284,36 +284,23 @@ func TestInvalidQueryRejected(t *testing.T) {
 	}
 }
 
-func TestHeadRelation(t *testing.T) {
-	cases := []struct {
-		e, q []string
-		want headRelationKind
-	}{
-		{[]string{"x", "a", "b"}, []string{"x", "b", "a"}, headEqual},
-		{[]string{"x", "a", "b"}, []string{"x", "a"}, headSubset},
-		{[]string{"x", "a"}, []string{"x", "a", "c"}, headSuperset},
-		{[]string{"x", "a"}, []string{"x", "b"}, headUnrelated},
-		{[]string{"x", "a"}, []string{"y", "a"}, headUnrelated},
-	}
-	for _, c := range cases {
-		if got := headRelation(c.e, c.q); got != c.want {
-			t.Errorf("headRelation(%v, %v) = %d, want %d", c.e, c.q, got, c.want)
-		}
-	}
-}
+// The matching-predicate unit tests (head relations, Σ refinement) live
+// with the detection logic in internal/viewreg; this file keeps the
+// end-to-end session behavior tests.
 
-func TestSigmaRefines(t *testing.T) {
-	v1, v2 := rdf.NewInt(1), rdf.NewInt(2)
-	if !sigmaRefines(core.Sigma{}, core.Sigma{"d": {v1}}) {
-		t.Error("adding a restriction is a refinement")
+func TestManagerPreservesRegistryByteBudget(t *testing.T) {
+	// A byte budget configured directly on the exposed registry must
+	// survive Answer's forwarding of the legacy MaxEntries bound.
+	m := NewManager(instance(15, 30))
+	m.Registry().SetLimits(0, 123456)
+	m.MaxEntries = 7
+	if _, _, err := m.Answer(query(t, agg.Sum)); err != nil {
+		t.Fatal(err)
 	}
-	if !sigmaRefines(core.Sigma{"d": {v1, v2}}, core.Sigma{"d": {v1}}) {
-		t.Error("shrinking a value set is a refinement")
-	}
-	if sigmaRefines(core.Sigma{"d": {v1}}, core.Sigma{}) {
-		t.Error("dropping a restriction is not a refinement")
-	}
-	if sigmaRefines(core.Sigma{"d": {v1}}, core.Sigma{"d": {v2}}) {
-		t.Error("disjoint value sets are not refinements")
+	// Shrink the budget below the entry's size: the eviction must kick
+	// in, proving the byte bound stayed live after Answer.
+	m.Registry().SetLimits(0, 1)
+	if got := m.Entries(); got != 0 {
+		t.Fatalf("Entries = %d, want 0 after byte-budget eviction", got)
 	}
 }

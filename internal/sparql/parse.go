@@ -178,6 +178,36 @@ func splitTerms(atom string) ([]string, error) {
 	return toks, nil
 }
 
+// ParseTerm parses a constant RDF term in the datalog surface syntax:
+// <IRI>, prefixed:name, "literal" (with optional @lang or ^^<datatype>),
+// integer, float, or _:blank. Bare numeric tokens are canonicalized
+// (007 → 7, 1e3 → 1000), so a typed-in value always equals the term a
+// data loader would have interned; quote a literal to keep its exact
+// lexical form. Bare identifiers — which the query parser would read as
+// variables — are rejected: a constant position needs a constant. Used
+// wherever term values arrive as strings (CLI flags, server JSON Σ
+// restrictions).
+func ParseTerm(tok string, prefixes Prefixes) (rdf.Term, error) {
+	if prefixes == nil {
+		prefixes = DefaultPrefixes()
+	}
+	tok = strings.TrimSpace(tok)
+	if v, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return rdf.NewInt(v), nil
+	}
+	if v, err := strconv.ParseFloat(tok, 64); err == nil && strings.ContainsAny(tok, ".eE") {
+		return rdf.NewFloat(v), nil
+	}
+	n, err := parseNode(tok, prefixes, false)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	if n.IsVar() {
+		return rdf.Term{}, fmt.Errorf("sparql: %q is not a constant term (quote it for a plain literal)", tok)
+	}
+	return n.Term, nil
+}
+
 // parseNode resolves one token to a Node.
 func parseNode(tok string, prefixes Prefixes, predicatePos bool) (Node, error) {
 	switch {

@@ -258,3 +258,39 @@ func TestHeadAccessors(t *testing.T) {
 		t.Errorf("Vars = %v", vars)
 	}
 }
+
+func TestParseTerm(t *testing.T) {
+	px := testPrefixes()
+	cases := []struct {
+		in   string
+		want rdf.Term
+	}{
+		{"<http://e.org/x>", rdf.NewIRI("http://e.org/x")},
+		{":x", rdf.NewIRI("http://e.org/x")},
+		{"ex:y", rdf.NewIRI("http://example.com/y")},
+		{"42", rdf.NewInt(42)},
+		{"-7", rdf.NewInt(-7)},
+		{"007", rdf.NewInt(7)}, // bare numerics canonicalize
+		{"2.5", rdf.NewFloat(2.5)},
+		{"1e3", rdf.NewFloat(1000)},
+		{`"hi"`, rdf.NewLiteral("hi")},
+		{`"hi"@en`, rdf.NewLangLiteral("hi", "en")},
+		{"_:b0", rdf.NewBlank("b0")},
+		{" :x ", rdf.NewIRI("http://e.org/x")}, // surrounding space trimmed
+	}
+	for _, c := range cases {
+		got, err := ParseTerm(c.in, px)
+		if err != nil {
+			t.Errorf("ParseTerm(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseTerm(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"bareword", "unknown:x", "?v", ""} {
+		if _, err := ParseTerm(bad, px); err == nil {
+			t.Errorf("ParseTerm(%q) accepted, want error", bad)
+		}
+	}
+}

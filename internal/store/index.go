@@ -115,8 +115,12 @@ func (st *Store) Thaw() { st.frz = nil }
 // IsFrozen reports whether the frozen indexes are current.
 func (st *Store) IsFrozen() bool { return st.frz != nil }
 
-// invalidate is called on every successful write.
-func (st *Store) invalidate() { st.frz = nil }
+// invalidate is called on every successful write: it drops the frozen
+// view and advances the epoch so registered materializations expire.
+func (st *Store) invalidate() {
+	st.frz = nil
+	st.epoch.Add(1)
+}
 
 // build sorts base under the permutation's component order (using
 // scratch, len(base), as sort space) and scatters it into the columnar

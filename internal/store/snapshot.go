@@ -109,6 +109,20 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 	return st, nil
 }
 
+// ReadSnapshotFrozen is ReadSnapshot followed by Freeze: the store is
+// returned already compacted onto the sorted columnar indexes, so the
+// first query served after a snapshot load does not pay the unfrozen
+// map-path cost. This is what the CLIs and the rdfcubed daemon use on
+// their load-to-serve boundary.
+func ReadSnapshotFrozen(r io.Reader) (*Store, error) {
+	st, err := ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	st.Freeze()
+	return st, nil
+}
+
 func writeUvarint(w *bufio.Writer, v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)

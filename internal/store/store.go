@@ -13,6 +13,8 @@
 package store
 
 import (
+	"sync/atomic"
+
 	"rdfcube/internal/dict"
 	"rdfcube/internal/rdf"
 )
@@ -44,6 +46,13 @@ type Store struct {
 
 	// frz is the compacted sorted-array view, nil while dirty.
 	frz *frozen
+
+	// epoch is a generation counter bumped on every successful write.
+	// Concurrent readers (the view registry, the server) use it to
+	// validate that results materialized earlier still reflect the
+	// store's current contents; reading it never blocks. Writes
+	// themselves must still be serialized against reads by the caller.
+	epoch atomic.Uint64
 }
 
 type idSet map[dict.ID]struct{}
@@ -66,6 +75,12 @@ func NewWithDict(d *dict.Dictionary) *Store {
 
 // Dict returns the store's term dictionary.
 func (st *Store) Dict() *dict.Dictionary { return st.dict }
+
+// Epoch returns the store's write-generation counter. It increases on
+// every successful Add/Remove, so a materialized result tagged with the
+// epoch at evaluation time is valid exactly while Epoch() still returns
+// that value. Epoch is safe to read concurrently with other reads.
+func (st *Store) Epoch() uint64 { return st.epoch.Load() }
 
 // Len reports the number of distinct triples.
 func (st *Store) Len() int { return st.size }

@@ -347,3 +347,55 @@ func BenchmarkMatchBoundPredicate(b *testing.B) {
 		st.ForEach(Pattern{P: p}, func(IDTriple) bool { n++; return true })
 	}
 }
+
+func TestEpochAdvancesOnWrites(t *testing.T) {
+	st := New()
+	e0 := st.Epoch()
+	st.Add(tri("s", "p", "o"))
+	e1 := st.Epoch()
+	if e1 <= e0 {
+		t.Fatalf("Epoch after Add = %d, want > %d", e1, e0)
+	}
+	if st.Add(tri("s", "p", "o")) {
+		t.Fatal("duplicate Add reported new")
+	}
+	if st.Epoch() != e1 {
+		t.Errorf("duplicate Add changed epoch: %d -> %d", e1, st.Epoch())
+	}
+	st.Freeze()
+	if st.Epoch() != e1 {
+		t.Errorf("Freeze changed epoch: %d -> %d", e1, st.Epoch())
+	}
+	st.Thaw()
+	if st.Epoch() != e1 {
+		t.Errorf("Thaw changed epoch: %d -> %d", e1, st.Epoch())
+	}
+	st.Remove(tri("s", "p", "o"))
+	if st.Epoch() <= e1 {
+		t.Errorf("Epoch after Remove = %d, want > %d", st.Epoch(), e1)
+	}
+	if st.Remove(tri("s", "p", "o")) {
+		t.Fatal("second Remove reported present")
+	}
+}
+
+func TestReadSnapshotFrozen(t *testing.T) {
+	st := New()
+	for i := 0; i < 50; i++ {
+		st.Add(tri(fmt.Sprintf("s%d", i%7), fmt.Sprintf("p%d", i%3), fmt.Sprintf("o%d", i)))
+	}
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshotFrozen(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsFrozen() {
+		t.Error("ReadSnapshotFrozen returned an unfrozen store")
+	}
+	if back.Len() != st.Len() {
+		t.Errorf("size %d, want %d", back.Len(), st.Len())
+	}
+}

@@ -1,0 +1,495 @@
+// Package viewreg implements a concurrency-safe, cross-session registry
+// of materialized analytical views — the paper's problem statement
+// (Figure 2) lifted from a single interactive session to a shared
+// server: the pres(Q)/ans(Q) of every directly-evaluated query are
+// registered under canonicalized fingerprints, and *any* client's
+// SLICE/DICE/DRILL-OUT/DRILL-IN can then be answered from *another*
+// client's materialized results via the syntactic rewriting detection:
+//
+//   - identical query          → the registered ans(Q) ("cached");
+//   - SLICE/DICE refinement    → σ_dice over ans(Q) (Proposition 1);
+//   - DRILL-OUT                → Algorithm 1 over pres(Q) (Proposition 2);
+//   - DRILL-IN                 → Algorithm 2 over pres(Q) + q_aux
+//     (Proposition 3);
+//   - otherwise                → direct evaluation, after which the new
+//     query's results are registered for future reuse.
+//
+// Three properties make the registry serve concurrent traffic:
+//
+//   - Single-flight direct evaluation: concurrent clients asking the
+//     same cube (by canonical fingerprint) trigger exactly one direct
+//     evaluation; followers block until the leader publishes and then
+//     reuse its result.
+//   - Cost-aware bounded memory: entries are LRU-evicted by estimated
+//     byte footprint (and optionally by count), not entry count alone,
+//     so one huge pres(Q) cannot silently pin the budget.
+//   - Write invalidation: every entry is tagged with the store's
+//     freeze-epoch at evaluation time; any store write advances the
+//     epoch and stale entries are dropped at next lookup, so the
+//     registry never serves a cube computed from superseded data.
+//
+// Registered relations are immutable by convention: rewrites read them
+// concurrently without locks, and callers must not mutate a returned
+// cube that came from the registry (clone before sorting in place).
+package viewreg
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"rdfcube/internal/algebra"
+	"rdfcube/internal/core"
+	"rdfcube/internal/store"
+)
+
+// Strategy identifies how a query was answered.
+type Strategy string
+
+// The five answering strategies, in preference order.
+const (
+	StrategyCached   Strategy = "cached"
+	StrategyDice     Strategy = "dice-rewrite"
+	StrategyDrillOut Strategy = "drillout-rewrite"
+	StrategyDrillIn  Strategy = "drillin-rewrite"
+	StrategyDirect   Strategy = "direct"
+)
+
+// Strategies lists every strategy, for stats iteration.
+var Strategies = []Strategy{
+	StrategyCached, StrategyDice, StrategyDrillOut, StrategyDrillIn, StrategyDirect,
+}
+
+// Config bounds a registry. Zero values mean unbounded.
+type Config struct {
+	// MaxBytes caps the estimated byte footprint of registered views;
+	// least-recently-used entries are evicted past it. An entry larger
+	// than the whole budget is not retained at all.
+	MaxBytes int64
+	// MaxEntries additionally caps the entry count (the legacy
+	// session-manager bound).
+	MaxEntries int
+}
+
+// entry is one registered materialization.
+type entry struct {
+	fam, key uint64
+	query    *core.Query
+	pres     *algebra.Relation
+	ans      *algebra.Relation
+	bytes    int64
+	epoch    uint64
+	elem     *list.Element // position in the LRU list; nil once removed
+}
+
+// flight is one in-progress direct evaluation that followers wait on.
+type flight struct {
+	query *core.Query
+	done  chan struct{}
+	cube  *algebra.Relation
+	err   error
+}
+
+// Stats is a point-in-time snapshot of registry counters.
+type Stats struct {
+	// Entries and Bytes describe the current contents.
+	Entries int
+	Bytes   int64
+	// ByStrategy counts answered queries per strategy.
+	ByStrategy map[Strategy]int64
+	// Evictions counts entries dropped for the byte/count budget;
+	// Invalidations counts entries dropped because the store's epoch
+	// moved past them; Coalesced counts queries that piggybacked on
+	// another client's in-flight direct evaluation.
+	Evictions     int64
+	Invalidations int64
+	Coalesced     int64
+}
+
+// Registry is a shared materialized-view registry over one AnS instance.
+// All methods are safe for concurrent use; store *writes* must still be
+// serialized against Answer calls by the caller (the server holds an
+// RWMutex), after which epoch validation retires outdated entries.
+type Registry struct {
+	ev *core.Evaluator
+	st *store.Store
+
+	mu         sync.Mutex
+	maxBytes   int64
+	maxEntries int
+	families   map[uint64][]*entry // per family, oldest first
+	lru        *list.List          // *entry; front = most recently used
+	bytes      int64
+	inflight   map[uint64]*flight
+	stats      map[Strategy]int64
+	evictions  int64
+	invalids   int64
+	coalesced  int64
+}
+
+// New returns an empty registry over the given AnS instance.
+func New(inst *store.Store, cfg Config) *Registry {
+	return &Registry{
+		ev:         core.NewEvaluator(inst),
+		st:         inst,
+		maxBytes:   cfg.MaxBytes,
+		maxEntries: cfg.MaxEntries,
+		families:   map[uint64][]*entry{},
+		lru:        list.New(),
+		inflight:   map[uint64]*flight{},
+		stats:      map[Strategy]int64{},
+	}
+}
+
+// Evaluator exposes the underlying evaluator (for direct, registry-
+// bypassing evaluation and for decoding results).
+func (r *Registry) Evaluator() *core.Evaluator { return r.ev }
+
+// Instance returns the AnS instance the registry answers over.
+func (r *Registry) Instance() *store.Store { return r.st }
+
+// SetLimits adjusts the byte/count budgets, evicting immediately if the
+// new bounds are exceeded. Zero means unbounded.
+func (r *Registry) SetLimits(maxEntries int, maxBytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxEntries, r.maxBytes = maxEntries, maxBytes
+	r.evictLocked()
+}
+
+// SetMaxEntries adjusts only the entry-count budget, leaving any byte
+// budget in place.
+func (r *Registry) SetMaxEntries(maxEntries int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.maxEntries == maxEntries {
+		return
+	}
+	r.maxEntries = maxEntries
+	r.evictLocked()
+}
+
+// Entries returns the number of registered materializations.
+func (r *Registry) Entries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len()
+}
+
+// Bytes returns the estimated byte footprint of registered views.
+func (r *Registry) Bytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
+}
+
+// Stats returns a snapshot of the registry counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	by := make(map[Strategy]int64, len(r.stats))
+	for k, v := range r.stats {
+		by[k] = v
+	}
+	return Stats{
+		Entries:       r.lru.Len(),
+		Bytes:         r.bytes,
+		ByStrategy:    by,
+		Evictions:     r.evictions,
+		Invalidations: r.invalids,
+		Coalesced:     r.coalesced,
+	}
+}
+
+// Answer answers q, choosing the cheapest applicable strategy. The
+// returned cube has the canonical (dims..., measure) layout of
+// Evaluator.Answer and must be treated as immutable when the strategy is
+// StrategyCached (it aliases the registered view).
+func (r *Registry) Answer(q *core.Query) (*algebra.Relation, Strategy, error) {
+	if err := q.Validate(); err != nil {
+		return nil, "", err
+	}
+	fam := familyKey(q)
+	key := exactKey(fam, q)
+	epoch := r.st.Epoch()
+
+	// Phase 1: scan the family's registered views, newest first, for an
+	// applicable rewriting. Entries are immutable, so the rewrite itself
+	// runs outside the lock; a concurrent eviction of the entry is
+	// harmless (our reference keeps it alive).
+	for _, e := range r.candidates(fam, epoch) {
+		strategy, cube, err := r.tryRewrite(e, q)
+		if err != nil {
+			return nil, "", err
+		}
+		if cube != nil {
+			r.touch(e)
+			r.bump(strategy)
+			return cube, strategy, nil
+		}
+	}
+
+	// Phase 2: no reuse possible — direct evaluation, collapsed with any
+	// concurrent identical evaluation.
+	r.mu.Lock()
+	// Re-check the family under the lock: a leader finishing between our
+	// phase-1 scan and here publishes its entry and removes its flight in
+	// one lock hold, so an identical query must land on exactly one of
+	// the two — without this, it would see neither and evaluate a second
+	// time.
+	bucket := r.families[fam]
+	for i := len(bucket) - 1; i >= 0; i-- {
+		if e := bucket[i]; e.epoch == epoch && sameAnswerShape(e.query, q) {
+			if e.elem != nil {
+				r.lru.MoveToFront(e.elem)
+			}
+			r.stats[StrategyCached]++
+			cube := e.ans
+			r.mu.Unlock()
+			return cube, StrategyCached, nil
+		}
+	}
+	if fl, ok := r.inflight[key]; ok && sameAnswerShape(fl.query, q) {
+		r.coalesced++
+		r.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, "", fl.err
+		}
+		r.bump(StrategyCached)
+		return fl.cube, StrategyCached, nil
+	}
+	// Become the leader. If a fingerprint collision maps an unrelated
+	// query to the same key, the displaced flight still completes on its
+	// own (the guarded delete below keeps the table consistent).
+	fl := &flight{query: q.Clone(), done: make(chan struct{})}
+	r.inflight[key] = fl
+	r.mu.Unlock()
+
+	pres, err := r.ev.Pres(q)
+	var cube *algebra.Relation
+	if err == nil {
+		cube, err = r.ev.AnswerFromPres(q, pres)
+	}
+
+	r.mu.Lock()
+	if r.inflight[key] == fl {
+		delete(r.inflight, key)
+	}
+	fl.cube, fl.err = cube, err
+	if err == nil {
+		r.stats[StrategyDirect]++
+		// Register only if no write raced the evaluation: an epoch moved
+		// past us means the cube may reflect superseded data.
+		if r.st.Epoch() == epoch {
+			r.insertLocked(&entry{
+				fam:   fam,
+				key:   key,
+				query: fl.query,
+				pres:  pres,
+				ans:   cube,
+				bytes: relationBytes(pres) + relationBytes(cube) + entryOverhead,
+				epoch: epoch,
+			})
+		}
+	}
+	r.mu.Unlock()
+	close(fl.done)
+	if err != nil {
+		return nil, "", err
+	}
+	return cube, StrategyDirect, nil
+}
+
+// candidates prunes the family's stale entries and returns the live
+// ones, newest first.
+func (r *Registry) candidates(fam uint64, epoch uint64) []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bucket := r.families[fam]
+	live := bucket[:0]
+	for _, e := range bucket {
+		if e.epoch != epoch {
+			r.dropLocked(e)
+			r.invalids++
+			continue
+		}
+		live = append(live, e)
+	}
+	if len(live) == 0 {
+		delete(r.families, fam)
+	} else {
+		r.families[fam] = live
+	}
+	out := make([]*entry, len(live))
+	for i, e := range live {
+		out[len(live)-1-i] = e
+	}
+	return out
+}
+
+// tryRewrite attempts to answer q from entry e. A nil cube with nil
+// error means "not applicable". The semantics mirror the original
+// session manager's detection exactly.
+func (r *Registry) tryRewrite(e *entry, q *core.Query) (Strategy, *algebra.Relation, error) {
+	if !sameMeasure(e.query, q) || e.query.Agg.Name() != q.Agg.Name() {
+		return "", nil, nil
+	}
+	if !sameBody(e.query.Classifier, q.Classifier) {
+		return "", nil, nil
+	}
+	switch headRelation(e.query.Classifier.Head, q.Classifier.Head) {
+	case headEqual:
+		if sigmaEqual(e.query.Sigma, q.Sigma) {
+			return StrategyCached, e.ans, nil
+		}
+		if sigmaRefines(e.query.Sigma, q.Sigma) {
+			cube, err := r.ev.DiceRewrite(q, e.ans)
+			if err != nil {
+				return "", nil, err
+			}
+			return StrategyDice, cube, nil
+		}
+	case headSubset:
+		// q drops dimensions from e. Algorithm 1 applies when the
+		// surviving dimensions carry identical restrictions and the
+		// dropped dimensions were unrestricted in e — DrillOut removes a
+		// dropped dimension's Σ entry, so a restriction baked into
+		// e.pres would over-filter q's answer.
+		if !sigmaEqualOn(e.query.Sigma, q.Sigma, q.Dims()) {
+			return "", nil, nil
+		}
+		drop := missingDims(e.query.Dims(), q.Dims())
+		for _, d := range drop {
+			if e.query.Sigma.Restricts(d) {
+				return "", nil, nil
+			}
+		}
+		cube, err := r.ev.DrillOutRewrite(e.query, e.pres, drop...)
+		if err != nil {
+			return "", nil, err
+		}
+		// Reorder to q's dimension order if needed.
+		cols := append(append([]string(nil), q.Dims()...), q.MeasureVar())
+		return StrategyDrillOut, cube.Project(cols...), nil
+	case headSuperset:
+		// q adds dimensions; Algorithm 2 handles one added existential
+		// dimension per application. Apply iteratively for several.
+		added := missingDims(q.Dims(), e.query.Dims())
+		if len(added) != 1 {
+			return "", nil, nil // multi-dim drill-in: fall back to direct
+		}
+		if !sigmaEqualOn(e.query.Sigma, q.Sigma, e.query.Dims()) || q.Sigma.Restricts(added[0]) {
+			return "", nil, nil
+		}
+		cube, err := r.ev.DrillInRewrite(e.query, e.pres, added[0])
+		if err != nil {
+			// The added variable may not be existential in e's
+			// classifier; treat as not applicable.
+			return "", nil, nil
+		}
+		cols := append(append([]string(nil), q.Dims()...), q.MeasureVar())
+		return StrategyDrillIn, cube.Project(cols...), nil
+	}
+	return "", nil, nil
+}
+
+// touch marks e most recently used, if it is still registered.
+func (r *Registry) touch(e *entry) {
+	r.mu.Lock()
+	if e.elem != nil {
+		r.lru.MoveToFront(e.elem)
+	}
+	r.mu.Unlock()
+}
+
+// bump increments a strategy counter.
+func (r *Registry) bump(s Strategy) {
+	r.mu.Lock()
+	r.stats[s]++
+	r.mu.Unlock()
+}
+
+// insertLocked registers e and enforces the budgets. Caller holds r.mu.
+func (r *Registry) insertLocked(e *entry) {
+	r.families[e.fam] = append(r.families[e.fam], e)
+	e.elem = r.lru.PushFront(e)
+	r.bytes += e.bytes
+	r.evictLocked()
+}
+
+// evictLocked drops least-recently-used entries until the budgets hold.
+func (r *Registry) evictLocked() {
+	for r.lru.Len() > 0 &&
+		((r.maxBytes > 0 && r.bytes > r.maxBytes) ||
+			(r.maxEntries > 0 && r.lru.Len() > r.maxEntries)) {
+		oldest := r.lru.Back().Value.(*entry)
+		r.dropLocked(oldest)
+		r.removeFromFamilyLocked(oldest)
+		r.evictions++
+	}
+}
+
+// dropLocked unlinks e from the LRU list and the byte budget. The family
+// bucket is cleaned separately (candidates prunes in place; evictLocked
+// calls removeFromFamilyLocked).
+func (r *Registry) dropLocked(e *entry) {
+	if e.elem != nil {
+		r.lru.Remove(e.elem)
+		e.elem = nil
+		r.bytes -= e.bytes
+	}
+}
+
+func (r *Registry) removeFromFamilyLocked(e *entry) {
+	bucket := r.families[e.fam]
+	for i, cand := range bucket {
+		if cand == e {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(r.families, e.fam)
+	} else {
+		r.families[e.fam] = bucket
+	}
+}
+
+// Describe renders the registry contents for diagnostics, newest first.
+func (r *Registry) Describe() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := fmt.Sprintf("%d materialized queries, ~%d bytes\n", r.lru.Len(), r.bytes)
+	i := 0
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		s += fmt.Sprintf("  [%d] dims=%v agg=%s pres=%d rows ans=%d cells epoch=%d\n",
+			i, e.query.Dims(), e.query.Agg.Name(), e.pres.Len(), e.ans.Len(), e.epoch)
+		i++
+	}
+	return s
+}
+
+// Byte-footprint estimation for the cost-aware budget. Cells dominate;
+// the model charges the Value array, the per-row slice header, and the
+// column names, deliberately ignoring allocator slack.
+const (
+	valueBytes    = 32  // unsafe.Sizeof(algebra.Value{}) on 64-bit
+	rowOverhead   = 24  // slice header per row
+	relOverhead   = 64  // Relation struct + slice headers
+	entryOverhead = 256 // entry struct, query clone, map slots
+)
+
+// relationBytes estimates rel's resident size.
+func relationBytes(rel *algebra.Relation) int64 {
+	if rel == nil {
+		return 0
+	}
+	b := int64(relOverhead)
+	for _, c := range rel.Cols {
+		b += int64(16 + len(c))
+	}
+	b += int64(len(rel.Rows)) * (rowOverhead + int64(len(rel.Cols))*valueBytes)
+	return b
+}

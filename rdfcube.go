@@ -162,6 +162,12 @@ func ParseQuery(text string, prefixes Prefixes) (*BGPQuery, error) {
 // ParseSelect parses a SPARQL SELECT subset query.
 func ParseSelect(text string) (*BGPQuery, error) { return sparql.ParseSelect(text) }
 
+// ParseTerm parses a constant RDF term in the datalog surface syntax
+// (<IRI>, prefixed:name, quoted literal, integer, float, _:blank).
+func ParseTerm(text string, prefixes Prefixes) (Term, error) {
+	return sparql.ParseTerm(text, prefixes)
+}
+
 // DefaultPrefixes returns the rdf/rdfs/xsd prefix table.
 func DefaultPrefixes() Prefixes { return sparql.DefaultPrefixes() }
 
