@@ -15,6 +15,7 @@ import (
 	"rdfcube/internal/benchmark"
 	"rdfcube/internal/core"
 	"rdfcube/internal/datagen"
+	"rdfcube/internal/viewreg"
 )
 
 // workloads are built once and shared across benches.
@@ -278,6 +279,49 @@ func BenchmarkAggFunctions(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := wl.Ev.DrillOutRewrite(wl.Query, wl.Pres, "d1"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E9: the insert/query mix through the shared view registry. Writes land
+// in the store's delta overlay (the frozen base survives) and maintain
+// the registered view through the delta feed; reads are answered from
+// it. ns/op averages over the whole mix, so this tracks the write path —
+// delta insertion, feed maintenance, merged reads — next to the
+// read-only benches above. The workload is built per run (it mutates).
+func BenchmarkInsertQueryMix(b *testing.B) {
+	mixes := []struct {
+		name       string
+		writeEvery int // every n-th operation is an insert batch
+	}{
+		{"90read10write", 10},
+		{"50read50write", 2},
+	}
+	for _, mix := range mixes {
+		b.Run(mix.name, func(b *testing.B) {
+			cfg := datagen.DefaultBloggerConfig()
+			cfg.Bloggers = 2000
+			cfg.Dimensions = 2
+			wl, err := benchmark.BuildBlogger(cfg, "sum")
+			if err != nil {
+				b.Fatal(err)
+			}
+			reg := viewreg.New(wl.Inst, viewreg.Config{})
+			if _, _, err := reg.Answer(wl.Query); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if i%mix.writeEvery == 0 {
+					benchmark.InsertBloggerFacts(wl.Inst, i*2, 2)
+					reg.NotifyWrite()
+					continue
+				}
+				if _, _, err := reg.Answer(wl.Query); err != nil {
 					b.Fatal(err)
 				}
 			}

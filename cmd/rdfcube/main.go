@@ -13,7 +13,14 @@
 //	   -measure    'm(x, v) :- x :wrotePost p, p :postedOn v' \
 //	   -agg count \
 //	   [-prefix :=http://example.org/] \
+//	   [-updates delta.nt] \
 //	   [-slice dage=28 | -drillout dage | -drillin d3]
+//
+// -updates streams a second N-Triples file into the graph *after* it has
+// been frozen: the triples land in the store's delta overlay (the
+// compacted indexes survive) and the query is answered over the merged
+// base+delta view without a re-freeze — the CLI face of the delta-layer
+// write path.
 package main
 
 import (
@@ -37,6 +44,7 @@ func main() {
 	drillOut := flag.String("drillout", "", "DRILL-OUT: comma-separated dimensions")
 	drillIn := flag.String("drillin", "", "DRILL-IN: existential classifier variable")
 	saturate := flag.Bool("saturate", true, "apply RDFS saturation before answering")
+	updates := flag.String("updates", "", "N-Triples file applied after freezing, through the delta overlay")
 	format := flag.String("format", "text", "output format: text, csv or json")
 	flag.Parse()
 
@@ -70,6 +78,20 @@ func main() {
 	}
 	// Loading is done: compact onto the read-optimized sorted indexes.
 	g.Freeze()
+
+	if *updates != "" {
+		uf, err := os.Open(*updates)
+		if err != nil {
+			die("%v", err)
+		}
+		un, err := rdfcube.ReadNTriples(g, uf)
+		uf.Close()
+		if err != nil {
+			die("loading updates %s: %v", *updates, err)
+		}
+		fmt.Fprintf(os.Stderr, "applied %d update triples (delta overlay: %d, frozen: %v)\n",
+			un, g.DeltaLen(), g.IsFrozen())
+	}
 
 	c, err := rdfcube.ParseQuery(*classifier, prefixes)
 	if err != nil {

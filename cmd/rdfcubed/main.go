@@ -10,7 +10,13 @@
 //
 //	rdfcubed [-addr :8344] [-data graph.nt | -snapshot graph.rdfc]
 //	         [-saturate] [-max-view-mb 256] [-max-views 0]
-//	         [-shutdown-timeout 10s]
+//	         [-compact-threshold 0] [-shutdown-timeout 10s]
+//
+// Writes accepted over POST /insert land in the store's delta overlay —
+// the frozen indexes survive and registered views are maintained through
+// the delta feed; -compact-threshold tunes how large the overlay may
+// grow before it is folded into a rebuilt base (0 keeps the store
+// default).
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests finish (bounded by -shutdown-timeout) before the process
@@ -44,6 +50,7 @@ func main() {
 	saturate := flag.Bool("saturate", false, "apply RDFS saturation after loading -data")
 	maxViewMB := flag.Int64("max-view-mb", 256, "materialized-view registry budget in MiB (0 = unbounded)")
 	maxViews := flag.Int("max-views", 0, "materialized-view registry entry cap (0 = unbounded)")
+	compactThreshold := flag.Int("compact-threshold", 0, "delta-overlay size that triggers compaction into a rebuilt frozen base (0 = store default)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown grace period")
 	flag.Parse()
 
@@ -54,8 +61,9 @@ func main() {
 	}
 
 	srv := server.New(base, server.Config{
-		MaxViewBytes:   *maxViewMB << 20,
-		MaxViewEntries: *maxViews,
+		MaxViewBytes:     *maxViewMB << 20,
+		MaxViewEntries:   *maxViews,
+		CompactThreshold: *compactThreshold,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -85,8 +93,8 @@ func main() {
 		logger.Printf("forced shutdown: %v", err)
 	}
 	stats := srv.Registry().Stats()
-	logger.Printf("served strategies: %v; %d views, ~%d bytes, %d evictions, %d invalidations, %d coalesced",
-		stats.ByStrategy, stats.Entries, stats.Bytes, stats.Evictions, stats.Invalidations, stats.Coalesced)
+	logger.Printf("served strategies: %v; %d views, ~%d bytes, %d maintained, %d evictions, %d invalidations, %d coalesced, %d neg-skips",
+		stats.ByStrategy, stats.Entries, stats.Bytes, stats.Maintained, stats.Evictions, stats.Invalidations, stats.Coalesced, stats.NegSkips)
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatal(err)
 	}

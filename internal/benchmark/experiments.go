@@ -10,6 +10,8 @@ import (
 	"rdfcube/internal/core"
 	"rdfcube/internal/datagen"
 	"rdfcube/internal/rdf"
+	"rdfcube/internal/store"
+	"rdfcube/internal/viewreg"
 )
 
 // Row is one measured experiment data point.
@@ -541,8 +543,120 @@ func cubesEqualApprox(a, b *algebra.Relation) bool {
 	return true
 }
 
+// WriteMixes is the default E9 write-fraction sweep: 10% and 50% of the
+// operations are insert batches.
+var WriteMixes = []float64{0.1, 0.5}
+
+// InsertBloggerFacts writes n new instance-vocabulary blogger facts
+// (IDs startID..startID+n-1) into st: a :Blogger with both dimension
+// values, one post and its word count — the write workload of E9 and
+// BenchmarkInsertQueryMix. Values are derived deterministically from the
+// fact ID so identical ID sequences produce identical instances.
+func InsertBloggerFacts(st *store.Store, startID, n int) {
+	res := func(local string) rdf.Term { return rdf.NewIRI(datagen.NS + local) }
+	for i := 0; i < n; i++ {
+		id := startID + i
+		u := res(fmt.Sprintf("wuser%d", id))
+		post := res(fmt.Sprintf("wpost%d", id))
+		st.Add(rdf.Triple{S: u, P: rdf.Type, O: res("Blogger")})
+		st.Add(rdf.Triple{S: u, P: res("hasAge"), O: datagen.DimValue(0, id%datagen.DimCardinality(0))})
+		st.Add(rdf.Triple{S: u, P: res("livesIn"), O: datagen.DimValue(1, id%datagen.DimCardinality(1))})
+		st.Add(rdf.Triple{S: u, P: res("wrotePost"), O: post})
+		st.Add(rdf.Triple{S: post, P: res("hasWordCount"), O: rdf.NewInt(int64(100 + id%500))})
+	}
+}
+
+// RunE9WriteMix measures the insert/query mix the delta layer exists
+// for: the same deterministic operation stream — insert batches
+// interleaved with cube queries — is run twice over identical instances.
+// The "rewrite" path answers through a shared view registry whose
+// registered views are *maintained* across the writes (the store's delta
+// feed applied to pres(Q)); the "direct" path recomputes every answer
+// from the instance, the cost model the paper's Definition 4 economy
+// replaces. The final maintained cube is checked against a from-scratch
+// direct evaluation of the same instance.
+func RunE9WriteMix(w io.Writer, bloggers, ops int, writeFracs []float64) ([]Row, error) {
+	printHeader(w, "E9  Insert/query mix: maintained views vs per-query recomputation")
+	var rows []Row
+	for _, frac := range writeFracs {
+		cfg := datagen.DefaultBloggerConfig()
+		cfg.Bloggers = bloggers
+		cfg.Dimensions = 2
+		wlM, err := BuildBlogger(cfg, "sum") // maintained-views pipeline
+		if err != nil {
+			return rows, err
+		}
+		wlR, err := BuildBlogger(cfg, "sum") // recompute pipeline
+		if err != nil {
+			return rows, err
+		}
+		reg := viewreg.New(wlM.Inst, viewreg.Config{})
+		if _, _, err := reg.Answer(wlM.Query); err != nil {
+			return rows, err
+		}
+
+		every := int(math.Max(1, math.Round(1/frac)))
+		const factsPerWrite = 2
+		mDur, err := Timed(func() error {
+			for op := 0; op < ops; op++ {
+				if op%every == 0 {
+					InsertBloggerFacts(wlM.Inst, op*factsPerWrite, factsPerWrite)
+					reg.NotifyWrite()
+					continue
+				}
+				if _, _, err := reg.Answer(wlM.Query); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return rows, err
+		}
+		rDur, err := Timed(func() error {
+			for op := 0; op < ops; op++ {
+				if op%every == 0 {
+					InsertBloggerFacts(wlR.Inst, op*factsPerWrite, factsPerWrite)
+					continue
+				}
+				if _, err := wlR.Ev.Answer(wlR.Query); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return rows, err
+		}
+
+		cube, _, err := reg.Answer(wlM.Query)
+		if err != nil {
+			return rows, err
+		}
+		direct, err := wlM.Ev.Answer(wlM.Query)
+		if err != nil {
+			return rows, err
+		}
+		stats := reg.Stats()
+		row := Row{
+			Label:   fmt.Sprintf("writes=%.0f%%", frac*100),
+			Triples: wlM.Inst.Len(),
+			Direct:  rDur,
+			Rewrite: mDur,
+			Cells:   cube.Len(),
+			Match:   algebra.Equal(direct, cube.Project(direct.Cols...)),
+			Extra: fmt.Sprintf("%d ops, maintained=%d direct-evals=%d delta=%d",
+				ops, stats.Maintained, stats.ByStrategy[viewreg.StrategyDirect], wlM.Inst.DeltaLen()),
+		}
+		rows = append(rows, row)
+		printRow(w, row)
+	}
+	fmt.Fprintln(w, "   (direct column = recompute-per-query stream; rewrite column = maintained-view stream, same ops)")
+	return rows, nil
+}
+
 // ExperimentOrder lists the experiment names in presentation order.
-var ExperimentOrder = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"}
+var ExperimentOrder = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
 
 // Experiments maps each experiment name to a runner applying the
 // default parameters at the given scale multiplier — the single place
@@ -557,6 +671,7 @@ var Experiments = map[string]func(w io.Writer, scale int) ([]Row, error){
 	"e6": func(w io.Writer, s int) ([]Row, error) { return RunE6NaiveError(w, 5000*s, MultiValueSweep) },
 	"e7": func(w io.Writer, s int) ([]Row, error) { return RunE7Materialize(w, scaledSizes(s)) },
 	"e8": func(w io.Writer, s int) ([]Row, error) { return RunE8Aggregations(w, 5000*s, AggNames) },
+	"e9": func(w io.Writer, s int) ([]Row, error) { return RunE9WriteMix(w, 5000*s, 60, WriteMixes) },
 }
 
 func scaledSizes(scale int) []int {

@@ -112,6 +112,16 @@ func TestE8Aggregations(t *testing.T) {
 	}
 }
 
+func TestE9WriteMix(t *testing.T) {
+	rows, err := RunE9WriteMix(io.Discard, 200, 20, []float64{0.1, 0.5})
+	requireAllMatch(t, rows, err)
+	for _, r := range rows {
+		if !strings.Contains(r.Extra, "direct-evals=1") {
+			t.Errorf("row %q: views were recomputed, not maintained (%s)", r.Label, r.Extra)
+		}
+	}
+}
+
 func TestRunAllSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("RunAll takes several seconds")
@@ -121,7 +131,7 @@ func TestRunAllSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, header := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
+	for _, header := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
 		if !strings.Contains(out, header) {
 			t.Errorf("RunAll output missing %s table", header)
 		}

@@ -3,7 +3,8 @@
 // transformed query directly from the AnS instance versus answering it
 // from the materialized results of the original query (ans(Q) for
 // SLICE/DICE, pres(Q) for DRILL-OUT/DRILL-IN), across sweeps of data
-// scale, dimensionality, selectivity and multi-valuedness.
+// scale, dimensionality, selectivity, multi-valuedness and — for the
+// delta-layer write path (E9) — the read/write mix.
 //
 // The workshop paper defers its measured numbers to tech report RR-8668;
 // this package regenerates the experiment *shape* the paper claims:

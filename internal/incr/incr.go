@@ -18,8 +18,19 @@
 // new measure *tuples* are identified by new m̄ *embeddings*, each of
 // which receives a fresh key continuing the newk() sequence.
 //
+// A materialization can absorb insertions through two doors: Insert
+// writes a triple batch to the instance itself and applies it, while
+// Sync consumes the store's delta feed (store.DeltaSince) — the door the
+// shared view registry uses when *someone else* already wrote to the
+// instance. Both leave the store's representation alone: with the
+// delta-layer store, writes land in the sorted overlay on top of the
+// frozen base, so delta evaluations run on the merged fast path and no
+// re-freeze heuristics are needed here.
+//
 // Deletions are out of scope (the paper's warehouse is append-oriented);
-// Refresh recomputes from scratch when needed.
+// Refresh recomputes from scratch when needed — Sync falls back to it
+// when the store's base epoch moved (compaction folded the feed away, or
+// an out-of-band structural change happened).
 package incr
 
 import (
@@ -52,17 +63,20 @@ type MaintainedPres struct {
 	mk       *algebra.Relation
 	nextKey  uint64
 
+	// pres is the current materialization. Each maintenance application
+	// swaps in a fresh *Relation header (rows appended copy-on-write), so
+	// a caller that captured Pres() before the application can keep
+	// reading its snapshot concurrently with the swap.
 	pres *algebra.Relation
 
-	// refreeze records whether the instance was on the frozen fast path
-	// when the materialization was built; Insert then restores it for
-	// batches large enough to amortize the compaction.
-	refreeze bool
+	// ver is the instance version the materialization reflects; Sync
+	// applies store.DeltaSince(ver.Seq) to catch up. dirty marks a
+	// partially-applied delta (apply failed midway): the keyed dedup
+	// makes replay converge only for rows that never reached pres, so
+	// the next Sync repairs via a full Refresh instead.
+	ver   store.Version
+	dirty bool
 }
-
-// refreezeBatchMin is the smallest insertion batch worth an O(n log n)
-// re-freeze of the instance; smaller deltas evaluate on the map path.
-const refreezeBatchMin = 64
 
 // New fully evaluates q over the evaluator's instance and returns a
 // maintained materialization.
@@ -76,7 +90,7 @@ func New(ev *core.Evaluator, q *core.Query) (*MaintainedPres, error) {
 		inst:     ev.Instance(),
 		cKeys:    map[string]struct{}{},
 		mbarKeys: map[string]struct{}{},
-		refreeze: ev.Instance().IsFrozen(),
+		ver:      ev.Instance().Version(),
 	}
 	mp.mbarQ = mbarQuery(q)
 
@@ -141,8 +155,13 @@ func (mp *MaintainedPres) rebuildPres() error {
 }
 
 // Pres returns the current materialized pres(Q). The caller must not
-// mutate it.
+// mutate it. The returned relation is a stable snapshot: later
+// maintenance applications swap in a fresh header instead of growing
+// this one.
 func (mp *MaintainedPres) Pres() *algebra.Relation { return mp.pres }
+
+// Version returns the instance version the materialization reflects.
+func (mp *MaintainedPres) Version() store.Version { return mp.ver }
 
 // Answer aggregates the maintained pres(Q) into ans(Q) (Equation 3).
 func (mp *MaintainedPres) Answer() (*algebra.Relation, error) {
@@ -154,8 +173,18 @@ func (mp *MaintainedPres) Query() *core.Query { return mp.q }
 
 // Insert adds triples to the AnS instance and updates the
 // materialization incrementally. It returns the number of new classifier
-// rows and new measure tuples absorbed.
+// rows and new measure tuples absorbed (its own batch only). On a frozen
+// instance the writes land in the store's delta overlay, so the delta
+// evaluations below run on the merged fast path without any re-freeze.
+//
+// Insert first Syncs: triples that reached the instance out of band
+// since the last application are absorbed from the delta feed (or, if
+// the base epoch moved, via Refresh) before the batch — otherwise the
+// version fast-forward below would silently mask them from later Syncs.
 func (mp *MaintainedPres) Insert(triples []rdf.Triple) (newFacts, newMeasures int, err error) {
+	if _, _, _, err := mp.Sync(); err != nil {
+		return 0, 0, err
+	}
 	var delta []store.IDTriple
 	for _, tr := range triples {
 		s, p, o := mp.inst.Dict().EncodeTriple(tr)
@@ -165,16 +194,53 @@ func (mp *MaintainedPres) Insert(triples []rdf.Triple) (newFacts, newMeasures in
 		}
 	}
 	if len(delta) == 0 {
+		mp.ver = mp.inst.Version()
 		return 0, 0, nil
 	}
-	// The writes above invalidated any frozen indexes. For batches big
-	// enough to amortize the O(n log n) compaction, re-freeze before the
-	// delta evaluations below so they run on the sorted-array fast path;
-	// tiny deltas evaluate faster on the maps than a full rebuild costs.
-	if mp.refreeze && len(delta) >= refreezeBatchMin {
-		mp.inst.Freeze()
+	newFacts, newMeasures, err = mp.apply(delta)
+	if err != nil {
+		// Do not fast-forward: the store has the triples but the
+		// materialization does not. The dirty mark set by apply makes
+		// the next Sync repair via Refresh.
+		return newFacts, newMeasures, err
 	}
+	mp.ver = mp.inst.Version()
+	return newFacts, newMeasures, nil
+}
 
+// Sync consumes the instance's delta feed: it applies every triple
+// accepted since the materialization's version. When the base epoch
+// moved (the feed was folded away by compaction, or the store was
+// structurally changed), Sync falls back to a full Refresh and reports
+// refreshed = true.
+func (mp *MaintainedPres) Sync() (newFacts, newMeasures int, refreshed bool, err error) {
+	ver := mp.inst.Version()
+	if !mp.dirty && ver == mp.ver {
+		return 0, 0, false, nil
+	}
+	if mp.dirty || ver.Base != mp.ver.Base {
+		return 0, 0, true, mp.Refresh()
+	}
+	delta := mp.inst.DeltaSince(mp.ver.Seq)
+	if len(delta) == 0 {
+		mp.ver = ver
+		return 0, 0, false, nil
+	}
+	newFacts, newMeasures, err = mp.apply(delta)
+	if err != nil {
+		return newFacts, newMeasures, false, err
+	}
+	mp.ver = ver
+	return newFacts, newMeasures, false, nil
+}
+
+// apply absorbs delta — triples already present in the instance — into
+// the maintained c, m_k and pres. It marks the materialization dirty for
+// its duration: an error can leave c/m_k partially updated with pres
+// behind, which keyed replay cannot repair, so Sync falls back to
+// Refresh while the mark stands.
+func (mp *MaintainedPres) apply(delta []store.IDTriple) (newFacts, newMeasures int, err error) {
+	mp.dirty = true
 	// Δc: classifier embeddings touching a delta triple, Σ-filtered,
 	// projected to the head, minus rows already present.
 	cRows, err := deltaHeadRows(mp.inst, mp.q.Classifier, delta)
@@ -259,12 +325,16 @@ func (mp *MaintainedPres) Insert(triples []rdf.Triple) (newFacts, newMeasures in
 	if err != nil {
 		return 0, 0, err
 	}
+	// Swap in a fresh relation header (rows appended copy-on-write):
+	// callers holding the previous Pres() snapshot keep a consistent
+	// view while the materialization moves forward.
+	next := &algebra.Relation{Cols: mp.pres.Cols, Rows: mp.pres.Rows}
 	for _, part := range []*algebra.Relation{part1, part2} {
 		proj := part.Project(cols...)
-		for _, row := range proj.Rows {
-			mp.pres.Append(row)
-		}
+		next.Rows = append(next.Rows, proj.Rows...)
 	}
+	mp.pres = next
+	mp.dirty = false
 	return freshC.Len(), freshMk.Len(), nil
 }
 

@@ -238,6 +238,104 @@ func TestInsertWithSigma(t *testing.T) {
 	}
 }
 
+// TestSyncConsumesDeltaFeed: writes that reach the instance out of band
+// (not through Insert) are absorbed by Sync via the store's delta feed,
+// on top of the frozen base; a compaction between writes and Sync forces
+// the Refresh fallback, which must also converge.
+func TestSyncConsumesDeltaFeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	st := store.New()
+	for idx := 0; idx < 20; idx++ {
+		for _, tr := range factTriples(rng, idx) {
+			st.Add(tr)
+		}
+	}
+	st.Freeze()
+	ev := core.NewEvaluator(st)
+	mp, err := New(ev, testQuery(t, agg.Sum))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Out-of-band writes into the frozen store land in the delta overlay.
+	id := 500
+	for batch := 0; batch < 4; batch++ {
+		for n := 0; n < 3; n++ {
+			for _, tr := range factTriples(rng, id) {
+				st.Add(tr)
+			}
+			id++
+		}
+		if !st.IsFrozen() {
+			t.Fatal("writes dropped the frozen base")
+		}
+		nf, nm, refreshed, err := mp.Sync()
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if refreshed {
+			t.Fatalf("batch %d: Sync refreshed despite a live delta feed", batch)
+		}
+		if nf == 0 && nm == 0 && batch == 0 {
+			t.Fatal("Sync absorbed nothing from a non-empty delta")
+		}
+		checkAgainstFresh(t, mp)
+		if mp.Version() != st.Version() {
+			t.Fatalf("batch %d: version %+v, store %+v", batch, mp.Version(), st.Version())
+		}
+	}
+	// Idempotent when caught up.
+	if nf, nm, refreshed, err := mp.Sync(); nf != 0 || nm != 0 || refreshed || err != nil {
+		t.Fatalf("caught-up Sync: %d %d %v %v", nf, nm, refreshed, err)
+	}
+
+	// Compaction folds the feed away: the next Sync after further writes
+	// must fall back to Refresh and still converge.
+	for _, tr := range factTriples(rng, id) {
+		st.Add(tr)
+	}
+	st.Freeze() // compacts: base epoch moves
+	_, _, refreshed, err := mp.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refreshed {
+		t.Fatal("Sync did not refresh after a base-epoch move")
+	}
+	checkAgainstFresh(t, mp)
+}
+
+// TestInsertAbsorbsPendingFeed: an out-of-band write followed by an
+// Insert must not be masked — Insert's version fast-forward has to pull
+// the pending feed triples in first, or a later Sync would never see
+// them (regression: maintained pres permanently diverged).
+func TestInsertAbsorbsPendingFeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	st := store.New()
+	for idx := 0; idx < 15; idx++ {
+		for _, tr := range factTriples(rng, idx) {
+			st.Add(tr)
+		}
+	}
+	st.Freeze()
+	mp, err := New(core.NewEvaluator(st), testQuery(t, agg.Sum))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out of band: straight into the store's delta overlay.
+	for _, tr := range factTriples(rng, 600) {
+		st.Add(tr)
+	}
+	// Through the materialization: must absorb both.
+	if _, _, err := mp.Insert(factTriples(rng, 601)); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstFresh(t, mp)
+	if nf, nm, refreshed, err := mp.Sync(); nf != 0 || nm != 0 || refreshed || err != nil {
+		t.Fatalf("post-Insert Sync found leftovers: %d %d %v %v", nf, nm, refreshed, err)
+	}
+}
+
 func TestRefresh(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	st := store.New()

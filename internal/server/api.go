@@ -74,6 +74,26 @@ type LoadResponse struct {
 	Frozen  bool `json:"frozen"`
 }
 
+// InsertResponse reports a delta write. Maintained/Invalidated describe
+// what the write notification did to the registered views so clients
+// can observe the maintenance economy per request.
+type InsertResponse struct {
+	Added int `json:"added"`
+	// Triples is the target graph's size after the write.
+	Triples int `json:"triples"`
+	// Delta is the size of the store's delta overlay (0 right after a
+	// compaction or on an unfrozen graph).
+	Delta int `json:"delta"`
+	// Frozen reports whether the sorted base survived the write (it does
+	// unless the write crossed the compaction threshold, which rebuilds
+	// it — still frozen — or the graph was never frozen).
+	Frozen bool `json:"frozen"`
+	// Maintained and Invalidated are the registry-wide counter deltas
+	// caused by this write's notification.
+	Maintained  int64 `json:"maintained"`
+	Invalidated int64 `json:"invalidated"`
+}
+
 // SchemaRequest declares an analytical schema to materialize over the
 // base graph. The serving instance becomes the materialization and the
 // view registry is reset.
@@ -120,20 +140,32 @@ type StatsResponse struct {
 
 // GraphStats describes one graph.
 type GraphStats struct {
-	Triples int    `json:"triples"`
-	Frozen  bool   `json:"frozen"`
-	Epoch   uint64 `json:"epoch"`
+	Triples int  `json:"triples"`
+	Frozen  bool `json:"frozen"`
+	// Epoch is the packed write version (legacy field); BaseEpoch and
+	// DeltaSeq decompose it: BaseEpoch counts base rebuilds, DeltaSeq
+	// the writes in the current delta overlay, whose size DeltaTriples
+	// reports.
+	Epoch        uint64 `json:"epoch"`
+	BaseEpoch    uint64 `json:"base_epoch"`
+	DeltaSeq     uint64 `json:"delta_seq"`
+	DeltaTriples int    `json:"delta_triples"`
 }
 
 // RegStats describes the view registry.
 type RegStats struct {
-	Entries       int              `json:"entries"`
-	Bytes         int64            `json:"bytes"`
-	MaxBytes      int64            `json:"max_bytes,omitempty"`
-	Evictions     int64            `json:"evictions"`
-	Invalidations int64            `json:"invalidations"`
-	Coalesced     int64            `json:"coalesced"`
-	Strategies    map[string]int64 `json:"strategies"`
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	MaxBytes      int64 `json:"max_bytes,omitempty"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Coalesced     int64 `json:"coalesced"`
+	// Maintained counts delta-feed maintenance applications (views kept
+	// alive across writes); NegSkips counts candidate scans skipped by
+	// the negative cache.
+	Maintained int64            `json:"maintained"`
+	NegSkips   int64            `json:"neg_skips"`
+	Strategies map[string]int64 `json:"strategies"`
 }
 
 // EndpointStats aggregates per-route request metrics.

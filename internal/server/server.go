@@ -10,6 +10,10 @@
 //	POST /load           N-Triples body → add to the base graph
 //	                     (?saturate=1 applies RDFS entailment,
 //	                      ?freeze=0 skips re-freezing after the load)
+//	POST /insert         N-Triples body → delta write into the serving
+//	                     instance (?graph=base targets the base graph):
+//	                     the frozen indexes survive, registered views are
+//	                     maintained through the delta feed
 //	POST /load-snapshot  binary snapshot body → replace the base graph
 //	GET  /snapshot       binary snapshot of the base graph (?graph=instance)
 //	POST /materialize    SchemaRequest → serve the materialized instance
@@ -20,9 +24,14 @@
 //
 // Concurrency model: queries run under a read lock (the store and the
 // registry are concurrency-safe for readers); anything that writes the
-// graphs — load, load-snapshot, materialize, freeze — takes the write
-// lock, so a mutation never races an evaluation. View invalidation
-// after a write is handled by the registry's epoch validation.
+// graphs — load, insert, load-snapshot, materialize, freeze — takes the
+// write lock, so a mutation never races an evaluation. A write to the
+// serving instance notifies the registry inside the critical section:
+// views behind only on the delta sequence are *maintained* (the store's
+// delta feed is applied to their pres(Q) via internal/incr), and only
+// base-epoch moves (compaction, re-materialization) evict them — so
+// rewrites keep being served from materialized views under a write-heavy
+// workload.
 package server
 
 import (
@@ -51,6 +60,9 @@ type Config struct {
 	MaxViewEntries int
 	// MaxBodyBytes caps request bodies (default 1 GiB).
 	MaxBodyBytes int64
+	// CompactThreshold overrides the stores' delta-overlay size that
+	// triggers compaction into a rebuilt frozen base (0 = store default).
+	CompactThreshold int
 }
 
 // Server is the HTTP facade over one base graph, one serving instance
@@ -97,6 +109,9 @@ func New(base *store.Store, cfg Config) *Server {
 // installInstance swaps the serving instance and resets the registry.
 // Caller must hold the write lock (or be the constructor).
 func (s *Server) installInstance(inst *store.Store) {
+	if s.cfg.CompactThreshold > 0 {
+		inst.SetCompactThreshold(s.cfg.CompactThreshold)
+	}
 	s.inst = inst
 	s.reg = viewreg.New(inst, viewreg.Config{
 		MaxBytes:   s.cfg.MaxViewBytes,
@@ -115,6 +130,7 @@ func (s *Server) Registry() *viewreg.Registry {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /load", s.instrument("/load", s.handleLoad))
+	mux.Handle("POST /insert", s.instrument("/insert", s.handleInsert))
 	mux.Handle("POST /load-snapshot", s.instrument("/load-snapshot", s.handleLoadSnapshot))
 	mux.Handle("GET /snapshot", s.instrument("/snapshot", s.handleSnapshot))
 	mux.Handle("POST /materialize", s.instrument("/materialize", s.handleMaterialize))
@@ -191,25 +207,33 @@ func boolParam(r *http.Request, name string, def bool) bool {
 	}
 }
 
-// handleLoad streams an N-Triples body into the base graph. The body is
-// parsed into a staging batch *before* the write lock is taken, so a
-// slow upload never stalls concurrent queries; only the in-memory
-// apply/saturate/freeze happens inside the critical section.
+// readNTBody parses an N-Triples request body into a staging batch.
+// Parsing happens *before* the write lock is taken, so a slow upload
+// never stalls concurrent queries.
+func readNTBody(r io.Reader) ([]rdf.Triple, error) {
+	var batch []rdf.Triple
+	rd := nt.NewReader(r)
+	for {
+		t, err := rd.Next()
+		if err == io.EOF {
+			return batch, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("parse: %v (after %d triples)", err, len(batch))
+		}
+		batch = append(batch, t)
+	}
+}
+
+// handleLoad streams an N-Triples body into the base graph; only the
+// in-memory apply/saturate/freeze happens inside the critical section.
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) (int, error) {
 	saturate := boolParam(r, "saturate", false)
 	freeze := boolParam(r, "freeze", true)
 
-	var batch []rdf.Triple
-	rd := nt.NewReader(r.Body)
-	for {
-		t, err := rd.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return http.StatusBadRequest, fmt.Errorf("parse: %v (after %d triples)", err, len(batch))
-		}
-		batch = append(batch, t)
+	batch, err := readNTBody(r.Body)
+	if err != nil {
+		return http.StatusBadRequest, err
 	}
 
 	s.mu.Lock()
@@ -229,10 +253,62 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) (int, error)
 			s.inst.Freeze()
 		}
 	}
+	if s.inst == s.base {
+		// The serving instance may have changed — by the new triples, or
+		// by a freeze-compaction of a previously pending delta even when
+		// this body added nothing: maintain (or sweep) the registered
+		// views before queries resume. A no-op when the version is
+		// unchanged.
+		s.reg.NotifyWrite()
+	}
 	writeJSON(w, http.StatusOK, LoadResponse{
 		Added:   added,
 		Triples: s.base.Len(),
 		Frozen:  s.base.IsFrozen(),
+	})
+	return http.StatusOK, nil
+}
+
+// handleInsert streams an N-Triples body into the serving instance (or
+// the base graph with ?graph=base) as a delta write: on a frozen store
+// the compacted indexes survive, the triples land in the sorted overlay,
+// and the registered views are maintained through the delta feed inside
+// the same critical section. This is the paper's maintenance economy as
+// an endpoint — concurrent readers keep being served rewrites from
+// materialized views across the write.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, error) {
+	batch, err := readNTBody(r.Body)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target := s.inst
+	if r.URL.Query().Get("graph") == "base" {
+		target = s.base
+	}
+	added := 0
+	for _, t := range batch {
+		if target.Add(t) {
+			added++
+		}
+	}
+	var maintained, invalidated int64
+	if added > 0 && target == s.inst {
+		before := s.reg.Stats()
+		s.reg.NotifyWrite()
+		after := s.reg.Stats()
+		maintained = after.Maintained - before.Maintained
+		invalidated = after.Invalidations - before.Invalidations
+	}
+	writeJSON(w, http.StatusOK, InsertResponse{
+		Added:       added,
+		Triples:     target.Len(),
+		Delta:       target.DeltaLen(),
+		Frozen:      target.IsFrozen(),
+		Maintained:  maintained,
+		Invalidated: invalidated,
 	})
 	return http.StatusOK, nil
 }
@@ -306,7 +382,11 @@ func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) (int,
 	return http.StatusOK, nil
 }
 
-// handleFreeze compacts both graphs onto the read-optimized indexes.
+// handleFreeze compacts both graphs onto the read-optimized indexes. A
+// compaction of a pending delta moves the serving instance's base epoch,
+// so the registry is notified to sweep the now-unmaintainable views
+// eagerly — keeping the byte accounting honest instead of waiting for
+// lookups to prune them.
 func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -314,6 +394,7 @@ func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) (int, erro
 	if s.inst != s.base {
 		s.inst.Freeze()
 	}
+	s.reg.NotifyWrite()
 	writeJSON(w, http.StatusOK, LoadResponse{Triples: s.base.Len(), Frozen: true})
 	return http.StatusOK, nil
 }
@@ -361,8 +442,19 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, erro
 	// materialize endpoints, so they must be read under the lock; the
 	// registry snapshot is internally synchronized.
 	s.mu.RLock()
-	baseStats := GraphStats{Triples: s.base.Len(), Frozen: s.base.IsFrozen(), Epoch: s.base.Epoch()}
-	instStats := GraphStats{Triples: s.inst.Len(), Frozen: s.inst.IsFrozen(), Epoch: s.inst.Epoch()}
+	graphStats := func(g *store.Store) GraphStats {
+		v := g.Version()
+		return GraphStats{
+			Triples:      g.Len(),
+			Frozen:       g.IsFrozen(),
+			Epoch:        g.Epoch(),
+			BaseEpoch:    v.Base,
+			DeltaSeq:     v.Seq,
+			DeltaTriples: g.DeltaLen(),
+		}
+	}
+	baseStats := graphStats(s.base)
+	instStats := graphStats(s.inst)
 	reg := s.reg
 	s.mu.RUnlock()
 	rs := reg.Stats()
@@ -386,6 +478,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, erro
 			Evictions:     rs.Evictions,
 			Invalidations: rs.Invalidations,
 			Coalesced:     rs.Coalesced,
+			Maintained:    rs.Maintained,
+			NegSkips:      rs.NegSkips,
 			Strategies:    strategies,
 		},
 		Endpoints: map[string]EndpointStats{},

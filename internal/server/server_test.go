@@ -14,6 +14,7 @@ import (
 	"rdfcube/internal/ans"
 	"rdfcube/internal/datagen"
 	"rdfcube/internal/nt"
+	"rdfcube/internal/rdf"
 	"rdfcube/internal/store"
 )
 
@@ -354,6 +355,145 @@ func TestWriteInvalidatesViewsOverHTTP(t *testing.T) {
 	postJSON(t, ts.Client(), ts.URL+"/query", baseQuery, &after)
 	if after.Strategy != "direct" {
 		t.Errorf("post-rematerialize strategy %q, want direct (registry must reset)", after.Strategy)
+	}
+}
+
+// insertBody renders a batch of new blogger facts — instance-vocabulary
+// triples matching the benchmark query — as an N-Triples body.
+func insertBody(t *testing.T, batch, perBatch int) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w := nt.NewWriter(&buf)
+	write := func(s, p, o rdf.Term) {
+		if err := w.Write(rdf.Triple{S: s, P: p, O: o}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := func(local string) rdf.Term { return rdf.NewIRI(datagen.NS + local) }
+	for i := 0; i < perBatch; i++ {
+		id := batch*perBatch + i
+		u := res(fmt.Sprintf("wuser%d", id))
+		write(u, rdf.Type, res("Blogger"))
+		write(u, res("hasAge"), datagen.DimValue(0, id%8))
+		write(u, res("livesIn"), datagen.DimValue(1, id%3))
+		post := res(fmt.Sprintf("wpost%d", id))
+		write(u, res("wrotePost"), post)
+		write(post, res("postedOn"), res(fmt.Sprintf("wsite%d", id%5)))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// TestInterleavedInsertQueryDifferential is the write-heavy acceptance
+// scenario: interleaved Insert/Slice/Dice through the server must
+// produce cubes byte-identical to a from-scratch direct evaluation, with
+// the registered views *maintained* across the writes (one direct
+// evaluation per query shape in total, maintained counters growing, no
+// invalidations while the delta stays below the compaction threshold).
+func TestInterleavedInsertQueryDifferential(t *testing.T) {
+	ts, baseQuery := startBloggerServer(t, 120)
+
+	diced := cloneQuery(t, baseQuery)
+	diced.Ops = []OpSpec{{
+		Op: "dice",
+		Restrictions: map[string][]string{
+			"d0": {"18", "19", "20", "21"},
+		},
+	}}
+	sliced := cloneQuery(t, baseQuery)
+	sliced.Ops = []OpSpec{{Op: "slice", Dim: "d1", Value: ":livesIn_val1"}}
+
+	query := func(req *QueryRequest, direct bool) *QueryResponse {
+		t.Helper()
+		q := cloneQuery(t, req)
+		q.Direct = direct
+		var out QueryResponse
+		status, body := postJSON(t, ts.Client(), ts.URL+"/query", q, &out)
+		if status != http.StatusOK {
+			t.Fatalf("query: status %d body %s", status, body)
+		}
+		return &out
+	}
+	rowsJSON := func(r *QueryResponse) string {
+		raw, err := json.Marshal(struct {
+			Cols []string   `json:"cols"`
+			Rows [][]string `json:"rows"`
+		}{r.Cols, r.Rows})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+
+	// Materialize the base cube once; everything after must be served by
+	// rewriting over the maintained views.
+	if first := query(baseQuery, false); first.Strategy != "direct" {
+		t.Fatalf("first cube strategy %q", first.Strategy)
+	}
+
+	var maintained int64
+	for round := 0; round < 6; round++ {
+		resp, err := ts.Client().Post(ts.URL+"/insert", "text/plain", insertBody(t, round, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ir InsertResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if ir.Added == 0 || !ir.Frozen {
+			t.Fatalf("round %d: insert %+v", round, ir)
+		}
+		if ir.Invalidated != 0 {
+			t.Fatalf("round %d: insert invalidated %d views below the compaction threshold", round, ir.Invalidated)
+		}
+		maintained += ir.Maintained
+
+		for _, req := range []*QueryRequest{baseQuery, sliced, diced} {
+			got := query(req, false)
+			want := query(req, true)
+			switch got.Strategy {
+			case "cached", "dice-rewrite":
+			default:
+				t.Fatalf("round %d: strategy %q, want a view-based answer", round, got.Strategy)
+			}
+			if rowsJSON(got) != rowsJSON(want) {
+				t.Fatalf("round %d (%v): maintained cube differs from direct evaluation\n got %s\nwant %s",
+					round, req.Ops, rowsJSON(got), rowsJSON(want))
+			}
+		}
+	}
+	if maintained == 0 {
+		t.Fatal("no view maintenance was reported across six write rounds")
+	}
+
+	var stats StatsResponse
+	resp, err := ts.Client().Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Registry.Strategies["direct"] != 1 {
+		t.Errorf("direct evaluations = %d, want 1 (views must be maintained, not recomputed; stats %+v)",
+			stats.Registry.Strategies["direct"], stats.Registry)
+	}
+	if stats.Registry.Maintained == 0 {
+		t.Error("statsz maintained counter is 0")
+	}
+	if !stats.Instance.Frozen {
+		t.Error("instance lost its frozen base across delta writes")
+	}
+	if stats.Instance.DeltaTriples == 0 || stats.Instance.DeltaSeq == 0 {
+		t.Errorf("instance delta not visible in statsz: %+v", stats.Instance)
+	}
+	if stats.Endpoints["/insert"].Count == 0 {
+		t.Error("statsz missing /insert endpoint metrics")
 	}
 }
 

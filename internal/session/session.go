@@ -22,6 +22,7 @@ package session
 import (
 	"rdfcube/internal/algebra"
 	"rdfcube/internal/core"
+	"rdfcube/internal/rdf"
 	"rdfcube/internal/store"
 	"rdfcube/internal/viewreg"
 )
@@ -86,6 +87,27 @@ func (m *Manager) Answer(q *core.Query) (*algebra.Relation, Strategy, error) {
 	// caller configured on the shared registry.
 	m.reg.SetMaxEntries(m.MaxEntries)
 	return m.reg.Answer(q)
+}
+
+// Insert appends triples to the managed AnS instance and keeps the
+// materialized views alive: on a frozen instance the writes land in the
+// store's delta overlay and the registered pres(Q)/ans(Q) are maintained
+// through the delta feed (internal/incr) rather than dropped, so the
+// analyst keeps paying view-maintenance cost instead of recomputation
+// cost across updates. It returns the number of new triples. Insert must
+// not run concurrently with Answer (the store's write contract).
+func (m *Manager) Insert(triples []rdf.Triple) int {
+	inst := m.reg.Instance()
+	added := 0
+	for _, tr := range triples {
+		if inst.Add(tr) {
+			added++
+		}
+	}
+	if added > 0 {
+		m.reg.NotifyWrite()
+	}
+	return added
 }
 
 // Describe renders the manager state for diagnostics.

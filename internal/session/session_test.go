@@ -264,6 +264,39 @@ func TestEviction(t *testing.T) {
 	}
 }
 
+// TestInsertMaintainsSessionViews: an analyst's writes through the
+// manager keep the materialized cube alive — the next identical query is
+// still answered from the (maintained) view and reflects the new facts.
+func TestInsertMaintainsSessionViews(t *testing.T) {
+	st := instance(21, 40)
+	st.Freeze()
+	m := NewManager(st)
+	q := query(t, agg.Sum)
+	answerBoth(t, m, q, StrategyDirect)
+
+	x := iri("sessfact")
+	added := m.Insert([]rdf.Triple{
+		{S: x, P: rdf.Type, O: iri("Fact")},
+		{S: x, P: iri("dim0"), O: rdf.NewInt(1)},
+		{S: x, P: iri("at"), O: iri("hub2")},
+		{S: x, P: iri("score"), O: rdf.NewInt(700)},
+	})
+	if added != 4 {
+		t.Fatalf("Insert added %d, want 4", added)
+	}
+	if m.Insert(nil) != 0 {
+		t.Fatal("empty Insert reported additions")
+	}
+	// Served from the maintained view — not re-evaluated — and correct.
+	answerBoth(t, m, q, StrategyCached)
+	if got := m.Registry().Stats().Maintained; got == 0 {
+		t.Error("Insert did not maintain the registered view")
+	}
+	if got := m.Stats()[StrategyDirect]; got != 1 {
+		t.Errorf("direct evaluations = %d, want 1", got)
+	}
+}
+
 func TestDescribe(t *testing.T) {
 	m := NewManager(instance(13, 30))
 	q := query(t, agg.Sum)

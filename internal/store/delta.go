@@ -1,0 +1,197 @@
+package store
+
+// Delta layer: a small sorted in-memory overlay that absorbs writes on
+// top of a frozen base, so an insert is no longer a cache-killing event.
+//
+// While the store is frozen, AddID appends the new triple to
+//
+//   - log: the arrival-ordered delta feed. Consumers that maintain
+//     materializations (internal/incr, internal/viewreg) read it through
+//     DeltaSince(seq) and apply exactly the triples they have not seen.
+//   - spo/pos/osp: three permutations of the delta kept sorted by their
+//     permuted (c1, c2, c3) key via binary-search insertion, mirroring
+//     the frozen permIndex layout. Every read path then resolves a
+//     pattern to one base range plus one delta range of the same
+//     permutation and merge-iterates the two sorted runs.
+//
+// The delta is disjoint from the base by construction (AddID only
+// reaches it for triples absent from the authoritative nested maps), so
+// merged counts are sums and merged scans never deduplicate.
+//
+// When the delta reaches the store's compaction threshold — or on an
+// explicit Freeze() — it is folded into a rebuilt frozen base and the
+// base epoch advances: the feed is gone, and materializations pinned to
+// the old epoch must recompute. Deletions are not representable in the
+// overlay; RemoveID on a frozen store falls back to full invalidation.
+
+import (
+	"sort"
+
+	"rdfcube/internal/dict"
+)
+
+// DefaultCompactThreshold is the delta size at which a write triggers
+// compaction into a new frozen base. SetCompactThreshold overrides it
+// per store.
+const DefaultCompactThreshold = 8192
+
+// delta is the mutable overlay on a frozen base.
+type delta struct {
+	log           []IDTriple // arrival order: the maintenance feed
+	spo, pos, osp []IDTriple // sorted by the respective permuted key
+}
+
+func (d *delta) len() int { return len(d.log) }
+
+func (d *delta) reset() { d.log, d.spo, d.pos, d.osp = nil, nil, nil, nil }
+
+// add appends t to the feed and sorted-inserts it into the three
+// permutations: O(len) per permutation, bounded by the compaction
+// threshold.
+func (d *delta) add(t IDTriple) {
+	d.log = append(d.log, t)
+	d.spo = insertSorted(permSPO, d.spo, t)
+	d.pos = insertSorted(permPOS, d.pos, t)
+	d.osp = insertSorted(permOSP, d.osp, t)
+}
+
+// permuteTriple projects t onto a permutation's (c1, c2, c3) key.
+func permuteTriple(kind permKind, t IDTriple) (a, b, c dict.ID) {
+	switch kind {
+	case permPOS:
+		return t.P, t.O, t.S
+	case permOSP:
+		return t.O, t.S, t.P
+	default:
+		return t.S, t.P, t.O
+	}
+}
+
+// permLess orders two triples by their permuted key.
+func permLess(kind permKind, x, y IDTriple) bool {
+	ax, bx, cx := permuteTriple(kind, x)
+	ay, by, cy := permuteTriple(kind, y)
+	if ax != ay {
+		return ax < ay
+	}
+	if bx != by {
+		return bx < by
+	}
+	return cx < cy
+}
+
+// insertSorted inserts t into ts, keeping ts sorted by the permuted key.
+func insertSorted(kind permKind, ts []IDTriple, t IDTriple) []IDTriple {
+	i := sort.Search(len(ts), func(i int) bool { return !permLess(kind, ts[i], t) })
+	ts = append(ts, IDTriple{})
+	copy(ts[i+1:], ts[i:])
+	ts[i] = t
+	return ts
+}
+
+// searchPrefix returns the [lo, hi) run of ts whose permuted key starts
+// with the n bound components (a, b, c).
+func searchPrefix(kind permKind, ts []IDTriple, n int, a, b, c dict.ID) (lo, hi int) {
+	cmp := func(t IDTriple) int {
+		x, y, z := permuteTriple(kind, t)
+		got := [3]dict.ID{x, y, z}
+		want := [3]dict.ID{a, b, c}
+		for i := 0; i < n; i++ {
+			if got[i] < want[i] {
+				return -1
+			}
+			if got[i] > want[i] {
+				return 1
+			}
+		}
+		return 0
+	}
+	lo = sort.Search(len(ts), func(i int) bool { return cmp(ts[i]) >= 0 })
+	hi = lo + sort.Search(len(ts)-lo, func(i int) bool { return cmp(ts[lo+i]) > 0 })
+	return lo, hi
+}
+
+// patternRange resolves pat to a contiguous range of one delta
+// permutation — the same shape-to-permutation mapping as
+// frozen.patternRange, so base and delta ranges merge in one order.
+func (d *delta) patternRange(pat Pattern) (kind permKind, ts []IDTriple, lo, hi int) {
+	sB, pB, oB := pat.S != Wild, pat.P != Wild, pat.O != Wild
+	switch {
+	case sB && pB && oB:
+		lo, hi = searchPrefix(permSPO, d.spo, 3, pat.S, pat.P, pat.O)
+		return permSPO, d.spo, lo, hi
+	case sB && pB:
+		lo, hi = searchPrefix(permSPO, d.spo, 2, pat.S, pat.P, 0)
+		return permSPO, d.spo, lo, hi
+	case pB:
+		n := 1
+		if oB {
+			n = 2
+		}
+		lo, hi = searchPrefix(permPOS, d.pos, n, pat.P, pat.O, 0)
+		return permPOS, d.pos, lo, hi
+	case oB:
+		n := 1
+		if sB {
+			n = 2
+		}
+		lo, hi = searchPrefix(permOSP, d.osp, n, pat.O, pat.S, 0)
+		return permOSP, d.osp, lo, hi
+	case sB:
+		lo, hi = searchPrefix(permSPO, d.spo, 1, pat.S, 0, 0)
+		return permSPO, d.spo, lo, hi
+	default:
+		return permSPO, d.spo, 0, len(d.spo)
+	}
+}
+
+// count returns the number of delta triples matching pat.
+func (d *delta) count(pat Pattern) int {
+	_, _, lo, hi := d.patternRange(pat)
+	return hi - lo
+}
+
+// mergedRange resolves pat to its base and delta ranges in one pass —
+// the same permutation on both sides — so callers that need the total
+// size and the iteration share one resolution.
+func (st *Store) mergedRange(pat Pattern) (px *permIndex, blo, bhi int, ts []IDTriple, dlo, dhi int) {
+	px, blo, bhi = st.frz.patternRange(pat)
+	_, ts, dlo, dhi = st.dlt.patternRange(pat)
+	return
+}
+
+// mergeRanges iterates a base range and a delta range of the same
+// permutation in merged sorted order. fn's early-stop contract matches
+// Store.ForEach.
+func mergeRanges(px *permIndex, blo, bhi int, ts []IDTriple, dlo, dhi int, fn func(IDTriple) bool) {
+	i, j := blo, dlo
+	for i < bhi && j < dhi {
+		bt := px.triple(i)
+		if permLess(px.kind, ts[j], bt) {
+			if !fn(ts[j]) {
+				return
+			}
+			j++
+		} else {
+			if !fn(bt) {
+				return
+			}
+			i++
+		}
+	}
+	if !px.forEachRange(i, bhi, fn) {
+		return
+	}
+	for ; j < dhi; j++ {
+		if !fn(ts[j]) {
+			return
+		}
+	}
+}
+
+// forEachMerged iterates the triples matching pat in permuted order,
+// merging the frozen base range with the delta range.
+func (st *Store) forEachMerged(pat Pattern, fn func(IDTriple) bool) {
+	px, blo, bhi, ts, dlo, dhi := st.mergedRange(pat)
+	mergeRanges(px, blo, bhi, ts, dlo, dhi, fn)
+}

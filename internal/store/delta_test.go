@@ -1,0 +1,284 @@
+package store
+
+// Differential and regression tests for the delta overlay: a frozen
+// store with pending writes must answer every read operation and all
+// eight triple-pattern shapes identically to the authoritative map path,
+// the (baseEpoch, deltaSeq) version must separate "base rebuilt" from
+// "delta grew", and the delta feed must replay exactly the accepted
+// writes.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rdfcube/internal/dict"
+)
+
+// TestDeltaDifferentialAllShapes freezes a random store, streams more
+// random writes through the overlay, and cross-checks every read
+// operation against the map path (captured by thawing a copy at the
+// end — the maps are authoritative in both modes).
+func TestDeltaDifferentialAllShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 10; trial++ {
+		st := randomTripleStore(rng, 100+rng.Intn(300))
+		st.Freeze()
+
+		// Stream random writes through the frozen store; some are
+		// duplicates of existing triples (no-ops).
+		added := 0
+		for i := 0; i < 60; i++ {
+			tr := IDTriple{
+				S: dict.ID(1 + rng.Intn(25)),
+				P: dict.ID(26 + rng.Intn(8)),
+				O: dict.ID(34 + rng.Intn(20)),
+			}
+			if st.AddID(tr) {
+				added++
+			}
+		}
+		if !st.IsFrozen() {
+			t.Fatal("writes dropped the frozen base")
+		}
+		if st.DeltaLen() != added {
+			t.Fatalf("DeltaLen = %d, want %d", st.DeltaLen(), added)
+		}
+
+		// Capture every operation on the merged path, then on the map
+		// path (same store, thawed), and compare.
+		pats := randomPatterns(rng)
+		type snapshot struct {
+			match    [][]IDTriple
+			count    []int
+			subjects [][]dict.ID
+			objects  [][]dict.ID
+		}
+		capture := func() snapshot {
+			var snap snapshot
+			for _, pat := range pats {
+				m := st.Match(pat)
+				sortTriples(m)
+				snap.match = append(snap.match, m)
+				snap.count = append(snap.count, st.Count(pat))
+				subj := st.Subjects(pat.P, pat.O)
+				sortIDs(subj)
+				snap.subjects = append(snap.subjects, subj)
+				obj := st.Objects(pat.S, pat.P)
+				sortIDs(obj)
+				snap.objects = append(snap.objects, obj)
+			}
+			return snap
+		}
+		merged := capture()
+		for _, pat := range pats {
+			if got, want := st.EstimateCardinality(pat), float64(st.Count(pat)); got != want {
+				t.Fatalf("trial %d pattern %+v: merged estimate %v != exact count %v",
+					trial, pat, got, want)
+			}
+		}
+		st.Thaw()
+		fromMaps := capture()
+
+		for i, pat := range pats {
+			if !triplesEqual(merged.match[i], fromMaps.match[i]) {
+				t.Fatalf("trial %d pattern %+v: Match differs\n merged: %v\n maps:   %v",
+					trial, pat, merged.match[i], fromMaps.match[i])
+			}
+			if merged.count[i] != fromMaps.count[i] {
+				t.Fatalf("trial %d pattern %+v: Count differs: merged %d maps %d",
+					trial, pat, merged.count[i], fromMaps.count[i])
+			}
+			if !idsEqual(merged.subjects[i], fromMaps.subjects[i]) {
+				t.Fatalf("trial %d pattern %+v: Subjects differ\n merged: %v\n maps:   %v",
+					trial, pat, merged.subjects[i], fromMaps.subjects[i])
+			}
+			if !idsEqual(merged.objects[i], fromMaps.objects[i]) {
+				t.Fatalf("trial %d pattern %+v: Objects differ\n merged: %v\n maps:   %v",
+					trial, pat, merged.objects[i], fromMaps.objects[i])
+			}
+		}
+	}
+}
+
+// TestDeltaMergedIterationSorted: ForEach on a frozen store with pending
+// delta must still yield the chosen permutation's sorted order (the
+// merge must interleave, not concatenate).
+func TestDeltaMergedIterationSorted(t *testing.T) {
+	st := New()
+	for s := 10; s <= 50; s += 10 {
+		st.AddID(IDTriple{S: dict.ID(s), P: 1, O: 1})
+	}
+	st.Freeze()
+	// Delta subjects interleave with the base subjects.
+	for _, s := range []dict.ID{5, 25, 45, 55} {
+		st.AddID(IDTriple{S: s, P: 1, O: 1})
+	}
+	var got []dict.ID
+	st.ForEach(Pattern{}, func(t IDTriple) bool {
+		got = append(got, t.S)
+		return true
+	})
+	want := []dict.ID{5, 10, 20, 25, 30, 40, 45, 50, 55}
+	if !idsEqual(got, want) {
+		t.Fatalf("merged iteration order = %v, want %v", got, want)
+	}
+	// Early stop mid-merge.
+	n := 0
+	st.ForEach(Pattern{}, func(IDTriple) bool {
+		n++
+		return n < 4
+	})
+	if n != 4 {
+		t.Fatalf("early stop visited %d triples, want 4", n)
+	}
+}
+
+// TestVersionSemantics pins the (baseEpoch, deltaSeq) protocol: delta
+// writes advance only Seq; compaction, deletion, map-mode writes and
+// delta-discarding thaws advance Base and reset Seq; no-op freezes and
+// thaws leave the version untouched.
+func TestVersionSemantics(t *testing.T) {
+	st := New()
+	v0 := st.Version()
+
+	// Map-mode write: base bump.
+	st.AddID(IDTriple{S: 1, P: 2, O: 3})
+	v1 := st.Version()
+	if v1.Base <= v0.Base || v1.Seq != 0 {
+		t.Fatalf("map-mode write: %+v -> %+v, want base bump with seq 0", v0, v1)
+	}
+
+	// Freeze of a clean map store: no version change.
+	st.Freeze()
+	if st.Version() != v1 {
+		t.Fatalf("clean Freeze changed version: %+v -> %+v", v1, st.Version())
+	}
+
+	// Frozen writes: seq grows, base stable, epoch still advances.
+	e1 := st.Epoch()
+	st.AddID(IDTriple{S: 1, P: 2, O: 4})
+	st.AddID(IDTriple{S: 1, P: 2, O: 5})
+	v2 := st.Version()
+	if v2.Base != v1.Base || v2.Seq != 2 {
+		t.Fatalf("delta writes: %+v, want base %d seq 2", v2, v1.Base)
+	}
+	if st.Epoch() <= e1 {
+		t.Fatal("Epoch did not advance across delta writes")
+	}
+
+	// Duplicate write: no change.
+	if st.AddID(IDTriple{S: 1, P: 2, O: 4}) {
+		t.Fatal("duplicate AddID reported new")
+	}
+	if st.Version() != v2 {
+		t.Fatalf("duplicate write changed version: %+v", st.Version())
+	}
+
+	// The feed replays exactly the delta triples, in arrival order.
+	feed := st.DeltaSince(0)
+	if len(feed) != 2 || feed[0] != (IDTriple{S: 1, P: 2, O: 4}) || feed[1] != (IDTriple{S: 1, P: 2, O: 5}) {
+		t.Fatalf("DeltaSince(0) = %v", feed)
+	}
+	if tail := st.DeltaSince(1); len(tail) != 1 || tail[0] != (IDTriple{S: 1, P: 2, O: 5}) {
+		t.Fatalf("DeltaSince(1) = %v", tail)
+	}
+	if st.DeltaSince(2) != nil {
+		t.Fatalf("DeltaSince(len) = %v, want nil", st.DeltaSince(2))
+	}
+
+	// Compaction: base bump, seq reset, feed gone.
+	st.Freeze()
+	v3 := st.Version()
+	if v3.Base <= v2.Base || v3.Seq != 0 {
+		t.Fatalf("compaction: %+v, want base bump with seq 0", v3)
+	}
+	if st.DeltaLen() != 0 || st.DeltaSince(0) != nil {
+		t.Fatal("compaction left a delta feed behind")
+	}
+
+	// Clean thaw: no change. Thaw with pending delta: base bump.
+	st.Thaw()
+	if st.Version() != v3 {
+		t.Fatalf("clean Thaw changed version: %+v", st.Version())
+	}
+	st.Freeze()
+	st.AddID(IDTriple{S: 9, P: 9, O: 9})
+	st.Thaw()
+	v4 := st.Version()
+	if v4.Base <= v3.Base || v4.Seq != 0 {
+		t.Fatalf("delta-discarding Thaw: %+v, want base bump", v4)
+	}
+
+	// Deletion on a frozen store: invalidation, base bump.
+	st.Freeze()
+	st.RemoveID(IDTriple{S: 9, P: 9, O: 9})
+	if st.IsFrozen() {
+		t.Fatal("RemoveID left the store frozen")
+	}
+	if v5 := st.Version(); v5.Base <= v4.Base {
+		t.Fatalf("deletion did not bump the base: %+v", v5)
+	}
+}
+
+// TestCompactionThreshold: crossing the threshold folds the overlay into
+// a rebuilt base automatically.
+func TestCompactionThreshold(t *testing.T) {
+	st := New()
+	st.AddID(IDTriple{S: 1, P: 1, O: 1})
+	st.Freeze()
+	st.SetCompactThreshold(8)
+	base := st.Version().Base
+	for o := dict.ID(2); st.Version().Base == base; o++ {
+		if o > 100 {
+			t.Fatal("no compaction after 99 delta writes with threshold 8")
+		}
+		st.AddID(IDTriple{S: 1, P: 1, O: o})
+	}
+	if st.DeltaLen() != 0 {
+		t.Fatalf("DeltaLen after auto-compaction = %d", st.DeltaLen())
+	}
+	if !st.IsFrozen() {
+		t.Fatal("auto-compaction left the store unfrozen")
+	}
+	if got := st.Count(Pattern{S: 1}); got != 9 {
+		t.Fatalf("Count after auto-compaction = %d, want 9 (1 base + 8 delta)", got)
+	}
+	// Writes continue into a fresh overlay.
+	st.AddID(IDTriple{S: 2, P: 1, O: 1})
+	if st.DeltaLen() != 1 {
+		t.Fatalf("DeltaLen after post-compaction write = %d, want 1", st.DeltaLen())
+	}
+}
+
+// TestSnapshotWithPendingDelta: WriteSnapshot must serialize the merged
+// contents, not just the frozen base.
+func TestSnapshotWithPendingDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	st := randomTripleStore(rng, 150)
+	st.Freeze()
+	for i := 0; i < 20; i++ {
+		st.AddID(IDTriple{
+			S: dict.ID(1 + rng.Intn(25)),
+			P: dict.ID(26 + rng.Intn(8)),
+			O: dict.ID(34 + rng.Intn(20)),
+		})
+	}
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != st.Len() {
+		t.Fatalf("snapshot size %d, want %d", back.Len(), st.Len())
+	}
+	st.ForEach(Pattern{}, func(tr IDTriple) bool {
+		if !back.ContainsID(tr) {
+			t.Fatalf("snapshot lost %+v", tr)
+		}
+		return true
+	})
+}

@@ -215,10 +215,10 @@ func TestFrozenStats(t *testing.T) {
 	}
 }
 
-// TestFreezeInvalidationOnWrite: writes after Freeze must invalidate the
-// frozen view, be visible immediately, and a re-Freeze must rebuild a
-// consistent index.
-func TestFreezeInvalidationOnWrite(t *testing.T) {
+// TestWriteAfterFreezeLandsInDelta: writes after Freeze must keep the
+// compacted base (landing in the delta overlay), be visible immediately,
+// and an explicit re-Freeze must compact them into a consistent index.
+func TestWriteAfterFreezeLandsInDelta(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	st := randomTripleStore(rng, 120)
 	st.Freeze()
@@ -232,8 +232,11 @@ func TestFreezeInvalidationOnWrite(t *testing.T) {
 	if !st.AddID(fresh) {
 		t.Fatal("AddID reported duplicate for a missing triple")
 	}
-	if st.IsFrozen() {
-		t.Fatal("AddID did not invalidate the frozen index")
+	if !st.IsFrozen() {
+		t.Fatal("AddID dropped the frozen base instead of using the delta overlay")
+	}
+	if st.DeltaLen() != 1 {
+		t.Fatalf("DeltaLen = %d, want 1", st.DeltaLen())
 	}
 	if !st.ContainsID(fresh) {
 		t.Fatal("triple invisible after post-freeze write")
@@ -242,19 +245,20 @@ func TestFreezeInvalidationOnWrite(t *testing.T) {
 		t.Fatalf("Count after write: got %d, want %d", got, before+1)
 	}
 
-	// Rebuild and verify the new triple is served from the frozen path.
+	// Explicit Freeze compacts the overlay into a rebuilt base.
 	st.Freeze()
-	if !st.IsFrozen() {
-		t.Fatal("re-Freeze failed")
+	if !st.IsFrozen() || st.DeltaLen() != 0 {
+		t.Fatal("Freeze did not compact the delta")
 	}
 	if !st.ContainsID(fresh) {
-		t.Fatal("rebuilt frozen index lost the new triple")
+		t.Fatal("compacted index lost the new triple")
 	}
 	if got := st.Count(Pattern{P: fresh.P}); got != before+1 {
-		t.Fatalf("frozen Count after rebuild: got %d, want %d", got, before+1)
+		t.Fatalf("frozen Count after compaction: got %d, want %d", got, before+1)
 	}
 
-	// Removal must likewise invalidate and rebuild correctly.
+	// Removal is not representable in the overlay: it must invalidate,
+	// and a re-Freeze must rebuild correctly.
 	if !st.RemoveID(fresh) {
 		t.Fatal("RemoveID failed")
 	}

@@ -18,11 +18,13 @@ package store
 // subject/object counts (one O(n) pass over SPO and POS), which feed the
 // BGP optimizer's bound-aware cardinality estimates.
 //
-// Any write (AddID/RemoveID) invalidates the frozen state and falls back
-// to the maps; calling Freeze again rebuilds. The two-phase lifecycle —
-// mutable load, frozen query — matches the analytical workloads this
-// engine serves; incremental maintenance (internal/incr) re-freezes
-// when an insertion batch is large enough to amortize the compaction.
+// Inserts do NOT invalidate the frozen state: they accumulate in the
+// sorted delta overlay of delta.go, and reads merge the base range with
+// the delta range of the same permutation. Freeze on a store with a
+// pending delta compacts — folds the overlay into a rebuilt base and
+// advances the base epoch — as does crossing the compaction threshold.
+// Only deletions (not representable in the append-only overlay) drop
+// the frozen state outright.
 
 import (
 	"sort"
@@ -61,13 +63,33 @@ type frozen struct {
 	predDistinctO map[dict.ID]int
 }
 
-// Freeze compacts the store into sorted-array indexes. It is idempotent:
-// repeated calls on an unmodified store are no-ops. Reads automatically
-// prefer the frozen indexes; any write invalidates them.
+// Freeze compacts the store onto sorted-array indexes. On a map-only
+// store it builds the frozen base (the version is untouched: contents
+// did not change). On a frozen store with a pending delta it compacts —
+// rebuilds the base from the authoritative maps, clears the overlay and
+// advances the base epoch, so materializations pinned to the old feed
+// know to recompute. Repeated calls on an unmodified store are no-ops.
 func (st *Store) Freeze() {
 	if st.frz != nil {
+		if st.dlt.len() == 0 {
+			return
+		}
+		st.compact()
 		return
 	}
+	st.build()
+}
+
+// compact folds the delta overlay into a rebuilt frozen base.
+func (st *Store) compact() {
+	st.frz = nil
+	st.dlt.reset()
+	st.build()
+	st.bumpBase()
+}
+
+// build constructs the frozen indexes from the nested maps.
+func (st *Store) build() {
 	n := st.size
 	base := make([]IDTriple, 0, n)
 	for s, m2 := range st.spo {
@@ -83,11 +105,13 @@ func (st *Store) Freeze() {
 	}
 	// One scratch slice is re-copied from base for each permutation's
 	// sort, keeping Freeze's transient footprint at 2x the triple set
-	// instead of 4x.
+	// instead of 4x. The component mapping is permuteTriple (delta.go),
+	// the same one the delta overlay sorts by — merged reads depend on
+	// base and overlay agreeing on the permuted order.
 	scratch := make([]IDTriple, n)
-	f.spo.build(permSPO, base, scratch, func(t IDTriple) (a, b, c dict.ID) { return t.S, t.P, t.O })
-	f.pos.build(permPOS, base, scratch, func(t IDTriple) (a, b, c dict.ID) { return t.P, t.O, t.S })
-	f.osp.build(permOSP, base, scratch, func(t IDTriple) (a, b, c dict.ID) { return t.O, t.S, t.P })
+	f.spo.build(permSPO, base, scratch)
+	f.pos.build(permPOS, base, scratch)
+	f.osp.build(permOSP, base, scratch)
 
 	// Distinct subjects per predicate: distinct (c1,c2)=(s,p) pairs in
 	// SPO, grouped by p. Distinct objects per predicate: distinct
@@ -107,44 +131,39 @@ func (st *Store) Freeze() {
 	st.frz = f
 }
 
-// Thaw drops the frozen indexes, returning the store to its mutable
-// map-only state. Useful for benchmarking the two paths against each
-// other and before sustained write bursts.
-func (st *Store) Thaw() { st.frz = nil }
-
-// IsFrozen reports whether the frozen indexes are current.
-func (st *Store) IsFrozen() bool { return st.frz != nil }
-
-// invalidate is called on every successful write: it drops the frozen
-// view and advances the epoch so registered materializations expire.
-func (st *Store) invalidate() {
+// Thaw drops the frozen indexes (and any delta overlay), returning the
+// store to its mutable map-only state. Useful for benchmarking the two
+// paths against each other and before sustained write bursts. Discarding
+// a non-empty overlay loses the delta feed, so that case advances the
+// base epoch.
+func (st *Store) Thaw() {
+	if st.frz == nil {
+		return
+	}
 	st.frz = nil
-	st.epoch.Add(1)
+	if st.dlt.len() > 0 {
+		st.dlt.reset()
+		st.bumpBase()
+	}
 }
+
+// IsFrozen reports whether the store serves reads from the compacted
+// base (possibly merged with a delta overlay).
+func (st *Store) IsFrozen() bool { return st.frz != nil }
 
 // build sorts base under the permutation's component order (using
 // scratch, len(base), as sort space) and scatters it into the columnar
 // layout, then derives the first-level directory.
-func (px *permIndex) build(kind permKind, base, scratch []IDTriple, comp func(IDTriple) (a, b, c dict.ID)) {
+func (px *permIndex) build(kind permKind, base, scratch []IDTriple) {
 	px.kind = kind
 	n := len(base)
 	perm := scratch
 	copy(perm, base)
-	sort.Slice(perm, func(i, j int) bool {
-		ai, bi, ci := comp(perm[i])
-		aj, bj, cj := comp(perm[j])
-		if ai != aj {
-			return ai < aj
-		}
-		if bi != bj {
-			return bi < bj
-		}
-		return ci < cj
-	})
+	sort.Slice(perm, func(i, j int) bool { return permLess(kind, perm[i], perm[j]) })
 	cols := make([]dict.ID, 3*n)
 	px.c1, px.c2, px.c3 = cols[:n:n], cols[n:2*n:2*n], cols[2*n:]
 	for i, t := range perm {
-		px.c1[i], px.c2[i], px.c3[i] = comp(t)
+		px.c1[i], px.c2[i], px.c3[i] = permuteTriple(kind, t)
 	}
 	for i := 0; i < n; i++ {
 		if i == 0 || px.c1[i] != px.c1[i-1] {

@@ -13,11 +13,14 @@ type Pattern struct {
 
 // ForEach calls fn for every triple matching pat, stopping early if fn
 // returns false. Iteration order is unspecified on a mutable store and
-// sorted (in the chosen permutation's order) on a frozen one.
+// sorted (in the chosen permutation's order) on a frozen one — including
+// under a pending delta, where the base and overlay ranges of the same
+// permutation are merge-iterated.
 //
 // On a frozen store every shape is one contiguous range of a sorted
-// permutation (see index.go). The map fallback picks the index whose
-// prefix covers the bound positions:
+// permutation (see index.go) plus, when writes have accumulated, the
+// matching range of the sorted delta overlay (delta.go). The map
+// fallback picks the index whose prefix covers the bound positions:
 //
 //	S P O  -> spo point lookup        S - -  -> spo[s] walk
 //	S P -  -> spo[s][p] walk          - P O  -> pos[p][o] walk
@@ -25,7 +28,11 @@ type Pattern struct {
 //	- - O  -> osp[o] walk             - - -  -> full spo walk
 func (st *Store) ForEach(pat Pattern, fn func(t IDTriple) bool) {
 	if st.frz != nil {
-		st.frz.forEach(pat, fn)
+		if st.dlt.len() == 0 {
+			st.frz.forEach(pat, fn)
+		} else {
+			st.forEachMerged(pat, fn)
+		}
 		return
 	}
 	sB, pB, oB := pat.S != Wild, pat.P != Wild, pat.O != Wild
@@ -94,7 +101,20 @@ func (st *Store) ForEach(pat Pattern, fn func(t IDTriple) bool) {
 // preallocated to its exact size.
 func (st *Store) Match(pat Pattern) []IDTriple {
 	if st.frz != nil {
-		return st.frz.match(pat)
+		if st.dlt.len() == 0 {
+			return st.frz.match(pat)
+		}
+		px, blo, bhi, ts, dlo, dhi := st.mergedRange(pat)
+		n := (bhi - blo) + (dhi - dlo)
+		if n == 0 {
+			return nil
+		}
+		out := make([]IDTriple, 0, n)
+		mergeRanges(px, blo, bhi, ts, dlo, dhi, func(t IDTriple) bool {
+			out = append(out, t)
+			return true
+		})
+		return out
 	}
 	var out []IDTriple
 	st.ForEach(pat, func(t IDTriple) bool {
@@ -106,11 +126,16 @@ func (st *Store) Match(pat Pattern) []IDTriple {
 
 // Count returns the number of triples matching pat without materializing
 // them. On a frozen store every shape is O(log n) via the offset
-// directories; on the mutable maps the single-bound S and O shapes cost
-// one leaf-map walk.
+// directories — plus an O(log d) delta-range count when writes are
+// pending (base and overlay are disjoint, so the counts add); on the
+// mutable maps the single-bound S and O shapes cost one leaf-map walk.
 func (st *Store) Count(pat Pattern) int {
 	if st.frz != nil {
-		return st.frz.count(pat)
+		n := st.frz.count(pat)
+		if st.dlt.len() > 0 {
+			n += st.dlt.count(pat)
+		}
+		return n
 	}
 	sB, pB, oB := pat.S != Wild, pat.P != Wild, pat.O != Wild
 	switch {
@@ -149,7 +174,15 @@ func (st *Store) Count(pat Pattern) int {
 // sorted-run walk with no intermediate map.
 func (st *Store) Subjects(p, o dict.ID) []dict.ID {
 	if st.frz != nil {
-		return st.frz.subjects(p, o)
+		base := st.frz.subjects(p, o)
+		if st.dlt.len() == 0 {
+			return base
+		}
+		_, ts, lo, hi := st.dlt.patternRange(Pattern{P: p, O: o})
+		for i := lo; i < hi; i++ {
+			base = append(base, ts[i].S)
+		}
+		return sortDedup(base)
 	}
 	seen := make(map[dict.ID]struct{})
 	st.ForEach(Pattern{P: p, O: o}, func(t IDTriple) bool {
@@ -167,7 +200,15 @@ func (st *Store) Subjects(p, o dict.ID) []dict.ID {
 // predicate p (either may be Wild).
 func (st *Store) Objects(s, p dict.ID) []dict.ID {
 	if st.frz != nil {
-		return st.frz.objects(s, p)
+		base := st.frz.objects(s, p)
+		if st.dlt.len() == 0 {
+			return base
+		}
+		_, ts, lo, hi := st.dlt.patternRange(Pattern{S: s, P: p})
+		for i := lo; i < hi; i++ {
+			base = append(base, ts[i].O)
+		}
+		return sortDedup(base)
 	}
 	seen := make(map[dict.ID]struct{})
 	st.ForEach(Pattern{S: s, P: p}, func(t IDTriple) bool {

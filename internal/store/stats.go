@@ -18,12 +18,15 @@ func (st *Store) Stats() Stats {
 // PredicateCount returns the number of triples with predicate p.
 func (st *Store) PredicateCount(p dict.ID) int { return st.predCount[p] }
 
-// DistinctSubjects returns the number of distinct subjects of predicate p.
-// On a frozen store this is a precomputed O(1) lookup; the map fallback
-// walks pos[p] and so costs O(triples-of-p).
+// DistinctSubjects returns the number of distinct subjects of predicate
+// p. On a frozen store this is the precomputed O(1) lookup, plus — with
+// a pending delta — the O(log d) count of p's delta triples, an upper
+// bound that keeps the only consumer (the BGP cardinality estimator) off
+// the O(triples-of-p) map walk on the hot planning path. The map
+// fallback is exact.
 func (st *Store) DistinctSubjects(p dict.ID) int {
 	if st.frz != nil {
-		return st.frz.predDistinctS[p]
+		return st.frz.predDistinctS[p] + st.dlt.count(Pattern{P: p})
 	}
 	seen := make(map[dict.ID]struct{})
 	for _, leaf := range st.pos[p] {
@@ -34,41 +37,33 @@ func (st *Store) DistinctSubjects(p dict.ID) int {
 	return len(seen)
 }
 
-// DistinctObjects returns the number of distinct objects of predicate p.
+// DistinctObjects returns the number of distinct objects of predicate p
+// (an upper bound under a pending delta, like DistinctSubjects).
 func (st *Store) DistinctObjects(p dict.ID) int {
 	if st.frz != nil {
-		return st.frz.predDistinctO[p]
+		return st.frz.predDistinctO[p] + st.dlt.count(Pattern{P: p})
 	}
 	return len(st.pos[p])
 }
 
 // DistinctSubjectsAll returns the number of distinct subjects in the
-// store (any predicate).
-func (st *Store) DistinctSubjectsAll() int {
-	if st.frz != nil {
-		return len(st.frz.spo.keys)
-	}
-	return len(st.spo)
-}
+// store (any predicate). The nested maps track this exactly in every
+// mode.
+func (st *Store) DistinctSubjectsAll() int { return len(st.spo) }
 
 // DistinctObjectsAll returns the number of distinct objects in the store
 // (any predicate).
-func (st *Store) DistinctObjectsAll() int {
-	if st.frz != nil {
-		return len(st.frz.osp.keys)
-	}
-	return len(st.osp)
-}
+func (st *Store) DistinctObjectsAll() int { return len(st.osp) }
 
 // EstimateCardinality estimates the number of triples matching pat. On a
 // frozen store every shape resolves to an exact range length through the
-// offset directories (O(log n)); on the mutable maps the prefix-covered
-// shapes are exact and the single-bound S/O shapes use uniformity
-// assumptions to avoid a leaf walk. Used by the BGP optimizer to order
-// joins.
+// offset directories (O(log n)), plus the delta range when writes are
+// pending; on the mutable maps the prefix-covered shapes are exact and
+// the single-bound S/O shapes use uniformity assumptions to avoid a leaf
+// walk. Used by the BGP optimizer to order joins.
 func (st *Store) EstimateCardinality(pat Pattern) float64 {
 	if st.frz != nil {
-		return float64(st.frz.count(pat))
+		return float64(st.Count(pat))
 	}
 	sB, pB, oB := pat.S != Wild, pat.P != Wild, pat.O != Wild
 	n := float64(st.size)

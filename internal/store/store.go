@@ -26,11 +26,14 @@ type IDTriple struct {
 
 // Store is an indexed triple store over a term dictionary.
 //
-// The store is two-phase: a mutable build phase backed by the nested-map
-// indexes below, and a read-optimized frozen phase (see index.go)
-// entered via Freeze, which compacts the triple set into sorted columnar
-// arrays. Reads transparently use whichever representation is current;
-// writes invalidate the frozen state.
+// The store is layered: the mutable nested-map indexes below are always
+// authoritative; Freeze compacts them into the read-optimized sorted
+// columnar arrays of index.go. A write on a frozen store no longer drops
+// that compacted base — it lands in a small sorted delta overlay (see
+// delta.go) and every read path merges base and delta, so writes stay
+// cheap and reads stay on the fast path. The delta is folded into a
+// rebuilt base when it reaches the compaction threshold or on an
+// explicit Freeze.
 type Store struct {
 	dict *dict.Dictionary
 
@@ -44,18 +47,39 @@ type Store struct {
 	// Per-predicate statistics, maintained incrementally.
 	predCount map[dict.ID]int
 
-	// frz is the compacted sorted-array view, nil while dirty.
+	// frz is the compacted sorted-array base; dlt overlays the writes
+	// accepted since it was built. frz == nil means map-only mode (dlt
+	// is then empty).
 	frz *frozen
+	dlt delta
 
-	// epoch is a generation counter bumped on every successful write.
-	// Concurrent readers (the view registry, the server) use it to
-	// validate that results materialized earlier still reflect the
-	// store's current contents; reading it never blocks. Writes
-	// themselves must still be serialized against reads by the caller.
-	epoch atomic.Uint64
+	// compactThreshold is the delta size that triggers folding the
+	// overlay into a rebuilt frozen base.
+	compactThreshold int
+
+	// ver packs the two-part write version (baseEpoch << 32 | deltaSeq).
+	// deltaSeq counts the triples accepted into the current delta
+	// overlay; baseEpoch advances whenever the base is rebuilt or
+	// structurally invalidated (compaction, deletion, thaw with pending
+	// delta, map-mode writes) — exactly the events after which the delta
+	// feed can no longer replay the difference. Concurrent readers (the
+	// view registry, the server) use it to decide between maintaining a
+	// materialization (same base, newer delta) and discarding it (base
+	// moved); reading it never blocks. Writes themselves must still be
+	// serialized against reads by the caller.
+	ver atomic.Uint64
 }
 
 type idSet map[dict.ID]struct{}
+
+// Version is the decoded two-part write version of a store.
+type Version struct {
+	// Base counts base rebuilds and structural invalidations.
+	Base uint64
+	// Seq counts the triples in the current delta overlay (0 outside
+	// frozen mode or right after a rebuild).
+	Seq uint64
+}
 
 // New returns an empty store over a fresh dictionary.
 func New() *Store { return NewWithDict(dict.New()) }
@@ -65,22 +89,65 @@ func New() *Store { return NewWithDict(dict.New()) }
 // cubes) use one ID space so results join without re-encoding.
 func NewWithDict(d *dict.Dictionary) *Store {
 	return &Store{
-		dict:      d,
-		spo:       make(map[dict.ID]map[dict.ID]idSet),
-		pos:       make(map[dict.ID]map[dict.ID]idSet),
-		osp:       make(map[dict.ID]map[dict.ID]idSet),
-		predCount: make(map[dict.ID]int),
+		dict:             d,
+		spo:              make(map[dict.ID]map[dict.ID]idSet),
+		pos:              make(map[dict.ID]map[dict.ID]idSet),
+		osp:              make(map[dict.ID]map[dict.ID]idSet),
+		predCount:        make(map[dict.ID]int),
+		compactThreshold: DefaultCompactThreshold,
 	}
 }
 
 // Dict returns the store's term dictionary.
 func (st *Store) Dict() *dict.Dictionary { return st.dict }
 
-// Epoch returns the store's write-generation counter. It increases on
-// every successful Add/Remove, so a materialized result tagged with the
-// epoch at evaluation time is valid exactly while Epoch() still returns
-// that value. Epoch is safe to read concurrently with other reads.
-func (st *Store) Epoch() uint64 { return st.epoch.Load() }
+// Epoch returns the packed write version: it increases on every
+// successful Add/Remove and on every base rebuild, so a materialized
+// result tagged with the epoch at evaluation time reflects the store's
+// contents exactly while Epoch() still returns that value. Callers that
+// can maintain materializations should prefer Version, which separates
+// "base rebuilt" (recompute) from "delta grew" (apply the feed). Safe to
+// read concurrently with other reads.
+func (st *Store) Epoch() uint64 { return st.ver.Load() }
+
+// Version returns the decoded (baseEpoch, deltaSeq) write version.
+func (st *Store) Version() Version {
+	v := st.ver.Load()
+	return Version{Base: v >> 32, Seq: v & 0xffffffff}
+}
+
+// bumpBase advances the base epoch and clears the delta sequence. Called
+// under the caller's write serialization.
+func (st *Store) bumpBase() {
+	st.ver.Store(((st.ver.Load() >> 32) + 1) << 32)
+}
+
+// DeltaLen reports the number of triples in the delta overlay.
+func (st *Store) DeltaLen() int { return st.dlt.len() }
+
+// DeltaSince returns the delta-feed triples accepted after sequence
+// number seq (a Version.Seq observed earlier under the same Base). The
+// returned slice aliases the feed and must not be mutated; it is valid
+// until the next compaction.
+func (st *Store) DeltaSince(seq uint64) []IDTriple {
+	if seq >= uint64(len(st.dlt.log)) {
+		return nil
+	}
+	return st.dlt.log[seq:]
+}
+
+// SetCompactThreshold overrides the delta size at which a write compacts
+// the overlay into a rebuilt frozen base (values < 1 restore the
+// default).
+func (st *Store) SetCompactThreshold(n int) {
+	if n < 1 {
+		n = DefaultCompactThreshold
+	}
+	st.compactThreshold = n
+}
+
+// CompactThreshold returns the current compaction threshold.
+func (st *Store) CompactThreshold() int { return st.compactThreshold }
 
 // Len reports the number of distinct triples.
 func (st *Store) Len() int { return st.size }
@@ -93,7 +160,10 @@ func (st *Store) Add(tr rdf.Triple) bool {
 }
 
 // AddID inserts an already-encoded triple. It reports whether the triple
-// was new.
+// was new. On a frozen store the triple lands in the delta overlay (the
+// compacted base survives) and the delta sequence advances; past the
+// compaction threshold the overlay is folded into a rebuilt base. On a
+// map-only store the base epoch advances.
 func (st *Store) AddID(t IDTriple) bool {
 	if !insert3(st.spo, t.S, t.P, t.O) {
 		return false
@@ -102,7 +172,15 @@ func (st *Store) AddID(t IDTriple) bool {
 	insert3(st.osp, t.O, t.S, t.P)
 	st.size++
 	st.predCount[t.P]++
-	st.invalidate()
+	if st.frz != nil {
+		st.dlt.add(t)
+		st.ver.Add(1)
+		if st.dlt.len() >= st.compactThreshold {
+			st.compact()
+		}
+	} else {
+		st.bumpBase()
+	}
 	return true
 }
 
@@ -119,7 +197,10 @@ func (st *Store) Remove(tr rdf.Triple) bool {
 }
 
 // RemoveID deletes an encoded triple. It reports whether the triple was
-// present.
+// present. Deletions are not representable in the append-only delta
+// overlay, so on a frozen store a removal drops the compacted base and
+// overlay entirely (the warehouse workload is append-oriented; re-Freeze
+// after sustained deletion bursts).
 func (st *Store) RemoveID(t IDTriple) bool {
 	if !remove3(st.spo, t.S, t.P, t.O) {
 		return false
@@ -131,7 +212,11 @@ func (st *Store) RemoveID(t IDTriple) bool {
 	if st.predCount[t.P] == 0 {
 		delete(st.predCount, t.P)
 	}
-	st.invalidate()
+	if st.frz != nil {
+		st.frz = nil
+		st.dlt.reset()
+	}
+	st.bumpBase()
 	return true
 }
 
@@ -146,11 +231,10 @@ func (st *Store) Contains(tr rdf.Triple) bool {
 	return st.ContainsID(IDTriple{s, p, o})
 }
 
-// ContainsID reports whether the encoded triple is in the store.
+// ContainsID reports whether the encoded triple is in the store. The
+// nested maps are authoritative in every mode, so this is always one
+// hash walk.
 func (st *Store) ContainsID(t IDTriple) bool {
-	if st.frz != nil {
-		return st.frz.spo.contains(t.S, t.P, t.O)
-	}
 	m2, ok := st.spo[t.S]
 	if !ok {
 		return false

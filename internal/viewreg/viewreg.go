@@ -14,7 +14,7 @@
 //   - otherwise                → direct evaluation, after which the new
 //     query's results are registered for future reuse.
 //
-// Three properties make the registry serve concurrent traffic:
+// Four properties make the registry serve concurrent traffic:
 //
 //   - Single-flight direct evaluation: concurrent clients asking the
 //     same cube (by canonical fingerprint) trigger exactly one direct
@@ -23,14 +23,26 @@
 //   - Cost-aware bounded memory: entries are LRU-evicted by estimated
 //     byte footprint (and optionally by count), not entry count alone,
 //     so one huge pres(Q) cannot silently pin the budget.
-//   - Write invalidation: every entry is tagged with the store's
-//     freeze-epoch at evaluation time; any store write advances the
-//     epoch and stale entries are dropped at next lookup, so the
-//     registry never serves a cube computed from superseded data.
+//   - Delta-aware maintenance: every entry is tagged with the store's
+//     two-part (baseEpoch, deltaSeq) version at evaluation time. A write
+//     that lands in the store's delta overlay leaves the base epoch
+//     alone, and entries behind only on the delta sequence are
+//     *maintained* — internal/incr applies the store's delta feed to the
+//     registered pres(Q), and ans(Q) is re-aggregated from it — instead
+//     of dropped, on lookup or on a write notification (NotifyWrite).
+//     Only a base-epoch move (compaction, deletion, structural change)
+//     or an unmaintainable entry falls back to eviction, so the registry
+//     keeps paying view-maintenance cost instead of recomputation cost.
+//   - Negative caching: a query that scanned its family and found no
+//     applicable rewrite is remembered (by exact fingerprint, valid for
+//     the store version it observed and until the next registration), so
+//     repeated misses skip the candidate scan.
 //
 // Registered relations are immutable by convention: rewrites read them
 // concurrently without locks, and callers must not mutate a returned
 // cube that came from the registry (clone before sorting in place).
+// Maintenance honors this by swapping fresh pres/ans snapshots into the
+// entry rather than growing the published relations in place.
 package viewreg
 
 import (
@@ -40,6 +52,7 @@ import (
 
 	"rdfcube/internal/algebra"
 	"rdfcube/internal/core"
+	"rdfcube/internal/incr"
 	"rdfcube/internal/store"
 )
 
@@ -72,14 +85,27 @@ type Config struct {
 }
 
 // entry is one registered materialization.
+//
+// Locking: mu serializes maintenance (the only mutation after
+// registration). The mutable fields ver/pres/ans/bytes are written while
+// holding BOTH mu and the registry lock, so holding either one is enough
+// to read them consistently; the expensive delta evaluation itself runs
+// under mu alone.
 type entry struct {
 	fam, key uint64
 	query    *core.Query
-	pres     *algebra.Relation
-	ans      *algebra.Relation
-	bytes    int64
-	epoch    uint64
-	elem     *list.Element // position in the LRU list; nil once removed
+
+	mu sync.Mutex
+	// mp maintains pres(Q) through the store's delta feed; nil when the
+	// materialization could not be built incrementally (the entry is
+	// then dropped instead of maintained once it falls behind).
+	mp    *incr.MaintainedPres
+	pres  *algebra.Relation
+	ans   *algebra.Relation
+	bytes int64
+	ver   store.Version
+
+	elem *list.Element // position in the LRU list; nil once removed
 }
 
 // flight is one in-progress direct evaluation that followers wait on.
@@ -98,18 +124,26 @@ type Stats struct {
 	// ByStrategy counts answered queries per strategy.
 	ByStrategy map[Strategy]int64
 	// Evictions counts entries dropped for the byte/count budget;
-	// Invalidations counts entries dropped because the store's epoch
-	// moved past them; Coalesced counts queries that piggybacked on
-	// another client's in-flight direct evaluation.
+	// Invalidations counts entries dropped because the store's base
+	// epoch moved past them (or they could not be maintained);
+	// Coalesced counts queries that piggybacked on another client's
+	// in-flight direct evaluation.
 	Evictions     int64
 	Invalidations int64
 	Coalesced     int64
+	// Maintained counts delta-feed maintenance applications: each is one
+	// registered view caught up to the store's version instead of being
+	// dropped and re-evaluated.
+	Maintained int64
+	// NegSkips counts candidate scans skipped by the negative cache.
+	NegSkips int64
 }
 
 // Registry is a shared materialized-view registry over one AnS instance.
 // All methods are safe for concurrent use; store *writes* must still be
 // serialized against Answer calls by the caller (the server holds an
-// RWMutex), after which epoch validation retires outdated entries.
+// RWMutex), with NotifyWrite maintaining or sweeping the registered
+// views inside that write critical section.
 type Registry struct {
 	ev *core.Evaluator
 	st *store.Store
@@ -122,10 +156,23 @@ type Registry struct {
 	bytes      int64
 	inflight   map[uint64]*flight
 	stats      map[Strategy]int64
+	// negMiss remembers exact query fingerprints whose family scan found
+	// no applicable rewrite, keyed to the packed store version observed;
+	// cleared on registration.
+	negMiss    map[uint64]uint64
 	evictions  int64
 	invalids   int64
 	coalesced  int64
+	maintained int64
+	negSkips   int64
 }
+
+// negMissCap bounds the negative cache; the map resets past it.
+const negMissCap = 4096
+
+// notifyBatch bounds how many entries one NotifyWrite call sweeps or
+// maintains; the rest catch up lazily at lookup.
+const notifyBatch = 256
 
 // New returns an empty registry over the given AnS instance.
 func New(inst *store.Store, cfg Config) *Registry {
@@ -138,6 +185,7 @@ func New(inst *store.Store, cfg Config) *Registry {
 		lru:        list.New(),
 		inflight:   map[uint64]*flight{},
 		stats:      map[Strategy]int64{},
+		negMiss:    map[uint64]uint64{},
 	}
 }
 
@@ -198,6 +246,8 @@ func (r *Registry) Stats() Stats {
 		Evictions:     r.evictions,
 		Invalidations: r.invalids,
 		Coalesced:     r.coalesced,
+		Maintained:    r.maintained,
+		NegSkips:      r.negSkips,
 	}
 }
 
@@ -212,26 +262,41 @@ func (r *Registry) Answer(q *core.Query) (*algebra.Relation, Strategy, error) {
 	fam := familyKey(q)
 	key := exactKey(fam, q)
 	epoch := r.st.Epoch()
+	ver := r.st.Version()
 
 	// Phase 1: scan the family's registered views, newest first, for an
-	// applicable rewriting. Entries are immutable, so the rewrite itself
-	// runs outside the lock; a concurrent eviction of the entry is
-	// harmless (our reference keeps it alive).
-	for _, e := range r.candidates(fam, epoch) {
-		strategy, cube, err := r.tryRewrite(e, q)
-		if err != nil {
-			return nil, "", err
-		}
-		if cube != nil {
-			r.touch(e)
-			r.bump(strategy)
-			return cube, strategy, nil
+	// applicable rewriting, maintaining delta-stale candidates through
+	// the store's feed first. The rewrite itself runs outside the lock on
+	// the freshened pres/ans snapshots; a concurrent eviction of the
+	// entry is harmless (our reference keeps the snapshots alive). The
+	// negative cache short-circuits families already known not to match
+	// at this exact version.
+	scanned := false
+	if !r.negativeHit(key, epoch) {
+		scanned = true
+		for _, e := range r.candidates(fam, ver) {
+			pres, ans, ok := r.freshen(e, ver)
+			if !ok {
+				continue
+			}
+			strategy, cube, err := r.tryRewrite(e.query, q, pres, ans)
+			if err != nil {
+				return nil, "", err
+			}
+			if cube != nil {
+				r.touch(e)
+				r.bump(strategy)
+				return cube, strategy, nil
+			}
 		}
 	}
 
 	// Phase 2: no reuse possible — direct evaluation, collapsed with any
 	// concurrent identical evaluation.
 	r.mu.Lock()
+	if scanned {
+		r.recordMissLocked(key, epoch)
+	}
 	// Re-check the family under the lock: a leader finishing between our
 	// phase-1 scan and here publishes its entry and removes its flight in
 	// one lock hold, so an identical query must land on exactly one of
@@ -239,7 +304,7 @@ func (r *Registry) Answer(q *core.Query) (*algebra.Relation, Strategy, error) {
 	// time.
 	bucket := r.families[fam]
 	for i := len(bucket) - 1; i >= 0; i-- {
-		if e := bucket[i]; e.epoch == epoch && sameAnswerShape(e.query, q) {
+		if e := bucket[i]; e.ver == ver && sameAnswerShape(e.query, q) {
 			if e.elem != nil {
 				r.lru.MoveToFront(e.elem)
 			}
@@ -266,10 +331,24 @@ func (r *Registry) Answer(q *core.Query) (*algebra.Relation, Strategy, error) {
 	r.inflight[key] = fl
 	r.mu.Unlock()
 
-	pres, err := r.ev.Pres(q)
-	var cube *algebra.Relation
-	if err == nil {
-		cube, err = r.ev.AnswerFromPres(q, pres)
+	// Evaluate through internal/incr so the registered materialization
+	// can absorb the store's delta feed later; pres(Q) is a by-product
+	// either way. Should the maintained form be unavailable, fall back to
+	// a plain evaluation — the entry is then dropped instead of
+	// maintained once the store moves.
+	var (
+		pres, cube *algebra.Relation
+		mp         *incr.MaintainedPres
+		err        error
+	)
+	if mp, err = incr.New(r.ev, q); err == nil {
+		pres = mp.Pres()
+		cube, err = mp.Answer()
+	} else {
+		mp = nil
+		if pres, err = r.ev.Pres(q); err == nil {
+			cube, err = r.ev.AnswerFromPres(q, pres)
+		}
 	}
 
 	r.mu.Lock()
@@ -286,10 +365,11 @@ func (r *Registry) Answer(q *core.Query) (*algebra.Relation, Strategy, error) {
 				fam:   fam,
 				key:   key,
 				query: fl.query,
+				mp:    mp,
 				pres:  pres,
 				ans:   cube,
 				bytes: relationBytes(pres) + relationBytes(cube) + entryOverhead,
-				epoch: epoch,
+				ver:   ver,
 			})
 		}
 	}
@@ -301,15 +381,54 @@ func (r *Registry) Answer(q *core.Query) (*algebra.Relation, Strategy, error) {
 	return cube, StrategyDirect, nil
 }
 
-// candidates prunes the family's stale entries and returns the live
-// ones, newest first.
-func (r *Registry) candidates(fam uint64, epoch uint64) []*entry {
+// NotifyWrite tells the registry the instance just changed. It sweeps a
+// bounded batch of entries, most recently used first: views behind only
+// on the delta sequence are maintained through the store's feed, views
+// whose base epoch moved (or that cannot be maintained) are dropped
+// eagerly — so the byte accounting in Stats stays honest between
+// lookups instead of waiting for lookup-time pruning. Entries beyond the
+// batch bound catch up lazily at their next lookup.
+//
+// Call it inside the same write critical section that mutated the store
+// (the server does), so maintenance never races further writes.
+func (r *Registry) NotifyWrite() {
+	ver := r.st.Version()
+	r.mu.Lock()
+	var stale, behind []*entry
+	n := 0
+	for el := r.lru.Front(); el != nil && n < notifyBatch; el = el.Next() {
+		e := el.Value.(*entry)
+		n++
+		if e.ver == ver {
+			continue
+		}
+		if e.ver.Base != ver.Base || e.mp == nil {
+			stale = append(stale, e)
+		} else {
+			behind = append(behind, e)
+		}
+	}
+	for _, e := range stale {
+		r.dropLocked(e)
+		r.removeFromFamilyLocked(e)
+		r.invalids++
+	}
+	r.mu.Unlock()
+	for _, e := range behind {
+		r.freshen(e, ver)
+	}
+}
+
+// candidates prunes the family's base-stale entries and returns the live
+// ones, newest first. Entries behind only on the delta sequence survive
+// — freshen catches them up.
+func (r *Registry) candidates(fam uint64, ver store.Version) []*entry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	bucket := r.families[fam]
 	live := bucket[:0]
 	for _, e := range bucket {
-		if e.epoch != epoch {
+		if e.ver.Base != ver.Base || (e.ver != ver && e.mp == nil) {
 			r.dropLocked(e)
 			r.invalids++
 			continue
@@ -328,44 +447,117 @@ func (r *Registry) candidates(fam uint64, epoch uint64) []*entry {
 	return out
 }
 
-// tryRewrite attempts to answer q from entry e. A nil cube with nil
-// error means "not applicable". The semantics mirror the original
-// session manager's detection exactly.
-func (r *Registry) tryRewrite(e *entry, q *core.Query) (Strategy, *algebra.Relation, error) {
-	if !sameMeasure(e.query, q) || e.query.Agg.Name() != q.Agg.Name() {
+// freshen brings e up to the store version through the delta feed and
+// returns consistent pres/ans snapshots. ok is false when the entry had
+// to be dropped instead (maintenance unavailable or failed). The delta
+// evaluation runs under the entry lock only; the final swap also holds
+// the registry lock so snapshot readers see consistent fields.
+func (r *Registry) freshen(e *entry, ver store.Version) (pres, ans *algebra.Relation, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ver == ver {
+		return e.pres, e.ans, true
+	}
+	if e.ver.Base != ver.Base || e.mp == nil {
+		r.discard(e)
+		return nil, nil, false
+	}
+	if _, _, refreshed, err := e.mp.Sync(); err != nil || refreshed {
+		// refreshed means the base moved underneath us after the check
+		// above — the entry's materialization was recomputed, which is
+		// exactly the cost this registry avoids; treat it as stale.
+		r.discard(e)
+		return nil, nil, false
+	}
+	newPres := e.mp.Pres()
+	newAns, err := e.mp.Answer()
+	if err != nil {
+		r.discard(e)
+		return nil, nil, false
+	}
+	nb := relationBytes(newPres) + relationBytes(newAns) + entryOverhead
+	r.mu.Lock()
+	e.pres, e.ans, e.ver = newPres, newAns, ver
+	if e.elem != nil {
+		r.bytes += nb - e.bytes
+	}
+	e.bytes = nb
+	r.maintained++
+	r.evictLocked()
+	r.mu.Unlock()
+	return newPres, newAns, true
+}
+
+// discard drops e from the registry (caller holds e.mu).
+func (r *Registry) discard(e *entry) {
+	r.mu.Lock()
+	if e.elem != nil {
+		r.dropLocked(e)
+		r.removeFromFamilyLocked(e)
+		r.invalids++
+	}
+	r.mu.Unlock()
+}
+
+// negativeHit reports whether the negative cache remembers key missing
+// at the given packed store version.
+func (r *Registry) negativeHit(key uint64, epoch uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.negMiss[key]; ok && v == epoch {
+		r.negSkips++
+		return true
+	}
+	return false
+}
+
+// recordMissLocked remembers that key's family scan found no applicable
+// rewrite at the given packed version. Caller holds r.mu.
+func (r *Registry) recordMissLocked(key uint64, epoch uint64) {
+	if len(r.negMiss) >= negMissCap {
+		r.negMiss = map[uint64]uint64{}
+	}
+	r.negMiss[key] = epoch
+}
+
+// tryRewrite attempts to answer q from a registered query's materialized
+// pres/ans snapshots. A nil cube with nil error means "not applicable".
+// The semantics mirror the original session manager's detection exactly.
+func (r *Registry) tryRewrite(eq *core.Query, q *core.Query, pres, ans *algebra.Relation) (Strategy, *algebra.Relation, error) {
+	if !sameMeasure(eq, q) || eq.Agg.Name() != q.Agg.Name() {
 		return "", nil, nil
 	}
-	if !sameBody(e.query.Classifier, q.Classifier) {
+	if !sameBody(eq.Classifier, q.Classifier) {
 		return "", nil, nil
 	}
-	switch headRelation(e.query.Classifier.Head, q.Classifier.Head) {
+	switch headRelation(eq.Classifier.Head, q.Classifier.Head) {
 	case headEqual:
-		if sigmaEqual(e.query.Sigma, q.Sigma) {
-			return StrategyCached, e.ans, nil
+		if sigmaEqual(eq.Sigma, q.Sigma) {
+			return StrategyCached, ans, nil
 		}
-		if sigmaRefines(e.query.Sigma, q.Sigma) {
-			cube, err := r.ev.DiceRewrite(q, e.ans)
+		if sigmaRefines(eq.Sigma, q.Sigma) {
+			cube, err := r.ev.DiceRewrite(q, ans)
 			if err != nil {
 				return "", nil, err
 			}
 			return StrategyDice, cube, nil
 		}
 	case headSubset:
-		// q drops dimensions from e. Algorithm 1 applies when the
+		// q drops dimensions from eq. Algorithm 1 applies when the
 		// surviving dimensions carry identical restrictions and the
-		// dropped dimensions were unrestricted in e — DrillOut removes a
+		// dropped dimensions were unrestricted in eq — DrillOut removes a
 		// dropped dimension's Σ entry, so a restriction baked into
-		// e.pres would over-filter q's answer.
-		if !sigmaEqualOn(e.query.Sigma, q.Sigma, q.Dims()) {
+		// pres would over-filter q's answer.
+		if !sigmaEqualOn(eq.Sigma, q.Sigma, q.Dims()) {
 			return "", nil, nil
 		}
-		drop := missingDims(e.query.Dims(), q.Dims())
+		drop := missingDims(eq.Dims(), q.Dims())
 		for _, d := range drop {
-			if e.query.Sigma.Restricts(d) {
+			if eq.Sigma.Restricts(d) {
 				return "", nil, nil
 			}
 		}
-		cube, err := r.ev.DrillOutRewrite(e.query, e.pres, drop...)
+		cube, err := r.ev.DrillOutRewrite(eq, pres, drop...)
 		if err != nil {
 			return "", nil, err
 		}
@@ -375,16 +567,16 @@ func (r *Registry) tryRewrite(e *entry, q *core.Query) (Strategy, *algebra.Relat
 	case headSuperset:
 		// q adds dimensions; Algorithm 2 handles one added existential
 		// dimension per application. Apply iteratively for several.
-		added := missingDims(q.Dims(), e.query.Dims())
+		added := missingDims(q.Dims(), eq.Dims())
 		if len(added) != 1 {
 			return "", nil, nil // multi-dim drill-in: fall back to direct
 		}
-		if !sigmaEqualOn(e.query.Sigma, q.Sigma, e.query.Dims()) || q.Sigma.Restricts(added[0]) {
+		if !sigmaEqualOn(eq.Sigma, q.Sigma, eq.Dims()) || q.Sigma.Restricts(added[0]) {
 			return "", nil, nil
 		}
-		cube, err := r.ev.DrillInRewrite(e.query, e.pres, added[0])
+		cube, err := r.ev.DrillInRewrite(eq, pres, added[0])
 		if err != nil {
-			// The added variable may not be existential in e's
+			// The added variable may not be existential in eq's
 			// classifier; treat as not applicable.
 			return "", nil, nil
 		}
@@ -410,12 +602,19 @@ func (r *Registry) bump(s Strategy) {
 	r.mu.Unlock()
 }
 
-// insertLocked registers e and enforces the budgets. Caller holds r.mu.
+// insertLocked registers e and enforces the budgets. If the entry
+// survives admission, the negative cache is invalidated — the candidate
+// set grew, so previous misses may now rewrite; an entry evicted on
+// arrival (oversized) cannot, and the recorded misses stay valid.
+// Caller holds r.mu.
 func (r *Registry) insertLocked(e *entry) {
 	r.families[e.fam] = append(r.families[e.fam], e)
 	e.elem = r.lru.PushFront(e)
 	r.bytes += e.bytes
 	r.evictLocked()
+	if e.elem != nil && len(r.negMiss) > 0 {
+		r.negMiss = map[uint64]uint64{}
+	}
 }
 
 // evictLocked drops least-recently-used entries until the budgets hold.
@@ -464,8 +663,8 @@ func (r *Registry) Describe() string {
 	i := 0
 	for el := r.lru.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*entry)
-		s += fmt.Sprintf("  [%d] dims=%v agg=%s pres=%d rows ans=%d cells epoch=%d\n",
-			i, e.query.Dims(), e.query.Agg.Name(), e.pres.Len(), e.ans.Len(), e.epoch)
+		s += fmt.Sprintf("  [%d] dims=%v agg=%s pres=%d rows ans=%d cells ver=%d.%d\n",
+			i, e.query.Dims(), e.query.Agg.Name(), e.pres.Len(), e.ans.Len(), e.ver.Base, e.ver.Seq)
 		i++
 	}
 	return s

@@ -413,6 +413,171 @@ func TestWriteEpochInvalidation(t *testing.T) {
 	checkAgainstDirect(t, r, diced, dcube, "dice after write")
 }
 
+// newFact inserts one synthetic fact's triples directly into the store
+// (the out-of-band write path a server write handler uses) and reports
+// how many triples were new.
+func newFact(st *store.Store, i int, dim0, score int64) int {
+	x := iri(fmt.Sprintf("wfact%d", i))
+	added := 0
+	for _, tr := range []rdf.Triple{
+		{S: x, P: rdf.Type, O: iri("Fact")},
+		{S: x, P: iri("dim0"), O: rdf.NewInt(dim0)},
+		{S: x, P: iri("at"), O: iri("hub1")},
+		{S: x, P: iri("score"), O: rdf.NewInt(score)},
+	} {
+		if st.Add(tr) {
+			added++
+		}
+	}
+	return added
+}
+
+// TestDeltaWritesMaintainViews is the tentpole acceptance scenario:
+// after N inserts below the compaction threshold, a previously
+// registered view answers a rewritable query *without* a direct
+// re-evaluation — the view is maintained through the store's delta feed
+// — and its cube is identical to direct evaluation.
+func TestDeltaWritesMaintainViews(t *testing.T) {
+	st := instance(10, 60) // frozen by the helper
+	r := New(st, Config{})
+	base := query(t, agg.Sum)
+	if _, s, err := r.Answer(base); err != nil || s != StrategyDirect {
+		t.Fatalf("base: strategy %v err %v", s, err)
+	}
+
+	for round := 0; round < 3; round++ {
+		// Writes land in the delta overlay: the base stays frozen.
+		for i := 0; i < 4; i++ {
+			newFact(st, round*10+i, int64(i%4), int64(100+i))
+		}
+		if !st.IsFrozen() {
+			t.Fatal("writes dropped the frozen base")
+		}
+		r.NotifyWrite()
+
+		// The identical query is served from the maintained view...
+		cube, s, err := r.Answer(base.Clone())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if s != StrategyCached {
+			t.Fatalf("round %d: strategy %s, want cached (maintained view)", round, s)
+		}
+		// ...and reflects the writes exactly.
+		checkAgainstDirect(t, r, base, cube, fmt.Sprintf("round %d maintained", round))
+
+		// A DICE of it rewrites against the maintained view too.
+		diced, err := core.Dice(base, map[string][]rdf.Term{"d0": {rdf.NewInt(1), rdf.NewInt(2)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dcube, s, err := r.Answer(diced)
+		if err != nil || s != StrategyDice {
+			t.Fatalf("round %d dice: strategy %v err %v", round, s, err)
+		}
+		checkAgainstDirect(t, r, diced, dcube, fmt.Sprintf("round %d dice", round))
+	}
+
+	stats := r.Stats()
+	if stats.ByStrategy[StrategyDirect] != 1 {
+		t.Errorf("direct evaluations = %d, want exactly 1 — views must be maintained, not recomputed (stats %+v)",
+			stats.ByStrategy[StrategyDirect], stats)
+	}
+	if stats.Maintained == 0 {
+		t.Error("Maintained = 0, want > 0")
+	}
+	if stats.Invalidations != 0 {
+		t.Errorf("Invalidations = %d, want 0 (no base-epoch move happened)", stats.Invalidations)
+	}
+}
+
+// TestLookupTimeMaintenance: even without a write notification, a
+// delta-stale view is caught up at lookup instead of being dropped.
+func TestLookupTimeMaintenance(t *testing.T) {
+	st := instance(11, 50)
+	r := New(st, Config{})
+	base := query(t, agg.Sum)
+	if _, _, err := r.Answer(base); err != nil {
+		t.Fatal(err)
+	}
+	newFact(st, 1, 2, 500)
+	// No NotifyWrite: the lookup must maintain.
+	cube, s, err := r.Answer(base.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != StrategyCached {
+		t.Fatalf("strategy %s, want cached via lookup-time maintenance", s)
+	}
+	checkAgainstDirect(t, r, base, cube, "lookup-time maintained")
+	if got := r.Stats().Maintained; got != 1 {
+		t.Errorf("Maintained = %d, want 1", got)
+	}
+}
+
+// TestCompactionEvictsViews: a compaction (explicit Freeze with pending
+// delta) moves the base epoch; maintained entries cannot replay the feed
+// and must fall back to eviction + direct re-evaluation.
+func TestCompactionEvictsViews(t *testing.T) {
+	st := instance(12, 50)
+	r := New(st, Config{})
+	base := query(t, agg.Sum)
+	if _, _, err := r.Answer(base); err != nil {
+		t.Fatal(err)
+	}
+	newFact(st, 1, 1, 250)
+	st.Freeze() // compacts: base epoch moves, feed gone
+	r.NotifyWrite()
+	if got := r.Stats().Invalidations; got == 0 {
+		t.Error("NotifyWrite did not sweep the base-stale entry (memory accounting would lag until lookup)")
+	}
+	if got := r.Entries(); got != 0 {
+		t.Errorf("Entries = %d, want 0 after eager sweep", got)
+	}
+	cube, s, err := r.Answer(base.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != StrategyDirect {
+		t.Fatalf("post-compaction strategy %s, want direct", s)
+	}
+	checkAgainstDirect(t, r, base, cube, "post-compaction")
+}
+
+// TestNegativeCacheSkipsRepeatedMisses: when a query's family scan finds
+// no applicable rewrite and its own registration is not retained (the
+// byte budget admits nothing), repeated asks skip the candidate scan.
+func TestNegativeCacheSkipsRepeatedMisses(t *testing.T) {
+	r := New(instance(13, 40), Config{MaxBytes: 1})
+	base := query(t, agg.Sum)
+	want, s, err := r.Answer(base)
+	if err != nil || s != StrategyDirect {
+		t.Fatalf("first: strategy %v err %v", s, err)
+	}
+	if got := r.Stats().NegSkips; got != 0 {
+		t.Fatalf("NegSkips after first answer = %d", got)
+	}
+	got, s, err := r.Answer(base.Clone())
+	if err != nil || s != StrategyDirect {
+		t.Fatalf("second: strategy %v err %v", s, err)
+	}
+	if !algebra.Equal(want, got) {
+		t.Fatal("negative-cache path changed the cube")
+	}
+	if skips := r.Stats().NegSkips; skips != 1 {
+		t.Errorf("NegSkips = %d, want 1", skips)
+	}
+
+	// A write moves the version: the recorded miss no longer applies.
+	newFact(r.Instance(), 1, 0, 10)
+	if _, _, err := r.Answer(base.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if skips := r.Stats().NegSkips; skips != 1 {
+		t.Errorf("NegSkips after version move = %d, want still 1", skips)
+	}
+}
+
 func TestEvaluationRacedByWriteIsNotRegistered(t *testing.T) {
 	// Registration is skipped when the epoch moves during evaluation.
 	// Simulated by bumping the epoch from another goroutine is racy with
