@@ -8,12 +8,12 @@
 //
 // Usage:
 //
-//	rdfcube -data graph.nt \
+//	rdfcube {-data graph.nt | -load graph.rdfc} \
 //	   -classifier 'c(x, dage) :- x rdf:type :Blogger, x :hasAge dage' \
 //	   -measure    'm(x, v) :- x :wrotePost p, p :postedOn v' \
 //	   -agg count \
 //	   [-prefix :=http://example.org/] \
-//	   [-updates delta.nt] \
+//	   [-updates delta.nt] [-save graph.rdfc] \
 //	   [-slice dage=28 | -drillout dage | -drillin d3]
 //
 // -updates streams a second N-Triples file into the graph *after* it has
@@ -21,6 +21,12 @@
 // compacted indexes survive) and the query is answered over the merged
 // base+delta view without a re-freeze — the CLI face of the delta-layer
 // write path.
+//
+// -save writes the loaded (and saturated/updated) graph as a frozen v2
+// snapshot — the same format the rdfcubed daemon checkpoints — and -load
+// starts from such a snapshot instead of re-parsing N-Triples, skipping
+// saturation and the sort/freeze work entirely. -load also accepts
+// legacy v1 flat snapshots.
 package main
 
 import (
@@ -33,7 +39,9 @@ import (
 )
 
 func main() {
-	data := flag.String("data", "", "N-Triples input file (required)")
+	data := flag.String("data", "", "N-Triples input file (or use -load)")
+	load := flag.String("load", "", "binary snapshot input file (v2 frozen or legacy v1)")
+	save := flag.String("save", "", "write the prepared graph as a frozen v2 snapshot to this file")
 	classifier := flag.String("classifier", "", "classifier query, datalog syntax (required)")
 	measure := flag.String("measure", "", "measure query, datalog syntax (required)")
 	aggName := flag.String("agg", "count", "aggregation: count, sum, avg, min, max, countdistinct")
@@ -48,7 +56,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text, csv or json")
 	flag.Parse()
 
-	if *data == "" || *classifier == "" || *measure == "" {
+	if (*data == "") == (*load == "") || *classifier == "" || *measure == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -62,22 +70,49 @@ func main() {
 		prefixes[strings.TrimSuffix(name, ":")] = iri
 	}
 
-	f, err := os.Open(*data)
-	if err != nil {
-		die("%v", err)
+	var g *rdfcube.Graph
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			die("%v", err)
+		}
+		g, err = rdfcube.OpenFrozenSnapshot(f)
+		f.Close()
+		if err != nil {
+			die("loading snapshot %s: %v", *load, err)
+		}
+		// A snapshot normally holds an already-saturated graph, so no
+		// saturation pass runs by default; passing -saturate explicitly
+		// forces one (entailed triples land in the delta overlay — the
+		// frozen layout survives).
+		fmt.Fprintf(os.Stderr, "loaded snapshot: %d triples (frozen)\n", g.Len())
+		saturateSet := false
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "saturate" {
+				saturateSet = true
+			}
+		})
+		if saturateSet && *saturate {
+			fmt.Fprintf(os.Stderr, "saturation added %d triples\n", rdfcube.Saturate(g))
+		}
+	} else {
+		f, err := os.Open(*data)
+		if err != nil {
+			die("%v", err)
+		}
+		g = rdfcube.NewGraph()
+		n, err := rdfcube.ReadNTriples(g, f)
+		f.Close()
+		if err != nil {
+			die("loading %s: %v", *data, err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d triples\n", n)
+		if *saturate {
+			fmt.Fprintf(os.Stderr, "saturation added %d triples\n", rdfcube.Saturate(g))
+		}
+		// Loading is done: compact onto the read-optimized sorted indexes.
+		g.Freeze()
 	}
-	g := rdfcube.NewGraph()
-	n, err := rdfcube.ReadNTriples(g, f)
-	f.Close()
-	if err != nil {
-		die("loading %s: %v", *data, err)
-	}
-	fmt.Fprintf(os.Stderr, "loaded %d triples\n", n)
-	if *saturate {
-		fmt.Fprintf(os.Stderr, "saturation added %d triples\n", rdfcube.Saturate(g))
-	}
-	// Loading is done: compact onto the read-optimized sorted indexes.
-	g.Freeze()
 
 	if *updates != "" {
 		uf, err := os.Open(*updates)
@@ -91,6 +126,21 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "applied %d update triples (delta overlay: %d, frozen: %v)\n",
 			un, g.DeltaLen(), g.IsFrozen())
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			die("%v", err)
+		}
+		if err := rdfcube.WriteFrozenSnapshot(g, f); err != nil {
+			f.Close()
+			die("saving snapshot %s: %v", *save, err)
+		}
+		if err := f.Close(); err != nil {
+			die("saving snapshot %s: %v", *save, err)
+		}
+		fmt.Fprintf(os.Stderr, "saved frozen snapshot %s (%d triples)\n", *save, g.Len())
 	}
 
 	c, err := rdfcube.ParseQuery(*classifier, prefixes)

@@ -9,6 +9,7 @@
 // Usage:
 //
 //	rdfcubed [-addr :8344] [-data graph.nt | -snapshot graph.rdfc]
+//	         [-data-dir DIR] [-checkpoint-every 0]
 //	         [-saturate] [-max-view-mb 256] [-max-views 0]
 //	         [-compact-threshold 0] [-shutdown-timeout 10s]
 //
@@ -17,6 +18,17 @@
 // the delta feed; -compact-threshold tunes how large the overlay may
 // grow before it is folded into a rebuilt base (0 keeps the store
 // default).
+//
+// -data-dir makes the daemon durable: graphs are checkpointed there as
+// frozen (v2) snapshots, every accepted write batch is fsynced to a
+// write-ahead log before it is acknowledged, and the materialized-view
+// registry is snapshotted alongside. On startup a non-empty data-dir
+// wins over -data/-snapshot: the daemon recovers the exact
+// (baseEpoch, deltaSeq) state — snapshot load, WAL replay, view warming
+// — so restart cost is proportional to the WAL tail, not the dataset.
+// Checkpoints happen on POST /snapshot, on structural writes
+// (materialize, freeze, compaction), every -checkpoint-every when set,
+// and once more on graceful shutdown.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests finish (bounded by -shutdown-timeout) before the process
@@ -51,20 +63,43 @@ func main() {
 	maxViewMB := flag.Int64("max-view-mb", 256, "materialized-view registry budget in MiB (0 = unbounded)")
 	maxViews := flag.Int("max-views", 0, "materialized-view registry entry cap (0 = unbounded)")
 	compactThreshold := flag.Int("compact-threshold", 0, "delta-overlay size that triggers compaction into a rebuilt frozen base (0 = store default)")
+	dataDir := flag.String("data-dir", "", "durable state directory (snapshots + write-ahead logs + view registry); non-empty state there wins over -data/-snapshot")
+	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval with -data-dir (0 = only on demand/structural writes/shutdown)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown grace period")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "rdfcubed: ", log.LstdFlags)
-	base, err := loadGraph(logger, *data, *snapshot, *saturate)
-	if err != nil {
-		logger.Fatal(err)
+
+	// With a data-dir holding a snapshot, recovery wins; the seed graph
+	// is only parsed when the directory is fresh.
+	seedNeeded := true
+	if server.HasState(*dataDir) {
+		seedNeeded = false
+		if *data != "" || *snapshot != "" {
+			logger.Printf("data-dir %s holds state; ignoring -data/-snapshot", *dataDir)
+		}
+	}
+	var base *store.Store
+	var err error
+	if seedNeeded {
+		if base, err = loadGraph(logger, *data, *snapshot, *saturate); err != nil {
+			logger.Fatal(err)
+		}
 	}
 
-	srv := server.New(base, server.Config{
+	t0 := time.Now()
+	srv, err := server.Open(base, server.Config{
 		MaxViewBytes:     *maxViewMB << 20,
 		MaxViewEntries:   *maxViews,
 		CompactThreshold: *compactThreshold,
+		DataDir:          *dataDir,
 	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *dataDir != "" {
+		logger.Printf("data-dir %s opened in %v", *dataDir, time.Since(t0).Round(time.Millisecond))
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -74,10 +109,29 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *dataDir != "" && *checkpointEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*checkpointEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if cp, err := srv.Checkpoint(); err != nil {
+						logger.Printf("periodic checkpoint failed: %v", err)
+					} else {
+						logger.Printf("checkpoint: %d triples, %d delta tail, %d views in %v",
+							cp.Triples, cp.DeltaTail, cp.Views, time.Duration(cp.ElapsedNs).Round(time.Millisecond))
+					}
+				}
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("serving on %s (%d triples, view budget %d MiB)",
-			*addr, base.Len(), *maxViewMB)
+		logger.Printf("serving on %s (view budget %d MiB)", *addr, *maxViewMB)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -91,6 +145,16 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		logger.Printf("forced shutdown: %v", err)
+	}
+	if *dataDir != "" {
+		// Final checkpoint: the next start recovers without replaying the
+		// WAL tail.
+		if cp, err := srv.Checkpoint(); err != nil {
+			logger.Printf("shutdown checkpoint failed: %v", err)
+		} else {
+			logger.Printf("shutdown checkpoint: %d triples, %d views", cp.Triples, cp.Views)
+		}
+		srv.Close()
 	}
 	stats := srv.Registry().Stats()
 	logger.Printf("served strategies: %v; %d views, ~%d bytes, %d maintained, %d evictions, %d invalidations, %d coalesced, %d neg-skips",
@@ -114,7 +178,9 @@ func loadGraph(logger *log.Logger, data, snapshot string, saturate bool) (*store
 		}
 		defer f.Close()
 		t0 := time.Now()
-		st, err := store.ReadSnapshotFrozen(f)
+		// OpenFrozenSnapshot sniffs the version: v2 frozen snapshots load
+		// straight into the columnar layout, v1 flat files rebuild+freeze.
+		st, err := store.OpenFrozenSnapshot(f)
 		if err != nil {
 			return nil, fmt.Errorf("loading snapshot %s: %w", snapshot, err)
 		}

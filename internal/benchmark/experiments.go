@@ -1,6 +1,7 @@
 package benchmark
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -655,8 +656,126 @@ func RunE9WriteMix(w io.Writer, bloggers, ops int, writeFracs []float64) ([]Row,
 	return rows, nil
 }
 
+// ColdStartSizes is the default E10 sweep (bloggers).
+var ColdStartSizes = []int{5000, 20000}
+
+// RunE10ColdStart measures restart cost — the economy internal/persist
+// exists for. Two comparisons per scale:
+//
+//   - "load": deserializing the AnS instance from the v1 flat snapshot
+//     (re-insert every triple into the nested maps, then re-Freeze: three
+//     sorts) versus the v2 frozen snapshot (one sequential pass straight
+//     into the columnar arrays);
+//   - "warm": the first analytical answer after restart, recomputed
+//     directly (cold registry) versus restored from a view-registry
+//     snapshot (Restore + cached lookup, no evaluation).
+//
+// Both comparisons verify byte-level agreement of the answers produced
+// by the two paths.
+func RunE10ColdStart(w io.Writer, bloggers []int) ([]Row, error) {
+	printHeader(w, "E10 Cold start: v1 load+Freeze vs v2 frozen load; cold vs warmed first answer")
+	var rows []Row
+	for _, n := range bloggers {
+		cfg := datagen.DefaultBloggerConfig()
+		cfg.Bloggers = n
+		cfg.Dimensions = 2
+		wl, err := BuildBlogger(cfg, "sum")
+		if err != nil {
+			return rows, err
+		}
+		var v1Buf, v2Buf bytes.Buffer
+		if err := wl.Inst.WriteSnapshot(&v1Buf); err != nil {
+			return rows, err
+		}
+		if err := wl.Inst.WriteFrozenSnapshot(&v2Buf); err != nil {
+			return rows, err
+		}
+
+		var st1, st2 *store.Store
+		t1, err := Timed(func() (err error) {
+			st1, err = store.ReadSnapshotFrozen(bytes.NewReader(v1Buf.Bytes()))
+			return err
+		})
+		if err != nil {
+			return rows, err
+		}
+		t2, err := Timed(func() (err error) {
+			st2, err = store.OpenFrozenSnapshot(bytes.NewReader(v2Buf.Bytes()))
+			return err
+		})
+		if err != nil {
+			return rows, err
+		}
+		a1, err := core.NewEvaluator(st1).Answer(wl.Query)
+		if err != nil {
+			return rows, err
+		}
+		a2, err := core.NewEvaluator(st2).Answer(wl.Query)
+		if err != nil {
+			return rows, err
+		}
+		row := Row{
+			Label:   fmt.Sprintf("load bloggers=%d", n),
+			Triples: wl.Inst.Len(),
+			Direct:  t1,
+			Rewrite: t2,
+			Cells:   a2.Len(),
+			Match:   algebra.Equal(a1, a2),
+			Extra:   fmt.Sprintf("v1=%dKB v2=%dKB", v1Buf.Len()/1024, v2Buf.Len()/1024),
+		}
+		rows = append(rows, row)
+		printRow(w, row)
+
+		// Warm start: register + save the view, then compare the first
+		// post-restart answer cold (direct evaluation) vs warmed
+		// (Restore + cached lookup).
+		reg := viewreg.New(wl.Inst, viewreg.Config{})
+		if _, _, err := reg.Answer(wl.Query); err != nil {
+			return rows, err
+		}
+		var views bytes.Buffer
+		if _, err := reg.Save(&views); err != nil {
+			return rows, err
+		}
+		var cold, warm *algebra.Relation
+		tCold, err := Timed(func() (err error) {
+			cold, err = core.NewEvaluator(st2).Answer(wl.Query)
+			return err
+		})
+		if err != nil {
+			return rows, err
+		}
+		var restored int
+		tWarm, err := Timed(func() error {
+			reg2 := viewreg.New(st2, viewreg.Config{})
+			var err error
+			if restored, err = reg2.Restore(bytes.NewReader(views.Bytes())); err != nil {
+				return err
+			}
+			warm, _, err = reg2.Answer(wl.Query)
+			return err
+		})
+		if err != nil {
+			return rows, err
+		}
+		row = Row{
+			Label:   fmt.Sprintf("warm bloggers=%d", n),
+			Triples: wl.Inst.Len(),
+			Direct:  tCold,
+			Rewrite: tWarm,
+			Cells:   warm.Len(),
+			Match:   restored == 1 && algebra.Equal(cold, warm.Project(cold.Cols...)),
+			Extra:   fmt.Sprintf("views=%dKB", views.Len()/1024),
+		}
+		rows = append(rows, row)
+		printRow(w, row)
+	}
+	fmt.Fprintln(w, "   (direct column = v1 load+Freeze / cold first answer; rewrite column = v2 frozen load / warmed first answer)")
+	return rows, nil
+}
+
 // ExperimentOrder lists the experiment names in presentation order.
-var ExperimentOrder = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
+var ExperimentOrder = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
 
 // Experiments maps each experiment name to a runner applying the
 // default parameters at the given scale multiplier — the single place
@@ -672,6 +791,13 @@ var Experiments = map[string]func(w io.Writer, scale int) ([]Row, error){
 	"e7": func(w io.Writer, s int) ([]Row, error) { return RunE7Materialize(w, scaledSizes(s)) },
 	"e8": func(w io.Writer, s int) ([]Row, error) { return RunE8Aggregations(w, 5000*s, AggNames) },
 	"e9": func(w io.Writer, s int) ([]Row, error) { return RunE9WriteMix(w, 5000*s, 60, WriteMixes) },
+	"e10": func(w io.Writer, s int) ([]Row, error) {
+		sizes := make([]int, len(ColdStartSizes))
+		for i, n := range ColdStartSizes {
+			sizes[i] = n * s
+		}
+		return RunE10ColdStart(w, sizes)
+	},
 }
 
 func scaledSizes(scale int) []int {

@@ -122,6 +122,17 @@ func TestE9WriteMix(t *testing.T) {
 	}
 }
 
+func TestE10ColdStart(t *testing.T) {
+	rows, err := RunE10ColdStart(io.Discard, []int{300})
+	requireAllMatch(t, rows, err)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2 (load + warm)", len(rows))
+	}
+	if !strings.HasPrefix(rows[0].Label, "load") || !strings.HasPrefix(rows[1].Label, "warm") {
+		t.Fatalf("unexpected labels: %q, %q", rows[0].Label, rows[1].Label)
+	}
+}
+
 func TestRunAllSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("RunAll takes several seconds")
@@ -131,7 +142,7 @@ func TestRunAllSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, header := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+	for _, header := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
 		if !strings.Contains(out, header) {
 			t.Errorf("RunAll output missing %s table", header)
 		}

@@ -115,9 +115,23 @@ func (d *Dictionary) DecodeTriple(s, p, o ID) (tr rdf.Triple, ok bool) {
 // Terms returns a snapshot of all interned terms in ID order (index i
 // holds the term with ID i+1).
 func (d *Dictionary) Terms() []rdf.Term {
+	return d.TermsFrom(0)
+}
+
+// TermsFrom returns the terms with IDs greater than after, in ID order —
+// the tail interned since a caller observed Len() == after. Unlike
+// Terms it costs O(tail), which is what the write-ahead logger needs to
+// record a batch's newly-interned terms without copying the dictionary.
+func (d *Dictionary) TermsFrom(after int) []rdf.Term {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	out := make([]rdf.Term, len(d.iToTerm)-1)
-	copy(out, d.iToTerm[1:])
+	if after < 0 {
+		after = 0
+	}
+	if after >= len(d.iToTerm)-1 {
+		return nil
+	}
+	out := make([]rdf.Term, len(d.iToTerm)-1-after)
+	copy(out, d.iToTerm[1+after:])
 	return out
 }

@@ -1,0 +1,329 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rdfcube/internal/dict"
+	"rdfcube/internal/rdf"
+)
+
+func TestEncDecRoundtrip(t *testing.T) {
+	var e Enc
+	e.Uvarint(0)
+	e.Uvarint(1 << 40)
+	e.Varint(-7)
+	e.Varint(1 << 33)
+	e.Byte(0xAB)
+	e.Float64(3.25)
+	e.String("")
+	e.String("hello \x00 binary")
+	terms := []rdf.Term{
+		rdf.NewIRI("http://ex.org/a"),
+		rdf.NewBlank("b0"),
+		rdf.NewLiteral("plain"),
+		rdf.NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer"),
+		rdf.NewLangLiteral("chat", "FR"),
+	}
+	for _, tm := range terms {
+		e.Term(tm)
+	}
+
+	d := NewDec(e.Bytes())
+	if got := d.Uvarint(); got != 0 {
+		t.Fatalf("uvarint: %d", got)
+	}
+	if got := d.Uvarint(); got != 1<<40 {
+		t.Fatalf("uvarint: %d", got)
+	}
+	if got := d.Varint(); got != -7 {
+		t.Fatalf("varint: %d", got)
+	}
+	if got := d.Varint(); got != 1<<33 {
+		t.Fatalf("varint: %d", got)
+	}
+	if got := d.Byte(); got != 0xAB {
+		t.Fatalf("byte: %x", got)
+	}
+	if got := d.Float64(); got != 3.25 {
+		t.Fatalf("float: %v", got)
+	}
+	if got := d.String(); got != "" {
+		t.Fatalf("string: %q", got)
+	}
+	if got := d.String(); got != "hello \x00 binary" {
+		t.Fatalf("string: %q", got)
+	}
+	for i, want := range terms {
+		if got := d.Term(); got != want {
+			t.Fatalf("term %d: %v != %v", i, got, want)
+		}
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err %v, remaining %d", d.Err(), d.Remaining())
+	}
+	// Reads past the end must error, not panic.
+	if d.Uvarint(); d.Err() == nil {
+		t.Fatal("read past end did not error")
+	}
+}
+
+func TestDecHostileCounts(t *testing.T) {
+	var e Enc
+	e.Uvarint(1 << 60) // claims a colossal count
+	d := NewDec(e.Bytes())
+	if n := d.Count(8); n != 0 || d.Err() == nil {
+		t.Fatalf("hostile count accepted: n=%d err=%v", n, d.Err())
+	}
+
+	var e2 Enc
+	e2.Uvarint(1 << 50) // string length beyond the payload
+	d2 := NewDec(e2.Bytes())
+	if s := d2.String(); s != "" || d2.Err() == nil {
+		t.Fatal("hostile string length accepted")
+	}
+}
+
+func TestFrontCoding(t *testing.T) {
+	var terms []rdf.Term
+	for i := 0; i < 100; i++ {
+		terms = append(terms, rdf.NewIRI("http://very.long.namespace.example.org/resource/item"+string(rune('a'+i%26))+"x"))
+	}
+	terms = append(terms, rdf.NewLangLiteral("salut", "fr"), rdf.NewTypedLiteral("9", "http://www.w3.org/2001/XMLSchema#integer"))
+	var e Enc
+	EncodeTermBlock(&e, terms)
+	got, err := DecodeTermBlock(NewDec(e.Bytes()), len(terms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range terms {
+		if got[i] != terms[i] {
+			t.Fatalf("term %d: %v != %v", i, got[i], terms[i])
+		}
+	}
+	// Front coding should beat plain encoding on shared-prefix runs.
+	var plain Enc
+	for _, tm := range terms {
+		plain.Term(tm)
+	}
+	if e.Len() >= plain.Len() {
+		t.Fatalf("front-coded %d bytes >= plain %d bytes", e.Len(), plain.Len())
+	}
+}
+
+func TestSectionFileRoundtrip(t *testing.T) {
+	fw := NewFileWriter("TEST", 3)
+	fw.Section(1, []byte("alpha"))
+	fw.Section(7, []byte{})
+	fw.Section(2, bytes.Repeat([]byte{0x5a}, 10000))
+	var buf bytes.Buffer
+	if err := fw.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(bytes.NewReader(buf.Bytes()), "TEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != 3 {
+		t.Fatalf("version %d", f.Version)
+	}
+	for id, want := range map[uint8][]byte{1: []byte("alpha"), 7: {}, 2: bytes.Repeat([]byte{0x5a}, 10000)} {
+		dec, err := f.Section(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Remaining() != len(want) {
+			t.Fatalf("section %d: %d bytes, want %d", id, dec.Remaining(), len(want))
+		}
+	}
+	if _, err := f.Section(9); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("missing section not reported")
+	}
+
+	// Any corruption or truncation must fail closed.
+	raw := buf.Bytes()
+	for _, cut := range []int{0, 3, 6, 15, len(raw) - 1} {
+		if _, err := ReadFile(bytes.NewReader(raw[:cut]), "TEST"); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: %v", cut, err)
+		}
+	}
+	flip := append([]byte(nil), raw...)
+	flip[len(flip)-1] ^= 1
+	if _, err := ReadFile(bytes.NewReader(flip), "TEST"); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("payload bit flip not detected")
+	}
+	if _, err := ReadFile(bytes.NewReader(raw), "NOPE"); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("magic mismatch not detected")
+	}
+}
+
+func walBatch(dictLen int, n int) Batch {
+	b := Batch{DictLen: dictLen}
+	for i := 0; i < n; i++ {
+		b.Terms = append(b.Terms, rdf.NewIRI("http://ex.org/t"+string(rune('a'+i))))
+		b.Triples = append(b.Triples, Triple{S: dict.ID(i + 1), P: dict.ID(i + 2), O: dict.ID(i + 3)})
+	}
+	return b
+}
+
+func TestWALRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	w, err := CreateWAL(path, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := []Batch{walBatch(0, 1), walBatch(1, 3), walBatch(4, 2)}
+	for _, b := range batches {
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	w2, got, epoch, err := OpenWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if epoch != 42 {
+		t.Fatalf("epoch %d, want 42", epoch)
+	}
+	if len(got) != len(batches) {
+		t.Fatalf("%d batches, want %d", len(got), len(batches))
+	}
+	for i := range batches {
+		if got[i].DictLen != batches[i].DictLen ||
+			len(got[i].Terms) != len(batches[i].Terms) ||
+			len(got[i].Triples) != len(batches[i].Triples) {
+			t.Fatalf("batch %d mismatch: %+v vs %+v", i, got[i], batches[i])
+		}
+		for j := range batches[i].Triples {
+			if got[i].Triples[j] != batches[i].Triples[j] {
+				t.Fatalf("batch %d triple %d mismatch", i, j)
+			}
+		}
+		for j := range batches[i].Terms {
+			if got[i].Terms[j] != batches[i].Terms[j] {
+				t.Fatalf("batch %d term %d mismatch", i, j)
+			}
+		}
+	}
+
+	// Appends after reopen extend the log.
+	if err := w2.Append(walBatch(6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, got, _, err = OpenWAL(path, 0)
+	if err != nil || len(got) != 4 {
+		t.Fatalf("after reopen append: %d batches (err %v), want 4", len(got), err)
+	}
+}
+
+func TestWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	w, err := CreateWAL(path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(walBatch(0, 2))
+	w.Append(walBatch(2, 1))
+	w.Close()
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate at every byte boundary inside the second record and
+	// append garbage variants: replay must keep batch 1 and never panic.
+	for cut := len(intact) - 1; cut > walHdrLen+8; cut -= 3 {
+		os.WriteFile(path, intact[:cut], 0o644)
+		w2, batches, _, err := OpenWAL(path, 0)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		w2.Close()
+		if len(batches) > 2 {
+			t.Fatalf("cut %d: %d batches", cut, len(batches))
+		}
+	}
+	// Garbage tail after intact records.
+	os.WriteFile(path, append(append([]byte{}, intact...), 0xff, 0x07, 0xde, 0xad, 0xbe, 0xef), 0o644)
+	w3, batches, _, err := OpenWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("garbage tail: %d batches, want 2", len(batches))
+	}
+	// The torn tail was truncated: appends now extend a clean log.
+	if err := w3.Append(walBatch(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w3.Close()
+	_, batches, _, err = OpenWAL(path, 0)
+	if err != nil || len(batches) != 3 {
+		t.Fatalf("after torn-tail append: %d batches (err %v), want 3", len(batches), err)
+	}
+}
+
+func TestReplaceWAL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.wal")
+	w, err := CreateWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(walBatch(0, 2))
+	w.Append(walBatch(2, 2))
+
+	w2, err := ReplaceWAL(path, 9, []Batch{walBatch(0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := w2.Append(walBatch(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+
+	_, batches, epoch, err := OpenWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 9 || len(batches) != 2 {
+		t.Fatalf("epoch %d batches %d, want 9 and 2", epoch, len(batches))
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+}
+
+func TestAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.snap")
+	if err := AtomicWrite(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("v1"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A failing writer must leave the previous content untouched.
+	if err := AtomicWrite(path, func(w io.Writer) error {
+		w.Write([]byte("garbage"))
+		return errors.New("boom")
+	}); err == nil {
+		t.Fatal("expected error")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("content %q (err %v), want v1", got, err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("%d directory entries, want 1 (no temp litter)", len(ents))
+	}
+}

@@ -1,0 +1,332 @@
+package persist
+
+// Write-ahead log for delta writes over a frozen snapshot.
+//
+// File layout:
+//
+//	magic "RDCW" | version u8 | baseEpoch u64 LE
+//	record*: payloadLen u32 LE | crc32c u32 LE | payload
+//
+// Each record is one Batch — the new dictionary terms and accepted
+// triples of one write — appended and fsynced before the write is
+// acknowledged. The header pins the snapshot base epoch the log extends;
+// Reset rewrites the header when a compaction moves the base.
+//
+// Replay is idempotent: terms re-encode to their existing IDs and the
+// store suppresses duplicate triples, so a log whose prefix is already
+// folded into the snapshot (crash between snapshot write and log reset)
+// replays harmlessly.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rdfcube/internal/dict"
+	"rdfcube/internal/rdf"
+)
+
+const (
+	walMagic   = "RDCW"
+	walVersion = 1
+	walHdrLen  = 4 + 1 + 8
+	// walMaxRecord caps one record's payload; larger claims are treated
+	// as corruption (a batch is one HTTP-request-sized write).
+	walMaxRecord = 1 << 30
+)
+
+// Triple is a dictionary-encoded triple in WAL records (the persist-side
+// mirror of store.IDTriple; this package sits below the store).
+type Triple struct {
+	S, P, O dict.ID
+}
+
+// Batch is one WAL record: the write's newly-interned terms (IDs
+// DictLen+1..DictLen+len(Terms), in interning order) and its accepted
+// triples, in arrival order.
+type Batch struct {
+	// DictLen is the dictionary size before this batch's terms.
+	DictLen int
+	// Terms are the terms first interned by this batch, in ID order.
+	Terms []rdf.Term
+	// Triples are the accepted (previously absent) triples, in arrival
+	// order — the store's delta-feed slice for this write.
+	Triples []Triple
+}
+
+// WAL is an append-only, fsync-per-batch delta log.
+type WAL struct {
+	path    string
+	f       *os.File
+	epoch   uint64
+	batches int64
+	bytes   int64
+	// broken marks a log whose tail could not be rolled back after a
+	// failed append: further appends would land beyond torn bytes and be
+	// silently dropped by the next replay, so they are refused instead.
+	broken bool
+}
+
+// CreateWAL creates (or truncates) the log at path for the given base
+// epoch.
+func CreateWAL(path string, baseEpoch uint64) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{path: path, f: f}
+	if err := w.writeHeader(baseEpoch); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *WAL) writeHeader(baseEpoch uint64) error {
+	var hdr [walHdrLen]byte
+	copy(hdr[:4], walMagic)
+	hdr[4] = walVersion
+	binary.LittleEndian.PutUint64(hdr[5:], baseEpoch)
+	if _, err := w.f.WriteAt(hdr[:], 0); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(walHdrLen); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(walHdrLen, io.SeekStart); err != nil {
+		return err
+	}
+	w.epoch = baseEpoch
+	w.batches = 0
+	w.bytes = walHdrLen
+	return nil
+}
+
+// OpenWAL opens the log at path, reading every intact record. A missing
+// file is created empty. A torn tail — truncated or checksum-failing
+// trailing record, the signature of a crash mid-append — is truncated
+// away so subsequent appends extend a clean log; corruption anywhere
+// else returns ErrCorrupt. The returned batches are the replayable
+// delta, in append order, together with the base epoch the log extends.
+func OpenWAL(path string, defaultEpoch uint64) (w *WAL, batches []Batch, baseEpoch uint64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	w = &WAL{path: path, f: f}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	if info.Size() == 0 {
+		if err := w.writeHeader(defaultEpoch); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+		return w, nil, defaultEpoch, nil
+	}
+	var hdr [walHdrLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, nil, 0, corruptf("wal: short header: %v", err)
+	}
+	if string(hdr[:4]) != walMagic || hdr[4] != walVersion {
+		f.Close()
+		return nil, nil, 0, corruptf("wal: bad header %q version %d", hdr[:4], hdr[4])
+	}
+	w.epoch = binary.LittleEndian.Uint64(hdr[5:])
+
+	good := int64(walHdrLen)
+	var rec [8]byte
+	for {
+		if _, err := io.ReadFull(f, rec[:]); err != nil {
+			break // clean EOF or torn record header
+		}
+		payloadLen := binary.LittleEndian.Uint32(rec[:4])
+		crc := binary.LittleEndian.Uint32(rec[4:])
+		// Bound the claimed length by the bytes actually on disk before
+		// allocating, and by the sanity cap; violations are a torn tail.
+		if payloadLen > walMaxRecord || int64(payloadLen) > info.Size()-good-8 {
+			break
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			break
+		}
+		b, err := decodeBatch(payload)
+		if err != nil {
+			break
+		}
+		batches = append(batches, b)
+		good += 8 + int64(payloadLen)
+	}
+	// Drop the torn tail, if any, and position appends after the last
+	// intact record.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	w.batches = int64(len(batches))
+	w.bytes = good
+	return w, batches, w.epoch, nil
+}
+
+// Append encodes b, appends it and fsyncs. The write is durable when
+// Append returns. A failed append rolls the file back to the previous
+// record boundary, so a short write (ENOSPC, I/O error) can never
+// leave torn bytes that would swallow later records at replay; if even
+// the rollback fails, the log refuses further appends.
+func (w *WAL) Append(b Batch) error {
+	if w.broken {
+		return fmt.Errorf("wal %s: refusing append after unrecoverable write failure", w.path)
+	}
+	var e Enc
+	e.Uvarint(uint64(b.DictLen))
+	e.Uvarint(uint64(len(b.Terms)))
+	for _, t := range b.Terms {
+		e.Term(t)
+	}
+	e.Uvarint(uint64(len(b.Triples)))
+	for _, t := range b.Triples {
+		e.Uvarint(uint64(t.S))
+		e.Uvarint(uint64(t.P))
+		e.Uvarint(uint64(t.O))
+	}
+	payload := e.Bytes()
+	rec := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(rec[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
+	copy(rec[8:], payload)
+	_, werr := w.f.Write(rec)
+	if werr == nil {
+		werr = w.f.Sync()
+	}
+	if werr != nil {
+		if terr := w.f.Truncate(w.bytes); terr == nil {
+			if _, serr := w.f.Seek(w.bytes, io.SeekStart); serr != nil {
+				w.broken = true
+			}
+		} else {
+			w.broken = true
+		}
+		return werr
+	}
+	w.batches++
+	w.bytes += int64(len(rec))
+	return nil
+}
+
+func decodeBatch(payload []byte) (Batch, error) {
+	d := NewDec(payload)
+	b := Batch{DictLen: int(d.Uvarint())}
+	nTerms := d.Count(2)
+	for i := 0; i < nTerms; i++ {
+		b.Terms = append(b.Terms, d.Term())
+		if d.Err() != nil {
+			return Batch{}, d.Err()
+		}
+	}
+	nTriples := d.Count(3)
+	for i := 0; i < nTriples; i++ {
+		t := Triple{
+			S: dict.ID(d.Uvarint()),
+			P: dict.ID(d.Uvarint()),
+			O: dict.ID(d.Uvarint()),
+		}
+		if d.Err() != nil {
+			return Batch{}, d.Err()
+		}
+		if t.S == 0 || t.P == 0 || t.O == 0 {
+			return Batch{}, corruptf("wal: zero term ID in triple %d", i)
+		}
+		b.Triples = append(b.Triples, t)
+	}
+	if d.Err() != nil {
+		return Batch{}, d.Err()
+	}
+	if d.Remaining() != 0 {
+		return Batch{}, corruptf("wal: %d trailing bytes in record", d.Remaining())
+	}
+	return b, nil
+}
+
+// Reset truncates the log back to an empty record set under a new base
+// epoch — called after a checkpoint folded the logged delta into the
+// snapshot.
+func (w *WAL) Reset(baseEpoch uint64) error {
+	return w.writeHeader(baseEpoch)
+}
+
+// ReplaceWAL atomically replaces the log at path with one holding the
+// given epoch and batches, returning the open replacement. This is the
+// checkpoint truncation: the snapshot just absorbed the old log, and the
+// delta tail still pending in memory becomes the entire new log. The
+// swap is build-then-rename, so a crash at any point leaves either the
+// old complete log or the new complete log — never a window where
+// acknowledged writes exist in neither the snapshot nor the WAL.
+func ReplaceWAL(path string, epoch uint64, batches []Batch) (*WAL, error) {
+	tmp := path + ".tmp"
+	w, err := CreateWAL(tmp, epoch)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range batches {
+		if err := w.Append(b); err != nil {
+			w.Close()
+			os.Remove(tmp)
+			return nil, err
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	w.path = path
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return w, err
+	}
+	return w, nil
+}
+
+// Epoch returns the base epoch the log extends.
+func (w *WAL) Epoch() uint64 { return w.epoch }
+
+// Batches reports the number of records appended since the last Reset
+// (or present at open).
+func (w *WAL) Batches() int64 { return w.batches }
+
+// Bytes reports the log's on-disk size.
+func (w *WAL) Bytes() int64 { return w.bytes }
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Close closes the underlying file.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// String renders the WAL state for logs.
+func (w *WAL) String() string {
+	return fmt.Sprintf("wal %s: epoch %d, %d batches, %d bytes", w.path, w.epoch, w.batches, w.bytes)
+}

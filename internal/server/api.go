@@ -134,8 +134,46 @@ type StatsResponse struct {
 	Base     GraphStats `json:"base"`
 	Instance GraphStats `json:"instance"`
 	Registry RegStats   `json:"registry"`
+	// Durability describes the data-dir state; absent on in-memory
+	// servers.
+	Durability *DurabilityStats `json:"durability,omitempty"`
 	// Endpoints maps route to request metrics.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// DurabilityStats describes the persistent state of a durable server.
+type DurabilityStats struct {
+	DataDir string `json:"data_dir"`
+	// Checkpoints counts full checkpoints since startup; LastCheckpointNs
+	// is the duration of the most recent one; PersistedViews how many
+	// maintainable views it captured.
+	Checkpoints      int64 `json:"checkpoints"`
+	LastCheckpointNs int64 `json:"last_checkpoint_ns"`
+	PersistedViews   int   `json:"persisted_views"`
+	// WALBatches/WALBytes describe the current write-ahead logs (the
+	// replay cost of a crash right now); WALAppendErrors counts writes
+	// that could not be made durable.
+	WALBatches      int64 `json:"wal_batches"`
+	WALBytes        int64 `json:"wal_bytes"`
+	WALAppendErrors int64 `json:"wal_append_errors"`
+	// Recovered* describe what startup found: whether a snapshot was
+	// loaded, and how many WAL batches/triples and registry views were
+	// replayed or warmed.
+	RecoveredSnap    bool  `json:"recovered_snapshot"`
+	RecoveredBatches int64 `json:"recovered_batches"`
+	RecoveredTriples int64 `json:"recovered_triples"`
+	RecoveredViews   int64 `json:"recovered_views"`
+}
+
+// CheckpointResponse reports a POST /snapshot checkpoint.
+type CheckpointResponse struct {
+	// Triples is the base graph size; DeltaTail the delta triples still
+	// pending in the (freshly trimmed) WAL; Views how many materialized
+	// views were persisted.
+	Triples   int   `json:"triples"`
+	DeltaTail int   `json:"delta_tail"`
+	Views     int   `json:"views"`
+	ElapsedNs int64 `json:"elapsed_ns"`
 }
 
 // GraphStats describes one graph.

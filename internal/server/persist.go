@@ -1,0 +1,389 @@
+package server
+
+// The data-dir lifecycle: open-or-recover startup, write-ahead logging
+// of delta writes, and checkpointing.
+//
+// A durable server keeps, under Config.DataDir,
+//
+//	base.snap / base.wal   the base graph: frozen v2 snapshot + delta WAL
+//	inst.snap / inst.wal   the serving instance, when a materialized
+//	                       schema distinct from the base is installed
+//	views.snap             the view registry over the serving instance
+//
+// Invariant: at every instant the on-disk state recovers the acknowledged
+// writes. A delta write is fsynced into the graph's WAL before the HTTP
+// 200 goes out; a checkpoint replaces the snapshot atomically and then
+// swaps in a WAL holding exactly the still-pending delta tail
+// (persist.ReplaceWAL), so every crash window replays to the same
+// (baseEpoch, deltaSeq) state. Structural writes — materialize, snapshot
+// load, freeze-compaction, a write that crossed the compaction
+// threshold — are made durable by checkpointing instead of logging.
+//
+// Recovery (Open) is the reverse: load base.snap (or seed an empty
+// graph), replay base.wal, ditto for inst.*, then warm the registry from
+// views.snap — restored views are Sync'd through the recovered delta
+// feed, so they answer without a direct evaluation. Restart cost is the
+// snapshot read (sequential, no rebuild) plus the WAL tail, not the
+// dataset.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rdfcube/internal/persist"
+	"rdfcube/internal/store"
+)
+
+// durability is the persistent half of a Server. Counters are guarded by
+// mu; the WALs and file operations are guarded by the server's write
+// lock.
+type durability struct {
+	dir     string
+	baseWAL *persist.WAL
+	instWAL *persist.WAL // nil while the instance is the base graph
+
+	// baseWALDict / instWALDict track how many dictionary terms are
+	// already durable for each graph (in its snapshot or earlier WAL
+	// records). Batch term tails are computed against THIS, not against
+	// the dictionary length observed before a write: base and a
+	// materialized instance share one live dictionary, so a write to one
+	// graph can intern terms a later write to the other graph
+	// references — each WAL must carry every term its own replay needs.
+	baseWALDict int
+	instWALDict int
+
+	mu               sync.Mutex
+	checkpoints      int64
+	lastCheckpointNs int64
+	lastViews        int
+	walFailures      int64
+	recoveredTriples int64
+	recoveredBatches int64
+	recoveredViews   int64
+	recoveredSnap    bool
+}
+
+func (d *durability) path(name string) string { return filepath.Join(d.dir, name) }
+
+// HasState reports whether dir holds recoverable durable state (a base
+// snapshot) — the single place the data-dir layout is known, so callers
+// deciding between seeding and recovering (cmd/rdfcubed) need not
+// hardcode file names.
+func HasState(dir string) bool {
+	if dir == "" {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(dir, "base.snap"))
+	return err == nil
+}
+
+// Open returns a server over the durable state in cfg.DataDir, seeding
+// an empty or missing directory from seed (which may be nil). With no
+// DataDir it is exactly New. Recovery loads the snapshots, replays the
+// write-ahead logs and warms the view registry; the returned server
+// answers queries at the exact (baseEpoch, deltaSeq) version the state
+// was persisted at.
+func Open(seed *store.Store, cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return New(seed, cfg), nil
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &durability{dir: cfg.DataDir}
+	_, baseSnapErr := os.Stat(d.path("base.snap"))
+	freshDir := baseSnapErr != nil
+
+	base, baseWAL, err := d.recoverGraph("base.snap", "base.wal", seed, cfg.CompactThreshold)
+	if err != nil {
+		return nil, err
+	}
+	d.baseWAL = baseWAL
+	d.baseWALDict = base.Dict().Len()
+	srv := New(base, cfg)
+	srv.dur = d
+
+	if _, err := os.Stat(d.path("inst.snap")); err == nil {
+		inst, instWAL, err := d.recoverGraph("inst.snap", "inst.wal", nil, cfg.CompactThreshold)
+		if err != nil {
+			return nil, fmt.Errorf("recovering instance: %w", err)
+		}
+		d.instWAL = instWAL
+		d.instWALDict = inst.Dict().Len()
+		srv.installInstance(inst)
+	}
+
+	// Warm the registry from the view snapshot, if one lines up with the
+	// recovered instance. A corrupt or mismatched view snapshot only
+	// costs warmth, never correctness: whatever was admitted before the
+	// failure stays, the rest is re-evaluated on demand.
+	if f, err := os.Open(d.path("views.snap")); err == nil {
+		n, _ := srv.reg.Restore(f)
+		f.Close()
+		d.recoveredViews = int64(n)
+	}
+
+	// Converge: a fresh directory checkpoints immediately, so recovery
+	// never depends on the seed file staying byte-identical (WAL term
+	// IDs are only meaningful against the exact dictionary the snapshot
+	// records). Likewise if a crash interleaved a checkpoint (snapshot
+	// written, WAL not yet swapped) or replay itself compacted, the WAL
+	// epochs trail the stores — rewrite a clean checkpoint so the next
+	// recovery is single-pass.
+	if freshDir ||
+		d.baseWAL.Epoch() != srv.base.Version().Base ||
+		(d.instWAL != nil && d.instWAL.Epoch() != srv.inst.Version().Base) {
+		if err := srv.checkpointLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return srv, nil
+}
+
+// recoverGraph loads one graph from its snapshot + WAL pair. A missing
+// snapshot falls back to seed (frozen) or a fresh store.
+func (d *durability) recoverGraph(snapName, walName string, seed *store.Store, compactThreshold int) (*store.Store, *persist.WAL, error) {
+	var g *store.Store
+	if f, err := os.Open(d.path(snapName)); err == nil {
+		g, err = store.OpenFrozenSnapshot(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("loading %s: %w", snapName, err)
+		}
+		d.recoveredSnap = true
+	} else {
+		g = seed
+		if g == nil {
+			g = store.New()
+		}
+		g.Freeze()
+	}
+	if compactThreshold > 0 {
+		g.SetCompactThreshold(compactThreshold)
+	}
+	w, batches, _, err := persist.OpenWAL(d.path(walName), g.Version().Base)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening %s: %w", walName, err)
+	}
+	for i, b := range batches {
+		n, err := applyBatch(g, b)
+		if err != nil {
+			w.Close()
+			return nil, nil, fmt.Errorf("replaying %s batch %d: %w", walName, i, err)
+		}
+		d.recoveredTriples += int64(n)
+		d.recoveredBatches++
+	}
+	return g, w, nil
+}
+
+// applyBatch replays one WAL batch into g: intern the batch's new terms
+// (idempotently — replays of already-snapshotted batches re-encode to
+// the existing IDs), then insert its triples. Triples referencing IDs
+// the dictionary never assigned are corruption.
+func applyBatch(g *store.Store, b persist.Batch) (added int, err error) {
+	for _, t := range b.Terms {
+		g.Dict().Encode(t)
+	}
+	dictLen := g.Dict().Len()
+	for _, t := range b.Triples {
+		if int(t.S) > dictLen || int(t.P) > dictLen || int(t.O) > dictLen {
+			return added, fmt.Errorf("%w: triple references unknown term ID", persist.ErrCorrupt)
+		}
+		if g.AddID(store.IDTriple{S: t.S, P: t.P, O: t.O}) {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// durable reports whether the server persists to a data-dir.
+func (s *Server) durable() bool { return s.dur != nil }
+
+// walFor returns the WAL backing graph g (nil when g has none yet).
+func (s *Server) walFor(g *store.Store) *persist.WAL {
+	if g == s.base {
+		return s.dur.baseWAL
+	}
+	return s.dur.instWAL
+}
+
+// walDictFor returns a pointer to the durable-dictionary-length counter
+// of graph g's WAL.
+func (s *Server) walDictFor(g *store.Store) *int {
+	if g == s.base {
+		return &s.dur.baseWALDict
+	}
+	return &s.dur.instWALDict
+}
+
+// logWrite makes a just-applied write to g durable. Caller holds the
+// write lock and captured the graph's version before applying. Delta
+// writes append one fsynced WAL batch carrying every dictionary term
+// not yet durable for this graph (terms may have been interned by
+// writes to the *other* graph — the dictionary is shared while an
+// instance is materialized in-process); a write that moved the base
+// epoch (threshold compaction, map-mode writes, freeze) checkpoints
+// instead — which also truncates the log across the base move, so it
+// cannot grow unboundedly.
+func (s *Server) logWrite(g *store.Store, before store.Version) error {
+	if !s.durable() {
+		return nil
+	}
+	after := g.Version()
+	if after == before {
+		return nil // nothing accepted
+	}
+	w := s.walFor(g)
+	if after.Base != before.Base || !g.IsFrozen() || w == nil {
+		return s.checkpointLocked()
+	}
+	durableDict := s.walDictFor(g)
+	batch := persist.Batch{
+		DictLen: *durableDict,
+		Terms:   g.Dict().TermsFrom(*durableDict),
+		Triples: toPersistTriples(g.DeltaSince(before.Seq)),
+	}
+	if err := w.Append(batch); err != nil {
+		s.dur.mu.Lock()
+		s.dur.walFailures++
+		s.dur.mu.Unlock()
+		return fmt.Errorf("wal append: %w", err)
+	}
+	*durableDict = g.Dict().Len()
+	return nil
+}
+
+func toPersistTriples(ts []store.IDTriple) []persist.Triple {
+	out := make([]persist.Triple, len(ts))
+	for i, t := range ts {
+		out[i] = persist.Triple{S: t.S, P: t.P, O: t.O}
+	}
+	return out
+}
+
+// Checkpoint takes the write lock and persists a full checkpoint:
+// snapshots, trimmed WALs, view-registry snapshot. It is what POST
+// /snapshot (?checkpoint), the periodic checkpointer and graceful
+// shutdown call.
+func (s *Server) Checkpoint() (CheckpointResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.durable() {
+		return CheckpointResponse{}, fmt.Errorf("server has no data-dir")
+	}
+	t0 := time.Now()
+	if err := s.checkpointLocked(); err != nil {
+		return CheckpointResponse{}, err
+	}
+	s.dur.mu.Lock()
+	views := s.dur.lastViews
+	s.dur.mu.Unlock()
+	return CheckpointResponse{
+		Triples:   s.base.Len(),
+		DeltaTail: s.base.DeltaLen(),
+		Views:     views,
+		ElapsedNs: time.Since(t0).Nanoseconds(),
+	}, nil
+}
+
+// checkpointLocked persists the full durable state. Caller holds the
+// write lock. The sequence per graph is crash-safe: the snapshot
+// replaces atomically first, then the WAL is atomically swapped for one
+// holding only the still-pending delta tail — every intermediate state
+// recovers (an over-long WAL replays idempotently).
+func (s *Server) checkpointLocked() error {
+	d := s.dur
+	if d == nil {
+		return nil
+	}
+	t0 := time.Now()
+	var err error
+	if d.baseWAL, err = checkpointGraph(s.base, d.path("base.snap"), d.baseWAL); err != nil {
+		return err
+	}
+	d.baseWALDict = s.base.Dict().Len() // the snapshot holds the full dictionary
+	if s.inst != s.base {
+		if d.instWAL, err = checkpointGraph(s.inst, d.path("inst.snap"), d.instWAL); err != nil {
+			return err
+		}
+		d.instWALDict = s.inst.Dict().Len()
+	} else {
+		if d.instWAL != nil {
+			d.instWAL.Close()
+			d.instWAL = nil
+		}
+		d.instWALDict = 0
+		os.Remove(d.path("inst.snap"))
+		os.Remove(d.path("inst.wal"))
+	}
+	views := 0
+	if err := persist.AtomicWrite(d.path("views.snap"), func(w io.Writer) error {
+		n, err := s.reg.Save(w)
+		views = n
+		return err
+	}); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.checkpoints++
+	d.lastCheckpointNs = time.Since(t0).Nanoseconds()
+	d.lastViews = views
+	d.mu.Unlock()
+	return nil
+}
+
+// checkpointGraph persists one graph: freeze (a no-op on an already
+// frozen graph with no pending delta; a map-mode graph is compacted onto
+// the frozen layout without a version change), snapshot the base
+// columns, swap the WAL down to the delta tail.
+func checkpointGraph(g *store.Store, snapPath string, wal *persist.WAL) (*persist.WAL, error) {
+	if !g.IsFrozen() {
+		g.Freeze()
+	}
+	if err := persist.AtomicWrite(snapPath, g.WriteFrozenBase); err != nil {
+		return wal, err
+	}
+	var tail []persist.Batch
+	if g.DeltaLen() > 0 {
+		tail = []persist.Batch{{
+			DictLen: g.Dict().Len(),
+			Triples: toPersistTriples(g.DeltaSince(0)),
+		}}
+	}
+	next, err := persist.ReplaceWAL(walPathFor(snapPath), g.Version().Base, tail)
+	if err != nil {
+		return wal, err
+	}
+	if wal != nil {
+		wal.Close()
+	}
+	return next, nil
+}
+
+// walPathFor maps a snapshot path to its WAL sibling (base.snap ->
+// base.wal).
+func walPathFor(snapPath string) string {
+	return snapPath[:len(snapPath)-len(".snap")] + ".wal"
+}
+
+// Close releases the durable file handles (after a final checkpoint if
+// requested by the caller). Safe on a non-durable server.
+func (s *Server) Close() error {
+	if !s.durable() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur.baseWAL != nil {
+		s.dur.baseWAL.Close()
+	}
+	if s.dur.instWAL != nil {
+		s.dur.instWAL.Close()
+	}
+	return nil
+}

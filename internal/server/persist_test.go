@@ -1,0 +1,427 @@
+package server
+
+// Restart-recovery tests: the durable server must come back at the exact
+// (baseEpoch, deltaSeq) state — answers byte-identical, warmed views
+// answering without a direct evaluation — from every crash window: after
+// a checkpoint, with a WAL tail, and with a torn WAL record.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rdfcube/internal/datagen"
+	"rdfcube/internal/persist"
+	"rdfcube/internal/rdf"
+	"rdfcube/internal/store"
+)
+
+// durableServer boots a server over dir and returns it with its test
+// frontend.
+func durableServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := Open(nil, Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// loadBloggers streams a generated blogger dataset into the server.
+func loadBloggers(t *testing.T, ts *httptest.Server, n int) {
+	t.Helper()
+	cfg := datagen.DefaultBloggerConfig()
+	cfg.Bloggers = n
+	cfg.Dimensions = 2
+	base, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/load?saturate=1", "text/plain", ntBody(t, base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/load: status %d", resp.StatusCode)
+	}
+}
+
+func bloggerQueryRequest() *QueryRequest {
+	return &QueryRequest{
+		Classifier: "c(x, d0, d1) :- x rdf:type :Blogger, x :hasAge d0, x :livesIn d1",
+		Measure:    "m(x, v) :- x rdf:type :Blogger, x :wrotePost p, p :postedOn v",
+		Agg:        "count",
+		Prefixes:   map[string]string{"": datagen.NS},
+	}
+}
+
+// queryRows answers q and returns the response with volatile fields
+// (strategy, latency) separated out.
+func queryRows(t *testing.T, ts *httptest.Server, q *QueryRequest) (rows string, strategy string) {
+	t.Helper()
+	var qr QueryResponse
+	status, body := postJSON(t, ts.Client(), ts.URL+"/query", q, &qr)
+	if status != http.StatusOK {
+		t.Fatalf("/query: status %d body %s", status, body)
+	}
+	raw, err := json.Marshal(struct {
+		Cols []string   `json:"cols"`
+		Rows [][]string `json:"rows"`
+	}{qr.Cols, qr.Rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw), qr.Strategy
+}
+
+// insertFacts writes count new bloggers through POST /insert.
+func insertFacts(t *testing.T, ts *httptest.Server, start, count int) {
+	t.Helper()
+	var buf bytes.Buffer
+	for i := start; i < start+count; i++ {
+		fmt.Fprintf(&buf, "<%vwu%d> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <%vBlogger> .\n", datagen.NS, i, datagen.NS)
+		fmt.Fprintf(&buf, "<%vwu%d> <%vhasAge> \"%d\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n", datagen.NS, i, datagen.NS, 20+i%7)
+		fmt.Fprintf(&buf, "<%vwu%d> <%vlivesIn> <%vcity%d> .\n", datagen.NS, i, datagen.NS, datagen.NS, i%3)
+		fmt.Fprintf(&buf, "<%vwu%d> <%vwrotePost> <%vwp%d> .\n", datagen.NS, i, datagen.NS, datagen.NS, i)
+		fmt.Fprintf(&buf, "<%vwp%d> <%vpostedOn> <%vsite%d> .\n", datagen.NS, i, datagen.NS, datagen.NS, i%4)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/insert", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/insert: status %d", resp.StatusCode)
+	}
+}
+
+func statsz(t *testing.T, ts *httptest.Server) StatsResponse {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// TestRestartRecovery is the acceptance scenario: load → query (register
+// view) → insert → checkpoint → insert more (WAL tail) → "kill" →
+// restart from the data-dir. The recovered server must answer
+// byte-identically, at the same (baseEpoch, deltaSeq), with the warmed
+// view answering from cache — zero direct evaluations.
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1 := durableServer(t, dir)
+	loadBloggers(t, ts1, 150)
+	q := bloggerQueryRequest()
+
+	if _, strat := queryRows(t, ts1, q); strat != "direct" {
+		t.Fatalf("first query strategy %s, want direct", strat)
+	}
+	insertFacts(t, ts1, 0, 5)
+	var cp CheckpointResponse
+	if status, body := postJSON(t, ts1.Client(), ts1.URL+"/snapshot", struct{}{}, &cp); status != http.StatusOK {
+		t.Fatalf("/snapshot: status %d body %s", status, body)
+	}
+	if cp.Views != 1 {
+		t.Fatalf("checkpoint persisted %d views, want 1", cp.Views)
+	}
+	insertFacts(t, ts1, 5, 7) // after the checkpoint: lives only in the WAL
+
+	wantRows, strat := queryRows(t, ts1, q)
+	if strat != "cached" {
+		t.Fatalf("pre-restart strategy %s, want cached (maintained view)", strat)
+	}
+	preStats := statsz(t, ts1)
+	srv1.Close()
+	ts1.Close()
+
+	// Restart from the same directory.
+	srv2, ts2 := durableServer(t, dir)
+	post := statsz(t, ts2)
+	if post.Durability == nil || !post.Durability.RecoveredSnap {
+		t.Fatal("restart did not recover from the snapshot")
+	}
+	if post.Durability.RecoveredViews != 1 {
+		t.Fatalf("recovered %d views, want 1", post.Durability.RecoveredViews)
+	}
+	if post.Instance.BaseEpoch != preStats.Instance.BaseEpoch || post.Instance.DeltaSeq != preStats.Instance.DeltaSeq {
+		t.Fatalf("recovered version (%d,%d), want (%d,%d)",
+			post.Instance.BaseEpoch, post.Instance.DeltaSeq,
+			preStats.Instance.BaseEpoch, preStats.Instance.DeltaSeq)
+	}
+	if post.Instance.Triples != preStats.Instance.Triples {
+		t.Fatalf("recovered %d triples, want %d", post.Instance.Triples, preStats.Instance.Triples)
+	}
+
+	gotRows, strat := queryRows(t, ts2, q)
+	if strat != "cached" {
+		t.Fatalf("post-restart strategy %s, want cached (warmed view, no direct eval)", strat)
+	}
+	if gotRows != wantRows {
+		t.Fatalf("post-restart rows differ:\n got %s\nwant %s", gotRows, wantRows)
+	}
+	if n := statsz(t, ts2).Registry.Strategies["direct"]; n != 0 {
+		t.Fatalf("restart performed %d direct evaluations, want 0", n)
+	}
+
+	// And a differential: the registry answer must equal a forced direct
+	// evaluation on the recovered instance.
+	direct := *q
+	direct.Direct = true
+	directRows, _ := queryRows(t, ts2, &direct)
+	if directRows != gotRows {
+		t.Fatalf("recovered registry answer differs from direct evaluation:\n reg %s\n dir %s", gotRows, directRows)
+	}
+	_ = srv2
+}
+
+// TestRestartWithoutExplicitCheckpoint relies only on the write-path
+// durability: /load re-baselines automatically (structural write) and
+// /insert batches go to the WAL.
+func TestRestartWithoutExplicitCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1 := durableServer(t, dir)
+	loadBloggers(t, ts1, 80)
+	q := bloggerQueryRequest()
+	queryRows(t, ts1, q)
+	insertFacts(t, ts1, 0, 9)
+	wantRows, _ := queryRows(t, ts1, q)
+	want := statsz(t, ts1)
+	srv1.Close()
+	ts1.Close()
+
+	_, ts2 := durableServer(t, dir)
+	got := statsz(t, ts2)
+	if got.Instance.Triples != want.Instance.Triples {
+		t.Fatalf("recovered %d triples, want %d", got.Instance.Triples, want.Instance.Triples)
+	}
+	if got.Durability.RecoveredBatches == 0 {
+		t.Fatal("expected WAL batches to replay")
+	}
+	gotRows, _ := queryRows(t, ts2, q)
+	if gotRows != wantRows {
+		t.Fatalf("rows differ after WAL-only recovery:\n got %s\nwant %s", gotRows, wantRows)
+	}
+}
+
+// TestTornWALRecovery appends garbage to the WAL (a crash mid-append)
+// and verifies recovery keeps every intact batch and drops the tail.
+func TestTornWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1 := durableServer(t, dir)
+	loadBloggers(t, ts1, 60)
+	insertFacts(t, ts1, 0, 4)
+	want := statsz(t, ts1)
+	srv1.Close()
+	ts1.Close()
+
+	walPath := filepath.Join(dir, "base.wal")
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, ts2 := durableServer(t, dir)
+	got := statsz(t, ts2)
+	if got.Instance.Triples != want.Instance.Triples {
+		t.Fatalf("torn-tail recovery: %d triples, want %d", got.Instance.Triples, want.Instance.Triples)
+	}
+	if got.Instance.DeltaSeq != want.Instance.DeltaSeq {
+		t.Fatalf("torn-tail recovery: delta seq %d, want %d", got.Instance.DeltaSeq, want.Instance.DeltaSeq)
+	}
+}
+
+// TestSharedDictCrossGraphWAL: base and a materialized instance share
+// one live dictionary. Terms interned by a write to ONE graph can be
+// referenced by a later write to the OTHER — each graph's WAL must
+// carry every term its own replay needs, or recovery of the second
+// graph hits unknown term IDs.
+func TestSharedDictCrossGraphWAL(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1 := durableServer(t, dir)
+	loadBloggers(t, ts1, 80)
+	schema, err := datagen.BloggerSchema(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr MaterializeResponse
+	if status, body := postJSON(t, ts1.Client(), ts1.URL+"/materialize", schemaRequest(schema, true), &mr); status != http.StatusOK {
+		t.Fatalf("/materialize: status %d body %s", status, body)
+	}
+
+	// Write to the BASE graph first: the new subject/object IRIs are
+	// interned into the shared dictionary and logged in base.wal only.
+	body := fmt.Sprintf("<%vshared0> <%vhasAge> \"31\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n", datagen.NS, datagen.NS)
+	resp, err := ts1.Client().Post(ts1.URL+"/insert?graph=base", "text/plain", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Now write a triple to the INSTANCE that reuses those terms: no new
+	// dictionary growth at write time, but inst.wal's replay still needs
+	// the definitions.
+	resp, err = ts1.Client().Post(ts1.URL+"/insert", "text/plain", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want := statsz(t, ts1)
+	srv1.Close()
+	ts1.Close()
+
+	srv2, ts2 := durableServer(t, dir) // pre-fix: Open failed on inst.wal replay
+	got := statsz(t, ts2)
+	if got.Instance.Triples != want.Instance.Triples || got.Base.Triples != want.Base.Triples {
+		t.Fatalf("recovered base/inst %d/%d, want %d/%d",
+			got.Base.Triples, got.Instance.Triples, want.Base.Triples, want.Instance.Triples)
+	}
+	srv2.mu.RLock()
+	inst := srv2.inst
+	srv2.mu.RUnlock()
+	if !inst.Contains(rdf.NewTriple(
+		rdf.NewIRI(datagen.NS+"shared0"),
+		rdf.NewIRI(datagen.NS+"hasAge"),
+		rdf.NewTypedLiteral("31", "http://www.w3.org/2001/XMLSchema#integer"))) {
+		t.Fatal("cross-graph triple missing from recovered instance")
+	}
+}
+
+// TestCrashRecoveryDifferential simulates a crash at every WAL offset
+// (stride-sampled): recovery from the truncated log must match an
+// in-memory twin built from exactly the batches that survived — the
+// kill-after-N-inserts differential.
+func TestCrashRecoveryDifferential(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1 := durableServer(t, dir)
+	loadBloggers(t, ts1, 40)
+	for i := 0; i < 6; i++ {
+		insertFacts(t, ts1, i*4, 2)
+	}
+	srv1.Close()
+	ts1.Close()
+	snapRaw, err := os.ReadFile(filepath.Join(dir, "base.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	walRaw, err := os.ReadFile(filepath.Join(dir, "base.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const walHeader = 13 // magic + version + epoch
+
+	for cut := len(walRaw); cut >= walHeader; cut -= 11 {
+		// Build the twin from the batches intact at this cut, parsed
+		// from a scratch copy (recovery mutates its own files).
+		scratch := filepath.Join(t.TempDir(), "twin.wal")
+		if err := os.WriteFile(scratch, walRaw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, batches, _, err := persist.OpenWAL(scratch, 0)
+		if err != nil {
+			t.Fatalf("cut %d: twin wal: %v", cut, err)
+		}
+		w.Close()
+		twin, err := store.OpenFrozenSnapshot(bytes.NewReader(snapRaw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range batches {
+			for _, tm := range b.Terms {
+				twin.Dict().Encode(tm)
+			}
+			for _, tr := range b.Triples {
+				twin.AddID(store.IDTriple{S: tr.S, P: tr.P, O: tr.O})
+			}
+		}
+
+		// Recover a server from the truncated state.
+		cdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cdir, "base.snap"), snapRaw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(cdir, "base.wal"), walRaw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := Open(nil, Config{DataDir: cdir})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if srv.base.Len() != twin.Len() {
+			t.Fatalf("cut %d: recovered %d triples, twin has %d", cut, srv.base.Len(), twin.Len())
+		}
+		if srv.base.Version() != twin.Version() {
+			t.Fatalf("cut %d: version %+v, twin %+v", cut, srv.base.Version(), twin.Version())
+		}
+		mismatch := 0
+		twin.ForEach(store.Pattern{}, func(tr store.IDTriple) bool {
+			if !srv.base.ContainsID(tr) {
+				mismatch++
+			}
+			return mismatch == 0
+		})
+		if mismatch != 0 {
+			t.Fatalf("cut %d: recovered store is missing twin triples", cut)
+		}
+		srv.Close()
+	}
+}
+
+// TestRestartWithMaterializedInstance recovers the two-graph layout:
+// base + materialized serving instance + views over the instance.
+func TestRestartWithMaterializedInstance(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1 := durableServer(t, dir)
+	loadBloggers(t, ts1, 120)
+	schema, err := datagen.BloggerSchema(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr MaterializeResponse
+	if status, body := postJSON(t, ts1.Client(), ts1.URL+"/materialize", schemaRequest(schema, true), &mr); status != http.StatusOK {
+		t.Fatalf("/materialize: status %d body %s", status, body)
+	}
+	q := bloggerQueryRequest()
+	queryRows(t, ts1, q) // register over the materialized instance
+	var cp CheckpointResponse
+	if status, body := postJSON(t, ts1.Client(), ts1.URL+"/snapshot", struct{}{}, &cp); status != http.StatusOK || cp.Views != 1 {
+		t.Fatalf("/snapshot: status %d views %d body %s", status, cp.Views, body)
+	}
+	insertFacts(t, ts1, 0, 6) // delta-written to the instance + WAL
+	wantRows, _ := queryRows(t, ts1, q)
+	want := statsz(t, ts1)
+	srv1.Close()
+	ts1.Close()
+
+	_, ts2 := durableServer(t, dir)
+	got := statsz(t, ts2)
+	if got.Instance.Triples != want.Instance.Triples || got.Base.Triples != want.Base.Triples {
+		t.Fatalf("recovered base/inst %d/%d triples, want %d/%d",
+			got.Base.Triples, got.Instance.Triples, want.Base.Triples, want.Instance.Triples)
+	}
+	gotRows, strat := queryRows(t, ts2, q)
+	if strat != "cached" {
+		t.Fatalf("post-restart strategy %s, want cached", strat)
+	}
+	if gotRows != wantRows {
+		t.Fatalf("materialized-instance recovery rows differ:\n got %s\nwant %s", gotRows, wantRows)
+	}
+}

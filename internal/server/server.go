@@ -63,6 +63,11 @@ type Config struct {
 	// CompactThreshold overrides the stores' delta-overlay size that
 	// triggers compaction into a rebuilt frozen base (0 = store default).
 	CompactThreshold int
+	// DataDir enables durability: snapshots, write-ahead logs and the
+	// view-registry snapshot live under this directory, written by
+	// checkpoints and consulted by Open on startup. Empty means a purely
+	// in-memory server.
+	DataDir string
 }
 
 // Server is the HTTP facade over one base graph, one serving instance
@@ -77,6 +82,9 @@ type Server struct {
 	base *store.Store
 	inst *store.Store // == base until a schema is materialized
 	reg  *viewreg.Registry
+
+	// dur is the durable state (persist.go); nil for in-memory servers.
+	dur *durability
 
 	metricsMu sync.Mutex
 	metrics   map[string]*endpointMetrics
@@ -133,6 +141,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /insert", s.instrument("/insert", s.handleInsert))
 	mux.Handle("POST /load-snapshot", s.instrument("/load-snapshot", s.handleLoadSnapshot))
 	mux.Handle("GET /snapshot", s.instrument("/snapshot", s.handleSnapshot))
+	mux.Handle("POST /snapshot", s.instrument("/checkpoint", s.handleCheckpoint))
 	mux.Handle("POST /materialize", s.instrument("/materialize", s.handleMaterialize))
 	mux.Handle("POST /freeze", s.instrument("/freeze", s.handleFreeze))
 	mux.Handle("POST /query", s.instrument("/query", s.handleQuery))
@@ -238,6 +247,8 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) (int, error)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ver0 := s.base.Version()
+	instVer0 := s.inst.Version()
 	added := 0
 	for _, t := range batch {
 		if s.base.Add(t) {
@@ -260,6 +271,16 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) (int, error)
 		// views before queries resume. A no-op when the version is
 		// unchanged.
 		s.reg.NotifyWrite()
+	}
+	if s.durable() && s.inst != s.base && s.inst.Version() != instVer0 {
+		// The freeze also compacted the serving instance: its WAL must
+		// re-baseline with it, so checkpoint everything (covers the base
+		// write too).
+		if err := s.checkpointLocked(); err != nil {
+			return http.StatusInternalServerError, err
+		}
+	} else if err := s.logWrite(s.base, ver0); err != nil {
+		return http.StatusInternalServerError, err
 	}
 	writeJSON(w, http.StatusOK, LoadResponse{
 		Added:   added,
@@ -288,6 +309,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, erro
 	if r.URL.Query().Get("graph") == "base" {
 		target = s.base
 	}
+	ver0 := target.Version()
 	added := 0
 	for _, t := range batch {
 		if target.Add(t) {
@@ -301,6 +323,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, erro
 		after := s.reg.Stats()
 		maintained = after.Maintained - before.Maintained
 		invalidated = after.Invalidations - before.Invalidations
+	}
+	if err := s.logWrite(target, ver0); err != nil {
+		return http.StatusInternalServerError, err
 	}
 	writeJSON(w, http.StatusOK, InsertResponse{
 		Added:       added,
@@ -324,7 +349,14 @@ func (s *Server) handleLoadSnapshot(w http.ResponseWriter, r *http.Request) (int
 	s.base = st
 	s.installInstance(st)
 	triples := st.Len()
+	var err2 error
+	if s.durable() {
+		err2 = s.checkpointLocked() // structural replacement: re-baseline
+	}
 	s.mu.Unlock()
+	if err2 != nil {
+		return http.StatusInternalServerError, err2
+	}
 	writeJSON(w, http.StatusOK, LoadResponse{Added: triples, Triples: triples, Frozen: true})
 	return http.StatusOK, nil
 }
@@ -374,6 +406,13 @@ func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) (int,
 		return http.StatusBadRequest, err
 	}
 	s.installInstance(inst)
+	if s.durable() {
+		// The serving instance changed shape: re-baseline everything
+		// (base may have gained saturation triples and was frozen).
+		if err := s.checkpointLocked(); err != nil {
+			return http.StatusInternalServerError, err
+		}
+	}
 	writeJSON(w, http.StatusOK, MaterializeResponse{
 		Name:            req.Name,
 		InstanceTriples: inst.Len(),
@@ -395,7 +434,30 @@ func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) (int, erro
 		s.inst.Freeze()
 	}
 	s.reg.NotifyWrite()
+	if s.durable() {
+		// A compaction moved a base epoch: the WALs must re-baseline so
+		// the log does not outlive the feed it describes.
+		if err := s.checkpointLocked(); err != nil {
+			return http.StatusInternalServerError, err
+		}
+	}
 	writeJSON(w, http.StatusOK, LoadResponse{Triples: s.base.Len(), Frozen: true})
+	return http.StatusOK, nil
+}
+
+// handleCheckpoint (POST /snapshot) persists a full checkpoint to the
+// data-dir: graph snapshots in the frozen v2 format, WALs trimmed to the
+// pending delta tails, and the view-registry snapshot — the durable
+// counterpart of GET /snapshot's byte stream.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) (int, error) {
+	if !s.durable() {
+		return http.StatusPreconditionFailed, fmt.Errorf("server has no data-dir (start with -data-dir)")
+	}
+	resp, err := s.Checkpoint()
+	if err != nil {
+		return http.StatusInternalServerError, err
+	}
+	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
 }
 
@@ -483,6 +545,33 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, erro
 			Strategies:    strategies,
 		},
 		Endpoints: map[string]EndpointStats{},
+	}
+	if s.durable() {
+		d := s.dur
+		d.mu.Lock()
+		ds := &DurabilityStats{
+			DataDir:          d.dir,
+			Checkpoints:      d.checkpoints,
+			LastCheckpointNs: d.lastCheckpointNs,
+			PersistedViews:   d.lastViews,
+			WALAppendErrors:  d.walFailures,
+			RecoveredSnap:    d.recoveredSnap,
+			RecoveredBatches: d.recoveredBatches,
+			RecoveredTriples: d.recoveredTriples,
+			RecoveredViews:   d.recoveredViews,
+		}
+		d.mu.Unlock()
+		s.mu.RLock()
+		if d.baseWAL != nil {
+			ds.WALBatches += d.baseWAL.Batches()
+			ds.WALBytes += d.baseWAL.Bytes()
+		}
+		if d.instWAL != nil {
+			ds.WALBatches += d.instWAL.Batches()
+			ds.WALBytes += d.instWAL.Bytes()
+		}
+		s.mu.RUnlock()
+		resp.Durability = ds
 	}
 	s.metricsMu.Lock()
 	for route, m := range s.metrics {

@@ -20,6 +20,8 @@
 package session
 
 import (
+	"io"
+
 	"rdfcube/internal/algebra"
 	"rdfcube/internal/core"
 	"rdfcube/internal/rdf"
@@ -109,6 +111,16 @@ func (m *Manager) Insert(triples []rdf.Triple) int {
 	}
 	return added
 }
+
+// Save snapshots the manager's materialized views to w (see
+// viewreg.Registry.Save); it returns the number of views captured.
+// Paired with the instance's frozen snapshot, a later Restore warms a
+// new session without re-evaluating a single query.
+func (m *Manager) Save(w io.Writer) (int, error) { return m.reg.Save(w) }
+
+// Restore warms the manager from a snapshot written by Save against the
+// same (recovered) instance, returning the number of views admitted.
+func (m *Manager) Restore(r io.Reader) (int, error) { return m.reg.Restore(r) }
 
 // Describe renders the manager state for diagnostics.
 func (m *Manager) Describe() string {

@@ -1,0 +1,72 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"rdfcube/internal/rdf"
+)
+
+// FuzzOpenFrozenSnapshot asserts the snapshot readers' contract on
+// arbitrary input: parse successfully or return an error wrapping
+// ErrBadSnapshot — never panic, never hang, never return a store whose
+// read paths blow up. Covers both the v2 frozen format and the v1 flat
+// fallback (the corpus seeds one of each plus targeted mutations).
+func FuzzOpenFrozenSnapshot(f *testing.F) {
+	seedStore := func(n int) *Store {
+		st := New()
+		for i := 0; i < n; i++ {
+			u := rdf.NewIRI(fmt.Sprintf("http://ex.org/u%d", i))
+			st.Add(rdf.Triple{S: u, P: rdf.Type, O: rdf.NewIRI("http://ex.org/T")})
+			st.Add(rdf.Triple{S: u, P: rdf.NewIRI("http://ex.org/n"), O: rdf.NewInt(int64(i % 5))})
+			st.Add(rdf.Triple{S: u, P: rdf.NewIRI("http://ex.org/l"), O: rdf.NewLangLiteral(fmt.Sprintf("v%d", i), "en")})
+		}
+		return st
+	}
+	var v2 bytes.Buffer
+	if err := seedStore(20).WriteFrozenSnapshot(&v2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	var v1 bytes.Buffer
+	if err := seedStore(20).WriteSnapshot(&v1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add([]byte("RDFC"))
+	f.Add([]byte{'R', 'D', 'F', 'C', 2, 1, 3, 0, 0})
+	f.Add(v2.Bytes()[:len(v2.Bytes())/2])
+	mut := append([]byte(nil), v2.Bytes()...)
+	mut[30] ^= 0x10
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := OpenFrozenSnapshot(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("non-ErrBadSnapshot error: %v", err)
+			}
+			return
+		}
+		// A store the reader accepted must hold up under the read and
+		// write paths.
+		if st.Len() < 0 {
+			t.Fatal("negative length")
+		}
+		n := 0
+		st.ForEach(Pattern{}, func(tr IDTriple) bool {
+			if n == 0 {
+				if st.Count(Pattern{S: tr.S}) < 1 || !st.ContainsID(tr) {
+					t.Fatal("accepted store disagrees with itself")
+				}
+				st.Subjects(tr.P, Wild)
+				st.Objects(tr.S, Wild)
+			}
+			n++
+			return n < 100
+		})
+		st.Add(rdf.Triple{S: rdf.NewIRI("urn:x"), P: rdf.NewIRI("urn:y"), O: rdf.NewIRI("urn:z")})
+	})
+}

@@ -80,12 +80,80 @@ func (st *Store) Freeze() {
 	st.build()
 }
 
-// compact folds the delta overlay into a rebuilt frozen base.
+// compact folds the delta overlay into a rebuilt frozen base. Base and
+// overlay are two sorted runs of the same permutation order, so the
+// rebuild is a linear merge per permutation — no extraction from the
+// maps and no re-sort.
 func (st *Store) compact() {
-	st.frz = nil
+	f := &frozen{}
+	f.spo = mergePerm(&st.frz.spo, st.dlt.spo)
+	f.pos = mergePerm(&st.frz.pos, st.dlt.pos)
+	f.osp = mergePerm(&st.frz.osp, st.dlt.osp)
+	f.computeStats(len(st.predCount))
+	st.frz = f
 	st.dlt.reset()
-	st.build()
 	st.bumpBase()
+}
+
+// mergePerm merges a frozen permutation with the sorted delta run of the
+// same permutation into a fresh columnar index. The two sides are
+// disjoint by construction, so the merge never deduplicates.
+func mergePerm(px *permIndex, ts []IDTriple) permIndex {
+	n := px.len() + len(ts)
+	out := permIndex{kind: px.kind}
+	cols := make([]dict.ID, 3*n)
+	out.c1, out.c2, out.c3 = cols[:n:n], cols[n:2*n:2*n], cols[2*n:]
+	i, j, w := 0, 0, 0
+	for i < px.len() && j < len(ts) {
+		da, db, dc := permuteTriple(px.kind, ts[j])
+		if colsLess(da, db, dc, px.c1[i], px.c2[i], px.c3[i]) {
+			out.c1[w], out.c2[w], out.c3[w] = da, db, dc
+			j++
+		} else {
+			out.c1[w], out.c2[w], out.c3[w] = px.c1[i], px.c2[i], px.c3[i]
+			i++
+		}
+		w++
+	}
+	for ; i < px.len(); i++ {
+		out.c1[w], out.c2[w], out.c3[w] = px.c1[i], px.c2[i], px.c3[i]
+		w++
+	}
+	for ; j < len(ts); j++ {
+		out.c1[w], out.c2[w], out.c3[w] = permuteTriple(px.kind, ts[j])
+		w++
+	}
+	out.buildDirectory()
+	return out
+}
+
+// colsLess orders two permuted component triples lexicographically.
+func colsLess(a1, b1, c1, a2, b2, c2 dict.ID) bool {
+	if a1 != a2 {
+		return a1 < a2
+	}
+	if b1 != b2 {
+		return b1 < b2
+	}
+	return c1 < c2
+}
+
+// rehydrate populates the nested maps of a snapshot-loaded store from
+// the frozen base and delta overlay, returning it to the invariant that
+// the maps are authoritative. Deletion and Thaw — the operations that
+// need per-triple mutable structure — call it on demand; the append-only
+// serving paths never do.
+func (st *Store) rehydrate() {
+	if !st.noMaps {
+		return
+	}
+	st.ForEach(Pattern{}, func(t IDTriple) bool {
+		insert3(st.spo, t.S, t.P, t.O)
+		insert3(st.pos, t.P, t.O, t.S)
+		insert3(st.osp, t.O, t.S, t.P)
+		return true
+	})
+	st.noMaps = false
 }
 
 // build constructs the frozen indexes from the nested maps.
@@ -112,10 +180,17 @@ func (st *Store) build() {
 	f.spo.build(permSPO, base, scratch)
 	f.pos.build(permPOS, base, scratch)
 	f.osp.build(permOSP, base, scratch)
+	f.computeStats(len(st.predCount))
+	st.frz = f
+}
 
-	// Distinct subjects per predicate: distinct (c1,c2)=(s,p) pairs in
-	// SPO, grouped by p. Distinct objects per predicate: distinct
-	// (c1,c2)=(p,o) pairs in POS, grouped by p.
+// computeStats derives the per-predicate distinct counts from the sorted
+// permutations: distinct subjects per predicate are the distinct
+// (c1,c2)=(s,p) pairs in SPO grouped by p, distinct objects the distinct
+// (c1,c2)=(p,o) pairs in POS grouped by p.
+func (f *frozen) computeStats(sizeHint int) {
+	f.predDistinctS = make(map[dict.ID]int, sizeHint)
+	f.predDistinctO = make(map[dict.ID]int, sizeHint)
 	spo := &f.spo
 	for i := range spo.c1 {
 		if i == 0 || spo.c1[i] != spo.c1[i-1] || spo.c2[i] != spo.c2[i-1] {
@@ -128,7 +203,6 @@ func (st *Store) build() {
 			f.predDistinctO[pos.c1[i]]++
 		}
 	}
-	st.frz = f
 }
 
 // Thaw drops the frozen indexes (and any delta overlay), returning the
@@ -140,6 +214,7 @@ func (st *Store) Thaw() {
 	if st.frz == nil {
 		return
 	}
+	st.rehydrate() // a snapshot-loaded store must regain its maps first
 	st.frz = nil
 	if st.dlt.len() > 0 {
 		st.dlt.reset()
@@ -165,6 +240,14 @@ func (px *permIndex) build(kind permKind, base, scratch []IDTriple) {
 	for i, t := range perm {
 		px.c1[i], px.c2[i], px.c3[i] = permuteTriple(kind, t)
 	}
+	px.buildDirectory()
+}
+
+// buildDirectory derives the first-level offset directory from the
+// sorted c1 column.
+func (px *permIndex) buildDirectory() {
+	n := len(px.c1)
+	px.keys, px.off = px.keys[:0], px.off[:0]
 	for i := 0; i < n; i++ {
 		if i == 0 || px.c1[i] != px.c1[i-1] {
 			px.keys = append(px.keys, px.c1[i])

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"rdfcube/internal/dict"
 	"rdfcube/internal/rdf"
@@ -157,11 +158,13 @@ func readString(r *bufio.Reader) (string, error) {
 	if n > 1<<30 {
 		return "", errors.New("string too long")
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
+	// Copy incrementally so a hostile length prefix costs only the bytes
+	// actually present, not an up-front allocation.
+	var sb strings.Builder
+	if m, err := io.CopyN(&sb, r, int64(n)); err != nil || uint64(m) != n {
+		return "", errors.New("truncated string")
 	}
-	return string(buf), nil
+	return sb.String(), nil
 }
 
 func readTerm(r *bufio.Reader) (rdf.Term, error) {

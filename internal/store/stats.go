@@ -47,13 +47,26 @@ func (st *Store) DistinctObjects(p dict.ID) int {
 }
 
 // DistinctSubjectsAll returns the number of distinct subjects in the
-// store (any predicate). The nested maps track this exactly in every
-// mode.
-func (st *Store) DistinctSubjectsAll() int { return len(st.spo) }
+// store (any predicate). The nested maps track this exactly; on a
+// snapshot-loaded store (no maps) the SPO directory keys count the base
+// exactly and the delta size is added as an upper bound — the only
+// consumer is the cardinality estimator.
+func (st *Store) DistinctSubjectsAll() int {
+	if st.noMaps {
+		return len(st.frz.spo.keys) + st.dlt.len()
+	}
+	return len(st.spo)
+}
 
 // DistinctObjectsAll returns the number of distinct objects in the store
-// (any predicate).
-func (st *Store) DistinctObjectsAll() int { return len(st.osp) }
+// (any predicate), with the same bound as DistinctSubjectsAll on a
+// snapshot-loaded store.
+func (st *Store) DistinctObjectsAll() int {
+	if st.noMaps {
+		return len(st.frz.osp.keys) + st.dlt.len()
+	}
+	return len(st.osp)
+}
 
 // EstimateCardinality estimates the number of triples matching pat. On a
 // frozen store every shape resolves to an exact range length through the

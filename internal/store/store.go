@@ -53,6 +53,15 @@ type Store struct {
 	frz *frozen
 	dlt delta
 
+	// noMaps marks a store whose nested maps were never populated — the
+	// state of a store opened from a frozen (v2) snapshot, where the
+	// columnar base was loaded directly and rebuilding the maps would
+	// defeat the fast load. In this mode the frozen base + delta overlay
+	// are authoritative: ContainsID binary-searches them and AddID
+	// deduplicates against them. Operations that genuinely need the maps
+	// (deletion, Thaw) rehydrate them on demand.
+	noMaps bool
+
 	// compactThreshold is the delta size that triggers folding the
 	// overlay into a rebuilt frozen base.
 	compactThreshold int
@@ -165,6 +174,21 @@ func (st *Store) Add(tr rdf.Triple) bool {
 // compaction threshold the overlay is folded into a rebuilt base. On a
 // map-only store the base epoch advances.
 func (st *Store) AddID(t IDTriple) bool {
+	if st.noMaps {
+		// Snapshot-loaded store: the maps are empty by design, so the
+		// dedup check runs against the frozen base + overlay instead.
+		if st.ContainsID(t) {
+			return false
+		}
+		st.size++
+		st.predCount[t.P]++
+		st.dlt.add(t)
+		st.ver.Add(1)
+		if st.dlt.len() >= st.compactThreshold {
+			st.compact()
+		}
+		return true
+	}
 	if !insert3(st.spo, t.S, t.P, t.O) {
 		return false
 	}
@@ -202,6 +226,9 @@ func (st *Store) Remove(tr rdf.Triple) bool {
 // overlay entirely (the warehouse workload is append-oriented; re-Freeze
 // after sustained deletion bursts).
 func (st *Store) RemoveID(t IDTriple) bool {
+	if st.noMaps {
+		st.rehydrate()
+	}
 	if !remove3(st.spo, t.S, t.P, t.O) {
 		return false
 	}
@@ -231,10 +258,21 @@ func (st *Store) Contains(tr rdf.Triple) bool {
 	return st.ContainsID(IDTriple{s, p, o})
 }
 
-// ContainsID reports whether the encoded triple is in the store. The
-// nested maps are authoritative in every mode, so this is always one
-// hash walk.
+// ContainsID reports whether the encoded triple is in the store: one
+// hash walk over the authoritative nested maps, or — on a store opened
+// from a frozen snapshot, whose maps were never built — two binary
+// searches (frozen base, delta overlay).
 func (st *Store) ContainsID(t IDTriple) bool {
+	if st.noMaps {
+		if st.frz.spo.contains(t.S, t.P, t.O) {
+			return true
+		}
+		if st.dlt.len() == 0 {
+			return false
+		}
+		lo, hi := searchPrefix(permSPO, st.dlt.spo, 3, t.S, t.P, t.O)
+		return lo < hi
+	}
 	m2, ok := st.spo[t.S]
 	if !ok {
 		return false

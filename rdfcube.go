@@ -107,6 +107,17 @@ var (
 // NewGraph returns an empty triple store.
 func NewGraph() *Graph { return store.New() }
 
+// WriteFrozenSnapshot serializes g in the frozen binary snapshot format
+// (v2): front-coded dictionary plus the sorted columnar indexes, so
+// OpenFrozenSnapshot loads it without re-sorting or rebuilding. Any
+// pending writes are compacted in first.
+func WriteFrozenSnapshot(g *Graph, w io.Writer) error { return g.WriteFrozenSnapshot(w) }
+
+// OpenFrozenSnapshot loads a binary snapshot written by
+// WriteFrozenSnapshot (or the legacy flat format of rdfcubed's GET
+// /snapshot); the returned graph is frozen and ready to query.
+func OpenFrozenSnapshot(r io.Reader) (*Graph, error) { return store.OpenFrozenSnapshot(r) }
+
 // ReadNTriples loads an N-Triples / Turtle-lite document into g.
 // It returns the number of distinct triples added.
 func ReadNTriples(g *Graph, r io.Reader) (int, error) {
