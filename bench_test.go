@@ -13,8 +13,11 @@ import (
 
 	"rdfcube"
 	"rdfcube/internal/benchmark"
+	"rdfcube/internal/bgp"
 	"rdfcube/internal/core"
 	"rdfcube/internal/datagen"
+	"rdfcube/internal/sparql"
+	"rdfcube/internal/store"
 	"rdfcube/internal/viewreg"
 )
 
@@ -338,6 +341,48 @@ func BenchmarkAllOps(b *testing.B) {
 		cfg.Bloggers = 1000
 		cfg.Dimensions = 3
 		if _, err := benchmark.BuildBlogger(cfg, "sum"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E11: the star join through the cursor engine vs the nested-loop
+// reference (same query, same store).
+var benchStar *rdfcubeStarBench
+
+type rdfcubeStarBench struct {
+	st *store.Store
+	q  *sparql.Query
+}
+
+func starBench(b *testing.B) *rdfcubeStarBench {
+	b.Helper()
+	if benchStar == nil {
+		st := benchmark.BuildStarGraph(30000)
+		q, err := benchmark.StarQuery(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchStar = &rdfcubeStarBench{st: st, q: q}
+	}
+	return benchStar
+}
+
+func BenchmarkStarJoinNested(b *testing.B) {
+	w := starBench(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bgp.Eval(w.st, w.q, bgp.Options{Distinct: true, ForceNestedLoop: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStarJoinLeapfrog(b *testing.B) {
+	w := starBench(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bgp.Eval(w.st, w.q, bgp.Options{Distinct: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,13 +11,16 @@
 //	rdfcubed [-addr :8344] [-data graph.nt | -snapshot graph.rdfc]
 //	         [-data-dir DIR] [-checkpoint-every 0]
 //	         [-saturate] [-max-view-mb 256] [-max-views 0]
-//	         [-compact-threshold 0] [-shutdown-timeout 10s]
+//	         [-compact-threshold 0] [-background-compact]
+//	         [-shutdown-timeout 10s]
 //
 // Writes accepted over POST /insert land in the store's delta overlay —
 // the frozen indexes survive and registered views are maintained through
 // the delta feed; -compact-threshold tunes how large the overlay may
 // grow before it is folded into a rebuilt base (0 keeps the store
-// default).
+// default), and -background-compact (on by default) folds it in a
+// background goroutine — concurrent with queries — instead of stalling
+// the write that crossed the threshold.
 //
 // -data-dir makes the daemon durable: graphs are checkpointed there as
 // frozen (v2) snapshots, every accepted write batch is fsynced to a
@@ -63,6 +66,7 @@ func main() {
 	maxViewMB := flag.Int64("max-view-mb", 256, "materialized-view registry budget in MiB (0 = unbounded)")
 	maxViews := flag.Int("max-views", 0, "materialized-view registry entry cap (0 = unbounded)")
 	compactThreshold := flag.Int("compact-threshold", 0, "delta-overlay size that triggers compaction into a rebuilt frozen base (0 = store default)")
+	backgroundCompact := flag.Bool("background-compact", true, "fold the delta overlay into a rebuilt base in a background goroutine instead of on the write path")
 	dataDir := flag.String("data-dir", "", "durable state directory (snapshots + write-ahead logs + view registry); non-empty state there wins over -data/-snapshot")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval with -data-dir (0 = only on demand/structural writes/shutdown)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown grace period")
@@ -89,10 +93,11 @@ func main() {
 
 	t0 := time.Now()
 	srv, err := server.Open(base, server.Config{
-		MaxViewBytes:     *maxViewMB << 20,
-		MaxViewEntries:   *maxViews,
-		CompactThreshold: *compactThreshold,
-		DataDir:          *dataDir,
+		MaxViewBytes:         *maxViewMB << 20,
+		MaxViewEntries:       *maxViews,
+		CompactThreshold:     *compactThreshold,
+		BackgroundCompaction: *backgroundCompact,
+		DataDir:              *dataDir,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -1,0 +1,138 @@
+package algebra
+
+// Parallel grouping: γ over a wide input partitions the HASH space of
+// the group key across workers. All rows of one group share a hash, so
+// exactly one worker owns each group — accumulators never race, every
+// group's measures are fed in input-row order (bit-identical floats to
+// the sequential path), and the final output sorts groups by their
+// first input row, which is the sequential first-seen order. The result
+// is therefore identical to the single-threaded γ, row for row.
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"rdfcube/internal/agg"
+)
+
+// parallelGroupMinRows is the input size below which grouping stays
+// sequential.
+const parallelGroupMinRows = 16384
+
+// GroupWorkers overrides the grouping parallelism; 0 (the default) uses
+// runtime.GOMAXPROCS. Exposed for tests and tuning.
+var GroupWorkers int
+
+// groupWorkers sizes the fan-out; <= 1 means stay sequential.
+func groupWorkers(rows int) int {
+	nw := GroupWorkers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+		if max := rows / parallelGroupMinRows; nw > max {
+			nw = max
+		}
+	}
+	if nw > rows {
+		nw = rows
+	}
+	return nw
+}
+
+// groupAggregateParallel is the fan-out γ. It returns nil when the
+// input is too small to be worth it (the caller then runs the
+// sequential loop).
+func (r *Relation) groupAggregateParallel(gIdx []int, vIdx int, groupCols []string, aggCol string, f agg.Func, resolve NumericResolver) *Relation {
+	n := len(r.Rows)
+	nw := groupWorkers(n)
+	if nw <= 1 {
+		return nil
+	}
+	reprIdx := make([]int, len(gIdx))
+	for i := range reprIdx {
+		reprIdx[i] = i
+	}
+
+	// Pass 1: hash the group key of every row in parallel chunks, each
+	// chunk worker bucketing its row indexes by hash partition so pass 2
+	// never rescans the whole array.
+	hashes := make([]uint64, n)
+	chunkParts := make([][][]int, nw)
+	var wg sync.WaitGroup
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts := make([][]int, nw)
+			for i := lo; i < hi; i++ {
+				h := hashCols(r.Rows[i], gIdx)
+				hashes[i] = h
+				p := int(h % uint64(nw))
+				parts[p] = append(parts[p], i)
+			}
+			chunkParts[w] = parts
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Pass 2: each worker accumulates the groups of its hash partition.
+	// Chunk index lists concatenate in ascending row order, so every
+	// group's measures are fed in input order — as sequentially.
+	parts := make([][]*group, nw)
+	for p := 0; p < nw; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			buckets := make(map[uint64][]*group, n/nw+1)
+			var order []*group
+			for _, cp := range chunkParts {
+				if cp == nil {
+					continue
+				}
+				for _, i := range cp[p] {
+					h := hashes[i]
+					row := r.Rows[i]
+					var g *group
+					for _, cand := range buckets[h] {
+						if colsEqualBits(cand.repr, reprIdx, row, gIdx) {
+							g = cand
+							break
+						}
+					}
+					if g == nil {
+						repr := make(Row, len(gIdx))
+						for j, c := range gIdx {
+							repr[j] = row[c]
+						}
+						g = &group{repr: repr, acc: f.New(), first: i}
+						buckets[h] = append(buckets[h], g)
+						order = append(order, g)
+					}
+					accumulate(g.acc, row[vIdx], resolve)
+				}
+			}
+			parts[p] = order
+		}(p)
+	}
+	wg.Wait()
+
+	// Merge: first-seen order across partitions.
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	order := make([]*group, 0, total)
+	for _, p := range parts {
+		order = append(order, p...)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].first < order[j].first })
+	return finishGroups(groupCols, aggCol, order)
+}

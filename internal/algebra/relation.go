@@ -253,18 +253,19 @@ type NumericResolver func(id dict.ID) (float64, bool)
 // Groups whose accumulator reports no result (empty measure bag for
 // functions requiring numeric input) are dropped, matching Definition 1's
 // "if qj(I) is empty, the fact does not contribute to the cube".
-// Output group order is deterministic (first-seen order).
+// Output group order is deterministic (first-seen order). Wide inputs
+// fan the grouping out across CPUs (parallel.go) with identical output,
+// row for row.
 func (r *Relation) GroupAggregate(groupCols []string, valueCol, aggCol string, f agg.Func, resolve NumericResolver) *Relation {
 	gIdx := make([]int, len(groupCols))
 	for i, c := range groupCols {
 		gIdx[i] = r.MustColumn(c)
 	}
 	vIdx := r.MustColumn(valueCol)
-
-	type group struct {
-		repr Row
-		acc  agg.Accumulator
+	if out := r.groupAggregateParallel(gIdx, vIdx, groupCols, aggCol, f, resolve); out != nil {
+		return out
 	}
+
 	reprIdx := make([]int, len(gIdx))
 	for i := range reprIdx {
 		reprIdx[i] = i
@@ -289,21 +290,40 @@ func (r *Relation) GroupAggregate(groupCols []string, valueCol, aggCol string, f
 			buckets[h] = append(buckets[h], g)
 			order = append(order, g)
 		}
-		v := row[vIdx]
-		switch v.Kind {
-		case TermValue:
-			if resolve != nil {
-				num, ok := resolve(v.ID)
-				g.acc.Add(v.ID, num, ok)
-			} else {
-				g.acc.Add(v.ID, 0, false)
-			}
-		case NumValue:
-			g.acc.Add(dict.NoID, v.Num, true)
-		case KeyValue:
-			g.acc.Add(dict.ID(v.Key), float64(v.Key), true)
-		}
+		accumulate(g.acc, row[vIdx], resolve)
 	}
+	return finishGroups(groupCols, aggCol, order)
+}
+
+// group is one in-progress aggregation group; first records the index
+// of its first input row (the deterministic output order).
+type group struct {
+	repr  Row
+	acc   agg.Accumulator
+	first int
+}
+
+// accumulate feeds one measure cell into an accumulator — the single
+// place the cell-kind dispatch lives, shared by the sequential and
+// parallel grouping paths.
+func accumulate(acc agg.Accumulator, v Value, resolve NumericResolver) {
+	switch v.Kind {
+	case TermValue:
+		if resolve != nil {
+			num, ok := resolve(v.ID)
+			acc.Add(v.ID, num, ok)
+		} else {
+			acc.Add(v.ID, 0, false)
+		}
+	case NumValue:
+		acc.Add(dict.NoID, v.Num, true)
+	case KeyValue:
+		acc.Add(dict.ID(v.Key), float64(v.Key), true)
+	}
+}
+
+// finishGroups renders the accumulated groups, dropping empty results.
+func finishGroups(groupCols []string, aggCol string, order []*group) *Relation {
 	out := NewRelation(append(append([]string(nil), groupCols...), aggCol)...)
 	out.Rows = make([]Row, 0, len(order))
 	for _, g := range order {

@@ -32,7 +32,7 @@ func NewReport(scale int) *Report {
 	return &Report{Scale: scale, Experiments: map[string][]JSONRow{}}
 }
 
-// Add records an experiment's measured rows under its name ("e1"..."e9").
+// Add records an experiment's measured rows under its name ("e1"..."e11").
 func (r *Report) Add(name string, rows []Row) {
 	out := make([]JSONRow, len(rows))
 	for i, row := range rows {

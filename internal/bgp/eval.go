@@ -1,13 +1,18 @@
 // Package bgp evaluates basic graph pattern queries against a triple
-// store using index-nested-loop joins with greedy, statistics-driven
-// pattern ordering.
+// store through a pipeline of physical join operators — index-nested-
+// loop probes, sort-merge joins and leapfrog triejoins over the frozen
+// store's ordered cursors — chosen per step by a greedy, statistics-
+// driven planner (plan.go).
 //
-// Evaluation is parallel and allocation-lean: the first pattern's
-// matching range is partitioned across workers (one per CPU by default),
-// each joining the remaining patterns over its slice with rows carved
-// out of a per-worker chunked arena; worker buffers are concatenated at
-// the end. Join ordering uses bound-aware cardinality estimates fed by
-// the store's offset directories (exact range counts on a frozen store).
+// Evaluation is parallel and allocation-lean: the first step's output
+// (a pattern's matching range, or a cursor intersection) seeds the
+// pipeline, the seeds are partitioned across workers (one per CPU by
+// default), and each worker runs the remaining steps over its slice
+// with rows carved out of a per-worker chunked arena; worker buffers
+// are concatenated at the end. Join ordering uses bound-aware
+// cardinality estimates fed by the store's offset directories (exact
+// range counts on a frozen store). Wide projections and distinct
+// filtering fan out the same way (project.go).
 //
 // Results are tables of dictionary IDs. Evaluation computes every
 // embedding of the body; projection onto the head happens afterwards,
@@ -17,7 +22,6 @@
 package bgp
 
 import (
-	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -28,8 +32,8 @@ import (
 	"rdfcube/internal/store"
 )
 
-// Workers overrides the evaluation parallelism; 0 (the default) uses
-// runtime.GOMAXPROCS. Exposed for tests and tuning.
+// Workers overrides the evaluation and projection parallelism; 0 (the
+// default) uses runtime.GOMAXPROCS. Exposed for tests and tuning.
 var Workers int
 
 // seedsPerWorker is the minimum first-pattern matches per worker before
@@ -105,54 +109,6 @@ func idRowsEqual(a, b []dict.ID) bool {
 	return true
 }
 
-// Project returns a new result with only the named columns, in order.
-// Under distinct, duplicate projected rows are collapsed (set semantics).
-// The projection buffer is reused across input rows; only surviving rows
-// are committed to the arena, and the dedup set stores 64-bit hashes
-// (verified against the emitted rows on collision) instead of string
-// keys.
-func (r *Result) Project(vars []string, distinct bool) (*Result, error) {
-	cols := make([]int, len(vars))
-	for i, v := range vars {
-		c := r.Column(v)
-		if c < 0 {
-			return nil, fmt.Errorf("bgp: projection variable %q not in result", v)
-		}
-		cols[i] = c
-	}
-	out := &Result{Vars: append([]string(nil), vars...)}
-	out.Rows = make([][]dict.ID, 0, len(r.Rows))
-	ar := newRowArena(len(cols))
-	buf := make([]dict.ID, len(cols))
-	var buckets map[uint64][]int
-	if distinct {
-		buckets = make(map[uint64][]int, len(r.Rows))
-	}
-	for _, row := range r.Rows {
-		for i, c := range cols {
-			buf[i] = row[c]
-		}
-		if distinct {
-			h := hashIDs(buf)
-			dup := false
-			for _, idx := range buckets[h] {
-				if idRowsEqual(out.Rows[idx], buf) {
-					dup = true
-					break
-				}
-			}
-			if dup {
-				continue
-			}
-			buckets[h] = append(buckets[h], len(out.Rows))
-		}
-		nr := ar.newRow()
-		copy(nr, buf)
-		out.Rows = append(out.Rows, nr)
-	}
-	return out, nil
-}
-
 // Options controls evaluation.
 type Options struct {
 	// Distinct selects set semantics for the head projection. When false,
@@ -162,6 +118,11 @@ type Options struct {
 	// the head. Used to materialize m̄ (Definition 3) and intermediary
 	// results.
 	KeepAllVars bool
+	// ForceNestedLoop pins every join step to the index-nested-loop
+	// operator, bypassing the cursor-based merge and leapfrog joins.
+	// The reference path for differential tests and benchmarks of the
+	// join engine.
+	ForceNestedLoop bool
 }
 
 // Eval evaluates q against st under opts.
@@ -169,7 +130,7 @@ func Eval(st *store.Store, q *sparql.Query, opts Options) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	full, err := evalBody(st, q.Patterns)
+	full, err := evalBody(st, q.Patterns, opts.ForceNestedLoop)
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +157,7 @@ func EvalBag(st *store.Store, q *sparql.Query) (*Result, error) {
 
 // evalBody computes all embeddings of the body patterns. The returned
 // result has one column per body variable.
-func evalBody(st *store.Store, patterns []sparql.TriplePattern) (*Result, error) {
+func evalBody(st *store.Store, patterns []sparql.TriplePattern, forceNested bool) (*Result, error) {
 	if len(patterns) == 0 {
 		return &Result{}, nil
 	}
@@ -210,42 +171,62 @@ func evalBody(st *store.Store, patterns []sparql.TriplePattern) (*Result, error)
 		return &Result{Vars: vars, Rows: nil}, nil
 	}
 	nv := len(vars)
-	order := planOrder(st, compiled, nv)
+	steps := planPipeline(st, compiled, nv, forceNested)
 
-	// Stage 0: materialize the first pattern's matches as seed rows.
-	first := &compiled[order[0]]
+	// Stage 0: materialize the first step's output as seed rows — the
+	// first pattern's matching range, or the sorted intersection of a
+	// cursor group (which seeds the pipeline already ordered by the
+	// group's join variable).
 	zeroRow := make([]dict.ID, nv)
 	bound0 := make([]bool, nv)
-	pat0, checks0 := first.instantiate(zeroRow, bound0)
 	seedArena := newRowArena(nv)
 	var seeds [][]dict.ID
-	if st.IsFrozen() {
-		seeds = make([][]dict.ID, 0, st.Count(pat0)) // exact, O(log n)
-	}
-	st.ForEach(pat0, func(t store.IDTriple) bool {
-		if !first.accepts(t, zeroRow, bound0, checks0) {
-			return true
+	first := steps[0]
+	if first.kind == opNested {
+		fp := &compiled[first.pats[0]]
+		pat0, checks0 := fp.instantiate(zeroRow, bound0)
+		if st.IsFrozen() {
+			seeds = make([][]dict.ID, 0, st.Count(pat0)) // exact, O(log n)
 		}
-		nr := seedArena.newRow()
-		first.bind(t, nr)
-		seeds = append(seeds, nr)
-		return true
-	})
+		st.ForEach(pat0, func(t store.IDTriple) bool {
+			if !fp.accepts(t, zeroRow, bound0, checks0) {
+				return true
+			}
+			nr := seedArena.newRow()
+			fp.bind(t, nr)
+			seeds = append(seeds, nr)
+			return true
+		})
+	} else {
+		cursors := make([]store.Cursor, len(first.pats))
+		if openGroupCursors(st, compiled, first, zeroRow, bound0, cursors) {
+			emit := func(key dict.ID) {
+				nr := seedArena.newRow() // arena rows start zeroed
+				nr[first.joinVar] = key
+				seeds = append(seeds, nr)
+			}
+			if first.kind == opMerge {
+				mergeJoin(&cursors[0], &cursors[1], emit)
+			} else {
+				leapfrogJoin(cursors, emit)
+			}
+		}
+	}
 
-	rest := order[1:]
+	rest := steps[1:]
 	if len(rest) == 0 || len(seeds) == 0 {
 		return &Result{Vars: vars, Rows: seeds}, nil
 	}
 
-	// The bound-variable state entering each join stage depends only on
-	// the pattern order, so the per-stage states are computed once and
-	// shared read-only by every worker.
+	// The bound-variable state entering each join step depends only on
+	// the plan, so the per-step states are computed once and shared
+	// read-only by every worker.
 	boundStages := make([][]bool, len(rest))
 	cur := make([]bool, nv)
-	first.markBound(cur)
-	for k, pi := range rest {
+	markStepBound(compiled, first, cur)
+	for k, stp := range rest {
 		boundStages[k] = append([]bool(nil), cur...)
-		compiled[pi].markBound(cur)
+		markStepBound(compiled, stp, cur)
 	}
 
 	// An explicit Workers setting is honored as-is (tests, tuning); the
@@ -297,26 +278,58 @@ func evalBody(st *store.Store, patterns []sparql.TriplePattern) (*Result, error)
 	return &Result{Vars: vars, Rows: rows}, nil
 }
 
-// joinChunk runs the index-nested-loop join of the remaining patterns
-// over one slice of seed rows. New rows come from the arena; the input
-// rows are never mutated.
-func joinChunk(st *store.Store, compiled []compiledPattern, rest []int, boundStages [][]bool, current [][]dict.ID, ar *rowArena) [][]dict.ID {
-	for k, pi := range rest {
-		cp := &compiled[pi]
+// markStepBound records the variables a step binds.
+func markStepBound(compiled []compiledPattern, stp planStep, bound []bool) {
+	for _, pi := range stp.pats {
+		compiled[pi].markBound(bound)
+	}
+}
+
+// joinChunk runs the remaining pipeline steps over one slice of seed
+// rows: nested-loop probes per pattern, and per-row cursor
+// intersections for merge/leapfrog groups. New rows come from the
+// arena; the input rows are never mutated.
+func joinChunk(st *store.Store, compiled []compiledPattern, rest []planStep, boundStages [][]bool, current [][]dict.ID, ar *rowArena) [][]dict.ID {
+	var cursors []store.Cursor // reused across rows and steps
+	for k, stp := range rest {
 		bound := boundStages[k]
 		next := make([][]dict.ID, 0, len(current))
-		for _, row := range current {
-			pat, checks := cp.instantiate(row, bound)
-			st.ForEach(pat, func(t store.IDTriple) bool {
-				if !cp.accepts(t, row, bound, checks) {
+		if stp.kind == opNested {
+			cp := &compiled[stp.pats[0]]
+			for _, row := range current {
+				pat, checks := cp.instantiate(row, bound)
+				st.ForEach(pat, func(t store.IDTriple) bool {
+					if !cp.accepts(t, row, bound, checks) {
+						return true
+					}
+					nr := ar.newRow()
+					copy(nr, row)
+					cp.bind(t, nr)
+					next = append(next, nr)
 					return true
+				})
+			}
+		} else {
+			if cap(cursors) < len(stp.pats) {
+				cursors = make([]store.Cursor, len(stp.pats))
+			}
+			cs := cursors[:len(stp.pats)]
+			for _, row := range current {
+				if !openGroupCursors(st, compiled, stp, row, bound, cs) {
+					continue
 				}
-				nr := ar.newRow()
-				copy(nr, row)
-				cp.bind(t, nr)
-				next = append(next, nr)
-				return true
-			})
+				emit := func(key dict.ID) {
+					nr := ar.newRow()
+					copy(nr, row)
+					nr[stp.joinVar] = key
+					next = append(next, nr)
+				}
+				if stp.kind == opMerge {
+					mergeJoin(&cs[0], &cs[1], emit)
+				} else {
+					leapfrogJoin(cs, emit)
+				}
+			}
 		}
 		current = next
 		if len(current) == 0 {
@@ -525,58 +538,6 @@ func (cp *compiledPattern) nBound(bound []bool) int {
 		n++
 	}
 	return n
-}
-
-// planOrder greedily orders patterns, deferring patterns disconnected
-// from the already-bound variables (cross products) until nothing
-// connected remains.
-//
-// On a frozen store the pick is the cheapest bound-aware cardinality
-// estimate — each probe is an O(log n) range count plus O(1) distinct
-// stats. On the mutable maps those distinct counts would cost a leaf
-// walk per probe, so ordering falls back to the static heuristic:
-// most bound variables first, ties broken by the per-pattern static
-// estimate computed once up front.
-func planOrder(st *store.Store, compiled []compiledPattern, nVars int) []int {
-	n := len(compiled)
-	used := make([]bool, n)
-	bound := make([]bool, nVars)
-	order := make([]int, 0, n)
-	frozen := st.IsFrozen()
-	var static []float64
-	if !frozen {
-		static = make([]float64, n)
-		for i := range compiled {
-			static[i] = compiled[i].boundEstimate(st, bound) // nothing bound: static
-		}
-	}
-	for len(order) < n {
-		best := -1
-		bestConn := false
-		bestEst := 0.0
-		bestNB := -1
-		for i := range compiled {
-			if used[i] {
-				continue
-			}
-			if frozen {
-				conn := compiled[i].connected(bound)
-				est := compiled[i].boundEstimate(st, bound)
-				if best < 0 || (conn && !bestConn) || (conn == bestConn && est < bestEst) {
-					best, bestConn, bestEst = i, conn, est
-				}
-			} else {
-				nb := compiled[i].nBound(bound)
-				if best < 0 || nb > bestNB || (nb == bestNB && static[i] < bestEst) {
-					best, bestNB, bestEst = i, nb, static[i]
-				}
-			}
-		}
-		used[best] = true
-		order = append(order, best)
-		compiled[best].markBound(bound)
-	}
-	return order
 }
 
 // SortRows orders rows lexicographically in place; useful for

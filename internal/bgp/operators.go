@@ -1,0 +1,87 @@
+package bgp
+
+// Cursor-based join operators over store.Cursor streams.
+//
+// Both operators intersect cursors whose keys are strictly increasing —
+// the store guarantees that for the two-bound pattern ranges the planner
+// admits into groups (the third column of a permutation run is a set).
+// Every emitted key is a value of the group's join variable present in
+// every pattern's range, so a group step contributes exactly one
+// embedding per emitted key: bag semantics are preserved without any
+// deduplication.
+
+import (
+	"sort"
+
+	"rdfcube/internal/dict"
+	"rdfcube/internal/store"
+)
+
+// mergeJoin emits the intersection of two sorted key cursors: a zig-zag
+// merge that seeks each side to the other's key, so runs with no overlap
+// are skipped in O(log gap) instead of scanned.
+func mergeJoin(a, b *store.Cursor, emit func(dict.ID)) {
+	for a.Valid() && b.Valid() {
+		ka, kb := a.Key(), b.Key()
+		switch {
+		case ka < kb:
+			a.Seek(kb)
+		case kb < ka:
+			b.Seek(ka)
+		default:
+			emit(ka)
+			a.Next()
+			b.Next()
+		}
+	}
+}
+
+// leapfrogJoin emits the intersection of k sorted key cursors — the
+// leapfrog-triejoin search (Veldhuizen, ICDT 2014) restricted to one
+// variable level: cursors are kept sorted by current key, and the
+// smallest repeatedly leapfrogs to the largest, so the work is bounded
+// by the smallest cursor's length times k log-seeks, not by the sum of
+// the range sizes.
+func leapfrogJoin(cs []store.Cursor, emit func(dict.ID)) {
+	k := len(cs)
+	for i := range cs {
+		if !cs[i].Valid() {
+			return
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Key() < cs[j].Key() })
+	p := 0
+	max := cs[k-1].Key()
+	for {
+		x := cs[p].Key()
+		if x == max {
+			// All k cursors sit on x: a match. Advance past it.
+			emit(x)
+			cs[p].Next()
+		} else {
+			cs[p].Seek(max)
+		}
+		if !cs[p].Valid() {
+			return
+		}
+		max = cs[p].Key()
+		p++
+		if p == k {
+			p = 0
+		}
+	}
+}
+
+// openGroupCursors instantiates each group pattern against the current
+// row and opens its cursor into out. It reports false — intersection
+// empty — as soon as any cursor starts exhausted.
+func openGroupCursors(st *store.Store, compiled []compiledPattern, stp planStep, row []dict.ID, bound []bool, out []store.Cursor) bool {
+	for i, pi := range stp.pats {
+		pat, _ := compiled[pi].instantiate(row, bound)
+		out[i] = st.NewCursor(pat)
+		if !out[i].Valid() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,241 @@
+package bgp
+
+// Physical planning: evalBody executes a pipeline of join steps, and
+// this file decides what each step is. Three operators exist:
+//
+//	nested    index-nested-loop probe of one pattern per input row —
+//	          the always-applicable baseline, and the only operator on
+//	          an unfrozen (map-indexed) store;
+//	merge     sort-merge intersection of two pattern cursors sharing a
+//	          join variable;
+//	leapfrog  leapfrog-triejoin intersection of k >= 3 cursors sharing
+//	          one variable — the star-pattern operator.
+//
+// The cursor operators apply when the ordering works out: a pattern can
+// feed a sorted cursor keyed on variable v exactly when v occupies one
+// position and every other position is a constant or an already-bound
+// variable — the pattern then instantiates (per input row) to a
+// two-bound range of one frozen permutation whose third column is v's
+// run, sorted and duplicate-free (see store.Cursor). That is the
+// sortedness propagation rule: binding variables upstream turns more
+// patterns cursor-eligible downstream, so a star query whose center is
+// bound by step 1 can still merge-join its rays in step 2.
+//
+// Operator choice per step is bound-aware and greedy: a cursor group of
+// k eligible patterns replaces k nested-loop steps whenever one exists
+// (the intersection visits at most the smallest cursor and seeks over
+// the rest, so it never does more work than probing the same patterns
+// row by row, and it binds the join variable once instead of growing
+// intermediate results); among competing groups the planner prefers
+// more patterns, then the smaller bound-aware cardinality estimate.
+// Groups disconnected from the bound variables are deferred exactly
+// like nested cross products. Everything else keeps the pre-existing
+// greedy nested order (cheapest bound-aware estimate first on a frozen
+// store, most-bound-first on the maps).
+
+import (
+	"rdfcube/internal/sparql"
+	"rdfcube/internal/store"
+)
+
+// stepKind names a physical join operator.
+type stepKind uint8
+
+const (
+	opNested stepKind = iota
+	opMerge
+	opLeapfrog
+)
+
+func (k stepKind) String() string {
+	switch k {
+	case opMerge:
+		return "merge"
+	case opLeapfrog:
+		return "leapfrog"
+	default:
+		return "nested"
+	}
+}
+
+// planStep is one pipeline stage: a single pattern probed by nested
+// loop, or a cursor group intersected on joinVar.
+type planStep struct {
+	kind    stepKind
+	pats    []int // indexes into compiled; len 1 for nested
+	joinVar int   // the variable a merge/leapfrog step binds
+}
+
+// planPipeline orders the patterns into executable steps. forceNested
+// pins every step to the nested-loop operator (differential testing).
+func planPipeline(st *store.Store, compiled []compiledPattern, nVars int, forceNested bool) []planStep {
+	n := len(compiled)
+	used := make([]bool, n)
+	bound := make([]bool, nVars)
+	steps := make([]planStep, 0, n)
+	frozen := st.IsFrozen()
+	cursors := frozen && !forceNested
+	var static []float64
+	if !frozen {
+		static = make([]float64, n)
+		for i := range compiled {
+			static[i] = compiled[i].boundEstimate(st, bound) // nothing bound: static
+		}
+	}
+	remaining := n
+	for remaining > 0 {
+		// Greedy nested pick (the pre-cursor planOrder logic) — also the
+		// cost yardstick a cursor group must beat.
+		best := -1
+		bestConn := false
+		bestEst := 0.0
+		bestNB := -1
+		for i := range compiled {
+			if used[i] {
+				continue
+			}
+			if frozen {
+				conn := compiled[i].connected(bound)
+				est := compiled[i].boundEstimate(st, bound)
+				if best < 0 || (conn && !bestConn) || (conn == bestConn && est < bestEst) {
+					best, bestConn, bestEst = i, conn, est
+				}
+			} else {
+				nb := compiled[i].nBound(bound)
+				if best < 0 || nb > bestNB || (nb == bestNB && static[i] < bestEst) {
+					best, bestNB, bestEst = i, nb, static[i]
+				}
+			}
+		}
+		if cursors {
+			// A group touching the bound variables is a candidate; a
+			// disconnected one (a cross-product) is deferred like a
+			// disconnected pattern, but once only disconnected work
+			// remains the intersection still beats probing the same
+			// patterns row by row. The group wins only if its smallest
+			// member is at most as selective as the nested pick — its
+			// output is bounded by that member, so on ties and better it
+			// can't lose; a strictly cheaper outside pattern (say a
+			// one-row lookup next to two huge rays) seeds first instead,
+			// and the group is reconsidered with more variables bound.
+			pats, v, est, ok := bestCursorGroup(st, compiled, used, bound, nVars, true)
+			if !ok && !anyConnectedLeft(compiled, used, bound) {
+				pats, v, est, ok = bestCursorGroup(st, compiled, used, bound, nVars, false)
+			}
+			if ok && est <= bestEst {
+				kind := opMerge
+				if len(pats) >= 3 {
+					kind = opLeapfrog
+				}
+				steps = append(steps, planStep{kind: kind, pats: pats, joinVar: v})
+				for _, pi := range pats {
+					used[pi] = true
+					compiled[pi].markBound(bound)
+				}
+				remaining -= len(pats)
+				continue
+			}
+		}
+		used[best] = true
+		steps = append(steps, planStep{kind: opNested, pats: []int{best}})
+		compiled[best].markBound(bound)
+		remaining--
+	}
+	return steps
+}
+
+// cursorEligible reports whether the pattern can feed a sorted cursor
+// keyed on variable v under the current bound set: v occupies exactly
+// one position and every other position is a constant or bound.
+func (cp *compiledPattern) cursorEligible(v int, bound []bool) bool {
+	occ := 0
+	for _, pv := range [3]int{cp.varS, cp.varP, cp.varO} {
+		switch {
+		case pv == v:
+			occ++
+		case pv >= 0 && !bound[pv]:
+			return false
+		}
+	}
+	return occ == 1
+}
+
+// anyConnectedLeft reports whether an unused pattern touches a bound
+// variable.
+func anyConnectedLeft(compiled []compiledPattern, used, bound []bool) bool {
+	for i := range compiled {
+		if !used[i] && compiled[i].connected(bound) {
+			return true
+		}
+	}
+	return false
+}
+
+// bestCursorGroup finds the cursor group to intersect next: for each
+// unbound variable v, the unused patterns eligible for a v-keyed cursor
+// form a candidate group; groups of at least two patterns compete on
+// size (more patterns intersect tighter), then on the smallest member's
+// bound-aware cardinality estimate, which is also returned (the group's
+// output bound, compared against the nested alternative). With
+// requireConn, groups touching none of the already-bound variables are
+// skipped (the cross-product deferral); before anything is bound every
+// group qualifies.
+func bestCursorGroup(st *store.Store, compiled []compiledPattern, used, bound []bool, nVars int, requireConn bool) ([]int, int, float64, bool) {
+	anyBound := false
+	for _, b := range bound {
+		if b {
+			anyBound = true
+			break
+		}
+	}
+	var best []int
+	bestVar := -1
+	bestEst := 0.0
+	for v := 0; v < nVars; v++ {
+		if bound[v] {
+			continue
+		}
+		var g []int
+		conn := !anyBound
+		minEst := -1.0
+		for i := range compiled {
+			if used[i] || !compiled[i].cursorEligible(v, bound) {
+				continue
+			}
+			g = append(g, i)
+			if compiled[i].connected(bound) {
+				conn = true
+			}
+			if e := compiled[i].boundEstimate(st, bound); minEst < 0 || e < minEst {
+				minEst = e
+			}
+		}
+		if len(g) < 2 || (requireConn && !conn) {
+			continue
+		}
+		if best == nil || len(g) > len(best) || (len(g) == len(best) && minEst < bestEst) {
+			best, bestVar, bestEst = g, v, minEst
+		}
+	}
+	return best, bestVar, bestEst, best != nil
+}
+
+// Explain returns the physical operators of the plan for q's body in
+// execution order — "nested", "merge", "leapfrog" — for diagnostics,
+// benchmarks and tests. A query with an unknown constant (empty result)
+// explains as an empty plan.
+func Explain(st *store.Store, q *sparql.Query) ([]string, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	compiled, vars, err := compile(st, q.Patterns)
+	if err != nil || compiled == nil {
+		return nil, err
+	}
+	steps := planPipeline(st, compiled, len(vars), false)
+	out := make([]string, len(steps))
+	for i, s := range steps {
+		out[i] = s.kind.String()
+	}
+	return out, nil
+}

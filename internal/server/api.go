@@ -134,6 +134,9 @@ type StatsResponse struct {
 	Base     GraphStats `json:"base"`
 	Instance GraphStats `json:"instance"`
 	Registry RegStats   `json:"registry"`
+	// BackgroundCompactions counts delta overlays folded into a rebuilt
+	// frozen base off the write path (Config.BackgroundCompaction).
+	BackgroundCompactions int64 `json:"background_compactions"`
 	// Durability describes the data-dir state; absent on in-memory
 	// servers.
 	Durability *DurabilityStats `json:"durability,omitempty"`
@@ -152,10 +155,13 @@ type DurabilityStats struct {
 	PersistedViews   int   `json:"persisted_views"`
 	// WALBatches/WALBytes describe the current write-ahead logs (the
 	// replay cost of a crash right now); WALAppendErrors counts writes
-	// that could not be made durable.
-	WALBatches      int64 `json:"wal_batches"`
-	WALBytes        int64 `json:"wal_bytes"`
-	WALAppendErrors int64 `json:"wal_append_errors"`
+	// that could not be made durable; CheckpointErrors counts failed
+	// checkpoints (including background-compaction checkpoints, which
+	// have no request to report through).
+	WALBatches       int64 `json:"wal_batches"`
+	WALBytes         int64 `json:"wal_bytes"`
+	WALAppendErrors  int64 `json:"wal_append_errors"`
+	CheckpointErrors int64 `json:"checkpoint_errors"`
 	// Recovered* describe what startup found: whether a snapshot was
 	// loaded, and how many WAL batches/triples and registry views were
 	// replayed or warmed.
@@ -198,6 +204,9 @@ type RegStats struct {
 	Evictions     int64 `json:"evictions"`
 	Invalidations int64 `json:"invalidations"`
 	Coalesced     int64 `json:"coalesced"`
+	// CoalescedRewrites counts queries that piggybacked on another
+	// client's in-flight rewrite computation.
+	CoalescedRewrites int64 `json:"coalesced_rewrites"`
 	// Maintained counts delta-feed maintenance applications (views kept
 	// alive across writes); NegSkips counts candidate scans skipped by
 	// the negative cache.

@@ -61,6 +61,7 @@ type durability struct {
 	lastCheckpointNs int64
 	lastViews        int
 	walFailures      int64
+	checkpointErrors int64
 	recoveredTriples int64
 	recoveredBatches int64
 	recoveredViews   int64
@@ -372,8 +373,17 @@ func walPathFor(snapPath string) string {
 }
 
 // Close releases the durable file handles (after a final checkpoint if
-// requested by the caller). Safe on a non-durable server.
+// requested by the caller). Safe on a non-durable server. Background
+// compactions are fenced off first — the closed flag (set under the
+// write lock, checked by maybeCompact under the same lock) stops new
+// ones, and any in-flight one is awaited — because a compaction may
+// checkpoint, which would otherwise reopen WAL handles and rewrite the
+// data-dir after Close returned.
 func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.compactWG.Wait()
 	if !s.durable() {
 		return nil
 	}

@@ -25,7 +25,11 @@
 // Concurrency model: queries run under a read lock (the store and the
 // registry are concurrency-safe for readers); anything that writes the
 // graphs — load, insert, load-snapshot, materialize, freeze — takes the
-// write lock, so a mutation never races an evaluation. A write to the
+// write lock, so a mutation never races an evaluation. With
+// Config.BackgroundCompaction, the threshold-triggered folding of the
+// delta overlay into a rebuilt frozen base leaves the write path too:
+// the merge runs under the read lock, concurrent with queries, and only
+// the pointer swap takes the write lock. A write to the
 // serving instance notifies the registry inside the critical section:
 // views behind only on the delta sequence are *maintained* (the store's
 // delta feed is applied to their pres(Q) via internal/incr), and only
@@ -63,6 +67,13 @@ type Config struct {
 	// CompactThreshold overrides the stores' delta-overlay size that
 	// triggers compaction into a rebuilt frozen base (0 = store default).
 	CompactThreshold int
+	// BackgroundCompaction moves threshold-triggered compaction off the
+	// write path: a write that fills the delta overlay returns
+	// immediately, and a background goroutine merges base + overlay
+	// (running concurrently with queries under the read lock) and swaps
+	// the rebuilt base in under the write lock. Explicit POST /freeze
+	// still compacts synchronously.
+	BackgroundCompaction bool
 	// DataDir enables durability: snapshots, write-ahead logs and the
 	// view-registry snapshot live under this directory, written by
 	// checkpoints and consulted by Open on startup. Empty means a purely
@@ -82,9 +93,19 @@ type Server struct {
 	base *store.Store
 	inst *store.Store // == base until a schema is materialized
 	reg  *viewreg.Registry
+	// closed (guarded by mu) stops new background compactions from
+	// being scheduled once Close has begun.
+	closed bool
 
 	// dur is the durable state (persist.go); nil for in-memory servers.
 	dur *durability
+
+	// Background compaction state: one in-flight compaction at a time,
+	// counted for /statsz; Close waits on the group so shutdown never
+	// races a checkpointing compaction.
+	compacting    atomic.Bool
+	compactWG     sync.WaitGroup
+	bgCompactions atomic.Int64
 
 	metricsMu sync.Mutex
 	metrics   map[string]*endpointMetrics
@@ -110,8 +131,58 @@ func New(base *store.Store, cfg Config) *Server {
 		base:    base,
 		metrics: map[string]*endpointMetrics{},
 	}
-	s.installInstance(base)
+	s.installInstance(base) // also applies the background-compaction mode
 	return s
+}
+
+// maybeCompact schedules a background compaction of g when its delta
+// overlay has reached the threshold and none is in flight. Caller holds
+// the write lock (the check reads the store and the closed flag).
+func (s *Server) maybeCompact(g *store.Store) {
+	if s.closed || !s.cfg.BackgroundCompaction || !g.NeedsCompaction() {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return // one at a time; the next write re-triggers
+	}
+	s.compactWG.Add(1)
+	go s.compactAsync(g)
+}
+
+// compactAsync folds g's delta overlay into a rebuilt frozen base off
+// the write path: the merge runs under the read lock, concurrent with
+// queries, and only the swap takes the write lock. A prepare raced by a
+// structural change (explicit freeze, re-materialization) is discarded
+// — the next threshold write schedules a fresh one.
+func (s *Server) compactAsync(g *store.Store) {
+	defer s.compactWG.Done()
+	defer s.compacting.Store(false)
+	s.mu.RLock()
+	pc := g.PrepareCompaction()
+	s.mu.RUnlock()
+	if pc == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !g.InstallCompaction(pc) {
+		return
+	}
+	s.bgCompactions.Add(1)
+	if g == s.inst {
+		// The base epoch moved: sweep the registry eagerly, exactly as an
+		// inline compaction would have inside the write critical section.
+		s.reg.NotifyWrite()
+	}
+	if s.durable() {
+		// The WAL must re-baseline across every base-epoch move. There is
+		// no request to report a failure through, so it is counted.
+		if err := s.checkpointLocked(); err != nil {
+			s.dur.mu.Lock()
+			s.dur.checkpointErrors++
+			s.dur.mu.Unlock()
+		}
+	}
 }
 
 // installInstance swaps the serving instance and resets the registry.
@@ -119,6 +190,9 @@ func New(base *store.Store, cfg Config) *Server {
 func (s *Server) installInstance(inst *store.Store) {
 	if s.cfg.CompactThreshold > 0 {
 		inst.SetCompactThreshold(s.cfg.CompactThreshold)
+	}
+	if s.cfg.BackgroundCompaction {
+		inst.SetInlineCompaction(false)
 	}
 	s.inst = inst
 	s.reg = viewreg.New(inst, viewreg.Config{
@@ -282,6 +356,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) (int, error)
 	} else if err := s.logWrite(s.base, ver0); err != nil {
 		return http.StatusInternalServerError, err
 	}
+	s.maybeCompact(s.base) // a ?freeze=0 load can fill the overlay
 	writeJSON(w, http.StatusOK, LoadResponse{
 		Added:   added,
 		Triples: s.base.Len(),
@@ -327,6 +402,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, erro
 	if err := s.logWrite(target, ver0); err != nil {
 		return http.StatusInternalServerError, err
 	}
+	s.maybeCompact(target)
 	writeJSON(w, http.StatusOK, InsertResponse{
 		Added:       added,
 		Triples:     target.Len(),
@@ -534,17 +610,19 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, erro
 		Base:     baseStats,
 		Instance: instStats,
 		Registry: RegStats{
-			Entries:       rs.Entries,
-			Bytes:         rs.Bytes,
-			MaxBytes:      s.cfg.MaxViewBytes,
-			Evictions:     rs.Evictions,
-			Invalidations: rs.Invalidations,
-			Coalesced:     rs.Coalesced,
-			Maintained:    rs.Maintained,
-			NegSkips:      rs.NegSkips,
-			Strategies:    strategies,
+			Entries:           rs.Entries,
+			Bytes:             rs.Bytes,
+			MaxBytes:          s.cfg.MaxViewBytes,
+			Evictions:         rs.Evictions,
+			Invalidations:     rs.Invalidations,
+			Coalesced:         rs.Coalesced,
+			CoalescedRewrites: rs.CoalescedRewrites,
+			Maintained:        rs.Maintained,
+			NegSkips:          rs.NegSkips,
+			Strategies:        strategies,
 		},
-		Endpoints: map[string]EndpointStats{},
+		BackgroundCompactions: s.bgCompactions.Load(),
+		Endpoints:             map[string]EndpointStats{},
 	}
 	if s.durable() {
 		d := s.dur
@@ -555,6 +633,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, erro
 			LastCheckpointNs: d.lastCheckpointNs,
 			PersistedViews:   d.lastViews,
 			WALAppendErrors:  d.walFailures,
+			CheckpointErrors: d.checkpointErrors,
 			RecoveredSnap:    d.recoveredSnap,
 			RecoveredBatches: d.recoveredBatches,
 			RecoveredTriples: d.recoveredTriples,

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"rdfcube/internal/ans"
 	"rdfcube/internal/datagen"
@@ -84,7 +85,13 @@ func postJSON(t *testing.T, client *http.Client, url string, body any, out any) 
 // and materializes the 2-dimensional blogger schema over HTTP.
 func startBloggerServer(t *testing.T, bloggers int) (*httptest.Server, *QueryRequest) {
 	t.Helper()
-	srv := New(nil, Config{})
+	return startBloggerServerCfg(t, bloggers, Config{})
+}
+
+// startBloggerServerCfg is startBloggerServer with a custom Config.
+func startBloggerServerCfg(t *testing.T, bloggers int, scfg Config) (*httptest.Server, *QueryRequest) {
+	t.Helper()
+	srv := New(nil, scfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 
@@ -568,5 +575,88 @@ func TestSnapshotRoundTripOverHTTP(t *testing.T) {
 	rb, _ := json.Marshal(b.Rows)
 	if !bytes.Equal(ra, rb) {
 		t.Error("snapshot round trip changed the cube")
+	}
+}
+
+// TestBackgroundCompaction: with Config.BackgroundCompaction, a write
+// that fills the delta overlay past the threshold returns immediately
+// and a background goroutine folds the overlay into a rebuilt base —
+// observable as the /statsz background_compactions counter, a drained
+// delta, an advanced instance base epoch, and answers that stay
+// byte-identical to direct evaluation throughout.
+func TestBackgroundCompaction(t *testing.T) {
+	const threshold = 12
+	ts, baseQuery := startBloggerServerCfg(t, 120, Config{
+		CompactThreshold:     threshold,
+		BackgroundCompaction: true,
+	})
+
+	statsz := func() *StatsResponse {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return &out
+	}
+	epoch0 := statsz().Instance.BaseEpoch
+
+	var first QueryResponse
+	postJSON(t, ts.Client(), ts.URL+"/query", baseQuery, &first)
+	if first.Strategy != "direct" {
+		t.Fatalf("first answer strategy %q", first.Strategy)
+	}
+
+	// One insert round writes 15 instance triples — past the threshold.
+	// The response must come back with the overlay still pending (the
+	// compaction happens behind it, not on the write path).
+	resp, err := ts.Client().Post(ts.URL+"/insert", "text/plain", insertBody(t, 0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir InsertResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ir.Added == 0 || !ir.Frozen {
+		t.Fatalf("insert: %+v", ir)
+	}
+	if ir.Delta < threshold {
+		t.Fatalf("insert returned delta %d < threshold %d: compaction ran inline", ir.Delta, threshold)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var st *StatsResponse
+	for {
+		st = statsz()
+		if st.BackgroundCompactions >= 1 && st.Instance.DeltaTriples == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background compaction never completed: %+v", st.Instance)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Instance.BaseEpoch <= epoch0 {
+		t.Fatalf("instance base epoch %d did not advance past %d", st.Instance.BaseEpoch, epoch0)
+	}
+
+	// Correctness across the swap: registry answer == direct answer.
+	reg := cloneQuery(t, baseQuery)
+	direct := cloneQuery(t, baseQuery)
+	direct.Direct = true
+	var got, want QueryResponse
+	postJSON(t, ts.Client(), ts.URL+"/query", reg, &got)
+	postJSON(t, ts.Client(), ts.URL+"/query", direct, &want)
+	gotRows, _ := json.Marshal(got.Rows)
+	wantRows, _ := json.Marshal(want.Rows)
+	if string(gotRows) != string(wantRows) {
+		t.Fatalf("post-compaction cube differs from direct evaluation\n got %s\nwant %s", gotRows, wantRows)
 	}
 }

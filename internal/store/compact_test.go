@@ -1,0 +1,101 @@
+package store
+
+// Off-write-path compaction: PrepareCompaction / InstallCompaction must
+// fold exactly the prepared delta prefix into the base, keep writes that
+// raced the prepare as the new overlay's head, and refuse to install
+// over a base that moved.
+
+import (
+	"math/rand"
+	"testing"
+
+	"rdfcube/internal/dict"
+)
+
+func TestPrepareInstallCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	st := randomTripleStore(rng, 200)
+	st.SetInlineCompaction(false)
+	st.SetCompactThreshold(4)
+	st.Freeze()
+
+	// Grow a delta past the threshold: with inline compaction off it must
+	// stay an overlay.
+	var delta []IDTriple
+	for i := 0; len(delta) < 10; i++ {
+		tr := IDTriple{S: dict.ID(1 + i), P: dict.ID(26 + i%8), O: dict.ID(55 + i%5)}
+		if st.AddID(tr) {
+			delta = append(delta, tr)
+		}
+	}
+	if !st.NeedsCompaction() {
+		t.Fatal("NeedsCompaction must report true past the threshold")
+	}
+	if st.DeltaLen() != len(delta) {
+		t.Fatalf("inline compaction ran despite SetInlineCompaction(false): delta=%d", st.DeltaLen())
+	}
+
+	pc := st.PrepareCompaction()
+	if pc == nil || pc.Pending() != len(delta) {
+		t.Fatalf("PrepareCompaction: %+v", pc)
+	}
+
+	// Writes racing the prepare (between prepare and install) must
+	// survive as the new overlay's head.
+	racer := IDTriple{S: 24, P: 26, O: 1}
+	for st.ContainsID(racer) {
+		racer.O++
+	}
+	if !st.AddID(racer) {
+		t.Fatal("racer insert failed")
+	}
+
+	before := st.Version()
+	all := st.Match(Pattern{})
+	if !st.InstallCompaction(pc) {
+		t.Fatal("InstallCompaction refused a clean install")
+	}
+	after := st.Version()
+	if after.Base != before.Base+1 {
+		t.Fatalf("base epoch: %d -> %d, want +1", before.Base, after.Base)
+	}
+	if st.DeltaLen() != 1 {
+		t.Fatalf("overlay after install: %d triples, want the 1 racer", st.DeltaLen())
+	}
+	if got := st.DeltaSince(0); len(got) != 1 || got[0] != racer {
+		t.Fatalf("new overlay head: %v, want %v", got, racer)
+	}
+	got := st.Match(Pattern{})
+	sortTriples(all)
+	sortTriples(got)
+	if !triplesEqual(all, got) {
+		t.Fatalf("contents changed across install: %d vs %d triples", len(all), len(got))
+	}
+	for _, tr := range delta {
+		if !st.ContainsID(tr) {
+			t.Fatalf("folded delta triple %v missing after install", tr)
+		}
+	}
+
+	// A second install of the same prepared base must refuse: the base
+	// moved.
+	if st.InstallCompaction(pc) {
+		t.Fatal("InstallCompaction accepted a stale prepare")
+	}
+
+	// Prepare, then lose the race to an explicit Freeze: install refuses.
+	for i := 0; i < 3; i++ {
+		st.AddID(IDTriple{S: dict.ID(20 + i), P: 27, O: dict.ID(40 + i)})
+	}
+	pc = st.PrepareCompaction()
+	if pc == nil {
+		t.Fatal("expected a prepared compaction")
+	}
+	st.Freeze() // inline compaction wins
+	if st.InstallCompaction(pc) {
+		t.Fatal("InstallCompaction accepted a prepare raced by Freeze")
+	}
+	if pc := st.PrepareCompaction(); pc != nil {
+		t.Fatal("PrepareCompaction on an empty overlay must return nil")
+	}
+}

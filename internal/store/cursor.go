@@ -1,0 +1,222 @@
+package store
+
+// Ordered cursors over the frozen permutations — the access-path layer
+// the bgp package's merge-join and leapfrog-triejoin operators run on.
+//
+// A Cursor iterates the triples matching one pattern in the permuted
+// sorted order of the permutation frozen.patternRange resolves the
+// pattern to, interleaving the frozen base range with the delta
+// overlay's range of the same permutation: every operator sees ONE
+// sorted stream, exactly the merged view Store.ForEach serves at the
+// store's current (baseEpoch, deltaSeq) version. The cursor captures
+// the base and overlay at construction, so it stays coherent for its
+// lifetime as long as the caller serializes writes against reads (the
+// store's usual contract; the server's RWMutex provides it).
+//
+// The cursor's key is the pattern's leading free component — the first
+// column of the permutation not pinned by a bound position. A pattern
+// with two bound positions therefore yields strictly increasing keys
+// (the run's third column), which is what the join operators intersect:
+//
+//	(S, P) bound -> SPO run, key = O
+//	(P, O) bound -> POS run, key = S
+//	(S, O) bound -> OSP run, key = P
+//
+// Seek(v) advances to the first triple whose key is >= v without
+// visiting the skipped triples: a galloping (exponential, then binary)
+// search over the base column and the overlay — O(log gap), which is
+// what makes leapfrog skip, not scan. Seeks only move forward.
+
+import (
+	"sort"
+
+	"rdfcube/internal/dict"
+)
+
+// Cursor is an ordered, seekable iterator over the triples matching one
+// pattern on a frozen store. Obtain one with Store.NewCursor; the zero
+// Cursor is not meaningful.
+type Cursor struct {
+	// Base side: a [bpos, bhi) range of one frozen permutation; bcol is
+	// the key column of that permutation (c1/c2/c3 per keyCol).
+	px   *permIndex
+	bcol []dict.ID
+	bpos int
+	bhi  int
+
+	// Delta side: the matching [dpos, dhi) range of the overlay's run of
+	// the same permutation.
+	ts   []IDTriple
+	dpos int
+	dhi  int
+
+	kind   permKind
+	keyCol int
+	total  int
+
+	// Current position: the minimum of the two sides in permuted order.
+	cur       IDTriple
+	key       dict.ID
+	onBase    bool
+	exhausted bool
+}
+
+// NewCursor returns a cursor over the triples matching pat, in the
+// permuted sorted order of the permutation the pattern resolves to. The
+// store must be frozen (a delta overlay is fine — the cursor merges it);
+// on an unfrozen store the cursor is empty and Valid reports false
+// immediately, so callers gate on IsFrozen.
+func (st *Store) NewCursor(pat Pattern) Cursor {
+	var c Cursor
+	if st.frz == nil {
+		c.exhausted = true
+		return c
+	}
+	// mergedRange resolves both sides with the shared shape-to-
+	// permutation mapping, so base and overlay interleave in one order.
+	c.px, c.bpos, c.bhi, c.ts, c.dpos, c.dhi = st.mergedRange(pat)
+	c.kind = c.px.kind
+	sB, pB, oB := pat.S != Wild, pat.P != Wild, pat.O != Wild
+	c.keyCol = 0
+	for _, b := range [3]bool{sB, pB, oB} {
+		if b {
+			c.keyCol++
+		}
+	}
+	switch c.keyCol {
+	case 0:
+		c.bcol = c.px.c1
+	case 1:
+		c.bcol = c.px.c2
+	default: // two or three bound; c3 is the last (possibly pinned) column
+		c.bcol = c.px.c3
+	}
+	c.total = (c.bhi - c.bpos) + (c.dhi - c.dpos)
+	c.settle()
+	return c
+}
+
+// Len reports how many triples the cursor ranged over at construction
+// (base plus overlay), before any Next/Seek consumed them.
+func (c *Cursor) Len() int { return c.total }
+
+// Valid reports whether the cursor is positioned on a triple.
+func (c *Cursor) Valid() bool { return !c.exhausted }
+
+// Triple returns the current triple in (S, P, O) orientation.
+func (c *Cursor) Triple() IDTriple { return c.cur }
+
+// Key returns the current triple's leading free component — the value
+// the join operators intersect. Strictly increasing for patterns with
+// two bound positions; non-decreasing otherwise.
+func (c *Cursor) Key() dict.ID { return c.key }
+
+// Next advances to the next triple in merged permuted order.
+func (c *Cursor) Next() {
+	if c.exhausted {
+		return
+	}
+	if c.onBase {
+		c.bpos++
+	} else {
+		c.dpos++
+	}
+	c.settle()
+}
+
+// Seek advances to the first triple whose key is >= v (a no-op when the
+// current key already is). Seeks only move forward; the skipped triples
+// are never visited — a galloping search over the base column and the
+// overlay range.
+func (c *Cursor) Seek(v dict.ID) {
+	if c.exhausted || c.key >= v {
+		return
+	}
+	c.bpos = gallopIDs(c.bcol, c.bpos, c.bhi, v)
+	c.dpos = c.gallopDelta(v)
+	c.settle()
+}
+
+// settle positions the cursor on the smaller of the two sides (full
+// permuted-key comparison, so the merged stream is totally ordered) and
+// caches the key component.
+func (c *Cursor) settle() {
+	bOK := c.bpos < c.bhi
+	dOK := c.dpos < c.dhi
+	switch {
+	case !bOK && !dOK:
+		c.exhausted = true
+		return
+	case bOK && dOK:
+		bt := c.px.triple(c.bpos)
+		if permLess(c.kind, c.ts[c.dpos], bt) {
+			c.cur, c.onBase = c.ts[c.dpos], false
+		} else {
+			c.cur, c.onBase = bt, true
+		}
+	case bOK:
+		c.cur, c.onBase = c.px.triple(c.bpos), true
+	default:
+		c.cur, c.onBase = c.ts[c.dpos], false
+	}
+	a, b, c3 := permuteTriple(c.kind, c.cur)
+	switch c.keyCol {
+	case 0:
+		c.key = a
+	case 1:
+		c.key = b
+	default:
+		c.key = c3
+	}
+}
+
+// deltaKey extracts the key component of overlay entry j.
+func (c *Cursor) deltaKey(j int) dict.ID {
+	a, b, c3 := permuteTriple(c.kind, c.ts[j])
+	switch c.keyCol {
+	case 0:
+		return a
+	case 1:
+		return b
+	default:
+		return c3
+	}
+}
+
+// gallopDelta finds the first overlay position in [dpos, dhi) whose key
+// is >= v.
+func (c *Cursor) gallopDelta(v dict.ID) int {
+	lo, hi := c.dpos, c.dhi
+	if lo >= hi || c.deltaKey(lo) >= v {
+		return lo
+	}
+	step := 1
+	for lo+step < hi && c.deltaKey(lo+step) < v {
+		lo += step
+		step <<= 1
+	}
+	lo++ // c.deltaKey(lo) < v held for the old lo
+	if bound := lo + step; bound < hi {
+		hi = bound
+	}
+	return lo + sort.Search(hi-lo, func(i int) bool { return c.deltaKey(lo+i) >= v })
+}
+
+// gallopIDs finds the first index in [lo, hi) of the sorted column col
+// with col[i] >= v: exponential probing from lo (seeks in a merge are
+// usually short) capped by a binary search.
+func gallopIDs(col []dict.ID, lo, hi int, v dict.ID) int {
+	if lo >= hi || col[lo] >= v {
+		return lo
+	}
+	step := 1
+	for lo+step < hi && col[lo+step] < v {
+		lo += step
+		step <<= 1
+	}
+	lo++ // col[old lo] < v
+	if bound := lo + step; bound < hi {
+		hi = bound
+	}
+	return lo + sort.Search(hi-lo, func(i int) bool { return col[lo+i] >= v })
+}

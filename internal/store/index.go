@@ -85,14 +85,76 @@ func (st *Store) Freeze() {
 // rebuild is a linear merge per permutation — no extraction from the
 // maps and no re-sort.
 func (st *Store) compact() {
+	st.frz = st.mergedFrozen()
+	st.dlt.reset()
+	st.bumpBase()
+}
+
+// mergedFrozen merges the frozen base with the current delta overlay
+// into a fresh base — the shared read-only heart of inline compaction
+// and PrepareCompaction.
+func (st *Store) mergedFrozen() *frozen {
 	f := &frozen{}
 	f.spo = mergePerm(&st.frz.spo, st.dlt.spo)
 	f.pos = mergePerm(&st.frz.pos, st.dlt.pos)
 	f.osp = mergePerm(&st.frz.osp, st.dlt.osp)
 	f.computeStats(len(st.predCount))
-	st.frz = f
+	return f
+}
+
+// PreparedCompaction is a frozen base rebuilt off the write path: the
+// result of merging a snapshot of the base with the delta overlay as of
+// PrepareCompaction. InstallCompaction swaps it in.
+type PreparedCompaction struct {
+	f        *frozen
+	against  *frozen // the base the merge consumed
+	base     uint64  // its epoch
+	consumed int     // delta-feed prefix folded into f
+}
+
+// Pending reports how many delta triples the prepared base folded in.
+func (pc *PreparedCompaction) Pending() int { return pc.consumed }
+
+// PrepareCompaction merges the frozen base with the current delta
+// overlay into a fresh base without touching the store — the expensive
+// half of a compaction, safe to run concurrently with readers (it only
+// reads the base and the overlay; the caller must hold whatever lock
+// serializes it against writes, e.g. the server's read lock). Returns
+// nil when there is nothing to compact. Hand the result to
+// InstallCompaction under the write lock to swap it in.
+func (st *Store) PrepareCompaction() *PreparedCompaction {
+	if st.frz == nil || st.dlt.len() == 0 {
+		return nil
+	}
+	return &PreparedCompaction{
+		f:        st.mergedFrozen(),
+		against:  st.frz,
+		base:     st.Version().Base,
+		consumed: st.dlt.len(),
+	}
+}
+
+// InstallCompaction swaps a prepared base in under the caller's write
+// serialization: the folded delta prefix leaves the overlay, the base
+// epoch advances (materializations pinned to the old feed recompute,
+// as with any compaction), and writes accepted after the prepare are
+// re-queued as the head of the new overlay, preserving arrival order.
+// It reports false — discarding the prepared work — when the store's
+// base moved since the prepare (an inline compaction, deletion, thaw or
+// explicit Freeze won the race).
+func (st *Store) InstallCompaction(pc *PreparedCompaction) bool {
+	if pc == nil || st.frz != pc.against || st.Version().Base != pc.base {
+		return false
+	}
+	tail := append([]IDTriple(nil), st.dlt.log[pc.consumed:]...)
+	st.frz = pc.f
 	st.dlt.reset()
 	st.bumpBase()
+	for _, t := range tail {
+		st.dlt.add(t)
+		st.ver.Add(1)
+	}
+	return true
 }
 
 // mergePerm merges a frozen permutation with the sorted delta run of the

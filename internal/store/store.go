@@ -66,6 +66,13 @@ type Store struct {
 	// overlay into a rebuilt frozen base.
 	compactThreshold int
 
+	// noInlineCompact suppresses the threshold-triggered inline
+	// compaction on the write path; the owner is then expected to fold
+	// the overlay off the write path via PrepareCompaction /
+	// InstallCompaction (the server's background compactor). Explicit
+	// Freeze still compacts synchronously.
+	noInlineCompact bool
+
 	// ver packs the two-part write version (baseEpoch << 32 | deltaSeq).
 	// deltaSeq counts the triples accepted into the current delta
 	// overlay; baseEpoch advances whenever the base is rebuilt or
@@ -158,6 +165,20 @@ func (st *Store) SetCompactThreshold(n int) {
 // CompactThreshold returns the current compaction threshold.
 func (st *Store) CompactThreshold() int { return st.compactThreshold }
 
+// SetInlineCompaction controls whether a write that grows the delta
+// overlay past the compaction threshold folds it into a rebuilt base
+// right there on the write path (the default). Passing false defers
+// that work to an external compactor driving PrepareCompaction /
+// InstallCompaction — the overlay then grows past the threshold until
+// the compactor catches up (or an explicit Freeze compacts inline).
+func (st *Store) SetInlineCompaction(inline bool) { st.noInlineCompact = !inline }
+
+// NeedsCompaction reports whether the delta overlay has reached the
+// compaction threshold — the signal a background compactor polls.
+func (st *Store) NeedsCompaction() bool {
+	return st.frz != nil && st.dlt.len() >= st.compactThreshold
+}
+
 // Len reports the number of distinct triples.
 func (st *Store) Len() int { return st.size }
 
@@ -184,7 +205,7 @@ func (st *Store) AddID(t IDTriple) bool {
 		st.predCount[t.P]++
 		st.dlt.add(t)
 		st.ver.Add(1)
-		if st.dlt.len() >= st.compactThreshold {
+		if st.dlt.len() >= st.compactThreshold && !st.noInlineCompact {
 			st.compact()
 		}
 		return true
@@ -199,7 +220,7 @@ func (st *Store) AddID(t IDTriple) bool {
 	if st.frz != nil {
 		st.dlt.add(t)
 		st.ver.Add(1)
-		if st.dlt.len() >= st.compactThreshold {
+		if st.dlt.len() >= st.compactThreshold && !st.noInlineCompact {
 			st.compact()
 		}
 	} else {

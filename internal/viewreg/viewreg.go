@@ -116,6 +116,25 @@ type flight struct {
 	err   error
 }
 
+// rewriteFlight is one in-progress rewrite scan (the candidate walk
+// plus the σ_dice / Algorithm 1 / Algorithm 2 computation) that
+// concurrent identical queries piggyback on instead of recomputing the
+// same rewrite. A nil cube after done means the leader found no
+// applicable rewrite (or failed); followers then fall through to the
+// direct-evaluation phase, whose own single-flight coalesces them.
+type rewriteFlight struct {
+	query *core.Query
+	epoch uint64
+	done  chan struct{}
+	// waiters counts parked followers; written under the registry lock
+	// while the flight is still published, so it is final once the
+	// leader unpublishes the flight and decides whether to pay for the
+	// defensive copy below.
+	waiters  int
+	cube     *algebra.Relation
+	strategy Strategy
+}
+
 // Stats is a point-in-time snapshot of registry counters.
 type Stats struct {
 	// Entries and Bytes describe the current contents.
@@ -131,6 +150,10 @@ type Stats struct {
 	Evictions     int64
 	Invalidations int64
 	Coalesced     int64
+	// CoalescedRewrites counts queries that piggybacked on another
+	// client's in-flight rewrite computation (e.g. N concurrent
+	// identical DICEs computing σ_dice once).
+	CoalescedRewrites int64
 	// Maintained counts delta-feed maintenance applications: each is one
 	// registered view caught up to the store's version instead of being
 	// dropped and re-evaluated.
@@ -155,16 +178,18 @@ type Registry struct {
 	lru        *list.List          // *entry; front = most recently used
 	bytes      int64
 	inflight   map[uint64]*flight
+	rwFlight   map[uint64]*rewriteFlight
 	stats      map[Strategy]int64
 	// negMiss remembers exact query fingerprints whose family scan found
 	// no applicable rewrite, keyed to the packed store version observed;
 	// cleared on registration.
-	negMiss    map[uint64]uint64
-	evictions  int64
-	invalids   int64
-	coalesced  int64
-	maintained int64
-	negSkips   int64
+	negMiss     map[uint64]uint64
+	evictions   int64
+	invalids    int64
+	coalesced   int64
+	coalescedRw int64
+	maintained  int64
+	negSkips    int64
 }
 
 // negMissCap bounds the negative cache; the map resets past it.
@@ -184,6 +209,7 @@ func New(inst *store.Store, cfg Config) *Registry {
 		families:   map[uint64][]*entry{},
 		lru:        list.New(),
 		inflight:   map[uint64]*flight{},
+		rwFlight:   map[uint64]*rewriteFlight{},
 		stats:      map[Strategy]int64{},
 		negMiss:    map[uint64]uint64{},
 	}
@@ -240,14 +266,15 @@ func (r *Registry) Stats() Stats {
 		by[k] = v
 	}
 	return Stats{
-		Entries:       r.lru.Len(),
-		Bytes:         r.bytes,
-		ByStrategy:    by,
-		Evictions:     r.evictions,
-		Invalidations: r.invalids,
-		Coalesced:     r.coalesced,
-		Maintained:    r.maintained,
-		NegSkips:      r.negSkips,
+		Entries:           r.lru.Len(),
+		Bytes:             r.bytes,
+		ByStrategy:        by,
+		Evictions:         r.evictions,
+		Invalidations:     r.invalids,
+		Coalesced:         r.coalesced,
+		CoalescedRewrites: r.coalescedRw,
+		Maintained:        r.maintained,
+		NegSkips:          r.negSkips,
 	}
 }
 
@@ -270,23 +297,70 @@ func (r *Registry) Answer(q *core.Query) (*algebra.Relation, Strategy, error) {
 	// the freshened pres/ans snapshots; a concurrent eviction of the
 	// entry is harmless (our reference keeps the snapshots alive). The
 	// negative cache short-circuits families already known not to match
-	// at this exact version.
+	// at this exact version, and concurrent identical queries coalesce on
+	// one scan: the leader computes the rewrite (one σ_dice, not N),
+	// followers wait and share the cube.
 	scanned := false
 	if !r.negativeHit(key, epoch) {
-		scanned = true
-		for _, e := range r.candidates(fam, ver) {
-			pres, ans, ok := r.freshen(e, ver)
-			if !ok {
-				continue
+		r.mu.Lock()
+		if fl, ok := r.rwFlight[key]; ok && fl.epoch == epoch && sameAnswerShape(fl.query, q) {
+			r.coalescedRw++
+			fl.waiters++
+			r.mu.Unlock()
+			<-fl.done
+			if fl.cube != nil {
+				r.bump(fl.strategy)
+				// Each follower gets its own clone: the flight's copy is
+				// mutated by nobody, so rewrite-strategy results keep the
+				// documented caller-private semantics even when coalesced.
+				return fl.cube.Clone(), fl.strategy, nil
 			}
-			strategy, cube, err := r.tryRewrite(e.query, q, pres, ans)
-			if err != nil {
-				return nil, "", err
+			// The leader found no rewrite at this version: fall through to
+			// the direct phase without rescanning.
+		} else {
+			fl := &rewriteFlight{query: q.Clone(), epoch: epoch, done: make(chan struct{})}
+			r.rwFlight[key] = fl
+			r.mu.Unlock()
+			scanned = true
+			var (
+				rwCube  *algebra.Relation
+				rwStrat Strategy
+				rwErr   error
+			)
+			for _, e := range r.candidates(fam, ver) {
+				pres, ans, ok := r.freshen(e, ver)
+				if !ok {
+					continue
+				}
+				rwStrat, rwCube, rwErr = r.tryRewrite(e.query, q, pres, ans)
+				if rwErr != nil || rwCube != nil {
+					if rwCube != nil {
+						r.touch(e)
+					}
+					break
+				}
 			}
-			if cube != nil {
-				r.touch(e)
-				r.bump(strategy)
-				return cube, strategy, nil
+			r.mu.Lock()
+			if r.rwFlight[key] == fl {
+				delete(r.rwFlight, key)
+			}
+			waiters := fl.waiters // final: the flight is unpublished
+			r.mu.Unlock()
+			if rwErr == nil && rwCube != nil && waiters > 0 {
+				// Publish a defensive copy: the leader's caller owns rwCube
+				// (rewrite results are caller-private and may be mutated,
+				// e.g. sorted in place); followers clone from this copy.
+				// With nobody parked, the flight never leaves this scope
+				// and the copy is skipped.
+				fl.cube, fl.strategy = rwCube.Clone(), rwStrat
+			}
+			close(fl.done)
+			if rwErr != nil {
+				return nil, "", rwErr
+			}
+			if rwCube != nil {
+				r.bump(rwStrat)
+				return rwCube, rwStrat, nil
 			}
 		}
 	}

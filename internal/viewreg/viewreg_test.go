@@ -3,6 +3,7 @@ package viewreg
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -627,4 +628,140 @@ func TestRelationBytes(t *testing.T) {
 	if relationBytes(nil) != 0 {
 		t.Error("nil relation must cost 0")
 	}
+}
+
+// TestRewriteSingleFlightDeterministic: a query arriving while an
+// identical rewrite scan is in flight must wait for the leader's cube
+// instead of recomputing σ_dice — exercised deterministically by
+// planting the flight by hand.
+func TestRewriteSingleFlightDeterministic(t *testing.T) {
+	inst := instance(10, 300)
+	r := New(inst, Config{})
+	q := query(t, agg.Sum)
+	if _, _, err := r.Answer(q); err != nil {
+		t.Fatal(err)
+	}
+	diced, err := core.Dice(q, map[string][]rdf.Term{"d0": {rdf.NewInt(1), rdf.NewInt(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant a leader flight for the diced query's exact fingerprint.
+	key := exactKey(familyKey(diced), diced)
+	fl := &rewriteFlight{query: diced.Clone(), epoch: r.st.Epoch(), done: make(chan struct{})}
+	r.mu.Lock()
+	r.rwFlight[key] = fl
+	r.mu.Unlock()
+
+	type answer struct {
+		cube *algebra.Relation
+		strt Strategy
+		err  error
+	}
+	got := make(chan answer, 1)
+	go func() {
+		cube, strt, err := r.Answer(diced)
+		got <- answer{cube, strt, err}
+	}()
+
+	// Wait until the follower has parked on the flight, then publish a
+	// cube and check it comes back verbatim.
+	for {
+		r.mu.Lock()
+		parked := r.coalescedRw == 1
+		r.mu.Unlock()
+		if parked {
+			break
+		}
+		runtime.Gosched()
+	}
+	want, err := r.Evaluator().DiceRewrite(diced, mustEntryAns(t, r, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	delete(r.rwFlight, key)
+	r.mu.Unlock()
+	fl.cube, fl.strategy = want, StrategyDice
+	close(fl.done)
+
+	a := <-got
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	if a.strt != StrategyDice || !algebra.Equal(a.cube, want) {
+		t.Fatalf("follower got strategy %s (%d cells), want the leader's dice cube (%d cells)",
+			a.strt, a.cube.Len(), want.Len())
+	}
+	if a.cube == want {
+		t.Fatal("follower must receive a private clone, not the shared flight cube")
+	}
+	st := r.Stats()
+	if st.CoalescedRewrites != 1 {
+		t.Fatalf("CoalescedRewrites = %d, want 1", st.CoalescedRewrites)
+	}
+	if st.ByStrategy[StrategyDice] != 1 {
+		t.Fatalf("dice strategy count = %d, want 1", st.ByStrategy[StrategyDice])
+	}
+}
+
+// mustEntryAns digs the registered ans(Q) for q out of the registry.
+func mustEntryAns(t *testing.T, r *Registry, q *core.Query) *algebra.Relation {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.families[familyKey(q)] {
+		if sameAnswerShape(e.query, q) {
+			return e.ans
+		}
+	}
+	t.Fatal("query not registered")
+	return nil
+}
+
+// TestRewriteSingleFlightConcurrent: N concurrent identical DICEs all
+// answer correctly; the coalesced ones reuse the one computed cube.
+func TestRewriteSingleFlightConcurrent(t *testing.T) {
+	inst := instance(11, 400)
+	r := New(inst, Config{})
+	q := query(t, agg.Sum)
+	if _, _, err := r.Answer(q); err != nil {
+		t.Fatal(err)
+	}
+	diced, err := core.Dice(q, map[string][]rdf.Term{"d0": {rdf.NewInt(0), rdf.NewInt(3)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 16
+	var wg sync.WaitGroup
+	cubes := make([]*algebra.Relation, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cube, strt, err := r.Answer(diced)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			if strt != StrategyDice {
+				t.Errorf("client %d: strategy %s, want dice-rewrite", i, strt)
+			}
+			cubes[i] = cube
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := 1; i < clients; i++ {
+		if !algebra.Equal(cubes[0], cubes[i]) {
+			t.Fatalf("client %d got a different cube", i)
+		}
+	}
+	st := r.Stats()
+	if n := st.ByStrategy[StrategyDice]; n != clients {
+		t.Fatalf("dice strategy count = %d, want %d", n, clients)
+	}
+	checkAgainstDirect(t, r, diced, cubes[0], "coalesced dice")
 }
