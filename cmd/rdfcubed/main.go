@@ -12,6 +12,8 @@
 //	         [-data-dir DIR] [-checkpoint-every 0]
 //	         [-saturate] [-max-view-mb 256] [-max-views 0]
 //	         [-compact-threshold 0] [-background-compact]
+//	         [-query-timeout 0] [-max-inflight 0] [-queue-timeout 1s]
+//	         [-retry-min 100ms] [-retry-max 5s] [-fault-plan ""]
 //	         [-shutdown-timeout 10s]
 //
 // Writes accepted over POST /insert land in the store's delta overlay —
@@ -33,6 +35,17 @@
 // (materialize, freeze, compaction), every -checkpoint-every when set,
 // and once more on graceful shutdown.
 //
+// Serving is bounded and self-protecting: -query-timeout caps each
+// analytical query (cancelled cooperatively mid-join, 504), -max-inflight
+// caps concurrent requests with -queue-timeout bounding how long an
+// excess request may queue before it is shed (503 + Retry-After), and a
+// durability failure (disk full, fsync error) flips the daemon into
+// read-only mode — writes 503, queries keep serving — until a
+// backoff-retried checkpoint (between -retry-min and -retry-max) re-arms
+// it. GET /readyz reflects read-only mode for load balancers; /healthz
+// stays green while the process lives. -fault-plan arms deterministic
+// filesystem fault injection (see internal/faultfs) for crash drills.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests finish (bounded by -shutdown-timeout) before the process
 // exits. An empty server (no -data/-snapshot) accepts data over
@@ -52,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"rdfcube/internal/faultfs"
 	"rdfcube/internal/nt"
 	"rdfcube/internal/rdfs"
 	"rdfcube/internal/server"
@@ -69,6 +83,12 @@ func main() {
 	backgroundCompact := flag.Bool("background-compact", true, "fold the delta overlay into a rebuilt base in a background goroutine instead of on the write path")
 	dataDir := flag.String("data-dir", "", "durable state directory (snapshots + write-ahead logs + view registry); non-empty state there wins over -data/-snapshot")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval with -data-dir (0 = only on demand/structural writes/shutdown)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline; an evaluation past it is cancelled cooperatively and answered 504 (0 = unbounded)")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent-request admission cap; excess requests queue then shed 503 (0 = unbounded)")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "how long a request may wait for an admission slot before it is shed")
+	retryMin := flag.Duration("retry-min", 100*time.Millisecond, "initial backoff between durability re-arm attempts in read-only mode")
+	retryMax := flag.Duration("retry-max", 5*time.Second, "backoff ceiling for durability re-arm attempts")
+	faultPlan := flag.String("fault-plan", "", "deterministic filesystem fault plan for crash drills, e.g. 'sync:base.wal@2x1,read:base.snap:corrupt' (see internal/faultfs)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown grace period")
 	flag.Parse()
 
@@ -91,6 +111,18 @@ func main() {
 		}
 	}
 
+	var fsys faultfs.FS
+	if *faultPlan != "" {
+		faults, err := faultfs.ParsePlan(*faultPlan)
+		if err != nil {
+			logger.Fatalf("-fault-plan: %v", err)
+		}
+		in := faultfs.NewInjector(nil)
+		in.ArmPlan(faults)
+		fsys = in
+		logger.Printf("fault injection armed: %s", *faultPlan)
+	}
+
 	t0 := time.Now()
 	srv, err := server.Open(base, server.Config{
 		MaxViewBytes:         *maxViewMB << 20,
@@ -98,6 +130,12 @@ func main() {
 		CompactThreshold:     *compactThreshold,
 		BackgroundCompaction: *backgroundCompact,
 		DataDir:              *dataDir,
+		FS:                   fsys,
+		QueryTimeout:         *queryTimeout,
+		MaxInFlight:          *maxInFlight,
+		QueueTimeout:         *queueTimeout,
+		RetryMin:             *retryMin,
+		RetryMax:             *retryMax,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -22,6 +22,7 @@
 package bgp
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -39,6 +40,11 @@ var Workers int
 // seedsPerWorker is the minimum first-pattern matches per worker before
 // evaluation fans out; below it goroutine overhead dominates.
 const seedsPerWorker = 512
+
+// cancelCheckRows spaces the cooperative ctx.Err() polls: one check per
+// this many rows scanned keeps the poll off the per-row hot path while
+// bounding cancellation latency to microseconds of extra work.
+const cancelCheckRows = 4096
 
 // Result is a table of variable bindings.
 type Result struct {
@@ -127,10 +133,18 @@ type Options struct {
 
 // Eval evaluates q against st under opts.
 func Eval(st *store.Store, q *sparql.Query, opts Options) (*Result, error) {
+	return EvalCtx(context.Background(), st, q, opts)
+}
+
+// EvalCtx evaluates q against st under opts, honoring ctx: cancellation
+// and deadlines propagate cooperatively into the seed scan and every
+// join worker, which poll ctx.Err() once per cancelCheckRows rows and
+// abandon their chunk. A cancelled evaluation returns ctx's error.
+func EvalCtx(ctx context.Context, st *store.Store, q *sparql.Query, opts Options) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	full, err := evalBody(st, q.Patterns, opts.ForceNestedLoop)
+	full, err := evalBody(ctx, st, q.Patterns, opts.ForceNestedLoop)
 	if err != nil {
 		return nil, err
 	}
@@ -149,15 +163,25 @@ func EvalSet(st *store.Store, q *sparql.Query) (*Result, error) {
 	return Eval(st, q, Options{Distinct: true})
 }
 
+// EvalSetCtx is EvalSet with cooperative ctx cancellation.
+func EvalSetCtx(ctx context.Context, st *store.Store, q *sparql.Query) (*Result, error) {
+	return EvalCtx(ctx, st, q, Options{Distinct: true})
+}
+
 // EvalBag evaluates q with bag semantics projected on the head — the
 // semantics of measure queries.
 func EvalBag(st *store.Store, q *sparql.Query) (*Result, error) {
 	return Eval(st, q, Options{})
 }
 
+// EvalBagCtx is EvalBag with cooperative ctx cancellation.
+func EvalBagCtx(ctx context.Context, st *store.Store, q *sparql.Query) (*Result, error) {
+	return EvalCtx(ctx, st, q, Options{})
+}
+
 // evalBody computes all embeddings of the body patterns. The returned
 // result has one column per body variable.
-func evalBody(st *store.Store, patterns []sparql.TriplePattern, forceNested bool) (*Result, error) {
+func evalBody(ctx context.Context, st *store.Store, patterns []sparql.TriplePattern, forceNested bool) (*Result, error) {
 	if len(patterns) == 0 {
 		return &Result{}, nil
 	}
@@ -188,7 +212,12 @@ func evalBody(st *store.Store, patterns []sparql.TriplePattern, forceNested bool
 		if st.IsFrozen() {
 			seeds = make([][]dict.ID, 0, st.Count(pat0)) // exact, O(log n)
 		}
+		scanned := 0
 		st.ForEach(pat0, func(t store.IDTriple) bool {
+			scanned++
+			if scanned&(cancelCheckRows-1) == 0 && ctx.Err() != nil {
+				return false
+			}
 			if !fp.accepts(t, zeroRow, bound0, checks0) {
 				return true
 			}
@@ -211,6 +240,10 @@ func evalBody(st *store.Store, patterns []sparql.TriplePattern, forceNested bool
 				leapfrogJoin(cursors, emit)
 			}
 		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	rest := steps[1:]
@@ -242,7 +275,11 @@ func evalBody(st *store.Store, patterns []sparql.TriplePattern, forceNested bool
 		nw = len(seeds)
 	}
 	if nw <= 1 {
-		return &Result{Vars: vars, Rows: joinChunk(st, compiled, rest, boundStages, seeds, seedArena)}, nil
+		rows := joinChunk(ctx, st, compiled, rest, boundStages, seeds, seedArena)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return &Result{Vars: vars, Rows: rows}, nil
 	}
 
 	// Partition the seeds into contiguous chunks, one worker each, with
@@ -263,10 +300,13 @@ func evalBody(st *store.Store, patterns []sparql.TriplePattern, forceNested bool
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			parts[w] = joinChunk(st, compiled, rest, boundStages, seeds[lo:hi], newRowArena(nv))
+			parts[w] = joinChunk(ctx, st, compiled, rest, boundStages, seeds[lo:hi], newRowArena(nv))
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -288,9 +328,16 @@ func markStepBound(compiled []compiledPattern, stp planStep, bound []bool) {
 // joinChunk runs the remaining pipeline steps over one slice of seed
 // rows: nested-loop probes per pattern, and per-row cursor
 // intersections for merge/leapfrog groups. New rows come from the
-// arena; the input rows are never mutated.
-func joinChunk(st *store.Store, compiled []compiledPattern, rest []planStep, boundStages [][]bool, current [][]dict.ID, ar *rowArena) [][]dict.ID {
+// arena; the input rows are never mutated. Cancellation is polled once
+// per cancelCheckRows scanned rows; a cancelled chunk returns its
+// partial output and the caller discards it after checking ctx.
+func joinChunk(ctx context.Context, st *store.Store, compiled []compiledPattern, rest []planStep, boundStages [][]bool, current [][]dict.ID, ar *rowArena) [][]dict.ID {
 	var cursors []store.Cursor // reused across rows and steps
+	scanned := 0
+	cancelled := func() bool {
+		scanned++
+		return scanned&(cancelCheckRows-1) == 0 && ctx.Err() != nil
+	}
 	for k, stp := range rest {
 		bound := boundStages[k]
 		next := make([][]dict.ID, 0, len(current))
@@ -298,7 +345,12 @@ func joinChunk(st *store.Store, compiled []compiledPattern, rest []planStep, bou
 			cp := &compiled[stp.pats[0]]
 			for _, row := range current {
 				pat, checks := cp.instantiate(row, bound)
+				abort := false
 				st.ForEach(pat, func(t store.IDTriple) bool {
+					if cancelled() {
+						abort = true
+						return false
+					}
 					if !cp.accepts(t, row, bound, checks) {
 						return true
 					}
@@ -308,6 +360,9 @@ func joinChunk(st *store.Store, compiled []compiledPattern, rest []planStep, bou
 					next = append(next, nr)
 					return true
 				})
+				if abort {
+					return next
+				}
 			}
 		} else {
 			if cap(cursors) < len(stp.pats) {
@@ -315,6 +370,9 @@ func joinChunk(st *store.Store, compiled []compiledPattern, rest []planStep, bou
 			}
 			cs := cursors[:len(stp.pats)]
 			for _, row := range current {
+				if cancelled() {
+					return next
+				}
 				if !openGroupCursors(st, compiled, stp, row, bound, cs) {
 					continue
 				}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"rdfcube/internal/algebra"
@@ -16,10 +17,29 @@ import (
 // rewrite.go consume the materialized relations.
 type Evaluator struct {
 	inst *store.Store
+	ctx  context.Context // nil = background; see WithContext
 }
 
 // NewEvaluator returns an evaluator over the given AnS instance.
 func NewEvaluator(inst *store.Store) *Evaluator { return &Evaluator{inst: inst} }
+
+// WithContext returns a copy of e whose BGP evaluations honor ctx —
+// cancellation and deadlines abort in-flight pattern matching. The
+// receiver is untouched, so a long-lived evaluator can be bound to a
+// request context without poisoning later uses.
+func (e *Evaluator) WithContext(ctx context.Context) *Evaluator {
+	cp := *e
+	cp.ctx = ctx
+	return &cp
+}
+
+// context resolves the evaluation context.
+func (e *Evaluator) context() context.Context {
+	if e.ctx != nil {
+		return e.ctx
+	}
+	return context.Background()
+}
 
 // Instance returns the underlying AnS instance store.
 func (e *Evaluator) Instance() *store.Store { return e.inst }
@@ -76,7 +96,7 @@ func (e *Evaluator) sigmaFilter(rel *algebra.Relation, dims []string, sigma Sigm
 // EvalClassifier evaluates the (extended) classifier c_Σ with set
 // semantics. Columns: root, d1..dn, holding term IDs.
 func (e *Evaluator) EvalClassifier(q *Query) (*algebra.Relation, error) {
-	res, err := bgp.EvalSet(e.inst, q.Classifier)
+	res, err := bgp.EvalSetCtx(e.context(), e.inst, q.Classifier)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +112,7 @@ func (e *Evaluator) EvalClassifier(q *Query) (*algebra.Relation, error) {
 // a fresh key to every tuple — the extended measure result m_k of
 // Section 3. Columns: KeyCol, root, v.
 func (e *Evaluator) EvalMeasureKeyed(q *Query) (*algebra.Relation, error) {
-	res, err := bgp.EvalBag(e.inst, q.Measure)
+	res, err := bgp.EvalBagCtx(e.context(), e.inst, q.Measure)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +209,7 @@ func (e *Evaluator) Intermediary(q *Query) (*algebra.Relation, error) {
 			break
 		}
 	}
-	res, err := bgp.EvalSet(e.inst, mbar)
+	res, err := bgp.EvalSetCtx(e.context(), e.inst, mbar)
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +273,7 @@ func renameVar(q *sparql.Query, old, new string) {
 
 // evalAux evaluates an auxiliary query (set semantics) into a relation.
 func (e *Evaluator) evalAux(q *sparql.Query) (*algebra.Relation, error) {
-	res, err := bgp.EvalSet(e.inst, q)
+	res, err := bgp.EvalSetCtx(e.context(), e.inst, q)
 	if err != nil {
 		return nil, err
 	}

@@ -56,7 +56,7 @@ func (e *Evaluator) EvalClassifierUnion(q *Query) (*algebra.Relation, error) {
 		if skip {
 			continue
 		}
-		res, err := bgp.EvalSet(e.inst, sub)
+		res, err := bgp.EvalSetCtx(e.context(), e.inst, sub)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,103 @@
+// Package faultfs abstracts the filesystem operations the durability
+// layer depends on — open, create, write, sync, rename, remove — behind
+// an interface with two implementations: a zero-cost passthrough to the
+// real OS, and a deterministic fault injector (inject.go) that can make
+// the N-th matching call fail with a short write, an fsync error,
+// ENOSPC, a failed rename or byte-level read corruption.
+//
+// internal/persist (WAL, AtomicWrite) and internal/server (the data-dir
+// lifecycle) take an FS; production code passes OS (or nil, which means
+// OS), tests and the daemons' -fault-plan flag pass an *Injector. Every
+// failure mode the crash-matrix test exercises is therefore reachable
+// from the same code paths production runs — no test-only forks of the
+// durability logic.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the persistence layer uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Seeker
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Stat returns file metadata.
+	Stat() (fs.FileInfo, error)
+	// Name returns the name the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface of the durability layer. All paths are
+// OS paths (the abstraction exists for fault injection, not for virtual
+// filesystems).
+type FS interface {
+	// Open opens a file (or directory) read-only.
+	Open(name string) (File, error)
+	// OpenFile is the generalized open (os.OpenFile).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// CreateTemp creates a new temporary file in dir (os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically renames oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Stat returns file metadata without opening.
+	Stat(name string) (fs.FileInfo, error)
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm fs.FileMode) error
+}
+
+// OS is the passthrough FS over the real filesystem.
+var OS FS = osFS{}
+
+// OrOS returns fsys, or OS when fsys is nil — the normalization every
+// FS-taking entry point applies so callers can leave the field zero.
+func OrOS(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}
+
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error) {
+	return os.Stat(name)
+}
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }

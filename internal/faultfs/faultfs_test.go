@@ -1,0 +1,174 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.txt")
+	in := NewInjector(nil)
+
+	f, err := in.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := g.Read(buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("read %q, %v", buf, err)
+	}
+	g.Close()
+	if got := in.Calls(OpWrite); got != 1 {
+		t.Fatalf("write calls = %d, want 1", got)
+	}
+	if got := in.Fails(); got != 0 {
+		t.Fatalf("fails = %d, want 0", got)
+	}
+}
+
+// TestFireAtNth verifies a fault skips exactly After calls and clears
+// after Count failures.
+func TestFireAtNth(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	in := NewInjector(nil)
+	in.Arm(Fault{Op: OpSync, Path: "f.bin", After: 1, Count: 2})
+
+	f, err := in.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	results := make([]bool, 5)
+	for i := range results {
+		results[i] = f.Sync() == nil
+	}
+	want := []bool{true, false, false, true, true}
+	for i := range want {
+		if results[i] != want[i] {
+			t.Fatalf("sync results = %v, want %v", results, want)
+		}
+	}
+	if got := in.Fails(); got != 2 {
+		t.Fatalf("fails = %d, want 2", got)
+	}
+}
+
+func TestShortWriteAndENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Arm(Fault{Op: OpWrite, Path: "short.bin", Mode: ModeShortWrite})
+	in.Arm(Fault{Op: OpWrite, Path: "full.bin", Mode: ModeENOSPC})
+
+	f, err := in.OpenFile(filepath.Join(dir, "short.bin"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	f.Close()
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: n=%d err=%v, want 5 bytes and ErrInjected", n, err)
+	}
+	if info, err := os.Stat(filepath.Join(dir, "short.bin")); err != nil || info.Size() != 5 {
+		t.Fatalf("short.bin on disk: %v, %v — want 5 torn bytes", info, err)
+	}
+
+	g, err := in.OpenFile(filepath.Join(dir, "full.bin"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = g.Write([]byte("x"))
+	g.Close()
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("enospc write: %v, want ENOSPC and ErrInjected", err)
+	}
+}
+
+func TestCorruptRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	if err := os.WriteFile(path, []byte{0x01, 0x02, 0x03}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(nil)
+	in.Arm(Fault{Op: OpRead, Mode: ModeCorrupt, Count: 1})
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 3)
+	if _, err := f.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x01^0xFF || buf[1] != 0x02 {
+		t.Fatalf("corrupt read delivered % x, want first byte flipped", buf)
+	}
+}
+
+func TestRenameFault(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "a.tmp")
+	next := filepath.Join(dir, "target.snap")
+	if err := os.WriteFile(old, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(nil)
+	in.Arm(Fault{Op: OpRename, Path: "target.snap"})
+	if err := in.Rename(old, next); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename: %v, want ErrInjected", err)
+	}
+	if _, err := os.Stat(next); err == nil {
+		t.Fatal("target exists after failed rename")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	faults, err := ParsePlan("sync:base.wal@2x3, write:enospc, read:base.snap:corrupt, rename:views.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Op: OpSync, Path: "base.wal", After: 2, Count: 3},
+		{Op: OpWrite, Mode: ModeENOSPC},
+		{Op: OpRead, Path: "base.snap", Mode: ModeCorrupt},
+		{Op: OpRename, Path: "views.snap"},
+	}
+	if len(faults) != len(want) {
+		t.Fatalf("parsed %d faults, want %d", len(faults), len(want))
+	}
+	for i, f := range faults {
+		if f != want[i] {
+			t.Fatalf("fault %d = %+v, want %+v", i, f, want[i])
+		}
+	}
+	if _, err := ParsePlan("explode:everything"); err == nil {
+		t.Fatal("bad op accepted")
+	}
+}
+
+// TestCrashMatrixPointsParse keeps the registered matrix plans valid.
+func TestCrashMatrixPointsParse(t *testing.T) {
+	for name, spec := range CrashMatrixPoints() {
+		if _, err := ParsePlan(spec); err != nil {
+			t.Errorf("point %s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// ErrInjected marks every failure produced by an Injector, so tests and
+// operators can tell injected faults from real I/O errors. ENOSPC-mode
+// faults additionally satisfy errors.Is(err, syscall.ENOSPC).
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op classifies the filesystem calls a fault can target.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpCreate
+	OpRead
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpTruncate
+	opCount
+)
+
+var opNames = [opCount]string{"open", "create", "read", "write", "sync", "rename", "remove", "truncate"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// ParseOp resolves an op name from a fault-plan spec.
+func ParseOp(s string) (Op, error) {
+	for i, n := range opNames {
+		if n == s {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("faultfs: unknown op %q (want one of %s)", s, strings.Join(opNames[:], ", "))
+}
+
+// Mode selects how a triggered fault manifests.
+type Mode uint8
+
+const (
+	// ModeErr fails the call with a generic injected I/O error.
+	ModeErr Mode = iota
+	// ModeShortWrite writes only half the buffer, then fails — the torn
+	// on-disk state a crash mid-write leaves behind.
+	ModeShortWrite
+	// ModeENOSPC fails the call with ENOSPC (disk full).
+	ModeENOSPC
+	// ModeCorrupt lets a read succeed but flips one byte of the data
+	// returned — silent media corruption as seen by the reader.
+	ModeCorrupt
+)
+
+var modeNames = []string{"err", "short", "enospc", "corrupt"}
+
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ParseMode resolves a mode name from a fault-plan spec.
+func ParseMode(s string) (Mode, error) {
+	for i, n := range modeNames {
+		if n == s {
+			return Mode(i), nil
+		}
+	}
+	return 0, fmt.Errorf("faultfs: unknown mode %q (want one of %s)", s, strings.Join(modeNames, ", "))
+}
+
+// Fault is one armed fault: the After+1-th call matching (Op, Path)
+// manifests as Mode, and keeps manifesting for Count calls (0 = every
+// matching call from then on).
+type Fault struct {
+	// Op is the call class the fault targets.
+	Op Op
+	// Path matches calls whose file base name contains it ("" = any
+	// file). Temp files inherit their target's base name prefix
+	// (base.snap.tmp123 matches "base.snap"), so checkpoint internals
+	// are addressable without knowing the random suffix.
+	Path string
+	// After skips the first After matching calls.
+	After int
+	// Count bounds how many calls fail once triggered; 0 = unlimited.
+	// A bounded fault clears itself — the call after the last failure
+	// succeeds, which is how tests model a transient outage.
+	Count int
+	// Mode is the failure shape.
+	Mode Mode
+
+	seen  int // matching calls observed
+	fired int // failures manifested
+}
+
+// String renders the fault in the plan spec syntax (plan.go).
+func (f *Fault) String() string {
+	s := f.Op.String()
+	if f.Path != "" {
+		s += ":" + f.Path
+	}
+	if f.Mode != ModeErr {
+		s += ":" + f.Mode.String()
+	}
+	if f.After > 0 {
+		s += fmt.Sprintf("@%d", f.After)
+	}
+	if f.Count > 0 {
+		s += fmt.Sprintf("x%d", f.Count)
+	}
+	return s
+}
+
+// Injector is an FS that fails deterministically according to a set of
+// armed faults. Calls that no fault claims pass through to the base FS.
+// All methods are safe for concurrent use.
+type Injector struct {
+	base FS
+
+	mu     sync.Mutex
+	faults []*Fault
+	calls  [opCount]int64
+	fails  int64
+}
+
+// NewInjector wraps base (nil = OS) with an empty fault plan.
+func NewInjector(base FS) *Injector {
+	return &Injector{base: OrOS(base)}
+}
+
+// Arm adds a fault to the plan.
+func (in *Injector) Arm(f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = append(in.faults, &f)
+}
+
+// Clear disarms every fault (pending counters included).
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = nil
+}
+
+// Calls reports how many op calls the injector has seen (fired or not).
+func (in *Injector) Calls(op Op) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[op]
+}
+
+// Fails reports how many calls were failed by the plan.
+func (in *Injector) Fails() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fails
+}
+
+// check records one (op, path) call and returns the mode to apply, or
+// ok=false for a clean passthrough.
+func (in *Injector) check(op Op, path string) (Mode, bool) {
+	base := filepath.Base(path)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls[op]++
+	for _, f := range in.faults {
+		if f.Op != op {
+			continue
+		}
+		if f.Path != "" && !strings.Contains(base, f.Path) {
+			continue
+		}
+		f.seen++
+		if f.seen <= f.After {
+			continue
+		}
+		if f.Count > 0 && f.fired >= f.Count {
+			continue
+		}
+		f.fired++
+		in.fails++
+		return f.Mode, true
+	}
+	return 0, false
+}
+
+// injectErr builds the error a triggered fault returns.
+func injectErr(mode Mode, op Op, path string) error {
+	if mode == ModeENOSPC {
+		return fmt.Errorf("%w: %s %s: %w", ErrInjected, op, filepath.Base(path), syscall.ENOSPC)
+	}
+	return fmt.Errorf("%w: %s %s", ErrInjected, op, filepath.Base(path))
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if mode, ok := in.check(OpOpen, name); ok {
+		return nil, injectErr(mode, OpOpen, name)
+	}
+	f, err := in.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: f, in: in, name: name}, nil
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if mode, ok := in.check(OpCreate, name); ok {
+		return nil, injectErr(mode, OpCreate, name)
+	}
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: f, in: in, name: name}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if mode, ok := in.check(OpCreate, filepath.Join(dir, pattern)); ok {
+		return nil, injectErr(mode, OpCreate, pattern)
+	}
+	f, err := in.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: f, in: in, name: f.Name()}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	// A rename fault matches on either name, so plans can address the
+	// stable target (base.snap) rather than the random temp name.
+	if mode, ok := in.check(OpRename, newpath); ok {
+		return injectErr(mode, OpRename, newpath)
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if mode, ok := in.check(OpRemove, name); ok {
+		return injectErr(mode, OpRemove, name)
+	}
+	return in.base.Remove(name)
+}
+
+func (in *Injector) Stat(name string) (fs.FileInfo, error) {
+	return in.base.Stat(name)
+}
+
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	return in.base.MkdirAll(path, perm)
+}
+
+// injectFile routes per-file operations through the injector's plan.
+type injectFile struct {
+	File
+	in   *Injector
+	name string
+}
+
+func (f *injectFile) Read(p []byte) (int, error) {
+	if mode, ok := f.in.check(OpRead, f.name); ok {
+		return f.corruptOrFail(mode, p, func() (int, error) { return f.File.Read(p) })
+	}
+	return f.File.Read(p)
+}
+
+func (f *injectFile) ReadAt(p []byte, off int64) (int, error) {
+	if mode, ok := f.in.check(OpRead, f.name); ok {
+		return f.corruptOrFail(mode, p, func() (int, error) { return f.File.ReadAt(p, off) })
+	}
+	return f.File.ReadAt(p, off)
+}
+
+// corruptOrFail applies a read-class fault: ModeCorrupt performs the
+// read and flips the first byte delivered; every other mode fails the
+// call outright.
+func (f *injectFile) corruptOrFail(mode Mode, p []byte, read func() (int, error)) (int, error) {
+	if mode == ModeCorrupt {
+		n, err := read()
+		if n > 0 {
+			p[0] ^= 0xFF
+		}
+		return n, err
+	}
+	return 0, injectErr(mode, OpRead, f.name)
+}
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	if mode, ok := f.in.check(OpWrite, f.name); ok {
+		if mode == ModeShortWrite {
+			n, err := f.File.Write(p[:len(p)/2])
+			if err == nil {
+				err = injectErr(mode, OpWrite, f.name)
+			}
+			return n, err
+		}
+		return 0, injectErr(mode, OpWrite, f.name)
+	}
+	return f.File.Write(p)
+}
+
+func (f *injectFile) WriteAt(p []byte, off int64) (int, error) {
+	if mode, ok := f.in.check(OpWrite, f.name); ok {
+		if mode == ModeShortWrite {
+			n, err := f.File.WriteAt(p[:len(p)/2], off)
+			if err == nil {
+				err = injectErr(mode, OpWrite, f.name)
+			}
+			return n, err
+		}
+		return 0, injectErr(mode, OpWrite, f.name)
+	}
+	return f.File.WriteAt(p, off)
+}
+
+func (f *injectFile) Sync() error {
+	if mode, ok := f.in.check(OpSync, f.name); ok {
+		return injectErr(mode, OpSync, f.name)
+	}
+	return f.File.Sync()
+}
+
+func (f *injectFile) Truncate(size int64) error {
+	if mode, ok := f.in.check(OpTruncate, f.name); ok {
+		return injectErr(mode, OpTruncate, f.name)
+	}
+	return f.File.Truncate(size)
+}

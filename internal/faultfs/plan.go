@@ -1,0 +1,115 @@
+package faultfs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Fault-plan spec syntax (the daemons' -fault-plan flag):
+//
+//	plan  = fault *( "," fault )
+//	fault = op [ ":" token ]* [ "@" after ] [ "x" count ]
+//
+// where op is open|create|read|write|sync|rename|remove|truncate, a
+// token naming a mode (err|short|enospc|corrupt) sets the mode and any
+// other token is a path substring matched against the file base name.
+// "@N" skips the first N matching calls, "xM" limits the fault to M
+// failures (after which it clears — a transient outage).
+//
+// Examples:
+//
+//	sync:base.wal@2x3      the 3rd-5th fsyncs of base.wal fail
+//	write:enospc           every write fails with ENOSPC
+//	read:base.snap:corrupt first read of base.snap is bit-flipped
+//	rename:views.snap      view-registry checkpoint rename fails
+
+// ParsePlan parses a fault-plan spec into armed faults.
+func ParsePlan(spec string) ([]Fault, error) {
+	var out []Fault
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := parseFault(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseFault(spec string) (Fault, error) {
+	var f Fault
+	body := spec
+	if i := strings.LastIndexByte(body, 'x'); i > 0 {
+		if n, err := strconv.Atoi(body[i+1:]); err == nil {
+			f.Count = n
+			body = body[:i]
+		}
+	}
+	if i := strings.LastIndexByte(body, '@'); i > 0 {
+		n, err := strconv.Atoi(body[i+1:])
+		if err != nil {
+			return f, fmt.Errorf("faultfs: bad @after in %q: %v", spec, err)
+		}
+		f.After = n
+		body = body[:i]
+	}
+	tokens := strings.Split(body, ":")
+	op, err := ParseOp(tokens[0])
+	if err != nil {
+		return f, err
+	}
+	f.Op = op
+	for _, tok := range tokens[1:] {
+		if tok == "" {
+			continue
+		}
+		if m, err := ParseMode(tok); err == nil {
+			f.Mode = m
+		} else {
+			f.Path = tok
+		}
+	}
+	return f, nil
+}
+
+// MustParsePlan is ParsePlan for hardcoded specs (tests, examples).
+func MustParsePlan(spec string) []Fault {
+	fs, err := ParsePlan(spec)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+// ArmPlan arms every fault of a parsed plan.
+func (in *Injector) ArmPlan(faults []Fault) {
+	for _, f := range faults {
+		in.Arm(f)
+	}
+}
+
+// CrashMatrixPoints are the canonical fault points the server's
+// crash-matrix test trips one by one: each is a plan over the data-dir
+// file set covering one failure class the durability invariant must
+// survive — short writes and ENOSPC on the WAL, fsync errors on WAL and
+// snapshot, torn (failed) renames of snapshot and view-registry files,
+// and byte-level read corruption at recovery. Registered here, next to
+// the injector, so adding a failure mode and covering it in the matrix
+// is one edit.
+func CrashMatrixPoints() map[string]string {
+	return map[string]string{
+		"wal-short-write":   "write:.wal:short",
+		"wal-enospc":        "write:.wal:enospc",
+		"wal-sync-err":      "sync:.wal",
+		"snap-write-enospc": "write:base.snap:enospc",
+		"snap-sync-err":     "sync:base.snap",
+		"snap-torn-rename":  "rename:base.snap",
+		"views-torn-rename": "rename:views.snap",
+		"recovery-corrupt":  "read:base.snap:corrupt",
+	}
+}

@@ -34,6 +34,7 @@
 package incr
 
 import (
+	"context"
 	"fmt"
 
 	"rdfcube/internal/algebra"
@@ -81,6 +82,14 @@ type MaintainedPres struct {
 // New fully evaluates q over the evaluator's instance and returns a
 // maintained materialization.
 func New(ev *core.Evaluator, q *core.Query) (*MaintainedPres, error) {
+	return NewCtx(context.Background(), ev, q)
+}
+
+// NewCtx is New with the *initial* evaluation bound to ctx, so a caller
+// can abandon an expensive materialization build. The returned
+// materialization stores ev itself — not a ctx-bound copy — so later
+// Sync/Refresh calls are not poisoned by an expired request context.
+func NewCtx(ctx context.Context, ev *core.Evaluator, q *core.Query) (*MaintainedPres, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -94,7 +103,7 @@ func New(ev *core.Evaluator, q *core.Query) (*MaintainedPres, error) {
 	}
 	mp.mbarQ = mbarQuery(q)
 
-	c, err := ev.EvalClassifier(q)
+	c, err := ev.WithContext(ctx).EvalClassifier(q)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +113,7 @@ func New(ev *core.Evaluator, q *core.Query) (*MaintainedPres, error) {
 	}
 
 	// Evaluate m̄ once; each embedding becomes one keyed measure tuple.
-	res, err := bgp.Eval(mp.inst, mp.mbarQ, bgp.Options{Distinct: true, KeepAllVars: true})
+	res, err := bgp.EvalCtx(ctx, mp.inst, mp.mbarQ, bgp.Options{Distinct: true, KeepAllVars: true})
 	if err != nil {
 		return nil, err
 	}

@@ -60,9 +60,9 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 
+	"rdfcube/internal/faultfs"
 	"rdfcube/internal/rdf"
 )
 
@@ -73,6 +73,45 @@ var ErrCorrupt = errors.New("persist: corrupt data")
 // corruptf wraps ErrCorrupt with context.
 func corruptf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// ArtifactError is a typed failure of one persistent artifact: it names
+// the file, the artifact kind (wal, snapshot, views, dict) and — when
+// known — the byte offset, so an operator reading daemon logs can tell
+// WAL corruption from snapshot corruption from dictionary-reference
+// corruption without reproducing the failure. It wraps the underlying
+// error (usually ErrCorrupt, so errors.Is(err, ErrCorrupt) keeps
+// working).
+type ArtifactError struct {
+	// Path is the artifact's file path.
+	Path string
+	// Kind classifies the artifact: "wal", "snapshot", "views" or
+	// "dict" (a WAL record referencing a term the dictionary never
+	// assigned).
+	Kind string
+	// Offset is the byte offset of the failure within the file, or -1
+	// when unknown.
+	Offset int64
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *ArtifactError) Error() string {
+	if e.Offset >= 0 {
+		return fmt.Sprintf("%s %s: at byte offset %d: %v", e.Kind, e.Path, e.Offset, e.Err)
+	}
+	return fmt.Sprintf("%s %s: %v", e.Kind, e.Path, e.Err)
+}
+
+func (e *ArtifactError) Unwrap() error { return e.Err }
+
+// artifactErr wraps err as an ArtifactError unless it already is one.
+func artifactErr(kind, path string, offset int64, err error) error {
+	var ae *ArtifactError
+	if errors.As(err, &ae) {
+		return err
+	}
+	return &ArtifactError{Path: path, Kind: kind, Offset: offset, Err: err}
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -477,12 +516,20 @@ func DecodeTermBlock(d *Dec, n int) ([]rdf.Term, error) {
 // so the file at path is always either the old or the new complete
 // content, never a torn mix.
 func AtomicWrite(path string, write func(io.Writer) error) error {
+	return AtomicWriteFS(faultfs.OS, path, write)
+}
+
+// AtomicWriteFS is AtomicWrite over an injectable filesystem: any
+// failure — temp creation, a short or failed write, the fsync, the
+// rename — leaves the previous file at path intact.
+func AtomicWriteFS(fsys faultfs.FS, path string, write func(io.Writer) error) error {
+	fsys = faultfs.OrOS(fsys)
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
 	if err := write(tmp); err != nil {
 		tmp.Close()
 		return err
@@ -494,15 +541,15 @@ func AtomicWrite(path string, write func(io.Writer) error) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // syncDir fsyncs a directory so a rename within it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 
 	"rdfcube/internal/dict"
+	"rdfcube/internal/faultfs"
 	"rdfcube/internal/rdf"
 )
 
@@ -60,7 +61,8 @@ type Batch struct {
 // WAL is an append-only, fsync-per-batch delta log.
 type WAL struct {
 	path    string
-	f       *os.File
+	fsys    faultfs.FS
+	f       faultfs.File
 	epoch   uint64
 	batches int64
 	bytes   int64
@@ -73,11 +75,17 @@ type WAL struct {
 // CreateWAL creates (or truncates) the log at path for the given base
 // epoch.
 func CreateWAL(path string, baseEpoch uint64) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	return CreateWALFS(faultfs.OS, path, baseEpoch)
+}
+
+// CreateWALFS is CreateWAL over an injectable filesystem.
+func CreateWALFS(fsys faultfs.FS, path string, baseEpoch uint64) (*WAL, error) {
+	fsys = faultfs.OrOS(fsys)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	w := &WAL{path: path, f: f}
+	w := &WAL{path: path, fsys: fsys, f: f}
 	if err := w.writeHeader(baseEpoch); err != nil {
 		f.Close()
 		return nil, err
@@ -109,17 +117,35 @@ func (w *WAL) writeHeader(baseEpoch uint64) error {
 }
 
 // OpenWAL opens the log at path, reading every intact record. A missing
-// file is created empty. A torn tail — truncated or checksum-failing
-// trailing record, the signature of a crash mid-append — is truncated
-// away so subsequent appends extend a clean log; corruption anywhere
-// else returns ErrCorrupt. The returned batches are the replayable
-// delta, in append order, together with the base epoch the log extends.
+// file is created empty.
+//
+// Two failure shapes are distinguished, byte for byte:
+//
+//   - A *torn tail* — a trailing record that is truncated, or whose
+//     checksum fails with no intact record after it — is the signature
+//     of a crash mid-append. It is truncated away so subsequent appends
+//     extend a clean log; the writes it held were never acknowledged.
+//   - *Mid-log corruption* — a checksum-failing record FOLLOWED by at
+//     least one intact record, or a checksum-valid record that does not
+//     decode — cannot come from a torn append: acknowledged writes
+//     after the damage would be silently dropped by truncation. It
+//     fails closed with an ArtifactError (wrapping ErrCorrupt) naming
+//     the path and byte offset.
+//
+// The returned batches are the replayable delta, in append order,
+// together with the base epoch the log extends.
 func OpenWAL(path string, defaultEpoch uint64) (w *WAL, batches []Batch, baseEpoch uint64, err error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenWALFS(faultfs.OS, path, defaultEpoch)
+}
+
+// OpenWALFS is OpenWAL over an injectable filesystem.
+func OpenWALFS(fsys faultfs.FS, path string, defaultEpoch uint64) (w *WAL, batches []Batch, baseEpoch uint64, err error) {
+	fsys = faultfs.OrOS(fsys)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	w = &WAL{path: path, f: f}
+	w = &WAL{path: path, fsys: fsys, f: f}
 	info, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -135,11 +161,11 @@ func OpenWAL(path string, defaultEpoch uint64) (w *WAL, batches []Batch, baseEpo
 	var hdr [walHdrLen]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
 		f.Close()
-		return nil, nil, 0, corruptf("wal: short header: %v", err)
+		return nil, nil, 0, artifactErr("wal", path, 0, corruptf("short header: %v", err))
 	}
 	if string(hdr[:4]) != walMagic || hdr[4] != walVersion {
 		f.Close()
-		return nil, nil, 0, corruptf("wal: bad header %q version %d", hdr[:4], hdr[4])
+		return nil, nil, 0, artifactErr("wal", path, 0, corruptf("bad header %q version %d", hdr[:4], hdr[4]))
 	}
 	w.epoch = binary.LittleEndian.Uint64(hdr[5:])
 
@@ -152,7 +178,9 @@ func OpenWAL(path string, defaultEpoch uint64) (w *WAL, batches []Batch, baseEpo
 		payloadLen := binary.LittleEndian.Uint32(rec[:4])
 		crc := binary.LittleEndian.Uint32(rec[4:])
 		// Bound the claimed length by the bytes actually on disk before
-		// allocating, and by the sanity cap; violations are a torn tail.
+		// allocating, and by the sanity cap; a claim overrunning EOF is
+		// indistinguishable from a torn length field and treated as a
+		// torn tail.
 		if payloadLen > walMaxRecord || int64(payloadLen) > info.Size()-good-8 {
 			break
 		}
@@ -160,15 +188,30 @@ func OpenWAL(path string, defaultEpoch uint64) (w *WAL, batches []Batch, baseEpo
 		if _, err := io.ReadFull(f, payload); err != nil {
 			break
 		}
+		next := good + 8 + int64(payloadLen)
 		if crc32.Checksum(payload, castagnoli) != crc {
+			// A complete record with a failing checksum: torn only if
+			// nothing intact follows. An intact successor proves the log
+			// extended past this record, so the damage happened after the
+			// append — fail closed instead of silently dropping the
+			// acknowledged writes behind it.
+			if intactRecordAt(f, next, info.Size()) {
+				f.Close()
+				return nil, nil, 0, artifactErr("wal", path, good,
+					corruptf("record checksum mismatch with intact records following (mid-log corruption, not a torn tail)"))
+			}
 			break
 		}
 		b, err := decodeBatch(payload)
 		if err != nil {
-			break
+			// The checksum held but the payload does not decode: a torn
+			// append cannot produce a valid CRC over garbage, so this is
+			// corruption (or a writer bug), never a safe truncation.
+			f.Close()
+			return nil, nil, 0, artifactErr("wal", path, good, err)
 		}
 		batches = append(batches, b)
-		good += 8 + int64(payloadLen)
+		good = next
 	}
 	// Drop the torn tail, if any, and position appends after the last
 	// intact record.
@@ -183,6 +226,29 @@ func OpenWAL(path string, defaultEpoch uint64) (w *WAL, batches []Batch, baseEpo
 	w.batches = int64(len(batches))
 	w.bytes = good
 	return w, batches, w.epoch, nil
+}
+
+// intactRecordAt reports whether a complete, checksum-valid record
+// starts at off. Used to distinguish mid-log corruption (intact records
+// after a bad one) from a torn tail (nothing intact follows).
+func intactRecordAt(f faultfs.File, off, size int64) bool {
+	var rec [8]byte
+	if off+8 > size {
+		return false
+	}
+	if _, err := f.ReadAt(rec[:], off); err != nil {
+		return false
+	}
+	payloadLen := binary.LittleEndian.Uint32(rec[:4])
+	crc := binary.LittleEndian.Uint32(rec[4:])
+	if payloadLen > walMaxRecord || int64(payloadLen) > size-off-8 {
+		return false
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := f.ReadAt(payload, off+8); err != nil {
+		return false
+	}
+	return crc32.Checksum(payload, castagnoli) == crc
 }
 
 // Append encodes b, appends it and fsyncs. The write is durable when
@@ -279,25 +345,31 @@ func (w *WAL) Reset(baseEpoch uint64) error {
 // old complete log or the new complete log — never a window where
 // acknowledged writes exist in neither the snapshot nor the WAL.
 func ReplaceWAL(path string, epoch uint64, batches []Batch) (*WAL, error) {
+	return ReplaceWALFS(faultfs.OS, path, epoch, batches)
+}
+
+// ReplaceWALFS is ReplaceWAL over an injectable filesystem.
+func ReplaceWALFS(fsys faultfs.FS, path string, epoch uint64, batches []Batch) (*WAL, error) {
+	fsys = faultfs.OrOS(fsys)
 	tmp := path + ".tmp"
-	w, err := CreateWAL(tmp, epoch)
+	w, err := CreateWALFS(fsys, tmp, epoch)
 	if err != nil {
 		return nil, err
 	}
 	for _, b := range batches {
 		if err := w.Append(b); err != nil {
 			w.Close()
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 			return nil, err
 		}
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		w.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, err
 	}
 	w.path = path
-	if err := syncDir(filepath.Dir(path)); err != nil {
+	if err := syncDir(fsys, filepath.Dir(path)); err != nil {
 		return w, err
 	}
 	return w, nil

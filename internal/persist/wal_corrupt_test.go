@@ -1,0 +1,181 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rdfcube/internal/faultfs"
+)
+
+// writeThreeRecordWAL builds a log with three batches and returns its
+// raw bytes plus the start offset of each record.
+func writeThreeRecordWAL(t *testing.T, path string) (raw []byte, offsets []int64) {
+	t.Helper()
+	w, err := CreateWAL(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(walHdrLen)
+	for _, b := range []Batch{walBatch(0, 1), walBatch(1, 2), walBatch(3, 1)} {
+		offsets = append(offsets, off)
+		before := w.Bytes()
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		off += w.Bytes() - before
+	}
+	w.Close()
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, offsets
+}
+
+// TestWALMidLogCorruption flips one payload byte of every non-final
+// record in turn: intact records follow the damage, so OpenWAL must
+// fail closed with ErrCorrupt (as an ArtifactError naming the record
+// offset) instead of silently truncating acknowledged writes away.
+func TestWALMidLogCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mid.wal")
+	raw, offsets := writeThreeRecordWAL(t, path)
+
+	for rec := 0; rec < 2; rec++ {
+		flip := append([]byte(nil), raw...)
+		flip[offsets[rec]+8] ^= 0x01 // first payload byte
+		os.WriteFile(path, flip, 0o644)
+
+		_, _, _, err := OpenWAL(path, 0)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("record %d corruption: err = %v, want ErrCorrupt", rec, err)
+		}
+		var ae *ArtifactError
+		if !errors.As(err, &ae) {
+			t.Fatalf("record %d corruption: %v is not an ArtifactError", rec, err)
+		}
+		if ae.Kind != "wal" || ae.Offset != offsets[rec] {
+			t.Fatalf("record %d corruption: kind=%q offset=%d, want wal @%d", rec, ae.Kind, ae.Offset, offsets[rec])
+		}
+	}
+}
+
+// TestWALTornFinalRecord flips a payload byte of the LAST record: with
+// nothing intact after it this is indistinguishable from a crash
+// mid-append, so it truncates away — the two acknowledged batches
+// before it survive and the log stays appendable.
+func TestWALTornFinalRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tail.wal")
+	raw, offsets := writeThreeRecordWAL(t, path)
+
+	flip := append([]byte(nil), raw...)
+	flip[offsets[2]+8] ^= 0x01
+	os.WriteFile(path, flip, 0o644)
+
+	w, batches, _, err := OpenWAL(path, 0)
+	if err != nil {
+		t.Fatalf("torn final record: %v, want clean truncation", err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("torn final record: %d batches survive, want 2", len(batches))
+	}
+	if w.Bytes() != offsets[2] {
+		t.Fatalf("log truncated to %d bytes, want %d", w.Bytes(), offsets[2])
+	}
+	if err := w.Append(walBatch(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+}
+
+// TestWALValidCRCBadPayload crafts a record whose checksum matches a
+// payload that does not decode: a torn append cannot produce that, so
+// it must surface ErrCorrupt even as the final record.
+func TestWALValidCRCBadPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crc.wal")
+	raw, _ := writeThreeRecordWAL(t, path)
+
+	garbage := []byte{0xde, 0xad, 0xbe, 0xef, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	rec := make([]byte, 8+len(garbage))
+	binary.LittleEndian.PutUint32(rec[:4], uint32(len(garbage)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(garbage, castagnoli))
+	copy(rec[8:], garbage)
+	os.WriteFile(path, append(append([]byte(nil), raw...), rec...), 0o644)
+
+	_, _, _, err := OpenWAL(path, 0)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("valid-CRC garbage record: err = %v, want ErrCorrupt", err)
+	}
+	var ae *ArtifactError
+	if !errors.As(err, &ae) || ae.Offset != int64(len(raw)) {
+		t.Fatalf("valid-CRC garbage record: %v, want ArtifactError at offset %d", err, len(raw))
+	}
+}
+
+// TestWALAppendRollback injects a short write into an append: the log
+// must roll back to the previous record boundary so replay never meets
+// torn bytes, and the next (clean) append extends the log normally.
+func TestWALAppendRollback(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "roll.wal")
+	in := faultfs.NewInjector(nil)
+	w, err := CreateWALFS(in, path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walBatch(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	good := w.Bytes()
+
+	in.Arm(faultfs.Fault{Op: faultfs.OpWrite, Path: "roll.wal", Mode: faultfs.ModeShortWrite, Count: 1})
+	if err := w.Append(walBatch(2, 3)); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("faulted append: %v, want ErrInjected", err)
+	}
+	if info, _ := os.Stat(path); info.Size() != good {
+		t.Fatalf("log is %d bytes after rollback, want %d", info.Size(), good)
+	}
+	if err := w.Append(walBatch(2, 1)); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	w.Close()
+
+	_, batches, _, err := OpenWAL(path, 0)
+	if err != nil || len(batches) != 2 {
+		t.Fatalf("replay after rollback: %d batches (err %v), want 2", len(batches), err)
+	}
+}
+
+// TestWALSyncFaultENOSPC drives Append through fsync failure and
+// ENOSPC: both must surface the error, keep the log consistent, and
+// leave errors.Is-checkable causes.
+func TestWALSyncFaultENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nospace.wal")
+	in := faultfs.NewInjector(nil)
+	w, err := CreateWALFS(in, path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.Append(walBatch(0, 1))
+
+	in.Arm(faultfs.Fault{Op: faultfs.OpSync, Path: "nospace.wal", Mode: faultfs.ModeErr, Count: 1})
+	if err := w.Append(walBatch(1, 1)); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("fsync fault: %v", err)
+	}
+	in.Arm(faultfs.Fault{Op: faultfs.OpWrite, Path: "nospace.wal", Mode: faultfs.ModeENOSPC, Count: 1})
+	if err := w.Append(walBatch(1, 1)); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("enospc fault: %v", err)
+	}
+	if err := w.Append(walBatch(1, 1)); err != nil {
+		t.Fatalf("append after faults cleared: %v", err)
+	}
+	_, batches, _, err := OpenWALFS(in, path, 0)
+	if err != nil || len(batches) != 2 {
+		t.Fatalf("replay: %d batches (err %v), want 2", len(batches), err)
+	}
+}

@@ -137,6 +137,11 @@ type StatsResponse struct {
 	// BackgroundCompactions counts delta overlays folded into a rebuilt
 	// frozen base off the write path (Config.BackgroundCompaction).
 	BackgroundCompactions int64 `json:"background_compactions"`
+	// Panics counts handler panics contained by the recovery middleware;
+	// Shed counts requests refused by admission control (queue timeout
+	// past the max-in-flight cap).
+	Panics int64 `json:"panics"`
+	Shed   int64 `json:"shed"`
 	// Durability describes the data-dir state; absent on in-memory
 	// servers.
 	Durability *DurabilityStats `json:"durability,omitempty"`
@@ -169,6 +174,15 @@ type DurabilityStats struct {
 	RecoveredBatches int64 `json:"recovered_batches"`
 	RecoveredTriples int64 `json:"recovered_triples"`
 	RecoveredViews   int64 `json:"recovered_views"`
+	// Degraded reports read-only mode: writes are refused with 503 while
+	// the durability path is broken; DegradedReason names what failed,
+	// LastError the most recent failure, DegradedRetries how many re-arm
+	// attempts ran, and NextRetryNs when the next one fires.
+	Degraded        bool   `json:"degraded"`
+	DegradedReason  string `json:"degraded_reason,omitempty"`
+	LastError       string `json:"last_error,omitempty"`
+	DegradedRetries int64  `json:"degraded_retries,omitempty"`
+	NextRetryNs     int64  `json:"next_retry_ns,omitempty"`
 }
 
 // CheckpointResponse reports a POST /snapshot checkpoint.

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"rdfcube/internal/rdf"
+	"rdfcube/internal/store"
+)
+
+const starNS = "http://rdfcube.example.org/star#"
+
+// starGraph builds an E11-style star instance: n subjects, each the hub
+// of attribute triples a0..a2, plus one shared group node every subject
+// links to. The cancellation tests fan a star join out through that
+// group, which blows the intermediate result up to n^2 rows — long
+// enough that a deadline always lands mid-evaluation.
+func starGraph(n int) *store.Store {
+	st := store.New()
+	attr := func(k int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sa%d", starNS, k)) }
+	group := rdf.NewIRI(starNS + "group")
+	member := rdf.NewIRI(starNS + "member")
+	hub := rdf.NewIRI(starNS + "g0")
+	for i := 0; i < n; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("%ss%d", starNS, i))
+		for k := 0; k < 3; k++ {
+			st.Add(rdf.NewTriple(subj, attr(k), rdf.NewIRI(fmt.Sprintf("%sv%d_%d", starNS, k, i))))
+		}
+		st.Add(rdf.NewTriple(subj, group, hub))
+		st.Add(rdf.NewTriple(hub, member, subj))
+	}
+	return st
+}
+
+// slowStarQuery is a rooted star join whose fan-out through the shared
+// group node scans ~n^2 rows (every root reaches every member).
+func slowStarQuery(direct bool) *QueryRequest {
+	return &QueryRequest{
+		Classifier: "c(x, d) :- x s:a0 u, x s:group g, g s:member y, y s:a1 d",
+		Measure:    "m(x, v) :- x s:a0 v",
+		Agg:        "count",
+		Prefixes:   map[string]string{"s": starNS},
+		Direct:     direct,
+	}
+}
+
+// fastStarQuery is the selective anchored version, used to prove the
+// server still answers after cancellations.
+func fastStarQuery() *QueryRequest {
+	return &QueryRequest{
+		Classifier: "c(x, u) :- x s:a0 u",
+		Measure:    "m(x, v) :- x s:a1 v",
+		Agg:        "count",
+		Prefixes:   map[string]string{"s": starNS},
+		Direct:     true,
+	}
+}
+
+func queryHTTPRequest(t *testing.T, ctx context.Context, req *QueryRequest) *http.Request {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+	return r.WithContext(ctx)
+}
+
+// TestQueryDeadlineReturns504 runs the long star join under a server
+// query timeout far shorter than its evaluation: the handler must map
+// the deadline to 504 and return promptly, on both the direct path and
+// the registry path.
+func TestQueryDeadlineReturns504(t *testing.T) {
+	srv := New(starGraph(1500), Config{QueryTimeout: 3 * time.Millisecond})
+	for _, direct := range []bool{true, false} {
+		start := time.Now()
+		w := httptest.NewRecorder()
+		status, err := srv.handleQuery(w, queryHTTPRequest(t, context.Background(), slowStarQuery(direct)))
+		if status != http.StatusGatewayTimeout {
+			t.Fatalf("direct=%v: status = %d (err %v), want 504", direct, status, err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("direct=%v: err = %v, want DeadlineExceeded", direct, err)
+		}
+		if el := time.Since(start); el > 2*time.Second {
+			t.Fatalf("direct=%v: deadline query took %v to return", direct, el)
+		}
+	}
+}
+
+// TestQueryClientCancelReturns499 cancels the request context
+// mid-evaluation, as a disconnecting client would: the handler must
+// abandon the join cooperatively and report 499.
+func TestQueryClientCancelReturns499(t *testing.T) {
+	srv := New(starGraph(1500), Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	w := httptest.NewRecorder()
+	status, err := srv.handleQuery(w, queryHTTPRequest(t, ctx, slowStarQuery(true)))
+	if status != StatusClientClosedRequest {
+		t.Fatalf("status = %d (err %v), want %d", status, err, StatusClientClosedRequest)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancelled query took %v to return", el)
+	}
+}
+
+// TestQueryCancelNoGoroutineLeak fires a burst of client-side-timeout
+// queries over real HTTP and verifies the goroutine count settles back
+// to its baseline — a cancelled evaluation must not strand workers —
+// and that the server still answers afterwards.
+func TestQueryCancelNoGoroutineLeak(t *testing.T) {
+	srv := New(starGraph(1500), Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// One warm-up round trip so the client pool's goroutines exist
+	// before the baseline is taken.
+	if st, _ := postJSON(t, ts.Client(), ts.URL+"/query", fastStarQuery(), &QueryResponse{}); st != http.StatusOK {
+		t.Fatalf("warm-up query: status %d", st)
+	}
+	baseline := runtime.NumGoroutine()
+
+	body, err := json.Marshal(slowStarQuery(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+			t.Fatalf("round %d: slow query finished under a 15ms client timeout", i)
+		}
+		cancel()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	var qr QueryResponse
+	if st, body := postJSON(t, ts.Client(), ts.URL+"/query", fastStarQuery(), &qr); st != http.StatusOK {
+		t.Fatalf("post-cancel query: status %d body %s", st, body)
+	}
+	if len(qr.Rows) == 0 {
+		t.Fatal("post-cancel query returned no rows")
+	}
+}

@@ -1,0 +1,301 @@
+package server
+
+// The crash matrix: every registered fault point is tripped against a
+// live server under a mixed insert/query workload, the process is
+// "crashed" (abandoned without a clean Close), and the recovered store
+// must be byte-identical to an in-memory twin that applied exactly the
+// acknowledged writes. This is the durability invariant measured from
+// the outside: a 200 survives any crash window, a 503 never commits.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfcube/internal/faultfs"
+	"rdfcube/internal/nt"
+	"rdfcube/internal/persist"
+	"rdfcube/internal/store"
+)
+
+// ntDump renders a store as sorted decoded N-Triples lines, so twin and
+// recovered stores compare by content even though their term IDs differ.
+func ntDump(t *testing.T, g *store.Store) string {
+	t.Helper()
+	var lines []string
+	g.ForEach(store.Pattern{}, func(tr store.IDTriple) bool {
+		s, okS := g.Dict().Decode(tr.S)
+		p, okP := g.Dict().Decode(tr.P)
+		o, okO := g.Dict().Decode(tr.O)
+		if !okS || !okP || !okO {
+			t.Fatalf("dangling term ID in triple %+v", tr)
+		}
+		lines = append(lines, fmt.Sprintf("%v\t%v\t%v", s, p, o))
+		return true
+	})
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// matrixHarness drives the workload and mirrors every acknowledged
+// insert into the in-memory twin.
+type matrixHarness struct {
+	t    *testing.T
+	ts   *httptest.Server
+	twin *store.Store
+}
+
+// insert posts one batch of blogger facts and returns the HTTP status.
+// Only a 200 reaches the twin: an unacknowledged write must not count.
+func (h *matrixHarness) insert(round int) int {
+	h.t.Helper()
+	resp, err := h.ts.Client().Post(h.ts.URL+"/insert", "text/plain", insertBody(h.t, round, 3))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		triples, err := nt.NewReader(bytes.NewReader(insertBody(h.t, round, 3).Bytes())).ReadAll()
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		for _, tr := range triples {
+			h.twin.Add(tr)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (h *matrixHarness) get(path string) int {
+	h.t.Helper()
+	resp, err := h.ts.Client().Get(h.ts.URL + path)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func (h *matrixHarness) checkpoint() int {
+	h.t.Helper()
+	resp, err := h.ts.Client().Post(h.ts.URL+"/snapshot", "application/json", nil)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// verifyRecovered reopens dir with a clean filesystem and compares the
+// recovered base graph to the twin, content-identical.
+func verifyRecovered(t *testing.T, dir string, twin *store.Store) {
+	t.Helper()
+	srv, err := Open(nil, Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("clean reopen: %v", err)
+	}
+	defer srv.Close()
+	if srv.base.Len() != twin.Len() {
+		t.Fatalf("recovered %d triples, twin has %d", srv.base.Len(), twin.Len())
+	}
+	if got, want := ntDump(t, srv.base), ntDump(t, twin); got != want {
+		t.Fatalf("recovered store diverges from acknowledged twin:\n--- recovered ---\n%s\n--- twin ---\n%s", got, want)
+	}
+}
+
+// TestCrashMatrix trips every registered fault point mid-workload and
+// verifies recovery lands on exactly the acknowledged writes.
+func TestCrashMatrix(t *testing.T) {
+	for name, spec := range faultfs.CrashMatrixPoints() {
+		t.Run(name, func(t *testing.T) {
+			if name == "recovery-corrupt" {
+				testRecoveryCorruption(t, spec)
+				return
+			}
+			dir := t.TempDir()
+			in := faultfs.NewInjector(nil)
+			// RetryMin of an hour pins the server in degraded mode for
+			// the rest of the subtest: the re-arm checkpoint must never
+			// run, or it would persist in-memory state the client was
+			// never acknowledged for.
+			srv, err := Open(nil, Config{DataDir: dir, FS: in, RetryMin: time.Hour, RetryMax: time.Hour})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close() // srv deliberately not Closed: the crash
+			h := &matrixHarness{t: t, ts: ts, twin: store.New()}
+
+			// Acknowledged phase: inserts plus a query, so the registry
+			// holds a view and checkpoints write a non-trivial views.snap.
+			for round := 0; round < 3; round++ {
+				if st := h.insert(round); st != http.StatusOK {
+					t.Fatalf("pre-fault insert round %d: status %d", round, st)
+				}
+			}
+			if rows, _ := queryRows(t, ts, bloggerQueryRequest()); rows == "" {
+				t.Fatal("pre-fault query returned nothing")
+			}
+			if st := h.checkpoint(); st != http.StatusOK {
+				t.Fatalf("pre-fault checkpoint: status %d", st)
+			}
+
+			// Trip the fault: WAL-class points fire on the next logged
+			// write, checkpoint-class points on the next checkpoint.
+			in.ArmPlan(faultfs.MustParsePlan(spec))
+			if strings.HasPrefix(name, "wal-") {
+				if st := h.insert(3); st != http.StatusServiceUnavailable {
+					t.Fatalf("faulted insert: status %d, want 503", st)
+				}
+			} else {
+				if st := h.checkpoint(); st != http.StatusServiceUnavailable {
+					t.Fatalf("faulted checkpoint: status %d, want 503", st)
+				}
+			}
+			if in.Fails() == 0 {
+				t.Fatal("fault point never fired")
+			}
+
+			// Degraded contract: writes refused, reads and probes alive.
+			if st := h.insert(4); st != http.StatusServiceUnavailable {
+				t.Fatalf("degraded insert: status %d, want 503", st)
+			}
+			if st := h.get("/readyz"); st != http.StatusServiceUnavailable {
+				t.Fatalf("degraded /readyz: status %d, want 503", st)
+			}
+			if st := h.get("/healthz"); st != http.StatusOK {
+				t.Fatalf("degraded /healthz: status %d, want 200", st)
+			}
+			if rows, _ := queryRows(t, ts, bloggerQueryRequest()); rows == "" {
+				t.Fatal("degraded query returned nothing")
+			}
+
+			// Crash (abandon) and recover on a clean filesystem.
+			ts.Close()
+			verifyRecovered(t, dir, h.twin)
+		})
+	}
+}
+
+// testRecoveryCorruption covers the read-corruption point: a clean
+// shutdown whose snapshot is bit-flipped on the next startup must fail
+// recovery with a typed error naming the artifact — never come up with
+// silently wrong data — and recover cleanly once the corruption clears.
+func testRecoveryCorruption(t *testing.T, spec string) {
+	dir := t.TempDir()
+	srv, err := Open(nil, Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	h := &matrixHarness{t: t, ts: ts, twin: store.New()}
+	for round := 0; round < 3; round++ {
+		if st := h.insert(round); st != http.StatusOK {
+			t.Fatalf("insert round %d: status %d", round, st)
+		}
+	}
+	if st := h.checkpoint(); st != http.StatusOK {
+		t.Fatalf("checkpoint: status %d", st)
+	}
+	ts.Close()
+	srv.Close()
+
+	in := faultfs.NewInjector(nil)
+	in.ArmPlan(faultfs.MustParsePlan(spec))
+	_, err = Open(nil, Config{DataDir: dir, FS: in})
+	if err == nil {
+		t.Fatal("recovery over a corrupted snapshot succeeded")
+	}
+	var ae *persist.ArtifactError
+	if !errors.As(err, &ae) {
+		t.Fatalf("recovery error %v is not an ArtifactError", err)
+	}
+	if ae.Kind != "snapshot" {
+		t.Fatalf("ArtifactError kind %q (path %q), want snapshot", ae.Kind, ae.Path)
+	}
+	if in.Fails() == 0 {
+		t.Fatal("corruption fault never fired")
+	}
+
+	verifyRecovered(t, dir, h.twin)
+}
+
+// TestDegradedModeRecovers is the end-to-end degraded-mode scenario: a
+// transient fsync failure flips the server read-only, probes and stats
+// reflect it, and the backoff retry re-arms durability without operator
+// action — after which writes are accepted again.
+func TestDegradedModeRecovers(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	srv, err := Open(nil, Config{DataDir: dir, FS: in, RetryMin: 25 * time.Millisecond, RetryMax: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	h := &matrixHarness{t: t, ts: ts, twin: store.New()}
+
+	if st := h.insert(0); st != http.StatusOK {
+		t.Fatalf("healthy insert: status %d", st)
+	}
+
+	// One transient fsync failure on the WAL.
+	in.Arm(faultfs.Fault{Op: faultfs.OpSync, Path: ".wal", Count: 1})
+	resp, err := ts.Client().Post(ts.URL+"/insert", "text/plain", insertBody(t, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("faulted insert: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 missing Retry-After")
+	}
+
+	stats := statsz(t, ts)
+	if stats.Durability == nil || !stats.Durability.Degraded {
+		t.Fatalf("statsz does not report degraded mode: %+v", stats.Durability)
+	}
+	if stats.Durability.DegradedReason == "" || stats.Durability.LastError == "" {
+		t.Fatalf("degraded statsz missing reason/last error: %+v", stats.Durability)
+	}
+	if stats.Durability.WALAppendErrors == 0 {
+		t.Fatalf("statsz WAL append errors = 0 after a WAL fault")
+	}
+	if st := h.get("/readyz"); st != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /readyz: status %d, want 503", st)
+	}
+	if st := h.get("/healthz"); st != http.StatusOK {
+		t.Fatalf("degraded /healthz: status %d, want 200", st)
+	}
+	if rows, _ := queryRows(t, ts, bloggerQueryRequest()); rows == "" {
+		t.Fatal("degraded query returned nothing")
+	}
+
+	// The fault was transient (Count: 1): the backoff retry's checkpoint
+	// succeeds and re-opens the write path.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s := statsz(t, ts); s.Durability != nil && !s.Durability.Degraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never left degraded mode")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := h.get("/readyz"); st != http.StatusOK {
+		t.Fatalf("recovered /readyz: status %d, want 200", st)
+	}
+	if st := h.insert(2); st != http.StatusOK {
+		t.Fatalf("post-recovery insert: status %d, want 200", st)
+	}
+}

@@ -34,6 +34,8 @@ import (
 	"sync"
 	"time"
 
+	"rdfcube/internal/dict"
+	"rdfcube/internal/faultfs"
 	"rdfcube/internal/persist"
 	"rdfcube/internal/store"
 )
@@ -43,6 +45,7 @@ import (
 // lock.
 type durability struct {
 	dir     string
+	fsys    faultfs.FS // every durable file operation goes through here
 	baseWAL *persist.WAL
 	instWAL *persist.WAL // nil while the instance is the base graph
 
@@ -92,11 +95,12 @@ func Open(seed *store.Store, cfg Config) (*Server, error) {
 	if cfg.DataDir == "" {
 		return New(seed, cfg), nil
 	}
-	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+	fsys := faultfs.OrOS(cfg.FS)
+	if err := fsys.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, err
 	}
-	d := &durability{dir: cfg.DataDir}
-	_, baseSnapErr := os.Stat(d.path("base.snap"))
+	d := &durability{dir: cfg.DataDir, fsys: fsys}
+	_, baseSnapErr := fsys.Stat(d.path("base.snap"))
 	freshDir := baseSnapErr != nil
 
 	base, baseWAL, err := d.recoverGraph("base.snap", "base.wal", seed, cfg.CompactThreshold)
@@ -108,7 +112,7 @@ func Open(seed *store.Store, cfg Config) (*Server, error) {
 	srv := New(base, cfg)
 	srv.dur = d
 
-	if _, err := os.Stat(d.path("inst.snap")); err == nil {
+	if _, err := fsys.Stat(d.path("inst.snap")); err == nil {
 		inst, instWAL, err := d.recoverGraph("inst.snap", "inst.wal", nil, cfg.CompactThreshold)
 		if err != nil {
 			return nil, fmt.Errorf("recovering instance: %w", err)
@@ -122,7 +126,7 @@ func Open(seed *store.Store, cfg Config) (*Server, error) {
 	// recovered instance. A corrupt or mismatched view snapshot only
 	// costs warmth, never correctness: whatever was admitted before the
 	// failure stays, the rest is re-evaluated on demand.
-	if f, err := os.Open(d.path("views.snap")); err == nil {
+	if f, err := fsys.Open(d.path("views.snap")); err == nil {
 		n, _ := srv.reg.Restore(f)
 		f.Close()
 		d.recoveredViews = int64(n)
@@ -146,14 +150,18 @@ func Open(seed *store.Store, cfg Config) (*Server, error) {
 }
 
 // recoverGraph loads one graph from its snapshot + WAL pair. A missing
-// snapshot falls back to seed (frozen) or a fresh store.
+// snapshot falls back to seed (frozen) or a fresh store. Failures are
+// typed persist.ArtifactError values naming the artifact that broke —
+// "snapshot" (unreadable/corrupt snapshot), "wal" (log framing), or
+// "dict" (a replayed triple referencing a term the dictionary never
+// assigned) — so operators know which file to restore.
 func (d *durability) recoverGraph(snapName, walName string, seed *store.Store, compactThreshold int) (*store.Store, *persist.WAL, error) {
 	var g *store.Store
-	if f, err := os.Open(d.path(snapName)); err == nil {
+	if f, err := d.fsys.Open(d.path(snapName)); err == nil {
 		g, err = store.OpenFrozenSnapshot(f)
 		f.Close()
 		if err != nil {
-			return nil, nil, fmt.Errorf("loading %s: %w", snapName, err)
+			return nil, nil, &persist.ArtifactError{Path: d.path(snapName), Kind: "snapshot", Err: err}
 		}
 		d.recoveredSnap = true
 	} else {
@@ -166,15 +174,19 @@ func (d *durability) recoverGraph(snapName, walName string, seed *store.Store, c
 	if compactThreshold > 0 {
 		g.SetCompactThreshold(compactThreshold)
 	}
-	w, batches, _, err := persist.OpenWAL(d.path(walName), g.Version().Base)
+	w, batches, _, err := persist.OpenWALFS(d.fsys, d.path(walName), g.Version().Base)
 	if err != nil {
-		return nil, nil, fmt.Errorf("opening %s: %w", walName, err)
+		return nil, nil, err // already a typed "wal" artifact error
 	}
 	for i, b := range batches {
 		n, err := applyBatch(g, b)
 		if err != nil {
 			w.Close()
-			return nil, nil, fmt.Errorf("replaying %s batch %d: %w", walName, i, err)
+			return nil, nil, &persist.ArtifactError{
+				Path: d.path(walName),
+				Kind: "dict",
+				Err:  fmt.Errorf("replaying batch %d: %w", i, err),
+			}
 		}
 		d.recoveredTriples += int64(n)
 		d.recoveredBatches++
@@ -193,7 +205,8 @@ func applyBatch(g *store.Store, b persist.Batch) (added int, err error) {
 	dictLen := g.Dict().Len()
 	for _, t := range b.Triples {
 		if int(t.S) > dictLen || int(t.P) > dictLen || int(t.O) > dictLen {
-			return added, fmt.Errorf("%w: triple references unknown term ID", persist.ErrCorrupt)
+			return added, fmt.Errorf("%w: triple references unknown term ID %d (dictionary has %d terms)",
+				persist.ErrCorrupt, maxID(t.S, t.P, t.O), dictLen)
 		}
 		if g.AddID(store.IDTriple{S: t.S, P: t.P, O: t.O}) {
 			added++
@@ -259,6 +272,18 @@ func (s *Server) logWrite(g *store.Store, before store.Version) error {
 	return nil
 }
 
+// maxID returns the largest of a triple's three term IDs — the one a
+// corruption report should name.
+func maxID(ids ...dict.ID) dict.ID {
+	m := ids[0]
+	for _, id := range ids[1:] {
+		if id > m {
+			m = id
+		}
+	}
+	return m
+}
+
 func toPersistTriples(ts []store.IDTriple) []persist.Triple {
 	out := make([]persist.Triple, len(ts))
 	for i, t := range ts {
@@ -296,20 +321,33 @@ func (s *Server) Checkpoint() (CheckpointResponse, error) {
 // write lock. The sequence per graph is crash-safe: the snapshot
 // replaces atomically first, then the WAL is atomically swapped for one
 // holding only the still-pending delta tail — every intermediate state
-// recovers (an over-long WAL replays idempotently).
+// recovers (an over-long WAL replays idempotently). Every failure is
+// counted in checkpointErrors; callers additionally decide whether it
+// trips read-only mode (failDurable / enterDegraded).
 func (s *Server) checkpointLocked() error {
 	d := s.dur
 	if d == nil {
 		return nil
 	}
+	err := s.checkpointFilesLocked()
+	if err != nil {
+		d.mu.Lock()
+		d.checkpointErrors++
+		d.mu.Unlock()
+	}
+	return err
+}
+
+func (s *Server) checkpointFilesLocked() error {
+	d := s.dur
 	t0 := time.Now()
 	var err error
-	if d.baseWAL, err = checkpointGraph(s.base, d.path("base.snap"), d.baseWAL); err != nil {
+	if d.baseWAL, err = checkpointGraph(d.fsys, s.base, d.path("base.snap"), d.baseWAL); err != nil {
 		return err
 	}
 	d.baseWALDict = s.base.Dict().Len() // the snapshot holds the full dictionary
 	if s.inst != s.base {
-		if d.instWAL, err = checkpointGraph(s.inst, d.path("inst.snap"), d.instWAL); err != nil {
+		if d.instWAL, err = checkpointGraph(d.fsys, s.inst, d.path("inst.snap"), d.instWAL); err != nil {
 			return err
 		}
 		d.instWALDict = s.inst.Dict().Len()
@@ -319,16 +357,16 @@ func (s *Server) checkpointLocked() error {
 			d.instWAL = nil
 		}
 		d.instWALDict = 0
-		os.Remove(d.path("inst.snap"))
-		os.Remove(d.path("inst.wal"))
+		d.fsys.Remove(d.path("inst.snap"))
+		d.fsys.Remove(d.path("inst.wal"))
 	}
 	views := 0
-	if err := persist.AtomicWrite(d.path("views.snap"), func(w io.Writer) error {
+	if err := persist.AtomicWriteFS(d.fsys, d.path("views.snap"), func(w io.Writer) error {
 		n, err := s.reg.Save(w)
 		views = n
 		return err
 	}); err != nil {
-		return err
+		return &persist.ArtifactError{Path: d.path("views.snap"), Kind: "views", Err: err}
 	}
 	d.mu.Lock()
 	d.checkpoints++
@@ -342,12 +380,12 @@ func (s *Server) checkpointLocked() error {
 // frozen graph with no pending delta; a map-mode graph is compacted onto
 // the frozen layout without a version change), snapshot the base
 // columns, swap the WAL down to the delta tail.
-func checkpointGraph(g *store.Store, snapPath string, wal *persist.WAL) (*persist.WAL, error) {
+func checkpointGraph(fsys faultfs.FS, g *store.Store, snapPath string, wal *persist.WAL) (*persist.WAL, error) {
 	if !g.IsFrozen() {
 		g.Freeze()
 	}
-	if err := persist.AtomicWrite(snapPath, g.WriteFrozenBase); err != nil {
-		return wal, err
+	if err := persist.AtomicWriteFS(fsys, snapPath, g.WriteFrozenBase); err != nil {
+		return wal, &persist.ArtifactError{Path: snapPath, Kind: "snapshot", Err: err}
 	}
 	var tail []persist.Batch
 	if g.DeltaLen() > 0 {
@@ -356,7 +394,7 @@ func checkpointGraph(g *store.Store, snapPath string, wal *persist.WAL) (*persis
 			Triples: toPersistTriples(g.DeltaSince(0)),
 		}}
 	}
-	next, err := persist.ReplaceWAL(walPathFor(snapPath), g.Version().Base, tail)
+	next, err := persist.ReplaceWALFS(fsys, walPathFor(snapPath), g.Version().Base, tail)
 	if err != nil {
 		return wal, err
 	}
@@ -383,6 +421,7 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	s.stopRetry() // after closed is set: a racing retry sees it and exits
 	s.compactWG.Wait()
 	if !s.durable() {
 		return nil

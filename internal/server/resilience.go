@@ -1,0 +1,245 @@
+package server
+
+// Serving resilience: panic containment, admission control, and the
+// degraded read-only mode a durable server enters when it can no longer
+// make writes durable.
+//
+// The contract of degraded mode follows from the durability invariant
+// (persist.go): an acknowledged write is on disk. When a WAL append or
+// checkpoint fails — disk full, fsync error, torn rename — the server
+// cannot hold that promise, so instead of acknowledging writes it may
+// lose, it refuses them with 503 + Retry-After while queries keep being
+// served from memory. A background loop retries a full checkpoint under
+// exponential backoff; the first success re-baselines every durable
+// artifact (snapshots rewritten, WAL handles recreated) and re-opens the
+// write path. /readyz reflects the mode so load balancers drain writes
+// away from a degraded replica; /healthz stays green — the process is
+// healthy, its disk is not.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+const (
+	defaultQueueTimeout = time.Second
+	defaultRetryMin     = 100 * time.Millisecond
+	defaultRetryMax     = 5 * time.Second
+)
+
+// degraded is the read-only-mode state machine. All fields are guarded
+// by mu; the retry timer re-arms itself until re-arming durability
+// succeeds or the server closes.
+type degraded struct {
+	mu        sync.Mutex
+	active    bool
+	reason    string // what broke ("wal append", "checkpoint")
+	lastErr   string // most recent failure, original or retry
+	retries   int64  // re-arm attempts so far
+	backoff   time.Duration
+	nextRetry time.Time
+	timer     *time.Timer
+}
+
+// enterDegraded switches the server into read-only mode (idempotent —
+// a failure while already degraded just refreshes lastErr) and arms the
+// backoff retry. Callers may hold s.mu in either mode; the state machine
+// has its own lock and the retry runs on a timer goroutine.
+func (s *Server) enterDegraded(reason string, err error) {
+	d := &s.deg
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lastErr = err.Error()
+	if d.active {
+		return
+	}
+	d.active = true
+	d.reason = reason
+	d.retries = 0
+	d.backoff = s.retryMin()
+	d.scheduleLocked(s)
+}
+
+// scheduleLocked arms the retry timer for the current backoff.
+func (d *degraded) scheduleLocked(s *Server) {
+	d.nextRetry = time.Now().Add(d.backoff)
+	if d.timer != nil {
+		d.timer.Stop()
+	}
+	d.timer = time.AfterFunc(d.backoff, s.retryDurability)
+}
+
+// retryDurability attempts to re-arm durability with a full checkpoint:
+// snapshots are rewritten atomically and the WAL handles recreated, so
+// one success heals whatever artifact failed. On failure the backoff
+// doubles (bounded) and the timer re-arms.
+func (s *Server) retryDurability() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	err := s.checkpointLocked()
+	s.mu.Unlock()
+
+	d := &s.deg
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.active {
+		return
+	}
+	d.retries++
+	if err == nil {
+		d.active = false
+		d.reason, d.lastErr = "", ""
+		d.timer = nil
+		return
+	}
+	d.lastErr = err.Error()
+	d.backoff *= 2
+	if max := s.retryMax(); d.backoff > max {
+		d.backoff = max
+	}
+	d.scheduleLocked(s)
+}
+
+func (s *Server) retryMin() time.Duration {
+	if s.cfg.RetryMin > 0 {
+		return s.cfg.RetryMin
+	}
+	return defaultRetryMin
+}
+
+func (s *Server) retryMax() time.Duration {
+	if s.cfg.RetryMax > 0 {
+		return s.cfg.RetryMax
+	}
+	if s.cfg.RetryMin > defaultRetryMax {
+		return s.cfg.RetryMin
+	}
+	return defaultRetryMax
+}
+
+// Degraded reports whether the server is in read-only mode, and why.
+func (s *Server) Degraded() (bool, string) {
+	s.deg.mu.Lock()
+	defer s.deg.mu.Unlock()
+	return s.deg.active, s.deg.reason
+}
+
+// stopRetry fences the re-arm loop during shutdown.
+func (s *Server) stopRetry() {
+	s.deg.mu.Lock()
+	defer s.deg.mu.Unlock()
+	if s.deg.timer != nil {
+		s.deg.timer.Stop()
+		s.deg.timer = nil
+	}
+}
+
+// refuseIfDegraded rejects a mutating request while durability is down:
+// 503 with a Retry-After hinting at the next re-arm attempt. Returning
+// (0, nil) admits the request.
+func (s *Server) refuseIfDegraded(w http.ResponseWriter) (int, error) {
+	d := &s.deg
+	d.mu.Lock()
+	if !d.active {
+		d.mu.Unlock()
+		return 0, nil
+	}
+	reason, lastErr := d.reason, d.lastErr
+	retryAfter := int(time.Until(d.nextRetry).Seconds()) + 1
+	d.mu.Unlock()
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	return http.StatusServiceUnavailable,
+		fmt.Errorf("read-only mode: %s failed (%s); writes refused until durability re-arms", reason, lastErr)
+}
+
+// failDurable records a durability failure on the write path: the server
+// goes read-only and the request is answered 503 (the write may have
+// been applied in memory but is NOT acknowledged as durable; inserts are
+// idempotent, so clients retry safely after recovery).
+func (s *Server) failDurable(w http.ResponseWriter, reason string, err error) (int, error) {
+	s.enterDegraded(reason, err)
+	w.Header().Set("Retry-After", "1")
+	return http.StatusServiceUnavailable, fmt.Errorf("%s: %v; entering read-only mode", reason, err)
+}
+
+// acquire admits a request under the max-in-flight cap, waiting at most
+// the queue timeout for a slot. It returns a release function, or false
+// when the request was shed (503 + Retry-After already written).
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	if s.sem == nil {
+		return func() {}, true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+	}
+	qt := s.cfg.QueueTimeout
+	if qt <= 0 {
+		qt = defaultQueueTimeout
+	}
+	t := time.NewTimer(qt)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	case <-t.C:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "server at capacity: request queued past the admission timeout"})
+		return nil, false
+	case <-r.Context().Done():
+		s.shed.Add(1)
+		return nil, false // client gone; nothing to write
+	}
+}
+
+// exemptFromAdmission keeps probes and diagnostics answerable while the
+// request pool is saturated — exactly when operators need them.
+func exemptFromAdmission(route string) bool {
+	switch route {
+	case "/healthz", "/readyz", "/statsz":
+		return true
+	}
+	return false
+}
+
+// statusWriter remembers whether a response has started, so the panic
+// handler knows if a 500 can still be rendered.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(p)
+}
+
+// handleReadyz is the readiness probe: not-ready while degraded (writes
+// would be refused) so orchestrators route around the replica, ready
+// otherwise. Liveness (/healthz) is intentionally independent.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) (int, error) {
+	if deg, reason := s.Degraded(); deg {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "degraded", "reason": reason})
+		return http.StatusServiceUnavailable, nil
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	return http.StatusOK, nil
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPanicRecovery: a panicking handler must yield a 500 — not kill the
+// process — and be counted in statsz.
+func TestPanicRecovery(t *testing.T) {
+	srv := New(nil, Config{})
+	boom := srv.instrument("/boom", func(w http.ResponseWriter, r *http.Request) (int, error) {
+		panic("boom")
+	})
+	req := httptest.NewRequest(http.MethodGet, "/boom", nil)
+	w := httptest.NewRecorder()
+	boom.ServeHTTP(w, req)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", w.Code)
+	}
+	if got := srv.panics.Load(); got != 1 {
+		t.Fatalf("panic counter = %d, want 1", got)
+	}
+	// The server keeps serving.
+	w2 := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w2, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w2.Code != http.StatusOK {
+		t.Fatalf("/healthz after panic: status %d", w2.Code)
+	}
+}
+
+// TestAdmissionControl: with one in-flight slot held, queued requests
+// past the admission timeout are shed with 503 + Retry-After, while
+// probe endpoints stay exempt.
+func TestAdmissionControl(t *testing.T) {
+	release := make(chan struct{})
+	srv := New(nil, Config{MaxInFlight: 1, QueueTimeout: 30 * time.Millisecond})
+	slow := srv.instrument("/slow", func(w http.ResponseWriter, r *http.Request) (int, error) {
+		<-release
+		w.WriteHeader(http.StatusOK)
+		return http.StatusOK, nil
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/slow", slow)
+	mux.Handle("/healthz", srv.instrument("/healthz", srv.handleHealthz))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	released := false
+	t.Cleanup(func() {
+		if !released {
+			close(release)
+		}
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := ts.Client().Get(ts.URL + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	// Wait until the slow request holds the only slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.sem) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never acquired the admission slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queued request: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed 503 missing Retry-After")
+	}
+	if srv.shed.Load() == 0 {
+		t.Fatal("shed counter not incremented")
+	}
+
+	// Probes bypass admission even while the pool is saturated.
+	hresp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz under saturation: status %d, want 200", hresp.StatusCode)
+	}
+
+	released = true
+	close(release)
+	wg.Wait()
+}

@@ -39,7 +39,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -49,6 +51,7 @@ import (
 	"time"
 
 	"rdfcube/internal/algebra"
+	"rdfcube/internal/faultfs"
 	"rdfcube/internal/nt"
 	"rdfcube/internal/rdf"
 	"rdfcube/internal/rdfs"
@@ -79,6 +82,23 @@ type Config struct {
 	// checkpoints and consulted by Open on startup. Empty means a purely
 	// in-memory server.
 	DataDir string
+	// FS routes every durable file operation; nil means the real OS.
+	// Fault-injection tests (and -fault-plan) pass a faultfs.Injector.
+	FS faultfs.FS
+	// QueryTimeout bounds each query evaluation; past it the evaluation
+	// is cancelled cooperatively and the request answered 504 (0 = no
+	// deadline).
+	QueryTimeout time.Duration
+	// MaxInFlight caps concurrently-admitted requests (0 = unlimited).
+	// An excess request waits up to QueueTimeout (default 1s) for a
+	// slot, then is shed with 503 + Retry-After. Health and stats
+	// probes are exempt.
+	MaxInFlight  int
+	QueueTimeout time.Duration
+	// RetryMin/RetryMax bound the exponential backoff of degraded-mode
+	// durability re-arming (defaults 100ms / 5s).
+	RetryMin time.Duration
+	RetryMax time.Duration
 }
 
 // Server is the HTTP facade over one base graph, one serving instance
@@ -107,6 +127,13 @@ type Server struct {
 	compactWG     sync.WaitGroup
 	bgCompactions atomic.Int64
 
+	// Resilience state (resilience.go): degraded read-only mode, the
+	// admission semaphore, and the shed/panic counters.
+	deg    degraded
+	sem    chan struct{}
+	shed   atomic.Int64
+	panics atomic.Int64
+
 	metricsMu sync.Mutex
 	metrics   map[string]*endpointMetrics
 }
@@ -130,6 +157,9 @@ func New(base *store.Store, cfg Config) *Server {
 		start:   time.Now(),
 		base:    base,
 		metrics: map[string]*endpointMetrics{},
+	}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
 	s.installInstance(base) // also applies the background-compaction mode
 	return s
@@ -176,11 +206,10 @@ func (s *Server) compactAsync(g *store.Store) {
 	}
 	if s.durable() {
 		// The WAL must re-baseline across every base-epoch move. There is
-		// no request to report a failure through, so it is counted.
+		// no request to report a failure through, so it is counted and the
+		// server goes read-only until the backoff retry re-arms.
 		if err := s.checkpointLocked(); err != nil {
-			s.dur.mu.Lock()
-			s.dur.checkpointErrors++
-			s.dur.mu.Unlock()
+			s.enterDegraded("compaction checkpoint", err)
 		}
 	}
 }
@@ -221,6 +250,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /query", s.instrument("/query", s.handleQuery))
 	mux.Handle("GET /statsz", s.instrument("/statsz", s.handleStatsz))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	return mux
 }
 
@@ -230,18 +260,45 @@ func (s *Server) Handler() http.Handler {
 // mid-stream, after the response headers have gone out).
 type handlerFunc func(w http.ResponseWriter, r *http.Request) (int, error)
 
-// instrument wraps a handler with body capping, latency/error metrics
-// and uniform error rendering.
+// instrument wraps a handler with admission control, panic containment,
+// body capping, latency/error metrics and uniform error rendering.
 func (s *Server) instrument(route string, h handlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !exemptFromAdmission(route) {
+			release, ok := s.acquire(w, r)
+			if !ok {
+				return
+			}
+			defer release()
+		}
 		m := s.endpoint(route)
 		m.inFlight.Add(1)
 		t0 := time.Now()
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		status, err := h(w, r)
+		sw := &statusWriter{ResponseWriter: w}
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		var status int
+		var err error
+		func() {
+			// A panicking handler must not take the process down with it:
+			// the connection gets a 500 (when still writable) and the
+			// panic is surfaced in /statsz instead of a crash loop. State
+			// corruption is not a worry here — mutations happen under
+			// s.mu, whose Unlock is deferred, and the stores append-only.
+			defer func() {
+				if p := recover(); p != nil {
+					s.panics.Add(1)
+					status, err = 0, fmt.Errorf("panic: %v", p)
+					if !sw.wrote {
+						writeJSON(sw, http.StatusInternalServerError,
+							errorResponse{Error: fmt.Sprintf("internal error: %v", p)})
+					}
+				}
+			}()
+			status, err = h(sw, r)
+		}()
 		elapsed := time.Since(t0).Nanoseconds()
 		if err != nil && status != 0 {
-			writeJSON(w, status, errorResponse{Error: err.Error()})
+			writeJSON(sw, status, errorResponse{Error: err.Error()})
 		}
 		s.metricsMu.Lock()
 		m.count++
@@ -311,6 +368,9 @@ func readNTBody(r io.Reader) ([]rdf.Triple, error) {
 // handleLoad streams an N-Triples body into the base graph; only the
 // in-memory apply/saturate/freeze happens inside the critical section.
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) (int, error) {
+	if st, err := s.refuseIfDegraded(w); st != 0 {
+		return st, err
+	}
 	saturate := boolParam(r, "saturate", false)
 	freeze := boolParam(r, "freeze", true)
 
@@ -351,10 +411,10 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) (int, error)
 		// re-baseline with it, so checkpoint everything (covers the base
 		// write too).
 		if err := s.checkpointLocked(); err != nil {
-			return http.StatusInternalServerError, err
+			return s.failDurable(w, "checkpoint", err)
 		}
 	} else if err := s.logWrite(s.base, ver0); err != nil {
-		return http.StatusInternalServerError, err
+		return s.failDurable(w, "wal append", err)
 	}
 	s.maybeCompact(s.base) // a ?freeze=0 load can fill the overlay
 	writeJSON(w, http.StatusOK, LoadResponse{
@@ -373,6 +433,9 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) (int, error)
 // an endpoint — concurrent readers keep being served rewrites from
 // materialized views across the write.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, error) {
+	if st, err := s.refuseIfDegraded(w); st != 0 {
+		return st, err
+	}
 	batch, err := readNTBody(r.Body)
 	if err != nil {
 		return http.StatusBadRequest, err
@@ -400,7 +463,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, erro
 		invalidated = after.Invalidations - before.Invalidations
 	}
 	if err := s.logWrite(target, ver0); err != nil {
-		return http.StatusInternalServerError, err
+		return s.failDurable(w, "wal append", err)
 	}
 	s.maybeCompact(target)
 	writeJSON(w, http.StatusOK, InsertResponse{
@@ -417,6 +480,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, erro
 // handleLoadSnapshot replaces the base graph from a binary snapshot.
 // The serving instance and the view registry reset with it.
 func (s *Server) handleLoadSnapshot(w http.ResponseWriter, r *http.Request) (int, error) {
+	if st, err := s.refuseIfDegraded(w); st != 0 {
+		return st, err
+	}
 	st, err := store.ReadSnapshotFrozen(r.Body)
 	if err != nil {
 		return http.StatusBadRequest, err
@@ -431,7 +497,7 @@ func (s *Server) handleLoadSnapshot(w http.ResponseWriter, r *http.Request) (int
 	}
 	s.mu.Unlock()
 	if err2 != nil {
-		return http.StatusInternalServerError, err2
+		return s.failDurable(w, "checkpoint", err2)
 	}
 	writeJSON(w, http.StatusOK, LoadResponse{Added: triples, Triples: triples, Frozen: true})
 	return http.StatusOK, nil
@@ -462,6 +528,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) (int, er
 // semantically redundant) RDFS-entailed triples; re-POSTing after
 // fixing the schema is always safe.
 func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) (int, error) {
+	if st, err := s.refuseIfDegraded(w); st != 0 {
+		return st, err
+	}
 	var req SchemaRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		return http.StatusBadRequest, err
@@ -486,7 +555,7 @@ func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) (int,
 		// The serving instance changed shape: re-baseline everything
 		// (base may have gained saturation triples and was frozen).
 		if err := s.checkpointLocked(); err != nil {
-			return http.StatusInternalServerError, err
+			return s.failDurable(w, "checkpoint", err)
 		}
 	}
 	writeJSON(w, http.StatusOK, MaterializeResponse{
@@ -503,6 +572,9 @@ func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) (int,
 // eagerly — keeping the byte accounting honest instead of waiting for
 // lookups to prune them.
 func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) (int, error) {
+	if st, err := s.refuseIfDegraded(w); st != 0 {
+		return st, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.base.Freeze()
@@ -514,7 +586,7 @@ func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) (int, erro
 		// A compaction moved a base epoch: the WALs must re-baseline so
 		// the log does not outlive the feed it describes.
 		if err := s.checkpointLocked(); err != nil {
-			return http.StatusInternalServerError, err
+			return s.failDurable(w, "checkpoint", err)
 		}
 	}
 	writeJSON(w, http.StatusOK, LoadResponse{Triples: s.base.Len(), Frozen: true})
@@ -529,16 +601,46 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) (int, 
 	if !s.durable() {
 		return http.StatusPreconditionFailed, fmt.Errorf("server has no data-dir (start with -data-dir)")
 	}
+	// Deliberately NOT refused while degraded: a manual checkpoint is an
+	// operator-triggered re-arm attempt.
 	resp, err := s.Checkpoint()
 	if err != nil {
-		return http.StatusInternalServerError, err
+		return s.failDurable(w, "checkpoint", err)
 	}
+	s.deg.mu.Lock()
+	if s.deg.active {
+		// The checkpoint rewrote every durable artifact: durability is
+		// re-armed, lift read-only mode without waiting for the timer.
+		s.deg.active = false
+		s.deg.reason, s.deg.lastErr = "", ""
+	}
+	s.deg.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
 }
 
+// StatusClientClosedRequest is the non-standard (nginx-originated)
+// status for a request whose client went away mid-evaluation.
+const StatusClientClosedRequest = 499
+
+// queryStatus maps an evaluation error to an HTTP status: deadline →
+// 504 (the server gave up), client cancellation → 499 (the client did),
+// anything else → 422.
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
 // handleQuery answers an analytical query through the shared registry
-// (or directly, when requested).
+// (or directly, when requested). The evaluation runs under the request
+// context, bounded by Config.QueryTimeout: a disconnecting client or an
+// elapsed deadline cancels the operator pipeline cooperatively.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, error) {
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -547,6 +649,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, error
 	q, err := buildQuery(&req)
 	if err != nil {
 		return http.StatusBadRequest, err
+	}
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
 	}
 
 	s.mu.RLock()
@@ -557,15 +665,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, error
 		strategy viewreg.Strategy
 	)
 	if req.Direct {
-		c, err := s.reg.Evaluator().Answer(q)
+		c, err := s.reg.Evaluator().WithContext(ctx).Answer(q)
 		if err != nil {
-			return http.StatusUnprocessableEntity, err
+			return queryStatus(err), err
 		}
 		cube, strategy = c, viewreg.StrategyDirect
 	} else {
-		c, strat, err := s.reg.Answer(q)
+		c, strat, err := s.reg.AnswerCtx(ctx, q)
 		if err != nil {
-			return http.StatusUnprocessableEntity, err
+			return queryStatus(err), err
 		}
 		cube, strategy = c, strat
 	}
@@ -622,6 +730,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, erro
 			Strategies:        strategies,
 		},
 		BackgroundCompactions: s.bgCompactions.Load(),
+		Panics:                s.panics.Load(),
+		Shed:                  s.shed.Load(),
 		Endpoints:             map[string]EndpointStats{},
 	}
 	if s.durable() {
@@ -640,6 +750,15 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, erro
 			RecoveredViews:   d.recoveredViews,
 		}
 		d.mu.Unlock()
+		s.deg.mu.Lock()
+		ds.Degraded = s.deg.active
+		ds.DegradedReason = s.deg.reason
+		ds.DegradedRetries = s.deg.retries
+		ds.LastError = s.deg.lastErr
+		if s.deg.active {
+			ds.NextRetryNs = time.Until(s.deg.nextRetry).Nanoseconds()
+		}
+		s.deg.mu.Unlock()
 		s.mu.RLock()
 		if d.baseWAL != nil {
 			ds.WALBatches += d.baseWAL.Batches()

@@ -47,6 +47,8 @@ package viewreg
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -283,6 +285,21 @@ func (r *Registry) Stats() Stats {
 // Evaluator.Answer and must be treated as immutable when the strategy is
 // StrategyCached (it aliases the registered view).
 func (r *Registry) Answer(q *core.Query) (*algebra.Relation, Strategy, error) {
+	return r.AnswerCtx(context.Background(), q)
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// AnswerCtx is Answer honoring ctx. Cancellation aborts this caller's
+// own evaluation and its waits on coalesced flights; a follower whose
+// flight leader was cancelled (by the *leader's* context) re-evaluates
+// privately rather than inheriting the leader's error. Registry
+// maintenance (freshening stale views) deliberately stays off ctx: it
+// serves every future caller, not just this one.
+func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (*algebra.Relation, Strategy, error) {
 	if err := q.Validate(); err != nil {
 		return nil, "", err
 	}
@@ -307,7 +324,11 @@ func (r *Registry) Answer(q *core.Query) (*algebra.Relation, Strategy, error) {
 			r.coalescedRw++
 			fl.waiters++
 			r.mu.Unlock()
-			<-fl.done
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, "", ctx.Err()
+			}
 			if fl.cube != nil {
 				r.bump(fl.strategy)
 				// Each follower gets its own clone: the flight's copy is
@@ -391,8 +412,28 @@ func (r *Registry) Answer(q *core.Query) (*algebra.Relation, Strategy, error) {
 	if fl, ok := r.inflight[key]; ok && sameAnswerShape(fl.query, q) {
 		r.coalesced++
 		r.mu.Unlock()
-		<-fl.done
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		}
 		if fl.err != nil {
+			if isCtxErr(fl.err) && ctx.Err() == nil {
+				// The leader's caller walked away mid-evaluation; this
+				// follower is still live, so answer it with a private
+				// (unregistered) evaluation under its own context.
+				ev := r.ev.WithContext(ctx)
+				pres, err := ev.Pres(q)
+				if err != nil {
+					return nil, "", err
+				}
+				cube, err := ev.AnswerFromPres(q, pres)
+				if err != nil {
+					return nil, "", err
+				}
+				r.bump(StrategyDirect)
+				return cube, StrategyDirect, nil
+			}
 			return nil, "", fl.err
 		}
 		r.bump(StrategyCached)
@@ -415,12 +456,16 @@ func (r *Registry) Answer(q *core.Query) (*algebra.Relation, Strategy, error) {
 		mp         *incr.MaintainedPres
 		err        error
 	)
-	if mp, err = incr.New(r.ev, q); err == nil {
+	if mp, err = incr.NewCtx(ctx, r.ev, q); err == nil {
 		pres = mp.Pres()
 		cube, err = mp.Answer()
 	} else {
 		mp = nil
-		if pres, err = r.ev.Pres(q); err == nil {
+		if isCtxErr(err) {
+			// Don't burn a second full evaluation on a dead context; the
+			// fallback below is for *unmaintainable* queries, not for
+			// cancellation.
+		} else if pres, err = r.ev.WithContext(ctx).Pres(q); err == nil {
 			cube, err = r.ev.AnswerFromPres(q, pres)
 		}
 	}
