@@ -1,0 +1,27 @@
+// Command promlint validates a Prometheus text exposition (format
+// 0.0.4) read from stdin against the format's invariants — HELP/TYPE
+// headers, sample syntax, label escaping, duplicate series, cumulative
+// histogram buckets with le="+Inf" equal to _count.
+//
+// It is the CI face of obs.ValidateExposition, the same checker the
+// unit tests run against the in-process registry:
+//
+//	curl -sf localhost:8344/metrics | promlint
+//
+// Exit status 0 when the exposition is valid, 1 with the first
+// violation on stderr otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rdfcube/internal/obs"
+)
+
+func main() {
+	if err := obs.ValidateExposition(os.Stdin); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -14,7 +14,8 @@
 //	   -agg count \
 //	   [-prefix :=http://example.org/] \
 //	   [-updates delta.nt] [-save graph.rdfc] \
-//	   [-slice dage=28 | -drillout dage | -drillin d3]
+//	   [-slice dage=28 | -drillout dage | -drillin d3] \
+//	   [-explain]
 //
 // -updates streams a second N-Triples file into the graph *after* it has
 // been frozen: the triples land in the store's delta overlay (the
@@ -30,12 +31,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"rdfcube"
+	"rdfcube/internal/obs"
 )
 
 func main() {
@@ -54,6 +57,7 @@ func main() {
 	saturate := flag.Bool("saturate", true, "apply RDFS saturation before answering")
 	updates := flag.String("updates", "", "N-Triples file applied after freezing, through the delta overlay")
 	format := flag.String("format", "text", "output format: text, csv or json")
+	explain := flag.Bool("explain", false, "print the traced per-operator plan tree (timings, rows, seeks) to stderr")
 	flag.Parse()
 
 	if (*data == "") == (*load == "") || *classifier == "" || *measure == "" {
@@ -198,9 +202,22 @@ func main() {
 	}
 
 	ev := rdfcube.NewEvaluator(g)
+	var tr *obs.Trace
+	if *explain {
+		// EXPLAIN ANALYZE, CLI face: trace the evaluation through the
+		// planner and physical operators, then render the span tree.
+		tracer := &obs.Tracer{}
+		var ctx context.Context
+		ctx, tr = tracer.Start(context.Background(), "query")
+		ev = ev.WithContext(ctx)
+	}
 	cube, err := ev.Answer(q)
 	if err != nil {
 		die("%v", err)
+	}
+	if tr != nil {
+		tr.Root.End()
+		fmt.Fprint(os.Stderr, tr.Root.Dump().Render())
 	}
 	if err := rdfcube.WriteCube(os.Stdout, cube, g, *format, prefixes); err != nil {
 		die("%v", err)

@@ -15,6 +15,8 @@
 //	         [-query-timeout 0] [-max-inflight 0] [-queue-timeout 1s]
 //	         [-retry-min 100ms] [-retry-max 5s] [-fault-plan ""]
 //	         [-shutdown-timeout 10s]
+//	         [-log-format text] [-log-level info]
+//	         [-trace] [-slow-query 0] [-pprof-addr ""]
 //
 // Writes accepted over POST /insert land in the store's delta overlay —
 // the frozen indexes survive and registered views are maintained through
@@ -46,6 +48,16 @@
 // stays green while the process lives. -fault-plan arms deterministic
 // filesystem fault injection (see internal/faultfs) for crash drills.
 //
+// Observability: GET /metrics serves the Prometheus exposition of every
+// engine counter and latency histogram; GET /statsz is the JSON view
+// over the same registry. -trace traces every query (per-operator span
+// trees, inspectable at GET /debug/traces/last), ?explain=analyze on
+// POST /query traces one request and returns its annotated plan tree,
+// and -slow-query logs any query past the threshold with its trace ID
+// and per-stage breakdown. -log-format/-log-level shape the structured
+// (slog) logs; -pprof-addr serves net/http/pprof on a separate listener
+// (keep it private — it is deliberately not on the API address).
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests finish (bounded by -shutdown-timeout) before the process
 // exits. An empty server (no -data/-snapshot) accepts data over
@@ -58,10 +70,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -90,9 +104,23 @@ func main() {
 	retryMax := flag.Duration("retry-max", 5*time.Second, "backoff ceiling for durability re-arm attempts")
 	faultPlan := flag.String("fault-plan", "", "deterministic filesystem fault plan for crash drills, e.g. 'sync:base.wal@2x1,read:base.snap:corrupt' (see internal/faultfs)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown grace period")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	traceAll := flag.Bool("trace", false, "trace every query (per-operator span trees at GET /debug/traces/last)")
+	slowQuery := flag.Duration("slow-query", 0, "log any query slower than this with its trace ID and per-stage breakdown (0 = off)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off; keep it private)")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "rdfcubed: ", log.LstdFlags)
+	logger, err := buildLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdfcubed:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.String("err", err.Error()))
+		os.Exit(1)
+	}
 
 	// With a data-dir holding a snapshot, recovery wins; the seed graph
 	// is only parsed when the directory is fresh.
@@ -100,14 +128,14 @@ func main() {
 	if server.HasState(*dataDir) {
 		seedNeeded = false
 		if *data != "" || *snapshot != "" {
-			logger.Printf("data-dir %s holds state; ignoring -data/-snapshot", *dataDir)
+			logger.Warn("data-dir holds state; ignoring -data/-snapshot",
+				slog.String("data_dir", *dataDir))
 		}
 	}
 	var base *store.Store
-	var err error
 	if seedNeeded {
 		if base, err = loadGraph(logger, *data, *snapshot, *saturate); err != nil {
-			logger.Fatal(err)
+			fatal("loading startup graph", err)
 		}
 	}
 
@@ -115,12 +143,12 @@ func main() {
 	if *faultPlan != "" {
 		faults, err := faultfs.ParsePlan(*faultPlan)
 		if err != nil {
-			logger.Fatalf("-fault-plan: %v", err)
+			fatal("-fault-plan", err)
 		}
 		in := faultfs.NewInjector(nil)
 		in.ArmPlan(faults)
 		fsys = in
-		logger.Printf("fault injection armed: %s", *faultPlan)
+		logger.Info("fault injection armed", slog.String("plan", *faultPlan))
 	}
 
 	t0 := time.Now()
@@ -136,12 +164,17 @@ func main() {
 		QueueTimeout:         *queueTimeout,
 		RetryMin:             *retryMin,
 		RetryMax:             *retryMax,
+		TraceAll:             *traceAll,
+		SlowQuery:            *slowQuery,
+		Logger:               logger,
 	})
 	if err != nil {
-		logger.Fatal(err)
+		fatal("opening server", err)
 	}
 	if *dataDir != "" {
-		logger.Printf("data-dir %s opened in %v", *dataDir, time.Since(t0).Round(time.Millisecond))
+		logger.Info("data-dir opened",
+			slog.String("data_dir", *dataDir),
+			slog.Duration("elapsed", time.Since(t0).Round(time.Millisecond)))
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -151,6 +184,23 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: the profiling surface
+		// never shares an address with the public API.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof serving", slog.String("addr", *pprofAddr))
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				logger.Error("pprof listener failed", slog.String("err", err.Error()))
+			}
+		}()
+	}
 
 	if *dataDir != "" && *checkpointEvery > 0 {
 		go func() {
@@ -162,10 +212,13 @@ func main() {
 					return
 				case <-ticker.C:
 					if cp, err := srv.Checkpoint(); err != nil {
-						logger.Printf("periodic checkpoint failed: %v", err)
+						logger.Error("periodic checkpoint failed", slog.String("err", err.Error()))
 					} else {
-						logger.Printf("checkpoint: %d triples, %d delta tail, %d views in %v",
-							cp.Triples, cp.DeltaTail, cp.Views, time.Duration(cp.ElapsedNs).Round(time.Millisecond))
+						logger.Info("checkpoint",
+							slog.Int("triples", cp.Triples),
+							slog.Int("delta_tail", cp.DeltaTail),
+							slog.Int("views", cp.Views),
+							slog.Duration("elapsed", time.Duration(cp.ElapsedNs).Round(time.Millisecond)))
 					}
 				}
 			}
@@ -174,43 +227,82 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("serving on %s (view budget %d MiB)", *addr, *maxViewMB)
+		logger.Info("serving",
+			slog.String("addr", *addr),
+			slog.Int64("view_budget_mib", *maxViewMB),
+			slog.Bool("trace", *traceAll),
+			slog.Duration("slow_query", *slowQuery))
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errCh:
-		logger.Fatal(err)
+		fatal("listener failed", err)
 	case <-ctx.Done():
 	}
-	logger.Printf("shutting down (grace %v)...", *shutdownTimeout)
+	logger.Info("shutting down", slog.Duration("grace", *shutdownTimeout))
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		logger.Printf("forced shutdown: %v", err)
+		logger.Warn("forced shutdown", slog.String("err", err.Error()))
 	}
 	if *dataDir != "" {
 		// Final checkpoint: the next start recovers without replaying the
 		// WAL tail.
 		if cp, err := srv.Checkpoint(); err != nil {
-			logger.Printf("shutdown checkpoint failed: %v", err)
+			logger.Error("shutdown checkpoint failed", slog.String("err", err.Error()))
 		} else {
-			logger.Printf("shutdown checkpoint: %d triples, %d views", cp.Triples, cp.Views)
+			logger.Info("shutdown checkpoint",
+				slog.Int("triples", cp.Triples), slog.Int("views", cp.Views))
 		}
 		srv.Close()
 	}
 	stats := srv.Registry().Stats()
-	logger.Printf("served strategies: %v; %d views, ~%d bytes, %d maintained, %d evictions, %d invalidations, %d coalesced, %d neg-skips",
-		stats.ByStrategy, stats.Entries, stats.Bytes, stats.Maintained, stats.Evictions, stats.Invalidations, stats.Coalesced, stats.NegSkips)
+	logger.Info("served",
+		slog.Any("strategies", stats.ByStrategy),
+		slog.Int("views", stats.Entries),
+		slog.Int64("bytes", stats.Bytes),
+		slog.Int64("maintained", stats.Maintained),
+		slog.Int64("evictions", stats.Evictions),
+		slog.Int64("invalidations", stats.Invalidations),
+		slog.Int64("coalesced", stats.Coalesced),
+		slog.Int64("neg_skips", stats.NegSkips))
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Fatal(err)
+		fatal("listener failed", err)
+	}
+}
+
+// buildLogger constructs the process slog.Logger from the -log-format
+// and -log-level flags.
+func buildLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
 	}
 }
 
 // loadGraph builds the startup graph: a binary snapshot (already frozen
 // by ReadSnapshotFrozen), an N-Triples file (frozen after optional
 // saturation — the load-to-serve boundary), or an empty store.
-func loadGraph(logger *log.Logger, data, snapshot string, saturate bool) (*store.Store, error) {
+func loadGraph(logger *slog.Logger, data, snapshot string, saturate bool) (*store.Store, error) {
 	switch {
 	case data != "" && snapshot != "":
 		return nil, fmt.Errorf("-data and -snapshot are mutually exclusive")
@@ -227,7 +319,10 @@ func loadGraph(logger *log.Logger, data, snapshot string, saturate bool) (*store
 		if err != nil {
 			return nil, fmt.Errorf("loading snapshot %s: %w", snapshot, err)
 		}
-		logger.Printf("loaded snapshot %s: %d triples in %v (frozen)", snapshot, st.Len(), time.Since(t0).Round(time.Millisecond))
+		logger.Info("loaded snapshot",
+			slog.String("file", snapshot),
+			slog.Int("triples", st.Len()),
+			slog.Duration("elapsed", time.Since(t0).Round(time.Millisecond)))
 		return st, nil
 	case data != "":
 		f, err := os.Open(data)
@@ -245,7 +340,11 @@ func loadGraph(logger *log.Logger, data, snapshot string, saturate bool) (*store
 			n += rdfs.Saturate(st)
 		}
 		st.Freeze() // loading done: serve from the sorted indexes
-		logger.Printf("loaded %s: %d triples in %v (saturate=%v, frozen)", data, n, time.Since(t0).Round(time.Millisecond), saturate)
+		logger.Info("loaded triples",
+			slog.String("file", data),
+			slog.Int("triples", n),
+			slog.Bool("saturate", saturate),
+			slog.Duration("elapsed", time.Since(t0).Round(time.Millisecond)))
 		return st, nil
 	default:
 		return store.New(), nil

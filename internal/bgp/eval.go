@@ -26,9 +26,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"rdfcube/internal/dict"
 	"rdfcube/internal/hash64"
+	"rdfcube/internal/obs"
 	"rdfcube/internal/sparql"
 	"rdfcube/internal/store"
 )
@@ -181,9 +183,19 @@ func EvalBagCtx(ctx context.Context, st *store.Store, q *sparql.Query) (*Result,
 
 // evalBody computes all embeddings of the body patterns. The returned
 // result has one column per body variable.
-func evalBody(ctx context.Context, st *store.Store, patterns []sparql.TriplePattern, forceNested bool) (*Result, error) {
+func evalBody(ctx context.Context, st *store.Store, patterns []sparql.TriplePattern, forceNested bool) (res *Result, err error) {
 	if len(patterns) == 0 {
 		return &Result{}, nil
+	}
+	ctx, span := obs.StartSpan(ctx, "bgp.eval")
+	if span != nil {
+		span.AttrInt("patterns", int64(len(patterns)))
+		defer func() {
+			if res != nil {
+				span.AddRows(int64(len(res.Rows)))
+			}
+			span.End()
+		}()
 	}
 	compiled, vars, err := compile(st, patterns)
 	if err != nil {
@@ -197,6 +209,14 @@ func evalBody(ctx context.Context, st *store.Store, patterns []sparql.TriplePatt
 	nv := len(vars)
 	steps := planPipeline(st, compiled, nv, forceNested)
 
+	// Per-step execution stats exist only under an active trace; nil
+	// stats short-circuit every accounting site below.
+	var stats []stepStat
+	if span != nil {
+		stats = make([]stepStat, len(steps))
+		defer func() { emitStepSpans(span, steps, vars, stats) }()
+	}
+
 	// Stage 0: materialize the first step's output as seed rows — the
 	// first pattern's matching range, or the sorted intersection of a
 	// cursor group (which seeds the pipeline already ordered by the
@@ -206,16 +226,20 @@ func evalBody(ctx context.Context, st *store.Store, patterns []sparql.TriplePatt
 	seedArena := newRowArena(nv)
 	var seeds [][]dict.ID
 	first := steps[0]
+	var seedStart time.Time
+	if stats != nil {
+		seedStart = time.Now()
+	}
+	seedScanned := 0
 	if first.kind == opNested {
 		fp := &compiled[first.pats[0]]
 		pat0, checks0 := fp.instantiate(zeroRow, bound0)
 		if st.IsFrozen() {
 			seeds = make([][]dict.ID, 0, st.Count(pat0)) // exact, O(log n)
 		}
-		scanned := 0
 		st.ForEach(pat0, func(t store.IDTriple) bool {
-			scanned++
-			if scanned&(cancelCheckRows-1) == 0 && ctx.Err() != nil {
+			seedScanned++
+			if seedScanned&(cancelCheckRows-1) == 0 && ctx.Err() != nil {
 				return false
 			}
 			if !fp.accepts(t, zeroRow, bound0, checks0) {
@@ -239,7 +263,15 @@ func evalBody(ctx context.Context, st *store.Store, patterns []sparql.TriplePatt
 			} else {
 				leapfrogJoin(cursors, emit)
 			}
+			if stats != nil {
+				stats[0].addCursorCounts(cursors)
+			}
 		}
+	}
+	if stats != nil {
+		stats[0].busyNs.Add(time.Since(seedStart).Nanoseconds())
+		stats[0].rows.Add(int64(len(seeds)))
+		stats[0].scanned.Add(int64(seedScanned))
 	}
 
 	if err := ctx.Err(); err != nil {
@@ -275,7 +307,7 @@ func evalBody(ctx context.Context, st *store.Store, patterns []sparql.TriplePatt
 		nw = len(seeds)
 	}
 	if nw <= 1 {
-		rows := joinChunk(ctx, st, compiled, rest, boundStages, seeds, seedArena)
+		rows := joinChunk(ctx, st, compiled, rest, boundStages, seeds, seedArena, stats)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -300,7 +332,7 @@ func evalBody(ctx context.Context, st *store.Store, patterns []sparql.TriplePatt
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			parts[w] = joinChunk(ctx, st, compiled, rest, boundStages, seeds[lo:hi], newRowArena(nv))
+			parts[w] = joinChunk(ctx, st, compiled, rest, boundStages, seeds[lo:hi], newRowArena(nv), stats)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -331,7 +363,13 @@ func markStepBound(compiled []compiledPattern, stp planStep, bound []bool) {
 // arena; the input rows are never mutated. Cancellation is polled once
 // per cancelCheckRows scanned rows; a cancelled chunk returns its
 // partial output and the caller discards it after checking ctx.
-func joinChunk(ctx context.Context, st *store.Store, compiled []compiledPattern, rest []planStep, boundStages [][]bool, current [][]dict.ID, ar *rowArena) [][]dict.ID {
+//
+// stats, when non-nil, receives per-step execution counts (indexed
+// stats[k+1] — slot 0 is the seed step). Accounting accumulates in
+// plain locals and flushes into the shared atomics once per step, so
+// tracing adds nothing to the per-row path beyond the local bumps; a
+// cancelled chunk flushes what it has before bailing.
+func joinChunk(ctx context.Context, st *store.Store, compiled []compiledPattern, rest []planStep, boundStages [][]bool, current [][]dict.ID, ar *rowArena, stats []stepStat) [][]dict.ID {
 	var cursors []store.Cursor // reused across rows and steps
 	scanned := 0
 	cancelled := func() bool {
@@ -341,6 +379,23 @@ func joinChunk(ctx context.Context, st *store.Store, compiled []compiledPattern,
 	for k, stp := range rest {
 		bound := boundStages[k]
 		next := make([][]dict.ID, 0, len(current))
+		var stepStart time.Time
+		scannedBefore := scanned
+		var stepSeeks, stepNexts int64
+		if stats != nil {
+			stepStart = time.Now()
+		}
+		flush := func() {
+			if stats == nil {
+				return
+			}
+			ss := &stats[k+1]
+			ss.busyNs.Add(time.Since(stepStart).Nanoseconds())
+			ss.rows.Add(int64(len(next)))
+			ss.scanned.Add(int64(scanned - scannedBefore))
+			ss.seeks.Add(stepSeeks)
+			ss.nexts.Add(stepNexts)
+		}
 		if stp.kind == opNested {
 			cp := &compiled[stp.pats[0]]
 			for _, row := range current {
@@ -361,6 +416,7 @@ func joinChunk(ctx context.Context, st *store.Store, compiled []compiledPattern,
 					return true
 				})
 				if abort {
+					flush()
 					return next
 				}
 			}
@@ -371,6 +427,7 @@ func joinChunk(ctx context.Context, st *store.Store, compiled []compiledPattern,
 			cs := cursors[:len(stp.pats)]
 			for _, row := range current {
 				if cancelled() {
+					flush()
 					return next
 				}
 				if !openGroupCursors(st, compiled, stp, row, bound, cs) {
@@ -387,8 +444,15 @@ func joinChunk(ctx context.Context, st *store.Store, compiled []compiledPattern,
 				} else {
 					leapfrogJoin(cs, emit)
 				}
+				if stats != nil {
+					for i := range cs {
+						stepSeeks += int64(cs[i].Seeks)
+						stepNexts += int64(cs[i].Nexts)
+					}
+				}
 			}
 		}
+		flush()
 		current = next
 		if len(current) == 0 {
 			break

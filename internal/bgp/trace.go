@@ -1,0 +1,78 @@
+package bgp
+
+// EXPLAIN ANALYZE support: per-step execution statistics, collected
+// only when the evaluation's context carries an active obs span. The
+// counters are atomic because the pipeline fans seed chunks out across
+// workers that all execute every remaining step; each worker flushes
+// its per-step local counts once per step, so the per-row hot path
+// never touches an atomic.
+//
+// Step "busy" time is the summed worker time spent inside the step —
+// CPU-ish time, not wall time (the pipeline runs steps for different
+// chunks concurrently). The step spans say so via the busy="sum" attr.
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"rdfcube/internal/obs"
+	"rdfcube/internal/store"
+)
+
+// stepStat aggregates one plan step's execution counts across workers.
+type stepStat struct {
+	rows    atomic.Int64 // rows emitted by the step
+	scanned atomic.Int64 // triples visited by nested probes
+	seeks   atomic.Int64 // cursor galloping seeks (merge/leapfrog)
+	nexts   atomic.Int64 // cursor single-step advances
+	busyNs  atomic.Int64 // summed worker nanoseconds inside the step
+}
+
+// addCursorCounts flushes one cursor group's access-path counters.
+func (ss *stepStat) addCursorCounts(cs []store.Cursor) {
+	var seeks, nexts int64
+	for i := range cs {
+		seeks += int64(cs[i].Seeks)
+		nexts += int64(cs[i].Nexts)
+	}
+	ss.seeks.Add(seeks)
+	ss.nexts.Add(nexts)
+}
+
+// describeStep renders a step's pattern list for the span attrs, e.g.
+// "p0,p2,p3".
+func describeStep(stp planStep) string {
+	parts := make([]string, len(stp.pats))
+	for i, pi := range stp.pats {
+		parts[i] = fmt.Sprintf("p%d", pi)
+	}
+	return strings.Join(parts, ",")
+}
+
+// emitStepSpans attaches one child span per executed plan step to the
+// evaluation span, carrying the collected statistics. Called once, at
+// the end of evalBody (including early exits — the spans then show
+// where execution stopped).
+func emitStepSpans(span *obs.Span, steps []planStep, vars []string, stats []stepStat) {
+	if span == nil || stats == nil {
+		return
+	}
+	for i := range steps {
+		stp := steps[i]
+		ss := &stats[i]
+		c := span.NewChild(stp.kind.String())
+		c.SetDurationNs(ss.busyNs.Load())
+		c.AddRows(ss.rows.Load())
+		c.AddSeeks(ss.seeks.Load())
+		c.Attr("pats", describeStep(stp))
+		if stp.kind != opNested {
+			c.AttrInt("cursors", int64(len(stp.pats)))
+			c.Attr("join_var", vars[stp.joinVar])
+			c.AttrInt("nexts", ss.nexts.Load())
+		} else if n := ss.scanned.Load(); n > 0 {
+			c.AttrInt("scanned", n)
+		}
+		c.Attr("busy", "sum") // summed worker time, not wall time
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"rdfcube/internal/bgp"
 	"rdfcube/internal/core"
 	"rdfcube/internal/dict"
+	"rdfcube/internal/obs"
 	"rdfcube/internal/rdf"
 	"rdfcube/internal/sparql"
 	"rdfcube/internal/store"
@@ -103,7 +104,9 @@ func NewCtx(ctx context.Context, ev *core.Evaluator, q *core.Query) (*Maintained
 	}
 	mp.mbarQ = mbarQuery(q)
 
-	c, err := ev.WithContext(ctx).EvalClassifier(q)
+	cCtx, cSpan := obs.StartSpan(ctx, "incr.classifier")
+	c, err := ev.WithContext(cCtx).EvalClassifier(q)
+	cSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +116,9 @@ func NewCtx(ctx context.Context, ev *core.Evaluator, q *core.Query) (*Maintained
 	}
 
 	// Evaluate m̄ once; each embedding becomes one keyed measure tuple.
-	res, err := bgp.EvalCtx(ctx, mp.inst, mp.mbarQ, bgp.Options{Distinct: true, KeepAllVars: true})
+	mCtx, mSpan := obs.StartSpan(ctx, "incr.measure")
+	res, err := bgp.EvalCtx(mCtx, mp.inst, mp.mbarQ, bgp.Options{Distinct: true, KeepAllVars: true})
+	mSpan.End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent hammers one striped counter from many
+// goroutines; the summed value must be exact. Run under -race this also
+// proves the hot path is synchronization-clean.
+func TestCounterConcurrent(t *testing.T) {
+	c := newCounter()
+	const workers, perWorker = 16, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestHistogramConcurrent checks count/sum/max exactness under
+// concurrent observation, and that the bucket snapshot is internally
+// consistent.
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram()
+	const workers, perWorker = 8, 5_000
+	const obsNs = 10_000 // one fixed value keeps sum/max exactly checkable
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(obsNs)
+			}
+		}()
+	}
+	wg.Wait()
+	const n = workers * perWorker
+	if got := h.Count(); got != n {
+		t.Fatalf("count = %d, want %d", got, n)
+	}
+	if got := h.Sum(); got != n*obsNs {
+		t.Fatalf("sum = %d, want %d", got, n*obsNs)
+	}
+	if got := h.Max(); got != obsNs {
+		t.Fatalf("max = %d, want %d", got, obsNs)
+	}
+	buckets, count, _ := h.snapshot()
+	var total int64
+	for _, b := range buckets {
+		total += b
+	}
+	if total != count {
+		t.Fatalf("bucket total %d != count %d", total, count)
+	}
+}
+
+// TestBucketIdx pins the bucket layout: values land in the smallest
+// bucket whose bound covers them, and past 2^histMaxExp they overflow.
+func TestBucketIdx(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{1 << histMinExp, 0},       // exactly the first bound: inclusive
+		{1<<histMinExp + 1, 1},     // one past: next bucket
+		{1 << (histMinExp + 3), 3}, // exact power of two stays in its bucket
+		{1 << histMaxExp, histNumFinite - 1},
+		{1<<histMaxExp + 1, histNumFinite}, // overflow → +Inf
+	}
+	for _, c := range cases {
+		if got := bucketIdx(c.ns); got != c.want {
+			t.Errorf("bucketIdx(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	for i := 0; i < histNumFinite; i++ {
+		if got := bucketIdx(bucketBound(i)); got != i {
+			t.Errorf("bound %d maps to bucket %d, want %d", bucketBound(i), got, i)
+		}
+	}
+}
+
+// TestHistogramQuantile: quantiles interpolate inside the covering
+// bucket, so they must bracket the true value by that bucket's bounds.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %d, want 0", got)
+	}
+	const v = 5_000 // bucket (4096, 8192]
+	for i := 0; i < 1000; i++ {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if got <= 4096 || got > 8192 {
+			t.Errorf("p%v = %d, want in (4096, 8192]", q*100, got)
+		}
+	}
+	// An observation past the finite range lands in +Inf; the top
+	// quantile falls back to the tracked max.
+	huge := int64(1)<<histMaxExp + 12345
+	h.Observe(huge)
+	if got := h.Quantile(1.0); got != huge {
+		t.Errorf("p100 = %d, want max %d", got, huge)
+	}
+}
+
+// TestNilCollectors: every collector method must be a nil-receiver
+// no-op, so optional instrumentation never branches.
+func TestNilCollectors(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter value != 0")
+	}
+	var g *Gauge
+	g.Inc()
+	g.Dec()
+	g.Set(7)
+	if g.Value() != 0 {
+		t.Error("nil gauge value != 0")
+	}
+	var h *Histogram
+	h.Observe(100)
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram reported data")
+	}
+	var gf *GaugeFunc
+	if gf.Value() != 0 {
+		t.Error("nil gaugefunc value != 0")
+	}
+}
+
+// TestRegistryIdempotent: registering the same (name, labels) returns
+// the same collector — the property WAL/viewreg handle swaps rely on to
+// keep accumulating into one process-wide series.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", "k", "v")
+	b := r.Counter("x_total", "help", "k", "v")
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	other := r.Counter("x_total", "help", "k", "w")
+	if other == a {
+		t.Error("distinct labels returned the same counter")
+	}
+	h1 := r.Histogram("y_seconds", "help")
+	h2 := r.Histogram("y_seconds", "help")
+	if h1 != h2 {
+		t.Error("same histogram name returned distinct histograms")
+	}
+}
+
+// TestRegistryKindMismatch: one name, two kinds is a wiring bug and
+// must panic loudly at registration, not corrupt the exposition.
+func TestRegistryKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("z_total", "help")
+}
+
+// TestGaugeFuncReplace: re-registering a GaugeFunc must replace the
+// callback — the freshest owner (a swapped view registry) wins.
+func TestGaugeFuncReplace(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("live", "help", func() float64 { return 1 })
+	r.GaugeFunc("live", "help", func() float64 { return 2 })
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "\nlive 2\n") {
+		t.Fatalf("exposition lacks \"live 2\" after GaugeFunc replacement:\n%s", b.String())
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4), written by hand:
+// one # HELP and # TYPE header per family, then one sample line per
+// series — histograms expand into cumulative _bucket lines plus _sum
+// and _count. Families appear in registration order (stable across
+// scrapes of one process); series within a family likewise.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type of the exposition.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		r.mu.Lock()
+		order := append([]string(nil), f.order...)
+		ss := make([]*series, len(order))
+		for i, ls := range order {
+			ss[i] = f.series[ls]
+		}
+		help, kind := f.help, f.kind
+		r.mu.Unlock()
+		if help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, kind)
+		for _, s := range ss {
+			switch kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.g.Value())
+			case kindGaugeFunc:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, formatFloat(s.gf.Value()))
+			case kindHistogram:
+				writeHistogram(bw, f.name, s.labels, s.h)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// le bounds in seconds, then _sum (seconds) and _count.
+func writeHistogram(w *bufio.Writer, name, labels string, h *Histogram) {
+	buckets, count, sum := h.snapshot()
+	var cum int64
+	for i := 0; i < histNumFinite; i++ {
+		cum += buckets[i]
+		le := formatFloat(float64(bucketBound(i)) / 1e9)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, `le="`+le+`"`), cum)
+	}
+	cum += buckets[histNumFinite]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(float64(sum)/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, count)
+}
+
+// mergeLabels splices an extra label into a rendered label block.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// formatFloat renders a float the shortest way that round-trips,
+// avoiding exponent notation for the common magnitudes.
+func formatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	// The exposition format accepts exponents, but fixed notation is
+	// kinder to eyeballs and to naive line parsers in smoke tests.
+	if strings.ContainsAny(s, "eE") {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return s
+}
+
+// escapeHelp escapes backslash and newline in help text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,173 @@
+package obs
+
+// The metric registry: named families of collectors, each family one
+// metric name with a fixed type and any number of label sets.
+// Registration is idempotent — asking for an existing (name, labels)
+// pair returns the same collector — so subsystems that are recreated
+// (a view registry swapped by re-materialization, a WAL swapped by a
+// checkpoint) keep accumulating into the same process-wide series.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// metricKind discriminates the collector types of a family.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one collector with its label set.
+type series struct {
+	labels string // pre-rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	gf     *GaugeFunc
+	h      *Histogram
+}
+
+// family groups the series of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series // keyed by rendered labels
+	order  []string           // registration order of label keys, for stable output
+}
+
+// Registry is a set of named metrics. The zero value is not usable;
+// call NewRegistry. All methods are safe for concurrent use; the
+// internal lock is only held at registration and scrape, never by the
+// collectors themselves.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// renderLabels formats alternating key, value pairs as a Prometheus
+// label block, sorted by key. Odd trailing arguments panic — metric
+// wiring is programmer-controlled, not data-driven.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %v", kv))
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	out := "{"
+	for i, p := range pairs {
+		if i > 0 {
+			out += ","
+		}
+		out += p.k + `="` + escapeLabelValue(p.v) + `"`
+	}
+	return out + "}"
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline per the
+// exposition format.
+func escapeLabelValue(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// lookup returns (creating if needed) the series for (name, labels),
+// enforcing kind and help consistency.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []string) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+		r.families[name] = f
+		r.names = append(r.names, name)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	ls := renderLabels(labels)
+	s, ok := f.series[ls]
+	if !ok {
+		s = &series{labels: ls}
+		switch kind {
+		case kindCounter:
+			s.c = newCounter()
+		case kindGauge:
+			s.g = newGauge()
+		case kindHistogram:
+			s.h = newHistogram()
+		}
+		f.series[ls] = s
+		f.order = append(f.order, ls)
+	}
+	return s
+}
+
+// Counter registers (or finds) a counter. labels are alternating
+// key, value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.lookup(name, help, kindCounter, labels).c
+}
+
+// Gauge registers (or finds) a settable gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.lookup(name, help, kindGauge, labels).g
+}
+
+// GaugeFunc registers a gauge evaluated at scrape time. Re-registering
+// the same (name, labels) replaces the callback — the caller owning the
+// freshest state wins, which is what a server swapping its view
+// registry or serving instance needs.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	s := r.lookup(name, help, kindGaugeFunc, labels)
+	r.mu.Lock()
+	s.gf = &GaugeFunc{fn: fn}
+	r.mu.Unlock()
+}
+
+// Histogram registers (or finds) a nanosecond-duration histogram. By
+// convention the name should end in _seconds: the exposition divides
+// the recorded nanoseconds down to seconds.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	return r.lookup(name, help, kindHistogram, labels).h
+}

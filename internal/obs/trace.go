@@ -1,0 +1,396 @@
+package obs
+
+// Lightweight query tracing: a context-propagated span tree recording
+// per-stage timing and row/seek/byte counts through the request path.
+//
+// The design trades generality for cost: spans exist only while a
+// trace is active on the request's context. When tracing is off,
+// StartSpan is one context lookup returning a nil *Span, and every
+// *Span method is a nil-safe no-op — so the instrumentation can stay
+// compiled into every layer (server → viewreg → bgp → store → persist)
+// at ~zero cost.
+//
+// A Tracer owns a ring buffer of the most recently finished traces
+// (GET /debug/traces/last) and the slow-query log: a finished trace
+// whose root outlives the threshold is logged through slog with its
+// trace ID and per-stage breakdown.
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one stage of a trace. Counters are atomic because parallel
+// join workers may account into one span concurrently; children and
+// attrs are guarded by mu.
+type Span struct {
+	name  string
+	start time.Time
+	durNs atomic.Int64
+
+	rows  atomic.Int64
+	seeks atomic.Int64
+	bytes atomic.Int64
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string
+	Val string
+}
+
+type spanKey struct{}
+
+// StartSpan starts a child of the active span on ctx, if any. With no
+// active trace it returns (ctx, nil); the nil span swallows every
+// method, so callers never branch.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.NewChild(name)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SpanFromContext returns the active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// ContextWithSpan installs s as the active span (used by tracers and
+// tests; StartSpan is the usual entry point).
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// NewChild creates and attaches a started child span.
+func (s *Span) NewChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stamps the span's duration (idempotent: the first End wins).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.durNs.CompareAndSwap(0, time.Since(s.start).Nanoseconds())
+}
+
+// SetDurationNs overrides the duration — for spans that aggregate CPU
+// time across parallel workers rather than wall time.
+func (s *Span) SetDurationNs(ns int64) {
+	if s == nil {
+		return
+	}
+	s.durNs.Store(ns)
+}
+
+// Ended reports whether the span's duration has been stamped.
+func (s *Span) Ended() bool { return s != nil && s.durNs.Load() != 0 }
+
+// DurNs returns the stamped duration (0 while the span is open).
+func (s *Span) DurNs() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.durNs.Load()
+}
+
+// Attr annotates the span.
+func (s *Span) Attr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{key, val})
+	s.mu.Unlock()
+}
+
+// AttrInt annotates the span with an integer.
+func (s *Span) AttrInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.Attr(key, fmt.Sprintf("%d", v))
+}
+
+// AddRows, AddSeeks and AddBytes account row/seek/byte counts; safe
+// from parallel workers.
+func (s *Span) AddRows(n int64) {
+	if s != nil {
+		s.rows.Add(n)
+	}
+}
+func (s *Span) AddSeeks(n int64) {
+	if s != nil {
+		s.seeks.Add(n)
+	}
+}
+func (s *Span) AddBytes(n int64) {
+	if s != nil {
+		s.bytes.Add(n)
+	}
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SpanDump is the JSON rendering of a span subtree.
+type SpanDump struct {
+	Name     string            `json:"name"`
+	DurNs    int64             `json:"dur_ns"`
+	Rows     int64             `json:"rows,omitempty"`
+	Seeks    int64             `json:"seeks,omitempty"`
+	Bytes    int64             `json:"bytes,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanDump       `json:"children,omitempty"`
+}
+
+// Dump renders the span subtree. Open spans report the time elapsed so
+// far.
+func (s *Span) Dump() *SpanDump {
+	if s == nil {
+		return nil
+	}
+	d := &SpanDump{Name: s.name, DurNs: s.durNs.Load()}
+	if d.DurNs == 0 {
+		d.DurNs = time.Since(s.start).Nanoseconds()
+	}
+	d.Rows = s.rows.Load()
+	d.Seeks = s.seeks.Load()
+	d.Bytes = s.bytes.Load()
+	s.mu.Lock()
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			d.Attrs[a.Key] = a.Val
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		d.Children = append(d.Children, c.Dump())
+	}
+	return d
+}
+
+// Render pretty-prints the subtree, one span per line, indented by
+// depth — the human face of EXPLAIN ANALYZE and the slow-query log.
+func (d *SpanDump) Render() string {
+	var b []byte
+	d.render(&b, 0)
+	return string(b)
+}
+
+func (d *SpanDump) render(b *[]byte, depth int) {
+	if d == nil {
+		return
+	}
+	for i := 0; i < depth; i++ {
+		*b = append(*b, "  "...)
+	}
+	*b = append(*b, d.Name...)
+	*b = append(*b, fmt.Sprintf("  %.3fms", float64(d.DurNs)/1e6)...)
+	if d.Rows > 0 {
+		*b = append(*b, fmt.Sprintf("  rows=%d", d.Rows)...)
+	}
+	if d.Seeks > 0 {
+		*b = append(*b, fmt.Sprintf("  seeks=%d", d.Seeks)...)
+	}
+	if d.Bytes > 0 {
+		*b = append(*b, fmt.Sprintf("  bytes=%d", d.Bytes)...)
+	}
+	if len(d.Attrs) > 0 {
+		keys := make([]string, 0, len(d.Attrs))
+		for k := range d.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			*b = append(*b, fmt.Sprintf("  %s=%s", k, d.Attrs[k])...)
+		}
+	}
+	*b = append(*b, '\n')
+	for _, c := range d.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// Walk visits the dump tree depth-first.
+func (d *SpanDump) Walk(fn func(depth int, s *SpanDump)) {
+	d.walk(0, fn)
+}
+
+func (d *SpanDump) walk(depth int, fn func(int, *SpanDump)) {
+	if d == nil {
+		return
+	}
+	fn(depth, d)
+	for _, c := range d.Children {
+		c.walk(depth+1, fn)
+	}
+}
+
+// Trace is one request's span tree.
+type Trace struct {
+	ID   string
+	Root *Span
+}
+
+// TraceDump is the JSON rendering of a finished trace.
+type TraceDump struct {
+	ID   string    `json:"trace_id"`
+	Root *SpanDump `json:"root"`
+}
+
+// Dump renders the trace.
+func (t *Trace) Dump() *TraceDump {
+	if t == nil {
+		return nil
+	}
+	return &TraceDump{ID: t.ID, Root: t.Root.Dump()}
+}
+
+// traceSeq feeds trace IDs; combined with the start timestamp the IDs
+// are unique per process and sortable-ish across restarts.
+var traceSeq atomic.Uint64
+
+// newTraceID returns a 16-hex-digit trace ID.
+func newTraceID() string {
+	seq := traceSeq.Add(1)
+	return fmt.Sprintf("%012x%04x", uint64(time.Now().UnixNano()/1000)&0xffffffffffff, seq&0xffff)
+}
+
+// Tracer decides when traces exist and keeps the recent ones. The zero
+// value is usable: tracing off, no slow log, ring of defaultRingSize.
+type Tracer struct {
+	enabled atomic.Bool
+	slowNs  atomic.Int64
+	logger  atomic.Pointer[slog.Logger]
+
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+	size int
+
+	// Slow counts traces past the threshold; Started counts traces.
+	Slow    atomic.Int64
+	Started atomic.Int64
+}
+
+const defaultRingSize = 16
+
+// SetEnabled turns always-on tracing on or off. Explicitly requested
+// traces (Force) work either way.
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether every request is traced.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// SetSlowThreshold arms the slow-query log: finished traces whose root
+// exceeds d are logged. Zero disables.
+func (t *Tracer) SetSlowThreshold(d time.Duration) { t.slowNs.Store(d.Nanoseconds()) }
+
+// SlowThresholdNs returns the armed threshold (0 = off).
+func (t *Tracer) SlowThresholdNs() int64 { return t.slowNs.Load() }
+
+// SetLogger sets the slow-query slog destination.
+func (t *Tracer) SetLogger(l *slog.Logger) { t.logger.Store(l) }
+
+// ShouldTrace reports whether a new request should carry a trace: the
+// always-on flag, or an armed slow-query threshold (the trace is the
+// evidence the log wants to print).
+func (t *Tracer) ShouldTrace() bool {
+	return t.enabled.Load() || t.slowNs.Load() > 0
+}
+
+// Start begins a trace rooted at name and installs it on ctx.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Trace) {
+	root := &Span{name: name, start: time.Now()}
+	tr := &Trace{ID: newTraceID(), Root: root}
+	t.Started.Add(1)
+	return ContextWithSpan(ctx, root), tr
+}
+
+// Finish ends the trace's root span, records it in the ring, and logs
+// it when slow. extra attrs (endpoint, status, error) join the log
+// line. It reports whether the trace crossed the slow threshold.
+func (t *Tracer) Finish(tr *Trace, extra ...slog.Attr) bool {
+	if tr == nil {
+		return false
+	}
+	tr.Root.End()
+	t.mu.Lock()
+	if t.size == 0 {
+		t.size = defaultRingSize
+	}
+	if len(t.ring) < t.size {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.next] = tr
+	}
+	t.next = (t.next + 1) % t.size
+	t.mu.Unlock()
+
+	slow := t.slowNs.Load()
+	if slow > 0 && tr.Root.DurNs() >= slow {
+		t.Slow.Add(1)
+		if l := t.logger.Load(); l != nil {
+			attrs := append([]slog.Attr{
+				slog.String("trace_id", tr.ID),
+				slog.Duration("elapsed", time.Duration(tr.Root.DurNs())),
+				slog.String("stages", tr.Root.Dump().Render()),
+			}, extra...)
+			l.LogAttrs(context.Background(), slog.LevelWarn, "slow query", attrs...)
+		}
+		return true
+	}
+	return false
+}
+
+// Last returns up to n recently finished traces, newest first.
+func (t *Tracer) Last(n int) []*TraceDump {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := len(t.ring)
+	if total == 0 {
+		return nil
+	}
+	if n <= 0 || n > total {
+		n = total
+	}
+	out := make([]*TraceDump, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (t.next - 1 - i + 2*total) % total
+		if tr := t.ring[idx]; tr != nil {
+			out = append(out, tr.Dump())
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStartSpanWithoutTrace: on a bare context, StartSpan must return a
+// nil span whose every method is a no-op — the zero-cost-when-off
+// contract the instrumented layers rely on.
+func TestStartSpanWithoutTrace(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "stage")
+	if s != nil {
+		t.Fatal("StartSpan on an untraced context returned a live span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("StartSpan on an untraced context rewrapped the context")
+	}
+	// All nil-safe.
+	s.End()
+	s.Attr("k", "v")
+	s.AttrInt("n", 1)
+	s.AddRows(1)
+	s.AddSeeks(1)
+	s.AddBytes(1)
+	s.SetDurationNs(5)
+	if s.NewChild("c") != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if s.Dump() != nil {
+		t.Fatal("nil span produced a dump")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("bare context carries a span")
+	}
+}
+
+// TestSpanTree builds a trace through the context-propagation API and
+// checks the dumped tree: structure, counters, attrs, and that Render
+// indents children under parents.
+func TestSpanTree(t *testing.T) {
+	var tracer Tracer
+	ctx, tr := tracer.Start(context.Background(), "/query")
+	if tr == nil || tr.ID == "" {
+		t.Fatal("Start returned no trace / empty ID")
+	}
+	ctx1, plan := StartSpan(ctx, "bgp.plan")
+	plan.Attr("steps", "3")
+	plan.End()
+	_, eval := StartSpan(ctx1, "bgp.eval")
+	eval.AddRows(42)
+	eval.AddSeeks(7)
+	eval.End()
+	tracer.Finish(tr)
+	if !tr.Root.Ended() {
+		t.Fatal("Finish did not end the root span")
+	}
+
+	d := tr.Dump()
+	if d.Root.Name != "/query" || len(d.Root.Children) != 1 {
+		t.Fatalf("root = %q with %d children, want /query with 1", d.Root.Name, len(d.Root.Children))
+	}
+	p := d.Root.Children[0]
+	if p.Name != "bgp.plan" || p.Attrs["steps"] != "3" {
+		t.Fatalf("child 0 = %+v, want bgp.plan with steps=3", p)
+	}
+	if len(p.Children) != 1 || p.Children[0].Name != "bgp.eval" {
+		t.Fatalf("bgp.plan children = %+v, want [bgp.eval]", p.Children)
+	}
+	e := p.Children[0]
+	if e.Rows != 42 || e.Seeks != 7 {
+		t.Fatalf("bgp.eval rows/seeks = %d/%d, want 42/7", e.Rows, e.Seeks)
+	}
+
+	r := d.Root.Render()
+	if !strings.Contains(r, "/query") ||
+		!strings.Contains(r, "\n  bgp.plan") ||
+		!strings.Contains(r, "\n    bgp.eval") ||
+		!strings.Contains(r, "rows=42") {
+		t.Fatalf("render lacks the indented tree:\n%s", r)
+	}
+}
+
+// TestSpanEndIdempotent: the first End wins; SetDurationNs overrides.
+func TestSpanEndIdempotent(t *testing.T) {
+	var tracer Tracer
+	_, tr := tracer.Start(context.Background(), "q")
+	s := tr.Root.NewChild("stage")
+	time.Sleep(time.Millisecond)
+	s.End()
+	d1 := s.DurNs()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.DurNs() != d1 {
+		t.Fatal("second End re-stamped the duration")
+	}
+	s.SetDurationNs(123)
+	if s.DurNs() != 123 {
+		t.Fatal("SetDurationNs did not override")
+	}
+}
+
+// TestTracerRing: the ring keeps the most recent traces, newest first,
+// bounded by the default size.
+func TestTracerRing(t *testing.T) {
+	var tracer Tracer
+	const total = defaultRingSize + 5
+	for i := 0; i < total; i++ {
+		_, tr := tracer.Start(context.Background(), fmt.Sprintf("q%d", i))
+		tracer.Finish(tr)
+	}
+	last := tracer.Last(0)
+	if len(last) != defaultRingSize {
+		t.Fatalf("Last(0) = %d traces, want %d", len(last), defaultRingSize)
+	}
+	for i, d := range last {
+		want := fmt.Sprintf("q%d", total-1-i)
+		if d.Root.Name != want {
+			t.Fatalf("Last[%d] = %q, want %q", i, d.Root.Name, want)
+		}
+	}
+	if got := tracer.Last(3); len(got) != 3 || got[0].Root.Name != fmt.Sprintf("q%d", total-1) {
+		t.Fatalf("Last(3) = %v", got)
+	}
+	if got := tracer.Started.Load(); got != total {
+		t.Fatalf("Started = %d, want %d", got, total)
+	}
+}
+
+// TestSlowQueryLog: a finished trace past the threshold must land in
+// the slog destination with its trace ID and rendered stages, and
+// Finish must report it slow.
+func TestSlowQueryLog(t *testing.T) {
+	var tracer Tracer
+	tracer.SetSlowThreshold(time.Nanosecond)
+	var buf bytes.Buffer
+	tracer.SetLogger(slog.New(slog.NewJSONHandler(&buf, nil)))
+	if !tracer.ShouldTrace() {
+		t.Fatal("armed slow threshold did not enable tracing")
+	}
+
+	ctx, tr := tracer.Start(context.Background(), "/query")
+	_, s := StartSpan(ctx, "viewreg.answer")
+	s.AddRows(9)
+	s.End()
+	time.Sleep(time.Millisecond)
+	if !tracer.Finish(tr, slog.String("endpoint", "/query")) {
+		t.Fatal("Finish did not report the trace as slow")
+	}
+	if tracer.Slow.Load() != 1 {
+		t.Fatalf("Slow = %d, want 1", tracer.Slow.Load())
+	}
+	out := buf.String()
+	for _, want := range []string{"slow query", tr.ID, "viewreg.answer", `"endpoint":"/query"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slow log lacks %q:\n%s", want, out)
+		}
+	}
+
+	// Under the threshold (or with none armed) nothing is logged.
+	buf.Reset()
+	tracer.SetSlowThreshold(time.Hour)
+	_, tr2 := tracer.Start(context.Background(), "/query")
+	if tracer.Finish(tr2) {
+		t.Fatal("fast trace reported slow")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("fast trace logged: %s", buf.String())
+	}
+}
+
+// TestTracerDisabledByDefault: the zero Tracer traces nothing.
+func TestTracerDisabledByDefault(t *testing.T) {
+	var tracer Tracer
+	if tracer.ShouldTrace() {
+		t.Fatal("zero tracer wants to trace")
+	}
+	tracer.SetEnabled(true)
+	if !tracer.ShouldTrace() {
+		t.Fatal("enabled tracer refuses to trace")
+	}
+}

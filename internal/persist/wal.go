@@ -24,9 +24,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"rdfcube/internal/dict"
 	"rdfcube/internal/faultfs"
+	"rdfcube/internal/obs"
 	"rdfcube/internal/rdf"
 )
 
@@ -58,6 +60,23 @@ type Batch struct {
 	Triples []Triple
 }
 
+// WALMetrics receives the log's write-path observations. The collectors
+// come from an obs.Registry owned by the caller (the server), which
+// re-arms a fresh WAL after every checkpoint swap — the registry's
+// idempotent registration keeps the series continuous across swaps.
+// Any field may be nil (obs collectors are nil-safe).
+type WALMetrics struct {
+	// AppendSeconds observes the full append latency per batch: encode,
+	// write and fsync. SyncSeconds observes the fsync portion alone, so
+	// the gap between the two is the cheap in-memory work.
+	AppendSeconds *obs.Histogram
+	SyncSeconds   *obs.Histogram
+	// AppendedBytes counts record bytes durably appended; AppendErrors
+	// counts failed appends (rolled back or log marked broken).
+	AppendedBytes *obs.Counter
+	AppendErrors  *obs.Counter
+}
+
 // WAL is an append-only, fsync-per-batch delta log.
 type WAL struct {
 	path    string
@@ -66,11 +85,16 @@ type WAL struct {
 	epoch   uint64
 	batches int64
 	bytes   int64
+	m       *WALMetrics
 	// broken marks a log whose tail could not be rolled back after a
 	// failed append: further appends would land beyond torn bytes and be
 	// silently dropped by the next replay, so they are refused instead.
 	broken bool
 }
+
+// SetMetrics arms (or, with nil, disarms) write-path metrics. Call it
+// before concurrent use; the WAL itself is single-writer.
+func (w *WAL) SetMetrics(m *WALMetrics) { w.m = m }
 
 // CreateWAL creates (or truncates) the log at path for the given base
 // epoch.
@@ -258,7 +282,12 @@ func intactRecordAt(f faultfs.File, off, size int64) bool {
 // the rollback fails, the log refuses further appends.
 func (w *WAL) Append(b Batch) error {
 	if w.broken {
+		w.m.countError()
 		return fmt.Errorf("wal %s: refusing append after unrecoverable write failure", w.path)
+	}
+	var start time.Time
+	if w.m != nil {
+		start = time.Now()
 	}
 	var e Enc
 	e.Uvarint(uint64(b.DictLen))
@@ -279,9 +308,17 @@ func (w *WAL) Append(b Batch) error {
 	copy(rec[8:], payload)
 	_, werr := w.f.Write(rec)
 	if werr == nil {
+		var syncStart time.Time
+		if w.m != nil {
+			syncStart = time.Now()
+		}
 		werr = w.f.Sync()
+		if werr == nil && w.m != nil {
+			w.m.SyncSeconds.Observe(time.Since(syncStart).Nanoseconds())
+		}
 	}
 	if werr != nil {
+		w.m.countError()
 		if terr := w.f.Truncate(w.bytes); terr == nil {
 			if _, serr := w.f.Seek(w.bytes, io.SeekStart); serr != nil {
 				w.broken = true
@@ -293,7 +330,19 @@ func (w *WAL) Append(b Batch) error {
 	}
 	w.batches++
 	w.bytes += int64(len(rec))
+	if w.m != nil {
+		w.m.AppendSeconds.Observe(time.Since(start).Nanoseconds())
+		w.m.AppendedBytes.Add(int64(len(rec)))
+	}
 	return nil
+}
+
+// countError bumps the append-error counter (nil-safe on the metrics
+// struct itself, not just its fields).
+func (m *WALMetrics) countError() {
+	if m != nil {
+		m.AppendErrors.Inc()
+	}
 }
 
 func decodeBatch(payload []byte) (Batch, error) {

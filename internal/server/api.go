@@ -13,6 +13,7 @@ import (
 	"rdfcube/internal/ans"
 	"rdfcube/internal/core"
 	"rdfcube/internal/dict"
+	"rdfcube/internal/obs"
 	"rdfcube/internal/rdf"
 	"rdfcube/internal/sparql"
 	"rdfcube/internal/viewreg"
@@ -65,6 +66,11 @@ type QueryResponse struct {
 	Rows      [][]string `json:"rows"`
 	Cells     int        `json:"cells"`
 	ElapsedNs int64      `json:"elapsed_ns"`
+	// TraceID and Explain are set by ?explain=analyze: the request's
+	// finished span tree (per-operator timings, rows, seeks). The
+	// result rows above are unaffected by explaining.
+	TraceID string        `json:"trace_id,omitempty"`
+	Explain *obs.SpanDump `json:"explain,omitempty"`
 }
 
 // LoadResponse reports a data load.
@@ -237,6 +243,9 @@ type EndpointStats struct {
 	MaxNs    int64 `json:"max_ns"`
 	AvgNs    int64 `json:"avg_ns"`
 	LastNs   int64 `json:"last_ns"`
+	P50Ns    int64 `json:"p50_ns"`
+	P90Ns    int64 `json:"p90_ns"`
+	P99Ns    int64 `json:"p99_ns"`
 	InFlight int64 `json:"in_flight"`
 }
 

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfcube/internal/obs"
+	"rdfcube/internal/store"
+)
+
+// findSpan walks a dumped span tree for the first span named name.
+func findSpan(d *obs.SpanDump, name string) *obs.SpanDump {
+	var found *obs.SpanDump
+	d.Walk(func(_ int, s *obs.SpanDump) {
+		if found == nil && s.Name == name {
+			found = s
+		}
+	})
+	return found
+}
+
+// TestExplainAnalyze drives ?explain=analyze on the registry path and
+// checks both halves of its contract: the span tree shows the pipeline
+// (viewreg → bgp evaluation → render) with row counts matching the
+// result cardinality, and the result rows are byte-identical to the
+// same query answered without explain.
+func TestExplainAnalyze(t *testing.T) {
+	srv := New(starGraph(30), Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Explain first: the first registry-path answer runs the full bgp
+	// evaluation (later ones may serve from the registered view, which
+	// would legitimately skip the eval spans).
+	req := slowStarQuery(false)
+	var explained QueryResponse
+	if st, body := postJSON(t, ts.Client(), ts.URL+"/query?explain=analyze", req, &explained); st != http.StatusOK {
+		t.Fatalf("explain query: status %d body %s", st, body)
+	}
+	var plain QueryResponse
+	if st, body := postJSON(t, ts.Client(), ts.URL+"/query", req, &plain); st != http.StatusOK {
+		t.Fatalf("plain query: status %d body %s", st, body)
+	}
+
+	// Explain only observes: same columns, same rows, same cardinality.
+	if !reflect.DeepEqual(explained.Cols, plain.Cols) ||
+		!reflect.DeepEqual(explained.Rows, plain.Rows) ||
+		explained.Cells != plain.Cells {
+		t.Fatalf("explain changed the result:\nexplained %+v\nplain %+v", explained, plain)
+	}
+	if len(explained.Rows) == 0 {
+		t.Fatal("star query returned no rows; the span assertions below would be vacuous")
+	}
+	if explained.TraceID == "" || explained.Explain == nil {
+		t.Fatalf("explain response lacks trace: id=%q explain=%v", explained.TraceID, explained.Explain)
+	}
+	if plain.TraceID != "" || plain.Explain != nil {
+		t.Fatal("plain response carries trace fields")
+	}
+
+	root := explained.Explain
+	if root.Name != "/query" || root.DurNs <= 0 {
+		t.Fatalf("root span = %q dur %d, want /query with positive duration", root.Name, root.DurNs)
+	}
+	answer := findSpan(root, "viewreg.answer")
+	if answer == nil {
+		t.Fatalf("no viewreg.answer span in tree:\n%s", root.Render())
+	}
+	if answer.Rows != int64(explained.Cells) {
+		t.Errorf("viewreg.answer rows = %d, want result cardinality %d", answer.Rows, explained.Cells)
+	}
+	eval := findSpan(answer, "bgp.eval")
+	if eval == nil {
+		t.Fatalf("no bgp.eval span nested under viewreg.answer:\n%s", root.Render())
+	}
+	if len(eval.Children) == 0 {
+		t.Errorf("bgp.eval span has no per-step children:\n%s", root.Render())
+	}
+	if findSpan(root, "render") == nil {
+		t.Errorf("no render span in tree:\n%s", root.Render())
+	}
+}
+
+// TestMetricsEndpoint scrapes GET /metrics after traffic and validates
+// the exposition: parseable, right content type, and the request/query
+// histograms actually moved.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := New(starGraph(10), Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 2; i++ {
+		if st, body := postJSON(t, ts.Client(), ts.URL+"/query", fastStarQuery(), &QueryResponse{}); st != http.StatusOK {
+			t.Fatalf("query %d: status %d body %s", i, st, body)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != obs.ContentType {
+		t.Fatalf("content type = %q, want %q", got, obs.ContentType)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := obs.ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`rdfcube_http_requests_total{route="/query"} 2`,
+		`rdfcube_http_request_seconds_count{route="/query"} 2`,
+		`rdfcube_query_seconds_count{strategy="direct"} 2`,
+		"rdfcube_uptime_seconds ",
+		"rdfcube_degraded 0",
+		`rdfcube_graph_triples{graph="instance"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTraceRingOn504: under TraceAll, a query killed by the server-side
+// deadline must still finish its trace — the root span lands in the
+// ring ended, retrievable via /debug/traces/last.
+func TestTraceRingOn504(t *testing.T) {
+	srv := New(starGraph(1500), Config{TraceAll: true, QueryTimeout: 3 * time.Millisecond})
+	w := httptest.NewRecorder()
+	status, err := srv.handleQuery(w, queryHTTPRequest(t, context.Background(), slowStarQuery(true)))
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (err %v), want 504", status, err)
+	}
+
+	rec := httptest.NewRecorder()
+	r := httptest.NewRequest(http.MethodGet, "/debug/traces/last?n=1", nil)
+	if st, err := srv.handleTraces(rec, r); st != http.StatusOK || err != nil {
+		t.Fatalf("handleTraces: status %d err %v", st, err)
+	}
+	var traces []obs.TraceDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &traces); err != nil {
+		t.Fatalf("unmarshal traces: %v (body %s)", err, rec.Body.String())
+	}
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.ID == "" || tr.Root == nil || tr.Root.Name != "/query" {
+		t.Fatalf("trace = %+v, want rooted at /query with an ID", tr)
+	}
+	if tr.Root.DurNs <= 0 {
+		t.Fatal("cancelled query's root span was not ended")
+	}
+	if got := srv.Tracer().Started.Load(); got != 1 {
+		t.Fatalf("Started = %d, want 1", got)
+	}
+}
+
+// TestTracesEndpointEmpty: with no traffic the endpoint returns an
+// empty JSON array, not null.
+func TestTracesEndpointEmpty(t *testing.T) {
+	srv := New(store.New(), Config{})
+	rec := httptest.NewRecorder()
+	r := httptest.NewRequest(http.MethodGet, "/debug/traces/last", nil)
+	if st, err := srv.handleTraces(rec, r); st != http.StatusOK || err != nil {
+		t.Fatalf("handleTraces: status %d err %v", st, err)
+	}
+	if got := strings.TrimSpace(rec.Body.String()); got != "[]" {
+		t.Fatalf("empty ring rendered %q, want []", got)
+	}
+}
+
+// TestStatszQuantiles: /statsz derives its per-endpoint percentiles
+// from the same histograms /metrics exposes.
+func TestStatszQuantiles(t *testing.T) {
+	srv := New(starGraph(10), Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 3; i++ {
+		if st, body := postJSON(t, ts.Client(), ts.URL+"/query", fastStarQuery(), &QueryResponse{}); st != http.StatusOK {
+			t.Fatalf("query %d: status %d body %s", i, st, body)
+		}
+	}
+	resp, err := ts.Client().Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	ep, ok := stats.Endpoints["/query"]
+	if !ok {
+		t.Fatalf("no /query endpoint stats: %+v", stats.Endpoints)
+	}
+	if ep.Count != 3 || ep.Errors != 0 {
+		t.Fatalf("count/errors = %d/%d, want 3/0", ep.Count, ep.Errors)
+	}
+	if ep.P50Ns <= 0 || ep.P90Ns < ep.P50Ns || ep.P99Ns < ep.P90Ns {
+		t.Fatalf("quantiles not ordered: p50=%d p90=%d p99=%d", ep.P50Ns, ep.P90Ns, ep.P99Ns)
+	}
+	if ep.MaxNs < ep.LastNs || ep.TotalNs <= 0 {
+		t.Fatalf("max/last/total inconsistent: max=%d last=%d total=%d", ep.MaxNs, ep.LastNs, ep.TotalNs)
+	}
+}
+
+// TestWriteJSONEncodeError: an unencodable response body must be
+// counted and logged instead of silently dropped.
+func TestWriteJSONEncodeError(t *testing.T) {
+	var logBuf bytes.Buffer
+	srv := New(store.New(), Config{Logger: slog.New(slog.NewJSONHandler(&logBuf, nil))})
+	rec := httptest.NewRecorder()
+	srv.writeJSON(rec, http.StatusOK, make(chan int)) // channels cannot marshal
+	if got := srv.met.jsonErrors.Value(); got != 1 {
+		t.Fatalf("encode errors = %d, want 1", got)
+	}
+	if !strings.Contains(logBuf.String(), "response encode failed") {
+		t.Fatalf("no encode-failure log line: %s", logBuf.String())
+	}
+}
+
+// TestSlowQueryLogWiring: Config.SlowQuery arms the tracer end to end —
+// a query past the threshold is logged with its trace ID and counted.
+func TestSlowQueryLogWiring(t *testing.T) {
+	var logBuf bytes.Buffer
+	srv := New(starGraph(10), Config{
+		SlowQuery: time.Nanosecond, // everything is slow
+		Logger:    slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+	w := httptest.NewRecorder()
+	if st, err := srv.handleQuery(w, queryHTTPRequest(t, context.Background(), fastStarQuery())); st != http.StatusOK {
+		t.Fatalf("query: status %d err %v", st, err)
+	}
+	if got := srv.met.querySlo.Value(); got != 1 {
+		t.Fatalf("slow query counter = %d, want 1", got)
+	}
+	out := logBuf.String()
+	for _, want := range []string{"slow query", "trace_id", `"endpoint":"/query"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slow log lacks %q:\n%s", want, out)
+		}
+	}
+}

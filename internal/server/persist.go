@@ -27,8 +27,10 @@ package server
 // dataset.
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -36,6 +38,7 @@ import (
 
 	"rdfcube/internal/dict"
 	"rdfcube/internal/faultfs"
+	"rdfcube/internal/obs"
 	"rdfcube/internal/persist"
 	"rdfcube/internal/store"
 )
@@ -121,6 +124,7 @@ func Open(seed *store.Store, cfg Config) (*Server, error) {
 		d.instWALDict = inst.Dict().Len()
 		srv.installInstance(inst)
 	}
+	srv.armWALMetrics()
 
 	// Warm the registry from the view snapshot, if one lines up with the
 	// recovered instance. A corrupt or mismatched view snapshot only
@@ -131,6 +135,15 @@ func Open(seed *store.Store, cfg Config) (*Server, error) {
 		f.Close()
 		d.recoveredViews = int64(n)
 	}
+
+	d.mu.Lock()
+	srv.slog().Info("recovered durable state",
+		slog.String("data_dir", d.dir),
+		slog.Bool("from_snapshot", d.recoveredSnap),
+		slog.Int64("replayed_batches", d.recoveredBatches),
+		slog.Int64("replayed_triples", d.recoveredTriples),
+		slog.Int64("recovered_views", d.recoveredViews))
+	d.mu.Unlock()
 
 	// Converge: a fresh directory checkpoints immediately, so recovery
 	// never depends on the seed file staying byte-identical (WAL term
@@ -244,7 +257,7 @@ func (s *Server) walDictFor(g *store.Store) *int {
 // epoch (threshold compaction, map-mode writes, freeze) checkpoints
 // instead — which also truncates the log across the base move, so it
 // cannot grow unboundedly.
-func (s *Server) logWrite(g *store.Store, before store.Version) error {
+func (s *Server) logWrite(ctx context.Context, g *store.Store, before store.Version) error {
 	if !s.durable() {
 		return nil
 	}
@@ -254,7 +267,10 @@ func (s *Server) logWrite(g *store.Store, before store.Version) error {
 	}
 	w := s.walFor(g)
 	if after.Base != before.Base || !g.IsFrozen() || w == nil {
-		return s.checkpointLocked()
+		_, span := obs.StartSpan(ctx, "persist.checkpoint")
+		err := s.checkpointLocked()
+		span.End()
+		return err
 	}
 	durableDict := s.walDictFor(g)
 	batch := persist.Batch{
@@ -262,7 +278,12 @@ func (s *Server) logWrite(g *store.Store, before store.Version) error {
 		Terms:   g.Dict().TermsFrom(*durableDict),
 		Triples: toPersistTriples(g.DeltaSince(before.Seq)),
 	}
-	if err := w.Append(batch); err != nil {
+	_, span := obs.StartSpan(ctx, "wal.append")
+	span.AttrInt("triples", int64(len(batch.Triples)))
+	span.AttrInt("terms", int64(len(batch.Terms)))
+	err := w.Append(batch)
+	span.End()
+	if err != nil {
 		s.dur.mu.Lock()
 		s.dur.walFailures++
 		s.dur.mu.Unlock()
@@ -334,8 +355,25 @@ func (s *Server) checkpointLocked() error {
 		d.mu.Lock()
 		d.checkpointErrors++
 		d.mu.Unlock()
+		s.met.checkpointErrors.Inc()
 	}
 	return err
+}
+
+// armWALMetrics points the current WAL handles at the server's
+// append/fsync collectors. Must be re-run after every handle swap —
+// checkpoints replace the WALs with fresh ones holding only the delta
+// tail — or the new handles record nothing.
+func (s *Server) armWALMetrics() {
+	if s.dur == nil {
+		return
+	}
+	if s.dur.baseWAL != nil {
+		s.dur.baseWAL.SetMetrics(s.met.wal)
+	}
+	if s.dur.instWAL != nil {
+		s.dur.instWAL.SetMetrics(s.met.wal)
+	}
 }
 
 func (s *Server) checkpointFilesLocked() error {
@@ -368,9 +406,13 @@ func (s *Server) checkpointFilesLocked() error {
 	}); err != nil {
 		return &persist.ArtifactError{Path: d.path("views.snap"), Kind: "views", Err: err}
 	}
+	s.armWALMetrics() // the swaps above installed fresh WAL handles
+	elapsed := time.Since(t0).Nanoseconds()
+	s.met.checkpoints.Inc()
+	s.met.checkpointSec.Observe(elapsed)
 	d.mu.Lock()
 	d.checkpoints++
-	d.lastCheckpointNs = time.Since(t0).Nanoseconds()
+	d.lastCheckpointNs = elapsed
 	d.lastViews = views
 	d.mu.Unlock()
 	return nil

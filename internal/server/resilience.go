@@ -18,6 +18,7 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -61,6 +62,8 @@ func (s *Server) enterDegraded(reason string, err error) {
 	d.retries = 0
 	d.backoff = s.retryMin()
 	d.scheduleLocked(s)
+	attrs := append([]any{slog.String("reason", reason)}, artifactAttrs(err)...)
+	s.slog().Error("entering degraded read-only mode", attrs...)
 }
 
 // scheduleLocked arms the retry timer for the current backoff.
@@ -96,6 +99,8 @@ func (s *Server) retryDurability() {
 		d.active = false
 		d.reason, d.lastErr = "", ""
 		d.timer = nil
+		s.slog().Info("durability re-armed; leaving read-only mode",
+			slog.Int64("retries", d.retries))
 		return
 	}
 	d.lastErr = err.Error()
@@ -193,13 +198,13 @@ func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (func(), bool) 
 	case s.sem <- struct{}{}:
 		return func() { <-s.sem }, true
 	case <-t.C:
-		s.shed.Add(1)
+		s.met.shed.Inc()
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable,
+		s.writeJSON(w, http.StatusServiceUnavailable,
 			errorResponse{Error: "server at capacity: request queued past the admission timeout"})
 		return nil, false
 	case <-r.Context().Done():
-		s.shed.Add(1)
+		s.met.shed.Inc()
 		return nil, false // client gone; nothing to write
 	}
 }
@@ -208,7 +213,7 @@ func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (func(), bool) 
 // request pool is saturated — exactly when operators need them.
 func exemptFromAdmission(route string) bool {
 	switch route {
-	case "/healthz", "/readyz", "/statsz":
+	case "/healthz", "/readyz", "/statsz", "/metrics", "/debug/traces/last":
 		return true
 	}
 	return false
@@ -236,10 +241,10 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 // otherwise. Liveness (/healthz) is intentionally independent.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) (int, error) {
 	if deg, reason := s.Degraded(); deg {
-		writeJSON(w, http.StatusServiceUnavailable,
+		s.writeJSON(w, http.StatusServiceUnavailable,
 			map[string]string{"status": "degraded", "reason": reason})
 		return http.StatusServiceUnavailable, nil
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	return http.StatusOK, nil
 }

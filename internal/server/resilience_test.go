@@ -21,7 +21,7 @@ func TestPanicRecovery(t *testing.T) {
 	if w.Code != http.StatusInternalServerError {
 		t.Fatalf("panicking handler: status %d, want 500", w.Code)
 	}
-	if got := srv.panics.Load(); got != 1 {
+	if got := srv.met.panics.Value(); got != 1 {
 		t.Fatalf("panic counter = %d, want 1", got)
 	}
 	// The server keeps serving.
@@ -85,7 +85,7 @@ func TestAdmissionControl(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("shed 503 missing Retry-After")
 	}
-	if srv.shed.Load() == 0 {
+	if srv.met.shed.Value() == 0 {
 		t.Fatal("shed counter not incremented")
 	}
 

@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -53,6 +54,7 @@ import (
 	"rdfcube/internal/algebra"
 	"rdfcube/internal/faultfs"
 	"rdfcube/internal/nt"
+	"rdfcube/internal/obs"
 	"rdfcube/internal/rdf"
 	"rdfcube/internal/rdfs"
 	"rdfcube/internal/store"
@@ -99,6 +101,19 @@ type Config struct {
 	// durability re-arming (defaults 100ms / 5s).
 	RetryMin time.Duration
 	RetryMax time.Duration
+	// TraceAll traces every query: per-stage span trees through
+	// viewreg → bgp → store → persist, inspectable at GET
+	// /debug/traces/last. ?explain=analyze traces its own request
+	// regardless of this flag.
+	TraceAll bool
+	// SlowQuery arms the slow-query log: any query slower than this is
+	// logged (Warn) with its trace ID and per-stage breakdown. Arming
+	// it implies tracing every query — the trace is the log payload.
+	// Zero disables.
+	SlowQuery time.Duration
+	// Logger receives the server's structured logs; nil means
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 // Server is the HTTP facade over one base graph, one serving instance
@@ -121,26 +136,25 @@ type Server struct {
 	dur *durability
 
 	// Background compaction state: one in-flight compaction at a time,
-	// counted for /statsz; Close waits on the group so shutdown never
-	// races a checkpointing compaction.
-	compacting    atomic.Bool
-	compactWG     sync.WaitGroup
-	bgCompactions atomic.Int64
+	// counted in the metric registry; Close waits on the group so
+	// shutdown never races a checkpointing compaction.
+	compacting atomic.Bool
+	compactWG  sync.WaitGroup
 
-	// Resilience state (resilience.go): degraded read-only mode, the
-	// admission semaphore, and the shed/panic counters.
-	deg    degraded
-	sem    chan struct{}
-	shed   atomic.Int64
-	panics atomic.Int64
+	// Resilience state (resilience.go): degraded read-only mode and the
+	// admission semaphore. Shed/panic counts live in the registry.
+	deg degraded
+	sem chan struct{}
 
-	metricsMu sync.Mutex
-	metrics   map[string]*endpointMetrics
-}
-
-type endpointMetrics struct {
-	count, errors, totalNs, maxNs, lastNs int64
-	inFlight                              atomic.Int64
+	// Observability (obs.go): the metric registry every subsystem
+	// reports into, the per-route request collectors, the query tracer
+	// and the structured logger.
+	obs       *obs.Registry
+	tracer    *obs.Tracer
+	logger    *slog.Logger
+	met       serverMetrics
+	epMu      sync.Mutex
+	endpoints map[string]*endpointMetrics
 }
 
 // New returns a server over the given base graph (nil for an empty one).
@@ -153,15 +167,23 @@ func New(base *store.Store, cfg Config) *Server {
 		cfg.MaxBodyBytes = 1 << 30
 	}
 	s := &Server{
-		cfg:     cfg,
-		start:   time.Now(),
-		base:    base,
-		metrics: map[string]*endpointMetrics{},
+		cfg:       cfg,
+		start:     time.Now(),
+		base:      base,
+		logger:    cfg.Logger,
+		obs:       obs.NewRegistry(),
+		tracer:    &obs.Tracer{},
+		endpoints: map[string]*endpointMetrics{},
 	}
+	s.met = newServerMetrics(s.obs)
+	s.tracer.SetEnabled(cfg.TraceAll)
+	s.tracer.SetSlowThreshold(cfg.SlowQuery)
+	s.tracer.SetLogger(s.slog())
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
 	s.installInstance(base) // also applies the background-compaction mode
+	s.wireGauges()
 	return s
 }
 
@@ -198,7 +220,7 @@ func (s *Server) compactAsync(g *store.Store) {
 	if !g.InstallCompaction(pc) {
 		return
 	}
-	s.bgCompactions.Add(1)
+	s.met.bgCompactions.Inc()
 	if g == s.inst {
 		// The base epoch moved: sweep the registry eagerly, exactly as an
 		// inline compaction would have inside the write critical section.
@@ -227,6 +249,7 @@ func (s *Server) installInstance(inst *store.Store) {
 	s.reg = viewreg.New(inst, viewreg.Config{
 		MaxBytes:   s.cfg.MaxViewBytes,
 		MaxEntries: s.cfg.MaxViewEntries,
+		Metrics:    s.obs,
 	})
 }
 
@@ -249,6 +272,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /freeze", s.instrument("/freeze", s.handleFreeze))
 	mux.Handle("POST /query", s.instrument("/query", s.handleQuery))
 	mux.Handle("GET /statsz", s.instrument("/statsz", s.handleStatsz))
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.Handle("GET /debug/traces/last", s.instrument("/debug/traces/last", s.handleTraces))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	return mux
@@ -261,8 +286,13 @@ func (s *Server) Handler() http.Handler {
 type handlerFunc func(w http.ResponseWriter, r *http.Request) (int, error)
 
 // instrument wraps a handler with admission control, panic containment,
-// body capping, latency/error metrics and uniform error rendering.
+// body capping, latency/error metrics and uniform error rendering. The
+// collectors are resolved once, at wiring time; the request path itself
+// takes no lock — counters are striped atomics, the histogram a fixed
+// bucket array (the old version funneled every request through one
+// process-wide mutex).
 func (s *Server) instrument(route string, h handlerFunc) http.Handler {
+	m := s.endpoint(route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !exemptFromAdmission(route) {
 			release, ok := s.acquire(w, r)
@@ -271,8 +301,7 @@ func (s *Server) instrument(route string, h handlerFunc) http.Handler {
 			}
 			defer release()
 		}
-		m := s.endpoint(route)
-		m.inFlight.Add(1)
+		m.inFlight.Inc()
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
@@ -286,10 +315,12 @@ func (s *Server) instrument(route string, h handlerFunc) http.Handler {
 			// s.mu, whose Unlock is deferred, and the stores append-only.
 			defer func() {
 				if p := recover(); p != nil {
-					s.panics.Add(1)
+					s.met.panics.Inc()
+					s.slog().Error("handler panic",
+						slog.String("route", route), slog.Any("panic", p))
 					status, err = 0, fmt.Errorf("panic: %v", p)
 					if !sw.wrote {
-						writeJSON(sw, http.StatusInternalServerError,
+						s.writeJSON(sw, http.StatusInternalServerError,
 							errorResponse{Error: fmt.Sprintf("internal error: %v", p)})
 					}
 				}
@@ -298,39 +329,16 @@ func (s *Server) instrument(route string, h handlerFunc) http.Handler {
 		}()
 		elapsed := time.Since(t0).Nanoseconds()
 		if err != nil && status != 0 {
-			writeJSON(sw, status, errorResponse{Error: err.Error()})
+			s.writeJSON(sw, status, errorResponse{Error: err.Error()})
 		}
-		s.metricsMu.Lock()
-		m.count++
+		m.count.Inc()
 		if err != nil {
-			m.errors++
+			m.errors.Inc()
 		}
-		m.totalNs += elapsed
-		m.lastNs = elapsed
-		if elapsed > m.maxNs {
-			m.maxNs = elapsed
-		}
-		s.metricsMu.Unlock()
-		m.inFlight.Add(-1)
+		m.latency.Observe(elapsed)
+		m.lastNs.Store(elapsed)
+		m.inFlight.Dec()
 	})
-}
-
-func (s *Server) endpoint(route string) *endpointMetrics {
-	s.metricsMu.Lock()
-	defer s.metricsMu.Unlock()
-	m, ok := s.metrics[route]
-	if !ok {
-		m = &endpointMetrics{}
-		s.metrics[route] = m
-	}
-	return m
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
 }
 
 // boolParam reads a query parameter as a boolean with a default.
@@ -413,11 +421,11 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) (int, error)
 		if err := s.checkpointLocked(); err != nil {
 			return s.failDurable(w, "checkpoint", err)
 		}
-	} else if err := s.logWrite(s.base, ver0); err != nil {
+	} else if err := s.logWrite(r.Context(), s.base, ver0); err != nil {
 		return s.failDurable(w, "wal append", err)
 	}
 	s.maybeCompact(s.base) // a ?freeze=0 load can fill the overlay
-	writeJSON(w, http.StatusOK, LoadResponse{
+	s.writeJSON(w, http.StatusOK, LoadResponse{
 		Added:   added,
 		Triples: s.base.Len(),
 		Frozen:  s.base.IsFrozen(),
@@ -441,6 +449,19 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, erro
 		return http.StatusBadRequest, err
 	}
 
+	// Writes are traced too (when armed): the spans cover the registry
+	// maintenance and the WAL append + fsync.
+	ctx := r.Context()
+	var tr *obs.Trace
+	if s.tracer.ShouldTrace() {
+		ctx, tr = s.tracer.Start(ctx, "/insert")
+		defer func() {
+			if s.tracer.Finish(tr, slog.String("endpoint", "/insert")) {
+				s.met.querySlo.Inc()
+			}
+		}()
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	target := s.inst
@@ -456,17 +477,23 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, erro
 	}
 	var maintained, invalidated int64
 	if added > 0 && target == s.inst {
+		nctx, nspan := obs.StartSpan(ctx, "viewreg.notify")
 		before := s.reg.Stats()
-		s.reg.NotifyWrite()
+		s.reg.NotifyWriteCtx(nctx)
 		after := s.reg.Stats()
 		maintained = after.Maintained - before.Maintained
 		invalidated = after.Invalidations - before.Invalidations
+		if nspan != nil {
+			nspan.AttrInt("maintained", maintained)
+			nspan.AttrInt("invalidated", invalidated)
+			nspan.End()
+		}
 	}
-	if err := s.logWrite(target, ver0); err != nil {
+	if err := s.logWrite(ctx, target, ver0); err != nil {
 		return s.failDurable(w, "wal append", err)
 	}
 	s.maybeCompact(target)
-	writeJSON(w, http.StatusOK, InsertResponse{
+	s.writeJSON(w, http.StatusOK, InsertResponse{
 		Added:       added,
 		Triples:     target.Len(),
 		Delta:       target.DeltaLen(),
@@ -499,7 +526,7 @@ func (s *Server) handleLoadSnapshot(w http.ResponseWriter, r *http.Request) (int
 	if err2 != nil {
 		return s.failDurable(w, "checkpoint", err2)
 	}
-	writeJSON(w, http.StatusOK, LoadResponse{Added: triples, Triples: triples, Frozen: true})
+	s.writeJSON(w, http.StatusOK, LoadResponse{Added: triples, Triples: triples, Frozen: true})
 	return http.StatusOK, nil
 }
 
@@ -558,7 +585,7 @@ func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) (int,
 			return s.failDurable(w, "checkpoint", err)
 		}
 	}
-	writeJSON(w, http.StatusOK, MaterializeResponse{
+	s.writeJSON(w, http.StatusOK, MaterializeResponse{
 		Name:            req.Name,
 		InstanceTriples: inst.Len(),
 		SaturationAdded: satAdded,
@@ -589,7 +616,7 @@ func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) (int, erro
 			return s.failDurable(w, "checkpoint", err)
 		}
 	}
-	writeJSON(w, http.StatusOK, LoadResponse{Triples: s.base.Len(), Frozen: true})
+	s.writeJSON(w, http.StatusOK, LoadResponse{Triples: s.base.Len(), Frozen: true})
 	return http.StatusOK, nil
 }
 
@@ -615,7 +642,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) (int, 
 		s.deg.reason, s.deg.lastErr = "", ""
 	}
 	s.deg.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
 }
 
@@ -641,6 +668,11 @@ func queryStatus(err error) int {
 // (or directly, when requested). The evaluation runs under the request
 // context, bounded by Config.QueryTimeout: a disconnecting client or an
 // elapsed deadline cancels the operator pipeline cooperatively.
+//
+// ?explain=analyze traces this request (regardless of Config.TraceAll)
+// and attaches the finished span tree — per-operator timings, row and
+// seek counts — to the response. The result rows are the ones the
+// evaluation produced either way; explain only observes.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, error) {
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -650,11 +682,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, error
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
+	explain := strings.EqualFold(r.URL.Query().Get("explain"), "analyze")
 	ctx := r.Context()
 	if s.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		defer cancel()
+	}
+	var tr *obs.Trace
+	if explain || s.tracer.ShouldTrace() {
+		ctx, tr = s.tracer.Start(ctx, "/query")
+	}
+	finish := func(attrs ...slog.Attr) {
+		if s.tracer.Finish(tr, attrs...) {
+			s.met.querySlo.Inc()
+		}
 	}
 
 	s.mu.RLock()
@@ -667,18 +709,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, error
 	if req.Direct {
 		c, err := s.reg.Evaluator().WithContext(ctx).Answer(q)
 		if err != nil {
-			return queryStatus(err), err
+			st := queryStatus(err)
+			finish(slog.String("endpoint", "/query"), slog.Int("status", st),
+				slog.String("err", err.Error()))
+			return st, err
 		}
 		cube, strategy = c, viewreg.StrategyDirect
 	} else {
 		c, strat, err := s.reg.AnswerCtx(ctx, q)
 		if err != nil {
-			return queryStatus(err), err
+			st := queryStatus(err)
+			finish(slog.String("endpoint", "/query"), slog.Int("status", st),
+				slog.String("err", err.Error()))
+			return st, err
 		}
 		cube, strategy = c, strat
 	}
+	_, rspan := obs.StartSpan(ctx, "render")
 	elapsed := time.Since(t0).Nanoseconds()
-	writeJSON(w, http.StatusOK, renderCube(cube, s.inst.Dict(), strategy, elapsed))
+	s.met.queries[strategy].Observe(elapsed)
+	resp := renderCube(cube, s.inst.Dict(), strategy, elapsed)
+	rspan.End()
+	finish(slog.String("endpoint", "/query"), slog.String("strategy", string(strategy)))
+	if explain && tr != nil {
+		dump := tr.Dump()
+		resp.TraceID = dump.ID
+		resp.Explain = dump.Root
+	}
+	s.writeJSONT(w, http.StatusOK, resp, tr)
 	return http.StatusOK, nil
 }
 
@@ -729,9 +787,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, erro
 			NegSkips:          rs.NegSkips,
 			Strategies:        strategies,
 		},
-		BackgroundCompactions: s.bgCompactions.Load(),
-		Panics:                s.panics.Load(),
-		Shed:                  s.shed.Load(),
+		BackgroundCompactions: s.met.bgCompactions.Value(),
+		Panics:                s.met.panics.Value(),
+		Shed:                  s.met.shed.Value(),
 		Endpoints:             map[string]EndpointStats{},
 	}
 	if s.durable() {
@@ -771,27 +829,39 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, erro
 		s.mu.RUnlock()
 		resp.Durability = ds
 	}
-	s.metricsMu.Lock()
-	for route, m := range s.metrics {
+	// /statsz is a JSON view over the same registry /metrics exposes:
+	// the per-endpoint numbers come straight from the lock-free
+	// collectors, with the histogram supplying the latency quantiles
+	// the old avg-only bookkeeping could not.
+	s.epMu.Lock()
+	routes := make(map[string]*endpointMetrics, len(s.endpoints))
+	for route, m := range s.endpoints {
+		routes[route] = m
+	}
+	s.epMu.Unlock()
+	for route, m := range routes {
+		count := m.count.Value()
 		es := EndpointStats{
-			Count:    m.count,
-			Errors:   m.errors,
-			TotalNs:  m.totalNs,
-			MaxNs:    m.maxNs,
-			LastNs:   m.lastNs,
-			InFlight: m.inFlight.Load(),
+			Count:    count,
+			Errors:   m.errors.Value(),
+			TotalNs:  m.latency.Sum(),
+			MaxNs:    m.latency.Max(),
+			LastNs:   m.lastNs.Load(),
+			P50Ns:    m.latency.Quantile(0.50),
+			P90Ns:    m.latency.Quantile(0.90),
+			P99Ns:    m.latency.Quantile(0.99),
+			InFlight: int64(m.inFlight.Value()),
 		}
-		if m.count > 0 {
-			es.AvgNs = m.totalNs / m.count
+		if count > 0 {
+			es.AvgNs = es.TotalNs / count
 		}
 		resp.Endpoints[route] = es
 	}
-	s.metricsMu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) (int, error) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	return http.StatusOK, nil
 }

@@ -59,6 +59,13 @@ type Cursor struct {
 	key       dict.ID
 	onBase    bool
 	exhausted bool
+
+	// Seeks and Nexts count the cursor's galloping seeks and single-step
+	// advances since construction — the per-operator access-path counts
+	// EXPLAIN ANALYZE reports. Plain ints: a cursor is single-goroutine
+	// by contract, and the increments cost nothing measurable.
+	Seeks int
+	Nexts int
 }
 
 // NewCursor returns a cursor over the triples matching pat, in the
@@ -116,6 +123,7 @@ func (c *Cursor) Next() {
 	if c.exhausted {
 		return
 	}
+	c.Nexts++
 	if c.onBase {
 		c.bpos++
 	} else {
@@ -132,6 +140,7 @@ func (c *Cursor) Seek(v dict.ID) {
 	if c.exhausted || c.key >= v {
 		return
 	}
+	c.Seeks++
 	c.bpos = gallopIDs(c.bcol, c.bpos, c.bhi, v)
 	c.dpos = c.gallopDelta(v)
 	c.settle()

@@ -51,10 +51,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"rdfcube/internal/algebra"
 	"rdfcube/internal/core"
 	"rdfcube/internal/incr"
+	"rdfcube/internal/obs"
 	"rdfcube/internal/store"
 )
 
@@ -84,6 +86,11 @@ type Config struct {
 	// MaxEntries additionally caps the entry count (the legacy
 	// session-manager bound).
 	MaxEntries int
+	// Metrics, when non-nil, receives the registry's process-wide
+	// counters (answers by strategy, evictions, maintenance, ...).
+	// Registration is idempotent in obs, so a server that swaps its
+	// registry keeps accumulating into the same series.
+	Metrics *obs.Registry
 }
 
 // entry is one registered materialization.
@@ -192,6 +199,10 @@ type Registry struct {
 	coalescedRw int64
 	maintained  int64
 	negSkips    int64
+
+	// mx mirrors the counters above into an obs.Registry (zero value =
+	// no-op; see metrics.go for the per-instance vs process-wide split).
+	mx regMetrics
 }
 
 // negMissCap bounds the negative cache; the map resets past it.
@@ -214,6 +225,7 @@ func New(inst *store.Store, cfg Config) *Registry {
 		rwFlight:   map[uint64]*rewriteFlight{},
 		stats:      map[Strategy]int64{},
 		negMiss:    map[uint64]uint64{},
+		mx:         wireMetrics(cfg.Metrics),
 	}
 }
 
@@ -299,9 +311,21 @@ func isCtxErr(err error) bool {
 // privately rather than inheriting the leader's error. Registry
 // maintenance (freshening stale views) deliberately stays off ctx: it
 // serves every future caller, not just this one.
-func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (*algebra.Relation, Strategy, error) {
+func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (out *algebra.Relation, strat Strategy, rerr error) {
 	if err := q.Validate(); err != nil {
 		return nil, "", err
+	}
+	ctx, span := obs.StartSpan(ctx, "viewreg.answer")
+	if span != nil {
+		defer func() {
+			if strat != "" {
+				span.Attr("strategy", string(strat))
+			}
+			if out != nil {
+				span.AddRows(int64(out.Len()))
+			}
+			span.End()
+		}()
 	}
 	fam := familyKey(q)
 	key := exactKey(fam, q)
@@ -322,13 +346,18 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (*algebra.Relat
 		r.mu.Lock()
 		if fl, ok := r.rwFlight[key]; ok && fl.epoch == epoch && sameAnswerShape(fl.query, q) {
 			r.coalescedRw++
+			r.mx.coalescedRw.Inc()
 			fl.waiters++
 			r.mu.Unlock()
+			wait := span.NewChild("viewreg.flight.wait")
+			wait.Attr("kind", "rewrite")
 			select {
 			case <-fl.done:
 			case <-ctx.Done():
+				wait.End()
 				return nil, "", ctx.Err()
 			}
+			wait.End()
 			if fl.cube != nil {
 				r.bump(fl.strategy)
 				// Each follower gets its own clone: the flight's copy is
@@ -348,8 +377,12 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (*algebra.Relat
 				rwStrat Strategy
 				rwErr   error
 			)
-			for _, e := range r.candidates(fam, ver) {
-				pres, ans, ok := r.freshen(e, ver)
+			scanSpan := span.NewChild("viewreg.rewrite.scan")
+			cands := r.candidates(fam, ver)
+			scanSpan.AttrInt("candidates", int64(len(cands)))
+			scanCtx := obs.ContextWithSpan(ctx, scanSpan) // nests maintenance under the scan
+			for _, e := range cands {
+				pres, ans, ok := r.freshen(scanCtx, e, ver)
 				if !ok {
 					continue
 				}
@@ -361,6 +394,7 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (*algebra.Relat
 					break
 				}
 			}
+			scanSpan.End()
 			r.mu.Lock()
 			if r.rwFlight[key] == fl {
 				delete(r.rwFlight, key)
@@ -404,6 +438,7 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (*algebra.Relat
 				r.lru.MoveToFront(e.elem)
 			}
 			r.stats[StrategyCached]++
+			r.mx.answers[StrategyCached].Inc()
 			cube := e.ans
 			r.mu.Unlock()
 			return cube, StrategyCached, nil
@@ -411,12 +446,17 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (*algebra.Relat
 	}
 	if fl, ok := r.inflight[key]; ok && sameAnswerShape(fl.query, q) {
 		r.coalesced++
+		r.mx.coalesced.Inc()
 		r.mu.Unlock()
+		wait := span.NewChild("viewreg.flight.wait")
+		wait.Attr("kind", "direct")
 		select {
 		case <-fl.done:
 		case <-ctx.Done():
+			wait.End()
 			return nil, "", ctx.Err()
 		}
+		wait.End()
 		if fl.err != nil {
 			if isCtxErr(fl.err) && ctx.Err() == nil {
 				// The leader's caller walked away mid-evaluation; this
@@ -456,7 +496,8 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (*algebra.Relat
 		mp         *incr.MaintainedPres
 		err        error
 	)
-	if mp, err = incr.NewCtx(ctx, r.ev, q); err == nil {
+	evalCtx, evalSpan := obs.StartSpan(ctx, "viewreg.direct")
+	if mp, err = incr.NewCtx(evalCtx, r.ev, q); err == nil {
 		pres = mp.Pres()
 		cube, err = mp.Answer()
 	} else {
@@ -465,10 +506,11 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (*algebra.Relat
 			// Don't burn a second full evaluation on a dead context; the
 			// fallback below is for *unmaintainable* queries, not for
 			// cancellation.
-		} else if pres, err = r.ev.WithContext(ctx).Pres(q); err == nil {
+		} else if pres, err = r.ev.WithContext(evalCtx).Pres(q); err == nil {
 			cube, err = r.ev.AnswerFromPres(q, pres)
 		}
 	}
+	evalSpan.End()
 
 	r.mu.Lock()
 	if r.inflight[key] == fl {
@@ -477,6 +519,7 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (*algebra.Relat
 	fl.cube, fl.err = cube, err
 	if err == nil {
 		r.stats[StrategyDirect]++
+		r.mx.answers[StrategyDirect].Inc()
 		// Register only if no write raced the evaluation: an epoch moved
 		// past us means the cube may reflect superseded data.
 		if r.st.Epoch() == epoch {
@@ -510,7 +553,12 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (*algebra.Relat
 //
 // Call it inside the same write critical section that mutated the store
 // (the server does), so maintenance never races further writes.
-func (r *Registry) NotifyWrite() {
+func (r *Registry) NotifyWrite() { r.NotifyWriteCtx(context.Background()) }
+
+// NotifyWriteCtx is NotifyWrite carrying a context, so maintenance
+// triggered by a traced write shows up under the write's span tree (the
+// context is trace propagation only — maintenance is not cancellable).
+func (r *Registry) NotifyWriteCtx(ctx context.Context) {
 	ver := r.st.Version()
 	r.mu.Lock()
 	var stale, behind []*entry
@@ -531,10 +579,11 @@ func (r *Registry) NotifyWrite() {
 		r.dropLocked(e)
 		r.removeFromFamilyLocked(e)
 		r.invalids++
+		r.mx.invalids.Inc()
 	}
 	r.mu.Unlock()
 	for _, e := range behind {
-		r.freshen(e, ver)
+		r.freshen(ctx, e, ver)
 	}
 }
 
@@ -550,6 +599,7 @@ func (r *Registry) candidates(fam uint64, ver store.Version) []*entry {
 		if e.ver.Base != ver.Base || (e.ver != ver && e.mp == nil) {
 			r.dropLocked(e)
 			r.invalids++
+			r.mx.invalids.Inc()
 			continue
 		}
 		live = append(live, e)
@@ -570,8 +620,10 @@ func (r *Registry) candidates(fam uint64, ver store.Version) []*entry {
 // returns consistent pres/ans snapshots. ok is false when the entry had
 // to be dropped instead (maintenance unavailable or failed). The delta
 // evaluation runs under the entry lock only; the final swap also holds
-// the registry lock so snapshot readers see consistent fields.
-func (r *Registry) freshen(e *entry, ver store.Version) (pres, ans *algebra.Relation, ok bool) {
+// the registry lock so snapshot readers see consistent fields. ctx is
+// trace propagation only — maintenance is never cancelled (it serves
+// every future caller, not just this one).
+func (r *Registry) freshen(ctx context.Context, e *entry, ver store.Version) (pres, ans *algebra.Relation, ok bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.ver == ver {
@@ -581,6 +633,13 @@ func (r *Registry) freshen(e *entry, ver store.Version) (pres, ans *algebra.Rela
 		r.discard(e)
 		return nil, nil, false
 	}
+	start := time.Now()
+	_, span := obs.StartSpan(ctx, "viewreg.maintain")
+	defer func() {
+		r.mx.maintainSec.Observe(time.Since(start).Nanoseconds())
+		span.Attr("ok", fmt.Sprintf("%t", ok))
+		span.End()
+	}()
 	if _, _, refreshed, err := e.mp.Sync(); err != nil || refreshed {
 		// refreshed means the base moved underneath us after the check
 		// above — the entry's materialization was recomputed, which is
@@ -602,6 +661,7 @@ func (r *Registry) freshen(e *entry, ver store.Version) (pres, ans *algebra.Rela
 	}
 	e.bytes = nb
 	r.maintained++
+	r.mx.maintained.Inc()
 	r.evictLocked()
 	r.mu.Unlock()
 	return newPres, newAns, true
@@ -614,6 +674,7 @@ func (r *Registry) discard(e *entry) {
 		r.dropLocked(e)
 		r.removeFromFamilyLocked(e)
 		r.invalids++
+		r.mx.invalids.Inc()
 	}
 	r.mu.Unlock()
 }
@@ -625,6 +686,7 @@ func (r *Registry) negativeHit(key uint64, epoch uint64) bool {
 	defer r.mu.Unlock()
 	if v, ok := r.negMiss[key]; ok && v == epoch {
 		r.negSkips++
+		r.mx.negSkips.Inc()
 		return true
 	}
 	return false
@@ -719,6 +781,7 @@ func (r *Registry) bump(s Strategy) {
 	r.mu.Lock()
 	r.stats[s]++
 	r.mu.Unlock()
+	r.mx.answers[s].Inc()
 }
 
 // insertLocked registers e and enforces the budgets. If the entry
@@ -745,6 +808,7 @@ func (r *Registry) evictLocked() {
 		r.dropLocked(oldest)
 		r.removeFromFamilyLocked(oldest)
 		r.evictions++
+		r.mx.evictions.Inc()
 	}
 }
 
