@@ -387,3 +387,74 @@ func BenchmarkStarJoinLeapfrog(b *testing.B) {
 		}
 	}
 }
+
+// E12: batch-at-a-time vs row-at-a-time execution on the chain and
+// wide-star workloads (same plan, different granularity).
+var (
+	benchChain    *rdfcubeStarBench
+	benchWideStar *rdfcubeStarBench
+)
+
+func chainBench(b *testing.B) *rdfcubeStarBench {
+	b.Helper()
+	if benchChain == nil {
+		q, err := benchmark.ChainQuery()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchChain = &rdfcubeStarBench{st: benchmark.BuildChainGraph(4000), q: q}
+	}
+	return benchChain
+}
+
+func wideStarBench(b *testing.B) *rdfcubeStarBench {
+	b.Helper()
+	if benchWideStar == nil {
+		q, err := benchmark.WideStarQuery(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchWideStar = &rdfcubeStarBench{st: benchmark.BuildStarGraph(30000), q: q}
+	}
+	return benchWideStar
+}
+
+func BenchmarkChainJoinRows(b *testing.B) {
+	w := chainBench(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bgp.Eval(w.st, w.q, bgp.Options{Distinct: true, RowPipeline: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainJoinBatch(b *testing.B) {
+	w := chainBench(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bgp.Eval(w.st, w.q, bgp.Options{Distinct: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWideStarRows(b *testing.B) {
+	w := wideStarBench(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bgp.Eval(w.st, w.q, bgp.Options{Distinct: true, RowPipeline: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWideStarBatch(b *testing.B) {
+	w := wideStarBench(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bgp.Eval(w.st, w.q, bgp.Options{Distinct: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

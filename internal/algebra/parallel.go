@@ -1,12 +1,24 @@
 package algebra
 
-// Parallel grouping: γ over a wide input partitions the HASH space of
-// the group key across workers. All rows of one group share a hash, so
-// exactly one worker owns each group — accumulators never race, every
-// group's measures are fed in input-row order (bit-identical floats to
-// the sequential path), and the final output sorts groups by their
-// first input row, which is the sequential first-seen order. The result
-// is therefore identical to the single-threaded γ, row for row.
+// Parallel grouping, deduplication and join fan-out. All three stay
+// byte-identical to their sequential counterparts:
+//
+//   - γ partitions the HASH space of the group key across workers. All
+//     rows of one group share a hash, so exactly one worker owns each
+//     group — accumulators never race, every group's measures are fed in
+//     input-row order (bit-identical floats to the sequential path), and
+//     the final output sorts groups by their first input row, which is
+//     the sequential first-seen order.
+//   - δ partitions the full-row hash space the same way; every duplicate
+//     pair meets inside one partition, each partition keeps the first-
+//     occurring index, and survivors compact in input order — the
+//     sequential first-occurrence order.
+//   - ⋈ builds its hash table once, then probes contiguous chunks of the
+//     left side concurrently; per-chunk outputs concatenate in chunk
+//     order and bucket lists hold right rows in insertion (ascending)
+//     order, so the emitted rows match the sequential nested order.
+//
+// All three honor the GroupWorkers override.
 
 import (
 	"runtime"
@@ -135,4 +147,161 @@ func (r *Relation) groupAggregateParallel(gIdx []int, vIdx int, groupCols []stri
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].first < order[j].first })
 	return finishGroups(groupCols, aggCol, order)
+}
+
+// dedupParallel is the fan-out δ. It returns nil when the input is too
+// small (the caller then runs the sequential hash loop).
+func (r *Relation) dedupParallel() []Row {
+	n := len(r.Rows)
+	nw := groupWorkers(n)
+	if nw <= 1 {
+		return nil
+	}
+
+	// Pass 1: hash every row in parallel chunks, bucketing row indexes
+	// by hash partition per chunk (ascending within each list).
+	hashes := make([]uint64, n)
+	chunkParts := make([][][]int, nw)
+	var wg sync.WaitGroup
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts := make([][]int, nw)
+			for i := lo; i < hi; i++ {
+				h := hashRow(r.Rows[i])
+				hashes[i] = h
+				p := int(h % uint64(nw))
+				parts[p] = append(parts[p], i)
+			}
+			chunkParts[w] = parts
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Pass 2: worker p owns hash partition p. Concatenating the chunk
+	// index lists in chunk order keeps indexes ascending, so the kept
+	// row of every duplicate class is its first occurrence.
+	keep := make([]bool, n)
+	for p := 0; p < nw; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			buckets := make(map[uint64][]int, n/nw+1)
+			for _, parts := range chunkParts {
+				if parts == nil {
+					continue
+				}
+				for _, i := range parts[p] {
+					h := hashes[i]
+					dup := false
+					for _, idx := range buckets[h] {
+						if rowsEqualBits(r.Rows[idx], r.Rows[i]) {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						buckets[h] = append(buckets[h], i)
+						keep[i] = true
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	kept := 0
+	for _, k := range keep {
+		if k {
+			kept++
+		}
+	}
+	out := make([]Row, 0, kept)
+	for i, k := range keep {
+		if k {
+			out = append(out, r.Rows[i])
+		}
+	}
+	return out
+}
+
+// parallelJoinMinRows is the probe-side size below which the join stays
+// sequential.
+const parallelJoinMinRows = 16384
+
+// joinWorkers sizes the probe fan-out; <= 1 means stay sequential.
+func joinWorkers(rows int) int {
+	nw := GroupWorkers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+		if max := rows / parallelJoinMinRows; nw > max {
+			nw = max
+		}
+	}
+	if nw > rows {
+		nw = rows
+	}
+	return nw
+}
+
+// probeParallel probes contiguous chunks of the left rows against the
+// build table concurrently and concatenates the per-chunk outputs in
+// chunk order. It returns nil when the probe side is too small.
+func probeParallel(left []Row, lIdx, rIdx []int, build map[uint64][]Row, keepRight []int, width int) []Row {
+	n := len(left)
+	nw := joinWorkers(n)
+	if nw <= 1 {
+		return nil
+	}
+	parts := make([][]Row, nw)
+	var wg sync.WaitGroup
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []Row
+			for _, lrow := range left[lo:hi] {
+				h := hashCols(lrow, lIdx)
+				for _, rrow := range build[h] {
+					if !colsEqualBits(lrow, lIdx, rrow, rIdx) {
+						continue
+					}
+					nr := make(Row, 0, width)
+					nr = append(nr, lrow...)
+					for _, j := range keepRight {
+						nr = append(nr, rrow[j])
+					}
+					out = append(out, nr)
+				}
+			}
+			parts[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]Row, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
 }

@@ -70,9 +70,19 @@ type Row []Value
 
 // Relation is a named-column table with bag semantics: duplicate rows are
 // meaningful until an explicit δ.
+//
+// Sorted and Strict carry the physical sort property of the rows, when
+// one is known — typically inherited from the batch BGP engine through
+// core's bridge. Sorted names the columns the rows are lexicographically
+// ordered by (significance order); Strict additionally promises no two
+// rows agree on all Sorted columns. Operators that preserve row order
+// propagate the property; δ and γ exploit it to replace hash tables
+// with run detection. Both are advisory: a nil Sorted is always safe.
 type Relation struct {
-	Cols []string
-	Rows []Row
+	Cols   []string
+	Rows   []Row
+	Sorted []string
+	Strict bool
 }
 
 // NewRelation returns an empty relation with the given columns.
@@ -118,10 +128,12 @@ func (r *Relation) Clone() *Relation {
 	for i, row := range r.Rows {
 		out.Rows[i] = append(Row(nil), row...)
 	}
+	out.Sorted, out.Strict = append([]string(nil), r.Sorted...), r.Strict
 	return out
 }
 
 // Select returns σ_pred(r): the rows satisfying pred, bag semantics.
+// Selection keeps row order, so the sort property survives.
 func (r *Relation) Select(pred func(Row) bool) *Relation {
 	out := &Relation{Cols: append([]string(nil), r.Cols...)}
 	for _, row := range r.Rows {
@@ -129,10 +141,13 @@ func (r *Relation) Select(pred func(Row) bool) *Relation {
 			out.Rows = append(out.Rows, row)
 		}
 	}
+	out.Sorted, out.Strict = append([]string(nil), r.Sorted...), r.Strict
 	return out
 }
 
 // Project returns π_cols(r) with bag semantics (duplicates retained).
+// The longest sorted prefix whose columns all survive still orders the
+// output; strictness survives only when the whole prefix does.
 func (r *Relation) Project(cols ...string) *Relation {
 	idx := make([]int, len(cols))
 	for i, c := range cols {
@@ -147,14 +162,47 @@ func (r *Relation) Project(cols ...string) *Relation {
 		}
 		out.Rows[i] = nr
 	}
+	k := 0
+	for k < len(r.Sorted) && containsCol(cols, r.Sorted[k]) {
+		k++
+	}
+	out.Sorted = append([]string(nil), r.Sorted[:k]...)
+	out.Strict = r.Strict && k == len(r.Sorted)
 	return out
 }
 
 // Dedup returns δ(r): distinct rows. This is the deduplication step of
 // Algorithm 1, which repairs the fact duplication caused by projecting
 // out a multi-valued dimension.
+//
+// A strict input needs no work at all (two identical rows would agree
+// on the strict columns); an input sorted on every column deduplicates
+// by run detection; otherwise wide inputs fan out across CPUs
+// (parallel.go) and small ones run the sequential hash loop. All paths
+// keep the first occurrence, in input order.
 func (r *Relation) Dedup() *Relation {
 	out := &Relation{Cols: append([]string(nil), r.Cols...)}
+	out.Sorted, out.Strict = append([]string(nil), r.Sorted...), r.Strict
+	if r.Strict && len(r.Sorted) > 0 {
+		out.Rows = append([]Row(nil), r.Rows...)
+		return out
+	}
+	if len(r.Sorted) > 0 && len(r.Sorted) == len(r.Cols) && colsCover(r.Cols, r.Sorted) {
+		// Sorted on every column: duplicate rows are adjacent.
+		out.Rows = make([]Row, 0, len(r.Rows))
+		for i, row := range r.Rows {
+			if i > 0 && rowsEqualBits(row, out.Rows[len(out.Rows)-1]) {
+				continue
+			}
+			out.Rows = append(out.Rows, row)
+		}
+		out.Strict = true
+		return out
+	}
+	if rows := r.dedupParallel(); rows != nil {
+		out.Rows = rows
+		return out
+	}
 	out.Rows = make([]Row, 0, len(r.Rows))
 	buckets := make(map[uint64][]int, len(r.Rows))
 	for _, row := range r.Rows {
@@ -173,6 +221,26 @@ func (r *Relation) Dedup() *Relation {
 		out.Rows = append(out.Rows, row)
 	}
 	return out
+}
+
+// containsCol reports whether cols contains c.
+func containsCol(cols []string, c string) bool {
+	for _, x := range cols {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// colsCover reports whether every column in want appears in cols.
+func colsCover(cols, want []string) bool {
+	for _, c := range want {
+		if !containsCol(cols, c) {
+			return false
+		}
+	}
+	return true
 }
 
 // Hashing: rows and column subsets are keyed by a word-wise FNV-1a hash
@@ -253,15 +321,21 @@ type NumericResolver func(id dict.ID) (float64, bool)
 // Groups whose accumulator reports no result (empty measure bag for
 // functions requiring numeric input) are dropped, matching Definition 1's
 // "if qj(I) is empty, the fact does not contribute to the cube".
-// Output group order is deterministic (first-seen order). Wide inputs
-// fan the grouping out across CPUs (parallel.go) with identical output,
-// row for row.
+// Output group order is deterministic (first-seen order). An input
+// sorted on exactly the group columns streams: group changes are
+// detected by comparing adjacent rows, with no hash table — first-seen
+// order coincides with the sorted order, so the output is identical to
+// the hash path's. Otherwise wide inputs fan the grouping out across
+// CPUs (parallel.go) with identical output, row for row.
 func (r *Relation) GroupAggregate(groupCols []string, valueCol, aggCol string, f agg.Func, resolve NumericResolver) *Relation {
 	gIdx := make([]int, len(groupCols))
 	for i, c := range groupCols {
 		gIdx[i] = r.MustColumn(c)
 	}
 	vIdx := r.MustColumn(valueCol)
+	if r.sortedOnGroups(groupCols) {
+		return r.groupAggregateStream(gIdx, vIdx, groupCols, aggCol, f, resolve)
+	}
 	if out := r.groupAggregateParallel(gIdx, vIdx, groupCols, aggCol, f, resolve); out != nil {
 		return out
 	}
@@ -293,6 +367,44 @@ func (r *Relation) GroupAggregate(groupCols []string, valueCol, aggCol string, f
 		accumulate(g.acc, row[vIdx], resolve)
 	}
 	return finishGroups(groupCols, aggCol, order)
+}
+
+// sortedOnGroups reports whether the rows are sorted on exactly the
+// group columns: some sorted prefix's column set equals groupCols'.
+// Rows of one group are then adjacent.
+func (r *Relation) sortedOnGroups(groupCols []string) bool {
+	k := len(groupCols)
+	if k == 0 || k > len(r.Sorted) {
+		return false
+	}
+	prefix := r.Sorted[:k]
+	return colsCover(groupCols, prefix) && colsCover(prefix, groupCols)
+}
+
+// groupAggregateStream is the run-detecting γ over group-sorted input:
+// one pass, no hash table, a group closes when the group key changes.
+func (r *Relation) groupAggregateStream(gIdx []int, vIdx int, groupCols []string, aggCol string, f agg.Func, resolve NumericResolver) *Relation {
+	reprIdx := make([]int, len(gIdx))
+	for i := range reprIdx {
+		reprIdx[i] = i
+	}
+	var order []*group
+	var cur *group
+	for _, row := range r.Rows {
+		if cur == nil || !colsEqualBits(cur.repr, reprIdx, row, gIdx) {
+			repr := make(Row, len(gIdx))
+			for i, c := range gIdx {
+				repr[i] = row[c]
+			}
+			cur = &group{repr: repr, acc: f.New()}
+			order = append(order, cur)
+		}
+		accumulate(cur.acc, row[vIdx], resolve)
+	}
+	out := finishGroups(groupCols, aggCol, order)
+	out.Sorted = append([]string(nil), r.Sorted[:len(gIdx)]...)
+	out.Strict = true
+	return out
 }
 
 // group is one in-progress aggregation group; first records the index
@@ -381,13 +493,18 @@ func (r *Relation) Join(other *Relation, leftCols, rightCols []string) (*Relatio
 	}
 	// Build on the right side, bucketed by join-column hash; probes
 	// verify the actual join columns, so hash collisions only cost a
-	// comparison.
+	// comparison. Wide probe sides fan out across CPUs (parallel.go)
+	// with identical output, row for row.
 	build := make(map[uint64][]Row, len(other.Rows))
 	for _, row := range other.Rows {
 		h := hashCols(row, rIdx)
 		build[h] = append(build[h], row)
 	}
 	out := &Relation{Cols: outCols}
+	if rows := probeParallel(r.Rows, lIdx, rIdx, build, keepRight, len(outCols)); rows != nil {
+		out.Rows = rows
+		return out, nil
+	}
 	for _, lrow := range r.Rows {
 		h := hashCols(lrow, lIdx)
 		for _, rrow := range build[h] {

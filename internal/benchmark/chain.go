@@ -1,0 +1,173 @@
+package benchmark
+
+// E12: the batch-at-a-time pipeline vs the row-at-a-time pipeline on
+// the workloads the batch engine targets — multi-hop chain joins whose
+// intermediate bindings stream through the PSO permutation, and wide
+// stars with free value variables whose seed scan bulk-fills batches
+// straight from the frozen columns. Both engines run the same plan over
+// the same store; only the execution granularity differs, so the
+// direct/rewrite ratio isolates the batching win.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"rdfcube/internal/bgp"
+	"rdfcube/internal/rdf"
+	"rdfcube/internal/sparql"
+	"rdfcube/internal/store"
+)
+
+// chainNS is the vocabulary namespace of the chain workload.
+const chainNS = "http://rdfcube.example.org/chain#"
+
+// chainHops is the number of edge predicates (:e0 .. :e{hops-1}) and
+// therefore the length of the chain query.
+const chainHops = 3
+
+// chainFanout is the number of outgoing edges per node and layer.
+const chainFanout = 3
+
+func chainPrefixes() sparql.Prefixes {
+	p := sparql.DefaultPrefixes()
+	p["c"] = chainNS
+	return p
+}
+
+// BuildChainGraph generates a frozen layered graph: chainHops+1 layers
+// of n nodes each, every node of layer l carrying chainFanout :e<l>
+// edges to (deterministically) random nodes of layer l+1.
+func BuildChainGraph(n int) *store.Store {
+	rng := rand.New(rand.NewSource(1207))
+	st := store.New()
+	node := func(layer, i int) rdf.Term {
+		return rdf.NewIRI(fmt.Sprintf("%sn%d_%d", chainNS, layer, i))
+	}
+	for l := 0; l < chainHops; l++ {
+		p := rdf.NewIRI(fmt.Sprintf("%se%d", chainNS, l))
+		for i := 0; i < n; i++ {
+			for j := 0; j < chainFanout; j++ {
+				st.Add(rdf.Triple{S: node(l, i), P: p, O: node(l+1, rng.Intn(n))})
+			}
+		}
+	}
+	st.Freeze()
+	return st
+}
+
+// ChainQuery builds the full-length chain BGP with every join variable
+// free: q(x0, x<hops>) :- x0 c:e0 x1, ..., x{hops-1} c:e{hops-1} x{hops}.
+// After the seed scan every later step has one bound subject, a
+// constant predicate and a free object tail — the streamed PSO shape.
+func ChainQuery() (*sparql.Query, error) {
+	pats := make([]string, chainHops)
+	for l := 0; l < chainHops; l++ {
+		pats[l] = fmt.Sprintf("x%d c:e%d x%d", l, l, l+1)
+	}
+	head := fmt.Sprintf("q(x0, x%d)", chainHops)
+	return sparql.ParseDatalog(head+" :- "+strings.Join(pats, ", "), chainPrefixes())
+}
+
+// WideStarQuery builds the k-pattern star with FREE value variables —
+// q(x, v0, ..., v{k-1}) :- x s:a0 v0, ..., x s:a{k-1} v{k-1} — over the
+// E11 star vocabulary. Unlike StarQuery's constant objects this shape
+// enumerates every subject's attribute tuple: the seed bulk-fills
+// batches from the frozen columns and each later pattern streams tails
+// through PSO.
+func WideStarQuery(k int) (*sparql.Query, error) {
+	if k < 2 || k > len(starCards) {
+		return nil, fmt.Errorf("wide star arity %d out of range [2, %d]", k, len(starCards))
+	}
+	pats := make([]string, k)
+	vars := make([]string, k+1)
+	vars[0] = "x"
+	for j := 0; j < k; j++ {
+		pats[j] = fmt.Sprintf("x s:a%d v%d", j, j)
+		vars[j+1] = fmt.Sprintf("v%d", j)
+	}
+	head := "q(" + strings.Join(vars, ", ") + ")"
+	return sparql.ParseDatalog(head+" :- "+strings.Join(pats, ", "), starPrefixes())
+}
+
+// WideStarKs is the default E12 wide-star sweep.
+var WideStarKs = []int{2, 3, 5}
+
+// RunE12Batch measures the batch engine against the pinned row pipeline
+// (direct column = row-at-a-time, rewrite column = batch) on the chain
+// and wide-star workloads. Match verifies the two pipelines return
+// identical bindings.
+func RunE12Batch(w io.Writer, chainNodes, starSubjects int, ks []int) ([]Row, error) {
+	printHeader(w, "E12 Batch pipeline: row-at-a-time vs batch-at-a-time execution")
+	type job struct {
+		label string
+		st    *store.Store
+		q     *sparql.Query
+	}
+	var jobs []job
+	chainStore := BuildChainGraph(chainNodes)
+	cq, err := ChainQuery()
+	if err != nil {
+		return nil, err
+	}
+	jobs = append(jobs, job{fmt.Sprintf("chain hops=%d", chainHops), chainStore, cq})
+	starStore := BuildStarGraph(starSubjects)
+	for _, k := range ks {
+		wq, err := WideStarQuery(k)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job{fmt.Sprintf("widestar k=%d", k), starStore, wq})
+	}
+
+	var rows []Row
+	for _, j := range jobs {
+		ops, err := bgp.Explain(j.st, j.q)
+		if err != nil {
+			return rows, err
+		}
+		var rowRes, batchRes *bgp.Result
+		rDur, err := Timed(func() (err error) {
+			rowRes, err = bgp.Eval(j.st, j.q, bgp.Options{Distinct: true, RowPipeline: true})
+			return err
+		})
+		if err != nil {
+			return rows, err
+		}
+		bDur, err := Timed(func() (err error) {
+			batchRes, err = bgp.Eval(j.st, j.q, bgp.Options{Distinct: true})
+			return err
+		})
+		if err != nil {
+			return rows, err
+		}
+		rowRes.SortRows()
+		batchRes.SortRows()
+		match := rowRes.Len() == batchRes.Len()
+		if match {
+		outer:
+			for i := range rowRes.Rows {
+				for c := range rowRes.Rows[i] {
+					if rowRes.Rows[i][c] != batchRes.Rows[i][c] {
+						match = false
+						break outer
+					}
+				}
+			}
+		}
+		row := Row{
+			Label:   j.label,
+			Triples: j.st.Len(),
+			Direct:  rDur,
+			Rewrite: bDur,
+			Cells:   batchRes.Len(),
+			Match:   match,
+			Extra:   "plan=" + strings.Join(ops, ","),
+		}
+		rows = append(rows, row)
+		printRow(w, row)
+	}
+	fmt.Fprintln(w, "   (direct column = row-at-a-time pipeline; rewrite column = batch pipeline, same plan)")
+	return rows, nil
+}

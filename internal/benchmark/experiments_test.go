@@ -133,6 +133,21 @@ func TestE10ColdStart(t *testing.T) {
 	}
 }
 
+func TestE12Batch(t *testing.T) {
+	rows, err := RunE12Batch(io.Discard, 300, 2000, []int{2, 3})
+	requireAllMatch(t, rows, err)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3 (chain + two star widths)", len(rows))
+	}
+	for _, r := range rows {
+		// The batching win rides the streamed chain steps; a planner
+		// regression here would benchmark nested-vs-nested.
+		if !strings.Contains(r.Extra, "stream") {
+			t.Errorf("row %q: plan has no stream step (%s)", r.Label, r.Extra)
+		}
+	}
+}
+
 func TestRunAllSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("RunAll takes several seconds")

@@ -65,8 +65,11 @@ var diffShapes = []struct{ name, query string }{
 	{"self-loop", "q(x) :- x :a0 x, x :a1 :v1"},
 }
 
-// evalBoth evaluates q under the cursor engine and the nested-loop
-// reference, canonically sorted.
+// evalBoth evaluates q under the default engine (the batch pipeline on
+// frozen stores), the pinned row pipeline, and the nested-loop
+// reference — all canonically sorted. The default and row-pipeline
+// results are asserted identical here, so every differential test in
+// the package is automatically a three-way engine comparison.
 func evalBoth(t *testing.T, st *store.Store, q *sparql.Query, bag bool) (*Result, *Result) {
 	t.Helper()
 	opts := Options{Distinct: !bag}
@@ -74,13 +77,21 @@ func evalBoth(t *testing.T, st *store.Store, q *sparql.Query, bag bool) (*Result
 	if err != nil {
 		t.Fatal(err)
 	}
+	opts.RowPipeline = true
+	row, err := Eval(st, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.RowPipeline = false
 	opts.ForceNestedLoop = true
 	ref, err := Eval(st, q, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cur.SortRows()
+	row.SortRows()
 	ref.SortRows()
+	requireIdentical(t, "batch-vs-row-pipeline", cur, row)
 	return cur, ref
 }
 

@@ -54,6 +54,15 @@ type Result struct {
 	Vars []string
 	// Rows holds one dict.ID per column per row.
 	Rows [][]dict.ID
+	// Sorted names the variables the rows are lexicographically ordered
+	// by, in significance order. Nil when the engine makes no ordering
+	// claim (row pipeline, unfrozen stores). Set by the batch engine and
+	// propagated through projection so deduplication and grouping can
+	// run-detect instead of hashing.
+	Sorted []string
+	// Strict reports that no two rows agree on all Sorted variables —
+	// the rows are distinct tuples over them.
+	Strict bool
 }
 
 // Len reports the number of rows.
@@ -131,6 +140,10 @@ type Options struct {
 	// The reference path for differential tests and benchmarks of the
 	// join engine.
 	ForceNestedLoop bool
+	// RowPipeline pins the row-at-a-time pipeline (the pre-batch
+	// engine) while keeping the cursor-based operators. Baseline for
+	// batch-engine benchmarks and a secondary differential reference.
+	RowPipeline bool
 }
 
 // Eval evaluates q against st under opts.
@@ -146,7 +159,7 @@ func EvalCtx(ctx context.Context, st *store.Store, q *sparql.Query, opts Options
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	full, err := evalBody(ctx, st, q.Patterns, opts.ForceNestedLoop)
+	full, err := evalBody(ctx, st, q.Patterns, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -182,8 +195,11 @@ func EvalBagCtx(ctx context.Context, st *store.Store, q *sparql.Query) (*Result,
 }
 
 // evalBody computes all embeddings of the body patterns. The returned
-// result has one column per body variable.
-func evalBody(ctx context.Context, st *store.Store, patterns []sparql.TriplePattern, forceNested bool) (res *Result, err error) {
+// result has one column per body variable. On a frozen store the batch
+// engine (batch.go) runs by default; ForceNestedLoop and RowPipeline
+// pin the row-at-a-time pipeline below (ForceNestedLoop additionally
+// downgrades every step to a nested probe, including stream steps).
+func evalBody(ctx context.Context, st *store.Store, patterns []sparql.TriplePattern, opts Options) (res *Result, err error) {
 	if len(patterns) == 0 {
 		return &Result{}, nil
 	}
@@ -207,7 +223,7 @@ func evalBody(ctx context.Context, st *store.Store, patterns []sparql.TriplePatt
 		return &Result{Vars: vars, Rows: nil}, nil
 	}
 	nv := len(vars)
-	steps := planPipeline(st, compiled, nv, forceNested)
+	steps := planPipeline(st, compiled, nv, opts.ForceNestedLoop)
 
 	// Per-step execution stats exist only under an active trace; nil
 	// stats short-circuit every accounting site below.
@@ -215,6 +231,16 @@ func evalBody(ctx context.Context, st *store.Store, patterns []sparql.TriplePatt
 	if span != nil {
 		stats = make([]stepStat, len(steps))
 		defer func() { emitStepSpans(span, steps, vars, stats) }()
+	}
+
+	if !opts.ForceNestedLoop && !opts.RowPipeline && st.IsFrozen() {
+		if span != nil {
+			span.Attr("engine", "batch")
+		}
+		return evalBatch(ctx, st, compiled, vars, steps, stats, span)
+	}
+	if span != nil {
+		span.Attr("engine", "rows")
 	}
 
 	// Stage 0: materialize the first step's output as seed rows — the
@@ -396,7 +422,9 @@ func joinChunk(ctx context.Context, st *store.Store, compiled []compiledPattern,
 			ss.seeks.Add(stepSeeks)
 			ss.nexts.Add(stepNexts)
 		}
-		if stp.kind == opNested {
+		if stp.kind == opNested || stp.kind == opStream {
+			// Stream steps are a batch-engine specialization of the
+			// nested probe; the row pipeline executes them as such.
 			cp := &compiled[stp.pats[0]]
 			for _, row := range current {
 				pat, checks := cp.instantiate(row, bound)

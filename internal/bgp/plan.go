@@ -34,6 +34,8 @@ package bgp
 // store, most-bound-first on the maps).
 
 import (
+	"strings"
+
 	"rdfcube/internal/sparql"
 	"rdfcube/internal/store"
 )
@@ -45,6 +47,15 @@ const (
 	opNested stepKind = iota
 	opMerge
 	opLeapfrog
+	// opStream is the batch engine's streamed probe: a pattern whose
+	// key variable is already bound and whose other positions are
+	// constants (plus at most one free tail variable) is executed with
+	// ONE shared cursor per input batch — the batch's key values are
+	// visited in sorted order, the cursor gallops between them, and the
+	// tail run is enumerated per key. The row pipeline executes the same
+	// step as a nested probe (identical results), so stream is a pure
+	// execution-strategy tag over the nested plan shape.
+	opStream
 )
 
 func (k stepKind) String() string {
@@ -53,17 +64,22 @@ func (k stepKind) String() string {
 		return "merge"
 	case opLeapfrog:
 		return "leapfrog"
+	case opStream:
+		return "stream"
 	default:
 		return "nested"
 	}
 }
 
 // planStep is one pipeline stage: a single pattern probed by nested
-// loop, or a cursor group intersected on joinVar.
+// loop, a cursor group intersected on joinVar, or a streamed probe
+// keyed on joinVar.
 type planStep struct {
 	kind    stepKind
-	pats    []int // indexes into compiled; len 1 for nested
-	joinVar int   // the variable a merge/leapfrog step binds
+	pats    []int // indexes into compiled; len 1 for nested/stream
+	joinVar int   // the variable a merge/leapfrog step binds; the bound key of a stream step
+	tail    int   // stream only: the free tail variable bound per key run, or -1
+	pso     bool  // stream only: the shared cursor needs the PSO permutation
 }
 
 // planPipeline orders the patterns into executable steps. forceNested
@@ -127,7 +143,7 @@ func planPipeline(st *store.Store, compiled []compiledPattern, nVars int, forceN
 				if len(pats) >= 3 {
 					kind = opLeapfrog
 				}
-				steps = append(steps, planStep{kind: kind, pats: pats, joinVar: v})
+				steps = append(steps, planStep{kind: kind, pats: pats, joinVar: v, tail: -1})
 				for _, pi := range pats {
 					used[pi] = true
 					compiled[pi].markBound(bound)
@@ -137,11 +153,76 @@ func planPipeline(st *store.Store, compiled []compiledPattern, nVars int, forceN
 			}
 		}
 		used[best] = true
-		steps = append(steps, planStep{kind: opNested, pats: []int{best}})
+		stp := planStep{kind: opNested, pats: []int{best}, tail: -1}
+		if cursors {
+			if v, tail, pso, ok := compiled[best].streamEligible(bound); ok {
+				stp.kind, stp.joinVar, stp.tail, stp.pso = opStream, v, tail, pso
+			}
+		}
+		steps = append(steps, stp)
 		compiled[best].markBound(bound)
 		remaining--
 	}
 	return steps
+}
+
+// streamEligible reports whether the pattern can be executed as a
+// streamed probe under the current bound set: one bound "key" variable
+// v, every other position a compile-time constant, and at most one free
+// tail variable — provided a permutation exists whose column order is
+// (constants..., v, tail). With two constants any permutation's
+// pairRange works (the generic cursor keys on the strict third column);
+// with one constant and a tail the feasible shapes are
+//
+//	P const, key O, tail S -> POS     P const, key S, tail O -> PSO
+//	O const, key S, tail P -> OSP     S const, key P, tail O -> SPO
+//
+// (the PSO case is why the fourth permutation exists). Bound variables
+// other than v disqualify — their values differ per row, so no single
+// cursor range covers the batch.
+func (cp *compiledPattern) streamEligible(bound []bool) (v, tail int, pso, ok bool) {
+	v, tail = -1, -1
+	nConst := 0
+	var constPos, keyPos, tailPos int
+	for pos, pv := range [3]int{cp.varS, cp.varP, cp.varO} {
+		switch {
+		case pv < 0:
+			nConst++
+			constPos = pos
+		case bound[pv]:
+			if v >= 0 { // a second bound variable (or v repeated)
+				return -1, -1, false, false
+			}
+			v, keyPos = pv, pos
+		default:
+			if tail >= 0 { // two free positions (or one free var repeated)
+				return -1, -1, false, false
+			}
+			tail, tailPos = pv, pos
+		}
+	}
+	if v < 0 {
+		return -1, -1, false, false
+	}
+	if tail < 0 {
+		return v, -1, false, nConst == 2
+	}
+	if nConst != 1 || tail == v {
+		return -1, -1, false, false
+	}
+	// One constant, one key, one tail: check shape feasibility.
+	const pS, pP, pO = 0, 1, 2
+	switch {
+	case constPos == pP && keyPos == pO && tailPos == pS: // POS
+		return v, tail, false, true
+	case constPos == pP && keyPos == pS && tailPos == pO: // PSO
+		return v, tail, true, true
+	case constPos == pO && keyPos == pS && tailPos == pP: // OSP
+		return v, tail, false, true
+	case constPos == pS && keyPos == pP && tailPos == pO: // SPO
+		return v, tail, false, true
+	}
+	return -1, -1, false, false
 }
 
 // cursorEligible reports whether the pattern can feed a sorted cursor
@@ -220,10 +301,102 @@ func bestCursorGroup(st *store.Store, compiled []compiledPattern, used, bound []
 	return best, bestVar, bestEst, best != nil
 }
 
+// freeVarOrder returns the pattern's unbound variables in the column
+// order of the permutation patternRange resolves the instantiated
+// pattern to — the order a nested probe emits its bindings in, which is
+// what makes the sort property below composable. Repeated variables are
+// deduped keeping the first occurrence (rows sorted on (x, x) are
+// sorted on x).
+func (cp *compiledPattern) freeVarOrder(bound []bool) []int {
+	isB := func(pv int) bool { return pv < 0 || bound[pv] }
+	sB, pB, oB := isB(cp.varS), isB(cp.varP), isB(cp.varO)
+	var posOrder []int // positions 0=S 1=P 2=O, in permutation column order
+	switch {
+	case sB && pB:
+		if !oB {
+			posOrder = []int{2} // SPO pair run: free O
+		}
+	case pB:
+		if oB {
+			posOrder = []int{0} // POS pair run: free S
+		} else {
+			posOrder = []int{2, 0} // POS key run: free (O, S)
+		}
+	case oB:
+		if sB {
+			posOrder = []int{1} // OSP pair run: free P
+		} else {
+			posOrder = []int{0, 1} // OSP key run: free (S, P)
+		}
+	case sB:
+		posOrder = []int{1, 2} // SPO key run: free (P, O)
+	default:
+		posOrder = []int{0, 1, 2} // full SPO scan
+	}
+	vars := [3]int{cp.varS, cp.varP, cp.varO}
+	var out []int
+	for _, pos := range posOrder {
+		pv := vars[pos]
+		dup := false
+		for _, x := range out {
+			if x == pv {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, pv)
+		}
+	}
+	return out
+}
+
+// planSorted derives the sort property of the batch pipeline's output:
+// the variable prefix its rows are lexicographically ordered by, and
+// whether that ordering is strict (no two rows share the prefix). Every
+// operator emits in input order and appends its own bindings in sorted
+// order — a group step its strictly-increasing join keys, a stream step
+// its ascending tail run, a nested probe its free variables in the
+// probe permutation's column order — so the plan's full binding order
+// IS a strict lexicographic order of the result. Ordering-aware
+// DISTINCT and GROUP BY (project.go, algebra) run off this property.
+func planSorted(compiled []compiledPattern, steps []planStep, nv int) (order []int, strict bool) {
+	bound := make([]bool, nv)
+	for _, stp := range steps {
+		switch stp.kind {
+		case opMerge, opLeapfrog:
+			order = append(order, stp.joinVar)
+		case opStream:
+			if stp.tail >= 0 {
+				order = append(order, stp.tail)
+			}
+		default:
+			order = append(order, compiled[stp.pats[0]].freeVarOrder(bound)...)
+		}
+		markStepBound(compiled, stp, bound)
+	}
+	return order, true
+}
+
+// sortedLabel renders a sort property for Explain and trace spans:
+// "sorted!(x,y)" when strict, "sorted(x,y)" otherwise.
+func sortedLabel(order []int, strict bool, vars []string) string {
+	names := make([]string, len(order))
+	for i, v := range order {
+		names[i] = vars[v]
+	}
+	bang := ""
+	if strict {
+		bang = "!"
+	}
+	return "sorted" + bang + "(" + strings.Join(names, ",") + ")"
+}
+
 // Explain returns the physical operators of the plan for q's body in
-// execution order — "nested", "merge", "leapfrog" — for diagnostics,
-// benchmarks and tests. A query with an unknown constant (empty result)
-// explains as an empty plan.
+// execution order — "nested", "merge", "leapfrog", "stream" — for
+// diagnostics, benchmarks and tests. On a frozen store (where the batch
+// engine runs) a final "sorted!(x,y)" element names the sort property
+// the pipeline's output obeys. A query with an unknown constant (empty
+// result) explains as an empty plan.
 func Explain(st *store.Store, q *sparql.Query) ([]string, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -236,6 +409,10 @@ func Explain(st *store.Store, q *sparql.Query) ([]string, error) {
 	out := make([]string, len(steps))
 	for i, s := range steps {
 		out[i] = s.kind.String()
+	}
+	if st.IsFrozen() {
+		order, strict := planSorted(compiled, steps, len(vars))
+		out = append(out, sortedLabel(order, strict, vars))
 	}
 	return out, nil
 }

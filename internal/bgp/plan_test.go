@@ -46,36 +46,42 @@ func TestPlannerOperatorChoice(t *testing.T) {
 	cases := []struct {
 		name, query, want string
 	}{
+		// Frozen-store plans always end with the sort property the batch
+		// pipeline guarantees: "sorted!(...)" lists the variables the
+		// output is strictly lexicographically ordered by.
+		//
 		// Two constant-object patterns sharing the subject: merge join.
-		{"star2", "q(x) :- x :a0 :v0_0, x :a1 :v1_0", "merge"},
+		{"star2", "q(x) :- x :a0 :v0_0, x :a1 :v1_0", "merge,sorted!(x)"},
 		// k >= 3 such patterns: leapfrog.
-		{"star3", "q(x) :- x :a0 :v0_0, x :a1 :v1_0, x :a2 :v2_0", "leapfrog"},
-		{"star4", "q(x) :- x :a0 :v0_0, x :a1 :v1_0, x :a2 :v2_0, x :a3 :v3_0", "leapfrog"},
-		// A chain never has two patterns sorted on the shared variable:
-		// nested only.
-		{"chain", "q(x, z) :- x :next y, y :next z", "nested,nested"},
-		// Mixed star: the constant rays intersect via leapfrog, the open
-		// ray (free object) probes per row.
-		{"mixed-star", "q(x, w) :- x :a0 :v0_0, x :a1 :v1_0, x :a2 :v2_0, x :a3 w", "leapfrog,nested"},
+		{"star3", "q(x) :- x :a0 :v0_0, x :a1 :v1_0, x :a2 :v2_0", "leapfrog,sorted!(x)"},
+		{"star4", "q(x) :- x :a0 :v0_0, x :a1 :v1_0, x :a2 :v2_0, x :a3 :v3_0", "leapfrog,sorted!(x)"},
+		// A chain never has two patterns sorted on the shared variable,
+		// but once y is bound the second hop has one bound variable, one
+		// constant and one free tail: a PSO stream step.
+		{"chain", "q(x, z) :- x :next y, y :next z", "nested,stream,sorted!(y,x,z)"},
+		// Mixed star: the constant rays intersect via leapfrog; the open
+		// ray (free object) streams through one shared cursor per batch.
+		{"mixed-star", "q(x, w) :- x :a0 :v0_0, x :a1 :v1_0, x :a2 :v2_0, x :a3 w", "leapfrog,stream,sorted!(x,w)"},
 		// Boundness propagation: binding x through the selective first
 		// pattern makes the two w-rays cursor-eligible — a per-row merge.
-		{"row-merge", "q(x, w) :- x :a0 :v0_0, x :a1 w, x :a2 w", "nested,merge"},
-		// Patterns on disjoint variables: cross product, nested.
-		{"cross", "q(x, y) :- x :a0 :v0_0, y :a1 :v1_0", "nested,nested"},
+		{"row-merge", "q(x, w) :- x :a0 :v0_0, x :a1 w, x :a2 w", "nested,merge,sorted!(x,w)"},
+		// Patterns on disjoint variables: cross product, nested (two
+		// bound-variable-free positions — not stream-eligible).
+		{"cross", "q(x, y) :- x :a0 :v0_0, y :a1 :v1_0", "nested,nested,sorted!(y,x)"},
 		// A repeated variable inside a pattern disqualifies it from
-		// cursor groups.
-		{"self-loop", "q(x) :- x :next x, x :a0 :v0_0", "nested,nested"},
+		// cursor groups and from streaming.
+		{"self-loop", "q(x) :- x :next x, x :a0 :v0_0", "nested,nested,sorted!(x)"},
 		// One pattern alone is always a nested scan.
-		{"single", "q(x, w) :- x :a0 w", "nested"},
+		{"single", "q(x, w) :- x :a0 w", "nested,sorted!(w,x)"},
 		// Cost gate + ordering propagation: the one-row lookup seeds
 		// first (the big x-rays are NOT intersected up front); binding y
 		// then makes the chain edge itself cursor-eligible, so the rays
 		// are intersected per row through its one-row cursor.
 		{"selective-first", "q(x, y) :- :s0 :next y, y :next x, x :a0 :v0_0, x :a1 :v1_0",
-			"nested,leapfrog"},
+			"nested,leapfrog,sorted!(y,x)"},
 		// A selective pattern that is itself group-eligible joins the
 		// intersection instead (its one-row cursor bounds the work).
-		{"selective-in-star", "q(x) :- :s0 :next x, x :a0 :v0_0, x :a1 :v1_0", "leapfrog"},
+		{"selective-in-star", "q(x) :- :s0 :next x, x :a0 :v0_0, x :a1 :v1_0", "leapfrog,sorted!(x)"},
 	}
 	for _, tc := range cases {
 		if got := explainString(t, st, tc.query); got != tc.want {
@@ -123,7 +129,7 @@ func TestPlannerDelta(t *testing.T) {
 		t.Fatal("write did not land in the delta overlay")
 	}
 	got := explainString(t, st, "q(x) :- x :a0 :v0_0, x :a1 :v1_0, x :a2 :v2_0")
-	if got != "leapfrog" {
+	if got != "leapfrog,sorted!(x)" {
 		t.Fatalf("plan with delta = %q, want leapfrog", got)
 	}
 }
@@ -134,7 +140,7 @@ func TestPlannerGroupPreference(t *testing.T) {
 	st := planGraph()
 	got := explainString(t, st,
 		"q(x, y) :- x :a0 :v0_0, x :a1 :v1_0, x :a2 :v2_0, y :a0 :v0_1, y :a1 :v1_1")
-	if got != "leapfrog,merge" {
+	if got != "leapfrog,merge,sorted!(x,y)" {
 		t.Fatalf("plan = %q, want leapfrog,merge", got)
 	}
 }

@@ -13,6 +13,15 @@ package bgp
 // meets inside one partition, and each partition keeps the
 // first-occurring index. Survivors are emitted in input order, which is
 // exactly the sequential first-occurrence order.
+//
+// When the input carries a sort property (batch engine, eval.go), the
+// distinct filter downgrades to something cheaper: if the result is
+// strict over its sorted variables and the projection keeps them all,
+// no deduplication is needed at all; if the projected variables are
+// exactly a sorted prefix, duplicates are adjacent and a run detector
+// replaces the hash table. Both fast paths keep first-occurrence order
+// (it coincides with the sorted order), so output stays byte-identical
+// to the hash path.
 
 import (
 	"fmt"
@@ -41,42 +50,137 @@ func (r *Result) Project(vars []string, distinct bool) (*Result, error) {
 		cols[i] = c
 	}
 	out := &Result{Vars: append([]string(nil), vars...)}
+
+	// Ordering-aware dedup downgrade; see the package comment.
+	skipDedup, runDedup := false, 0
+	if distinct {
+		if r.sortedCovers(vars) {
+			skipDedup = true
+		} else if k := r.sortedRunPrefix(vars); k > 0 {
+			runDedup = k
+		}
+	}
+	hashDedup := distinct && !skipDedup && runDedup == 0
+
 	nw := projectWorkers(len(r.Rows))
 	if nw > 1 {
-		out.Rows = r.projectParallel(cols, distinct, nw)
-		return out, nil
+		out.Rows = r.projectParallel(cols, hashDedup, nw)
+	} else {
+		out.Rows = make([][]dict.ID, 0, len(r.Rows))
+		ar := newRowArena(len(cols))
+		buf := make([]dict.ID, len(cols))
+		var buckets map[uint64][]int
+		if hashDedup {
+			buckets = make(map[uint64][]int, len(r.Rows))
+		}
+		for _, row := range r.Rows {
+			for i, c := range cols {
+				buf[i] = row[c]
+			}
+			if hashDedup {
+				h := hashIDs(buf)
+				dup := false
+				for _, idx := range buckets[h] {
+					if idRowsEqual(out.Rows[idx], buf) {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				buckets[h] = append(buckets[h], len(out.Rows))
+			}
+			nr := ar.newRow()
+			copy(nr, buf)
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	if runDedup > 0 {
+		out.Rows = dedupAdjacentRows(out.Rows)
 	}
 
-	out.Rows = make([][]dict.ID, 0, len(r.Rows))
-	ar := newRowArena(len(cols))
-	buf := make([]dict.ID, len(cols))
-	var buckets map[uint64][]int
-	if distinct {
-		buckets = make(map[uint64][]int, len(r.Rows))
-	}
-	for _, row := range r.Rows {
-		for i, c := range cols {
-			buf[i] = row[c]
+	// Propagate the sort property through the projection.
+	switch {
+	case skipDedup:
+		out.Sorted = append([]string(nil), r.Sorted...)
+		out.Strict = true
+	case runDedup > 0:
+		out.Sorted = append([]string(nil), r.Sorted[:runDedup]...)
+		out.Strict = true
+	case !distinct:
+		// Bag: the longest sorted prefix fully kept by the projection
+		// still orders the output; strictness survives only when the
+		// whole prefix does.
+		k := 0
+		for k < len(r.Sorted) && containsStr(vars, r.Sorted[k]) {
+			k++
 		}
-		if distinct {
-			h := hashIDs(buf)
-			dup := false
-			for _, idx := range buckets[h] {
-				if idRowsEqual(out.Rows[idx], buf) {
-					dup = true
-					break
-				}
-			}
-			if dup {
-				continue
-			}
-			buckets[h] = append(buckets[h], len(out.Rows))
-		}
-		nr := ar.newRow()
-		copy(nr, buf)
-		out.Rows = append(out.Rows, nr)
+		out.Sorted = append([]string(nil), r.Sorted[:k]...)
+		out.Strict = r.Strict && k == len(r.Sorted)
 	}
 	return out, nil
+}
+
+// sortedCovers reports whether dropping deduplication is safe: the
+// result is strict over its sorted variables and vars retains every one
+// of them, so projected rows are already distinct.
+func (r *Result) sortedCovers(vars []string) bool {
+	if !r.Strict || len(r.Sorted) == 0 {
+		return false
+	}
+	for _, s := range r.Sorted {
+		if !containsStr(vars, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedRunPrefix returns k > 0 when set(vars) equals set(Sorted[:k]):
+// the projected rows are then ordered by exactly the projected
+// variables, so duplicate projections are adjacent.
+func (r *Result) sortedRunPrefix(vars []string) int {
+	k := len(vars)
+	if k == 0 || k > len(r.Sorted) {
+		return 0
+	}
+	prefix := r.Sorted[:k]
+	for _, s := range prefix {
+		if !containsStr(vars, s) {
+			return 0
+		}
+	}
+	for _, v := range vars {
+		if !containsStr(prefix, v) {
+			return 0
+		}
+	}
+	return k
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// dedupAdjacentRows collapses runs of equal rows in place, keeping the
+// first of each run — the full distinct semantics when equal rows are
+// known to be adjacent.
+func dedupAdjacentRows(rows [][]dict.ID) [][]dict.ID {
+	w := 0
+	for i, row := range rows {
+		if i > 0 && idRowsEqual(row, rows[w-1]) {
+			continue
+		}
+		rows[w] = row
+		w++
+	}
+	return rows[:w]
 }
 
 // projectWorkers sizes the projection fan-out: the Workers override, or

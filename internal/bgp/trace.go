@@ -27,6 +27,7 @@ type stepStat struct {
 	seeks   atomic.Int64 // cursor galloping seeks (merge/leapfrog)
 	nexts   atomic.Int64 // cursor single-step advances
 	busyNs  atomic.Int64 // summed worker nanoseconds inside the step
+	batches atomic.Int64 // batches emitted (batch engine only)
 }
 
 // addCursorCounts flushes one cursor group's access-path counters.
@@ -66,12 +67,30 @@ func emitStepSpans(span *obs.Span, steps []planStep, vars []string, stats []step
 		c.AddRows(ss.rows.Load())
 		c.AddSeeks(ss.seeks.Load())
 		c.Attr("pats", describeStep(stp))
-		if stp.kind != opNested {
+		switch stp.kind {
+		case opNested:
+			if n := ss.scanned.Load(); n > 0 {
+				c.AttrInt("scanned", n)
+			}
+		case opStream:
+			c.Attr("join_var", vars[stp.joinVar])
+			if stp.tail >= 0 {
+				c.Attr("tail_var", vars[stp.tail])
+			}
+			if stp.pso {
+				c.Attr("perm", "pso")
+			}
+			c.AttrInt("nexts", ss.nexts.Load())
+		default:
 			c.AttrInt("cursors", int64(len(stp.pats)))
 			c.Attr("join_var", vars[stp.joinVar])
 			c.AttrInt("nexts", ss.nexts.Load())
-		} else if n := ss.scanned.Load(); n > 0 {
-			c.AttrInt("scanned", n)
+		}
+		if nb := ss.batches.Load(); nb > 0 {
+			c.AttrInt("batches", nb)
+			if rows := ss.rows.Load(); rows > 0 {
+				c.AttrInt("rows_per_batch", rows/nb)
+			}
 		}
 		c.Attr("busy", "sum") // summed worker time, not wall time
 	}

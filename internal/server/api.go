@@ -228,11 +228,13 @@ type RegStats struct {
 	// client's in-flight rewrite computation.
 	CoalescedRewrites int64 `json:"coalesced_rewrites"`
 	// Maintained counts delta-feed maintenance applications (views kept
-	// alive across writes); NegSkips counts candidate scans skipped by
-	// the negative cache.
-	Maintained int64            `json:"maintained"`
-	NegSkips   int64            `json:"neg_skips"`
-	Strategies map[string]int64 `json:"strategies"`
+	// alive across writes); LazyUpgrades counts entries upgraded to the
+	// maintained form on their first write; NegSkips counts candidate
+	// scans skipped by the negative cache.
+	Maintained   int64            `json:"maintained"`
+	LazyUpgrades int64            `json:"lazy_upgrades"`
+	NegSkips     int64            `json:"neg_skips"`
+	Strategies   map[string]int64 `json:"strategies"`
 }
 
 // EndpointStats aggregates per-route request metrics.

@@ -784,6 +784,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, erro
 			Coalesced:         rs.Coalesced,
 			CoalescedRewrites: rs.CoalescedRewrites,
 			Maintained:        rs.Maintained,
+			LazyUpgrades:      rs.LazyUpgrades,
 			NegSkips:          rs.NegSkips,
 			Strategies:        strategies,
 		},

@@ -103,6 +103,33 @@ func (st *Store) NewCursor(pat Pattern) Cursor {
 	return c
 }
 
+// NewCursorPSO returns a cursor over every triple with predicate p in
+// (S, O) order — the PSO permutation, which the three classic
+// permutations cannot provide — keyed on the subject. Keys are
+// non-decreasing but NOT strictly increasing: a subject with several
+// p-objects contributes one position per object, so this cursor is not
+// an intersection operand. It exists for the batch engine's streamed
+// chain steps, which Seek to each already-bound subject and enumerate
+// the object run via Triple(). The store must be frozen (a delta
+// overlay is merged); otherwise the cursor starts exhausted.
+func (st *Store) NewCursorPSO(p dict.ID) Cursor {
+	var c Cursor
+	if st.frz == nil {
+		c.exhausted = true
+		return c
+	}
+	c.px = &st.frz.pso
+	c.bpos, c.bhi = c.px.keyRange(p)
+	c.ts = st.dlt.pso
+	c.dpos, c.dhi = searchPrefix(permPSO, st.dlt.pso, 1, p, 0, 0)
+	c.kind = permPSO
+	c.keyCol = 1
+	c.bcol = c.px.c2
+	c.total = (c.bhi - c.bpos) + (c.dhi - c.dpos)
+	c.settle()
+	return c
+}
+
 // Len reports how many triples the cursor ranged over at construction
 // (base plus overlay), before any Next/Seek consumed them.
 func (c *Cursor) Len() int { return c.total }

@@ -8,11 +8,11 @@ package store
 //   - log: the arrival-ordered delta feed. Consumers that maintain
 //     materializations (internal/incr, internal/viewreg) read it through
 //     DeltaSince(seq) and apply exactly the triples they have not seen.
-//   - spo/pos/osp: three permutations of the delta kept sorted by their
-//     permuted (c1, c2, c3) key via binary-search insertion, mirroring
-//     the frozen permIndex layout. Every read path then resolves a
-//     pattern to one base range plus one delta range of the same
-//     permutation and merge-iterates the two sorted runs.
+//   - spo/pos/osp/pso: four permutations of the delta kept sorted by
+//     their permuted (c1, c2, c3) key via binary-search insertion,
+//     mirroring the frozen permIndex layout. Every read path then
+//     resolves a pattern to one base range plus one delta range of the
+//     same permutation and merge-iterates the two sorted runs.
 //
 // The delta is disjoint from the base by construction (AddID only
 // reaches it for triples absent from the authoritative nested maps), so
@@ -37,15 +37,15 @@ const DefaultCompactThreshold = 8192
 
 // delta is the mutable overlay on a frozen base.
 type delta struct {
-	log           []IDTriple // arrival order: the maintenance feed
-	spo, pos, osp []IDTriple // sorted by the respective permuted key
+	log                []IDTriple // arrival order: the maintenance feed
+	spo, pos, osp, pso []IDTriple // sorted by the respective permuted key
 }
 
 func (d *delta) len() int { return len(d.log) }
 
-func (d *delta) reset() { d.log, d.spo, d.pos, d.osp = nil, nil, nil, nil }
+func (d *delta) reset() { d.log, d.spo, d.pos, d.osp, d.pso = nil, nil, nil, nil, nil }
 
-// add appends t to the feed and sorted-inserts it into the three
+// add appends t to the feed and sorted-inserts it into the four
 // permutations: O(len) per permutation, bounded by the compaction
 // threshold.
 func (d *delta) add(t IDTriple) {
@@ -53,6 +53,7 @@ func (d *delta) add(t IDTriple) {
 	d.spo = insertSorted(permSPO, d.spo, t)
 	d.pos = insertSorted(permPOS, d.pos, t)
 	d.osp = insertSorted(permOSP, d.osp, t)
+	d.pso = insertSorted(permPSO, d.pso, t)
 }
 
 // permuteTriple projects t onto a permutation's (c1, c2, c3) key.
@@ -62,6 +63,8 @@ func permuteTriple(kind permKind, t IDTriple) (a, b, c dict.ID) {
 		return t.P, t.O, t.S
 	case permOSP:
 		return t.O, t.S, t.P
+	case permPSO:
+		return t.P, t.S, t.O
 	default:
 		return t.S, t.P, t.O
 	}

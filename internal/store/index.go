@@ -39,6 +39,7 @@ const (
 	permSPO permKind = iota // c1=S c2=P c3=O
 	permPOS                 // c1=P c2=O c3=S
 	permOSP                 // c1=O c2=S c3=P
+	permPSO                 // c1=P c2=S c3=O
 )
 
 // permIndex is one sorted permutation in columnar layout. The triple set
@@ -55,6 +56,13 @@ type permIndex struct {
 // frozen is the read-optimized view of a store.
 type frozen struct {
 	spo, pos, osp permIndex
+
+	// pso is the fourth permutation (c1=P c2=S c3=O): predicate runs
+	// whose rows are subject-sorted. The classic pattern shapes never
+	// need it (patternRange covers them with three permutations); it
+	// exists for subject-keyed cursors over P-bound patterns with a free
+	// object — the batch engine's streamed chain steps (NewCursorPSO).
+	pso permIndex
 
 	// Per-predicate distinct-subject/object counts, computed at freeze
 	// time in one pass over SPO (distinct (s,p) pairs per p) and POS
@@ -98,6 +106,7 @@ func (st *Store) mergedFrozen() *frozen {
 	f.spo = mergePerm(&st.frz.spo, st.dlt.spo)
 	f.pos = mergePerm(&st.frz.pos, st.dlt.pos)
 	f.osp = mergePerm(&st.frz.osp, st.dlt.osp)
+	f.pso = mergePerm(&st.frz.pso, st.dlt.pso)
 	f.computeStats(len(st.predCount))
 	return f
 }
@@ -242,6 +251,7 @@ func (st *Store) build() {
 	f.spo.build(permSPO, base, scratch)
 	f.pos.build(permPOS, base, scratch)
 	f.osp.build(permOSP, base, scratch)
+	f.pso.build(permPSO, base, scratch)
 	f.computeStats(len(st.predCount))
 	st.frz = f
 }
@@ -265,6 +275,16 @@ func (f *frozen) computeStats(sizeHint int) {
 			f.predDistinctO[pos.c1[i]]++
 		}
 	}
+}
+
+// rebuildPSO derives the PSO permutation from the SPO columns — the
+// load-time fallback for v2 snapshots written before PSO existed.
+func (f *frozen) rebuildPSO() {
+	n := f.spo.len()
+	base := make([]IDTriple, 0, n)
+	base = f.spo.appendRange(base, 0, n)
+	scratch := make([]IDTriple, n)
+	f.pso.build(permPSO, base, scratch)
 }
 
 // Thaw drops the frozen indexes (and any delta overlay), returning the
@@ -355,6 +375,8 @@ func (px *permIndex) triple(i int) IDTriple {
 		return IDTriple{S: px.c3[i], P: px.c1[i], O: px.c2[i]}
 	case permOSP:
 		return IDTriple{S: px.c2[i], P: px.c3[i], O: px.c1[i]}
+	case permPSO:
+		return IDTriple{S: px.c2[i], P: px.c1[i], O: px.c3[i]}
 	default:
 		return IDTriple{S: px.c1[i], P: px.c2[i], O: px.c3[i]}
 	}
@@ -374,6 +396,12 @@ func (px *permIndex) forEachRange(lo, hi int, fn func(IDTriple) bool) bool {
 	case permOSP:
 		for i := lo; i < hi; i++ {
 			if !fn(IDTriple{S: px.c2[i], P: px.c3[i], O: px.c1[i]}) {
+				return false
+			}
+		}
+	case permPSO:
+		for i := lo; i < hi; i++ {
+			if !fn(IDTriple{S: px.c2[i], P: px.c1[i], O: px.c3[i]}) {
 				return false
 			}
 		}

@@ -96,6 +96,31 @@ func (st *Store) ForEach(pat Pattern, fn func(t IDTriple) bool) {
 	}
 }
 
+// PatternColumns exposes the triples matching pat as three parallel
+// column slices in (S, P, O) orientation — direct, zero-copy views into
+// the frozen permutation the pattern resolves to, in that permutation's
+// sorted order (the same order ForEach visits). It reports ok = false
+// when the store is not frozen or a delta overlay is pending (the
+// merged view is not contiguous); callers then fall back to ForEach.
+// The batch engine's seed scans bulk-copy from these slices.
+func (st *Store) PatternColumns(pat Pattern) (s, p, o []dict.ID, ok bool) {
+	if st.frz == nil || st.dlt.len() > 0 {
+		return nil, nil, nil, false
+	}
+	px, lo, hi := st.frz.patternRange(pat)
+	c1, c2, c3 := px.c1[lo:hi], px.c2[lo:hi], px.c3[lo:hi]
+	switch px.kind {
+	case permPOS:
+		return c3, c1, c2, true
+	case permOSP:
+		return c2, c3, c1, true
+	case permPSO:
+		return c2, c1, c3, true
+	default:
+		return c1, c2, c3, true
+	}
+}
+
 // Match returns all triples matching pat. Prefer ForEach when the caller
 // can consume triples incrementally. On a frozen store the result is
 // preallocated to its exact size.

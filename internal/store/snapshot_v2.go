@@ -48,6 +48,10 @@ const (
 	secSPO  uint8 = 3
 	secPOS  uint8 = 4
 	secOSP  uint8 = 5
+	// secPSO carries the fourth permutation. Files written before it
+	// existed simply lack the section; the loader detects the absence
+	// and rebuilds PSO from SPO, so old snapshots stay readable.
+	secPSO uint8 = 6
 )
 
 // WriteFrozenSnapshot serializes the complete store in the frozen v2
@@ -85,7 +89,7 @@ func (st *Store) WriteFrozenBase(w io.Writer) error {
 	for _, s := range []struct {
 		id uint8
 		px *permIndex
-	}{{secSPO, &st.frz.spo}, {secPOS, &st.frz.pos}, {secOSP, &st.frz.osp}} {
+	}{{secSPO, &st.frz.spo}, {secPOS, &st.frz.pos}, {secOSP, &st.frz.osp}, {secPSO, &st.frz.pso}} {
 		var e persist.Enc
 		encodePerm(&e, s.px)
 		fw.Section(s.id, e.Bytes())
@@ -279,6 +283,19 @@ func OpenFrozenSnapshot(r io.Reader) (*Store, error) {
 		if *s.px, err = decodePerm(sec, s.kind, nTriples, nTerms); err != nil {
 			return nil, err
 		}
+	}
+	if f.HasSection(secPSO) {
+		sec, err := f.Section(secPSO)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		if frz.pso, err = decodePerm(sec, permPSO, nTriples, nTerms); err != nil {
+			return nil, err
+		}
+	} else {
+		// Snapshot predates the fourth permutation: rebuild it from the
+		// validated SPO columns (one extract + sort at load time).
+		frz.rebuildPSO()
 	}
 	frz.computeStats(len(frz.pos.keys))
 

@@ -18,10 +18,11 @@ type regMetrics struct {
 	evictions   *obs.Counter
 	invalids    *obs.Counter
 	coalesced   *obs.Counter
-	coalescedRw *obs.Counter
-	maintained  *obs.Counter
-	negSkips    *obs.Counter
-	maintainSec *obs.Histogram
+	coalescedRw  *obs.Counter
+	maintained   *obs.Counter
+	lazyUpgrades *obs.Counter
+	negSkips     *obs.Counter
+	maintainSec  *obs.Histogram
 }
 
 func wireMetrics(m *obs.Registry) regMetrics {
@@ -44,6 +45,8 @@ func wireMetrics(m *obs.Registry) regMetrics {
 		"Queries that piggybacked on another client's in-flight rewrite computation.")
 	mx.maintained = m.Counter("rdfcube_viewreg_maintained_total",
 		"Delta-feed maintenance applications (views caught up instead of dropped).")
+	mx.lazyUpgrades = m.Counter("rdfcube_viewreg_lazy_upgrades_total",
+		"Registry entries upgraded to the maintained form on their first write.")
 	mx.negSkips = m.Counter("rdfcube_viewreg_negcache_skips_total",
 		"Candidate scans skipped by the negative cache.")
 	mx.maintainSec = m.Histogram("rdfcube_viewreg_maintain_seconds",

@@ -2,16 +2,22 @@ package viewreg
 
 // View-registry snapshots: the warm-start half of the durability story.
 //
-// Save serializes every *maintainable* registered view — the analytical
-// query, the full incr maintenance state (classifier result, keyed
-// measure, m̄ dedup keys, newk counter, pres(Q)) and the aggregated
-// ans(Q) — each tagged with the (baseEpoch, deltaSeq) store version it
-// reflects. Restore re-admits entries against a store recovered to the
-// same base epoch: a view saved at the exact current version comes back
-// verbatim; a view saved at an older delta sequence is Sync'd through
-// the store's delta feed to catch up. Either way the server answers the
-// warmed queries from materialized views after a restart without a
-// single direct evaluation.
+// Save serializes every registered view in one of two forms. A view
+// that was upgraded to the maintained form carries the full incr
+// maintenance state (classifier result, keyed measure, m̄ dedup keys,
+// newk counter, pres(Q)) plus the aggregated ans(Q); a still-plain
+// (lazily upgradable) view carries just its pres(Q) and ans(Q)
+// snapshots and re-admits as upgradable — the restart preserves the
+// registry's lazy-upgrade economics instead of forcing the costlier
+// form on every entry. Each entry is tagged with the (baseEpoch,
+// deltaSeq) store version it reflects. Restore re-admits entries
+// against a store recovered to the same base epoch: a view saved at the
+// exact current version comes back verbatim; a maintained view saved at
+// an older delta sequence is Sync'd through the store's delta feed to
+// catch up, while a plain one re-admits behind and upgrades lazily at
+// its first use. Either way the server answers the warmed queries from
+// materialized views after a restart without a single direct
+// evaluation of the current entries.
 //
 // Term IDs inside the serialized relations are dictionary IDs of the
 // instance the registry answers over. They are only meaningful against a
@@ -22,9 +28,13 @@ package viewreg
 //
 // File layout (section framing and codecs in internal/persist):
 //
-//	magic "RDCV" | version 1
+//	magic "RDCV" | version 2
 //	section META     store (base, seq), dictionary length, entry count
 //	section ENTRIES  entries, oldest first (re-admission preserves LRU order)
+//
+// Version 2 prefixes every entry with a kind byte: 1 = maintained
+// (incr state + ans), 0 = plain (pres + ans, upgradable). Version-1
+// files (all entries maintained, no kind byte) still restore.
 
 import (
 	"fmt"
@@ -43,23 +53,27 @@ import (
 
 const (
 	viewsMagic   = "RDCV"
-	viewsVersion = 1
+	viewsVersion = 2
 
 	viewsSecMeta    uint8 = 1
 	viewsSecEntries uint8 = 2
+
+	entryKindPlain      byte = 0
+	entryKindMaintained byte = 1
 )
 
-// Save writes a snapshot of the registry's maintainable views to w and
-// returns how many it captured. Entries without maintenance state
-// (direct evaluations that could not be built incrementally) are
-// skipped — they could not catch up with a store that has moved, so
+// Save writes a snapshot of the registry's persistable views to w and
+// returns how many it captured. Maintained entries serialize their incr
+// state; plain upgradable entries serialize their pres/ans snapshots.
+// Entries that failed their upgrade (neither maintained nor upgradable)
+// are skipped — they could not catch up with a store that has moved, so
 // persisting them would promise more than a restart can deliver.
 func (r *Registry) Save(w io.Writer) (int, error) {
 	r.mu.Lock()
 	entries := make([]*entry, 0, r.lru.Len())
 	for el := r.lru.Back(); el != nil; el = el.Prev() { // oldest first
 		e := el.Value.(*entry)
-		if e.mp != nil {
+		if e.mp != nil || e.upgradable {
 			entries = append(entries, e)
 		}
 	}
@@ -71,11 +85,23 @@ func (r *Registry) Save(w io.Writer) (int, error) {
 	saved := 0
 	for _, e := range entries {
 		e.mu.Lock()
+		if e.mp == nil {
+			ee.Byte(entryKindPlain)
+			encodeQuery(&ee, e.query)
+			ee.Uvarint(e.ver.Base)
+			ee.Uvarint(e.ver.Seq)
+			encodeRelation(&ee, e.pres)
+			encodeRelation(&ee, e.ans)
+			e.mu.Unlock()
+			saved++
+			continue
+		}
 		st, err := e.mp.State()
 		if err != nil {
 			e.mu.Unlock()
 			continue // dirty mid-maintenance state is not resumable
 		}
+		ee.Byte(entryKindMaintained)
 		encodeQuery(&ee, e.query)
 		ee.Uvarint(st.Ver.Base)
 		ee.Uvarint(st.Ver.Seq)
@@ -116,7 +142,7 @@ func (r *Registry) Restore(rd io.Reader) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if f.Version != viewsVersion {
+	if f.Version != 1 && f.Version != viewsVersion {
 		return 0, fmt.Errorf("%w: unsupported view snapshot version %d", persist.ErrCorrupt, f.Version)
 	}
 	meta, err := f.Section(viewsSecMeta)
@@ -144,6 +170,41 @@ func (r *Registry) Restore(rd io.Reader) (int, error) {
 	}
 	restored := 0
 	for i := 0; i < count; i++ {
+		kind := entryKindMaintained // version-1 files carry no kind byte
+		if f.Version >= 2 {
+			kind = ents.Byte()
+		}
+		if kind == entryKindPlain {
+			q, ever, pres, ans, err := decodePlainEntry(ents)
+			if err != nil {
+				return restored, err
+			}
+			if ever.Base != cur.Base || ever.Seq > cur.Seq {
+				continue // saved against a feed this store cannot replay
+			}
+			// Re-admit as a plain upgradable entry, possibly behind on the
+			// delta sequence: the first use that needs it current performs
+			// the lazy upgrade, exactly as if the entry had never left.
+			fam := familyKey(q)
+			e := &entry{
+				fam:        fam,
+				key:        exactKey(fam, q),
+				query:      q,
+				upgradable: true,
+				pres:       pres,
+				ans:        ans,
+				ver:        ever,
+			}
+			e.bytes = relationBytes(e.pres) + relationBytes(e.ans) + entryOverhead
+			r.mu.Lock()
+			r.insertLocked(e)
+			admitted := e.elem != nil
+			r.mu.Unlock()
+			if admitted {
+				restored++
+			}
+			continue
+		}
 		q, st, ans, err := decodeEntry(ents)
 		if err != nil {
 			return restored, err
@@ -284,6 +345,28 @@ func decodeEntry(d *persist.Dec) (*core.Query, *incr.State, *algebra.Relation, e
 		return nil, nil, nil, err
 	}
 	return q, st, ans, nil
+}
+
+// decodePlainEntry decodes a kind-0 (plain, upgradable) entry: query,
+// reflected store version, pres(Q), ans(Q).
+func decodePlainEntry(d *persist.Dec) (*core.Query, store.Version, *algebra.Relation, *algebra.Relation, error) {
+	q, err := decodeQuery(d)
+	if err != nil {
+		return nil, store.Version{}, nil, nil, err
+	}
+	ver := store.Version{Base: d.Uvarint(), Seq: d.Uvarint()}
+	pres, err := decodeRelation(d)
+	if err != nil {
+		return nil, store.Version{}, nil, nil, err
+	}
+	ans, err := decodeRelation(d)
+	if err != nil {
+		return nil, store.Version{}, nil, nil, err
+	}
+	if err := d.Err(); err != nil {
+		return nil, store.Version{}, nil, nil, err
+	}
+	return q, ver, pres, ans, nil
 }
 
 func decodeQuery(d *persist.Dec) (*core.Query, error) {

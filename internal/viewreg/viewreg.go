@@ -105,14 +105,18 @@ type entry struct {
 	query    *core.Query
 
 	mu sync.Mutex
-	// mp maintains pres(Q) through the store's delta feed; nil when the
-	// materialization could not be built incrementally (the entry is
-	// then dropped instead of maintained once it falls behind).
-	mp    *incr.MaintainedPres
-	pres  *algebra.Relation
-	ans   *algebra.Relation
-	bytes int64
-	ver   store.Version
+	// mp maintains pres(Q) through the store's delta feed. Entries
+	// register WITHOUT it (a plain evaluation — read-only entries never
+	// pay for the maintained form's key indexes) and upgrade lazily on
+	// the first write that leaves them behind, while upgradable is set.
+	// nil with upgradable false means the upgrade failed or the query is
+	// unmaintainable; the entry is then dropped once it falls behind.
+	mp         *incr.MaintainedPres
+	upgradable bool
+	pres       *algebra.Relation
+	ans        *algebra.Relation
+	bytes      int64
+	ver        store.Version
 
 	elem *list.Element // position in the LRU list; nil once removed
 }
@@ -167,6 +171,10 @@ type Stats struct {
 	// registered view caught up to the store's version instead of being
 	// dropped and re-evaluated.
 	Maintained int64
+	// LazyUpgrades counts entries upgraded to the maintained form on
+	// their first write (registration defers the costlier incremental
+	// materialization until a write proves it is needed).
+	LazyUpgrades int64
 	// NegSkips counts candidate scans skipped by the negative cache.
 	NegSkips int64
 }
@@ -192,13 +200,14 @@ type Registry struct {
 	// negMiss remembers exact query fingerprints whose family scan found
 	// no applicable rewrite, keyed to the packed store version observed;
 	// cleared on registration.
-	negMiss     map[uint64]uint64
-	evictions   int64
-	invalids    int64
-	coalesced   int64
-	coalescedRw int64
-	maintained  int64
-	negSkips    int64
+	negMiss      map[uint64]uint64
+	evictions    int64
+	invalids     int64
+	coalesced    int64
+	coalescedRw  int64
+	maintained   int64
+	lazyUpgrades int64
+	negSkips     int64
 
 	// mx mirrors the counters above into an obs.Registry (zero value =
 	// no-op; see metrics.go for the per-instance vs process-wide split).
@@ -288,6 +297,7 @@ func (r *Registry) Stats() Stats {
 		Coalesced:         r.coalesced,
 		CoalescedRewrites: r.coalescedRw,
 		Maintained:        r.maintained,
+		LazyUpgrades:      r.lazyUpgrades,
 		NegSkips:          r.negSkips,
 	}
 }
@@ -486,29 +496,20 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (out *algebra.R
 	r.inflight[key] = fl
 	r.mu.Unlock()
 
-	// Evaluate through internal/incr so the registered materialization
-	// can absorb the store's delta feed later; pres(Q) is a by-product
-	// either way. Should the maintained form be unavailable, fall back to
-	// a plain evaluation — the entry is then dropped instead of
-	// maintained once the store moves.
+	// Evaluate plainly: registration deliberately does NOT build the
+	// incremental materialization (internal/incr) up front — its key
+	// indexes cost extra time and memory that a read-only entry never
+	// recoups. The entry registers as upgradable instead, and freshen
+	// builds the maintained form lazily on the first write that leaves
+	// the entry behind.
 	var (
 		pres, cube *algebra.Relation
-		mp         *incr.MaintainedPres
 		err        error
 	)
 	evalCtx, evalSpan := obs.StartSpan(ctx, "viewreg.direct")
-	if mp, err = incr.NewCtx(evalCtx, r.ev, q); err == nil {
-		pres = mp.Pres()
-		cube, err = mp.Answer()
-	} else {
-		mp = nil
-		if isCtxErr(err) {
-			// Don't burn a second full evaluation on a dead context; the
-			// fallback below is for *unmaintainable* queries, not for
-			// cancellation.
-		} else if pres, err = r.ev.WithContext(evalCtx).Pres(q); err == nil {
-			cube, err = r.ev.AnswerFromPres(q, pres)
-		}
+	ev := r.ev.WithContext(evalCtx)
+	if pres, err = ev.Pres(q); err == nil {
+		cube, err = ev.AnswerFromPres(q, pres)
 	}
 	evalSpan.End()
 
@@ -524,14 +525,14 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (out *algebra.R
 		// past us means the cube may reflect superseded data.
 		if r.st.Epoch() == epoch {
 			r.insertLocked(&entry{
-				fam:   fam,
-				key:   key,
-				query: fl.query,
-				mp:    mp,
-				pres:  pres,
-				ans:   cube,
-				bytes: relationBytes(pres) + relationBytes(cube) + entryOverhead,
-				ver:   ver,
+				fam:        fam,
+				key:        key,
+				query:      fl.query,
+				upgradable: true,
+				pres:       pres,
+				ans:        cube,
+				bytes:      relationBytes(pres) + relationBytes(cube) + entryOverhead,
+				ver:        ver,
 			})
 		}
 	}
@@ -569,7 +570,7 @@ func (r *Registry) NotifyWriteCtx(ctx context.Context) {
 		if e.ver == ver {
 			continue
 		}
-		if e.ver.Base != ver.Base || e.mp == nil {
+		if e.ver.Base != ver.Base || (e.mp == nil && !e.upgradable) {
 			stale = append(stale, e)
 		} else {
 			behind = append(behind, e)
@@ -596,7 +597,7 @@ func (r *Registry) candidates(fam uint64, ver store.Version) []*entry {
 	bucket := r.families[fam]
 	live := bucket[:0]
 	for _, e := range bucket {
-		if e.ver.Base != ver.Base || (e.ver != ver && e.mp == nil) {
+		if e.ver.Base != ver.Base || (e.ver != ver && e.mp == nil && !e.upgradable) {
 			r.dropLocked(e)
 			r.invalids++
 			r.mx.invalids.Inc()
@@ -623,13 +624,19 @@ func (r *Registry) candidates(fam uint64, ver store.Version) []*entry {
 // the registry lock so snapshot readers see consistent fields. ctx is
 // trace propagation only — maintenance is never cancelled (it serves
 // every future caller, not just this one).
+//
+// An entry registered without the maintained form (mp nil, upgradable)
+// upgrades here, on the first write that leaves it behind: the
+// incremental materialization is built at the current version and
+// swapped in, and later writes take the cheap delta path. A failed
+// upgrade drops the entry, like failed maintenance.
 func (r *Registry) freshen(ctx context.Context, e *entry, ver store.Version) (pres, ans *algebra.Relation, ok bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.ver == ver {
 		return e.pres, e.ans, true
 	}
-	if e.ver.Base != ver.Base || e.mp == nil {
+	if e.ver.Base != ver.Base || (e.mp == nil && !e.upgradable) {
 		r.discard(e)
 		return nil, nil, false
 	}
@@ -640,7 +647,17 @@ func (r *Registry) freshen(ctx context.Context, e *entry, ver store.Version) (pr
 		span.Attr("ok", fmt.Sprintf("%t", ok))
 		span.End()
 	}()
-	if _, _, refreshed, err := e.mp.Sync(); err != nil || refreshed {
+	upgraded := false
+	if e.mp == nil {
+		span.Attr("upgrade", "lazy")
+		mp, err := incr.NewCtx(ctx, r.ev, e.query)
+		if err != nil {
+			e.upgradable = false
+			r.discard(e)
+			return nil, nil, false
+		}
+		e.mp, e.upgradable, upgraded = mp, false, true
+	} else if _, _, refreshed, err := e.mp.Sync(); err != nil || refreshed {
 		// refreshed means the base moved underneath us after the check
 		// above — the entry's materialization was recomputed, which is
 		// exactly the cost this registry avoids; treat it as stale.
@@ -662,6 +679,10 @@ func (r *Registry) freshen(ctx context.Context, e *entry, ver store.Version) (pr
 	e.bytes = nb
 	r.maintained++
 	r.mx.maintained.Inc()
+	if upgraded {
+		r.lazyUpgrades++
+		r.mx.lazyUpgrades.Inc()
+	}
 	r.evictLocked()
 	r.mu.Unlock()
 	return newPres, newAns, true
