@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"rdfcube"
 	"rdfcube/internal/obs"
@@ -203,14 +204,19 @@ func main() {
 
 	ev := rdfcube.NewEvaluator(g)
 	var tr *obs.Trace
+	var qcost *obs.Cost
 	if *explain {
 		// EXPLAIN ANALYZE, CLI face: trace the evaluation through the
-		// planner and physical operators, then render the span tree.
+		// planner and physical operators with a cost accumulator
+		// attached, then render the span tree and the exact per-query
+		// resource accounting.
 		tracer := &obs.Tracer{}
 		var ctx context.Context
 		ctx, tr = tracer.Start(context.Background(), "query")
+		ctx, qcost = obs.WithCost(ctx)
 		ev = ev.WithContext(ctx)
 	}
+	t0 := time.Now()
 	cube, err := ev.Answer(q)
 	if err != nil {
 		die("%v", err)
@@ -218,6 +224,8 @@ func main() {
 	if tr != nil {
 		tr.Root.End()
 		fmt.Fprint(os.Stderr, tr.Root.Dump().Render())
+		qcost.AddWallNs(time.Since(t0).Nanoseconds())
+		fmt.Fprintf(os.Stderr, "cost: %s\n", qcost.Snapshot().HeaderString())
 	}
 	if err := rdfcube.WriteCube(os.Stdout, cube, g, *format, prefixes); err != nil {
 		die("%v", err)

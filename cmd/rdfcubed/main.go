@@ -16,7 +16,8 @@
 //	         [-retry-min 100ms] [-retry-max 5s] [-fault-plan ""]
 //	         [-shutdown-timeout 10s]
 //	         [-log-format text] [-log-level info]
-//	         [-trace] [-slow-query 0] [-pprof-addr ""]
+//	         [-trace] [-slow-query 0] [-slow-query-burst 1]
+//	         [-workload-topk 20] [-admission always] [-pprof-addr ""]
 //
 // Writes accepted over POST /insert land in the store's delta overlay —
 // the frozen indexes survive and registered views are maintained through
@@ -54,7 +55,17 @@
 // trees, inspectable at GET /debug/traces/last), ?explain=analyze on
 // POST /query traces one request and returns its annotated plan tree,
 // and -slow-query logs any query past the threshold with its trace ID
-// and per-stage breakdown. -log-format/-log-level shape the structured
+// and per-stage breakdown (rate-limited per query fingerprint to
+// -slow-query-burst records, refilled at one per second). Every query
+// is cost-accounted — rows scanned/produced, seeks, batches, bytes
+// materialized — reported in the X-RDFCube-Cost response header and
+// aggregated by canonical query fingerprint in the workload profiler
+// (GET /debug/workload, rdfcube_workload_* series, top -workload-topk
+// shapes by total cost). -admission=cost feeds those measurements back
+// into the view registry: a direct evaluation is materialized only when
+// its measured cost times the shape's observed reuse outweighs its byte
+// footprint, and eviction prefers the lowest benefit-per-byte view.
+// -log-format/-log-level shape the structured
 // (slog) logs; -pprof-addr serves net/http/pprof on a separate listener
 // (keep it private — it is deliberately not on the API address).
 //
@@ -108,6 +119,9 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	traceAll := flag.Bool("trace", false, "trace every query (per-operator span trees at GET /debug/traces/last)")
 	slowQuery := flag.Duration("slow-query", 0, "log any query slower than this with its trace ID and per-stage breakdown (0 = off)")
+	slowQueryBurst := flag.Int("slow-query-burst", 1, "slow-query log burst per query fingerprint (refilled at 1/s; suppressed records are counted onto the next emitted one)")
+	workloadTopK := flag.Int("workload-topk", 20, "how many top-by-cost query shapes the workload profiler tracks (GET /debug/workload)")
+	admission := flag.String("admission", "always", "view-registry admission policy: always (materialize every direct evaluation) or cost (admit only when measured evaluation cost times observed reuse beats the byte footprint)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off; keep it private)")
 	flag.Parse()
 
@@ -139,6 +153,15 @@ func main() {
 		}
 	}
 
+	var admissionCost bool
+	switch *admission {
+	case "always":
+	case "cost":
+		admissionCost = true
+	default:
+		fatal("-admission", fmt.Errorf("%q: want always or cost", *admission))
+	}
+
 	var fsys faultfs.FS
 	if *faultPlan != "" {
 		faults, err := faultfs.ParsePlan(*faultPlan)
@@ -166,6 +189,9 @@ func main() {
 		RetryMax:             *retryMax,
 		TraceAll:             *traceAll,
 		SlowQuery:            *slowQuery,
+		SlowQueryBurst:       *slowQueryBurst,
+		WorkloadTopK:         *workloadTopK,
+		AdmissionCost:        admissionCost,
 		Logger:               logger,
 	})
 	if err != nil {

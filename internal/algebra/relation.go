@@ -93,6 +93,29 @@ func NewRelation(cols ...string) *Relation {
 // Len reports the number of rows (with duplicates).
 func (r *Relation) Len() int { return len(r.Rows) }
 
+// Byte-footprint model: cells dominate; the estimate charges the Value
+// array, the per-row slice header, and the column names, deliberately
+// ignoring allocator slack. Shared by the view registry's byte budget
+// and the per-query cost accounting.
+const (
+	valueBytes  = 32 // unsafe.Sizeof(Value{}) on 64-bit
+	rowOverhead = 24 // slice header per row
+	relOverhead = 64 // Relation struct + slice headers
+)
+
+// EstimateBytes estimates the relation's resident size. Nil-safe.
+func (r *Relation) EstimateBytes() int64 {
+	if r == nil {
+		return 0
+	}
+	b := int64(relOverhead)
+	for _, c := range r.Cols {
+		b += int64(16 + len(c))
+	}
+	b += int64(len(r.Rows)) * (rowOverhead + int64(len(r.Cols))*valueBytes)
+	return b
+}
+
 // Column returns the index of col, or -1.
 func (r *Relation) Column(col string) int {
 	for i, c := range r.Cols {

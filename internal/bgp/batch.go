@@ -411,8 +411,9 @@ func batchChunk(ctx context.Context, st *store.Store, compiled []compiledPattern
 					mlo[idx], mhi[idx] = lo, hi
 				}
 				if abort {
-					stepSeeks += int64(cur.Seeks)
-					stepNexts += int64(cur.Nexts)
+					cs, cn := cur.Counts()
+					stepSeeks += cs
+					stepNexts += cn
 					flush()
 					return w.out
 				}
@@ -433,8 +434,9 @@ func batchChunk(ctx context.Context, st *store.Store, compiled []compiledPattern
 						w.appendRow(scratch)
 					}
 				}
-				stepSeeks += int64(cur.Seeks)
-				stepNexts += int64(cur.Nexts)
+				cs, cn := cur.Counts()
+				stepSeeks += cs
+				stepNexts += cn
 			}
 		default: // opMerge, opLeapfrog: per-row cursor intersections
 			if cap(cursors) < len(stp.pats) {
@@ -464,8 +466,9 @@ func batchChunk(ctx context.Context, st *store.Store, compiled []compiledPattern
 					}
 					if stats != nil {
 						for j := range cs {
-							stepSeeks += int64(cs[j].Seeks)
-							stepNexts += int64(cs[j].Nexts)
+							s, n := cs[j].Counts()
+							stepSeeks += s
+							stepNexts += n
 						}
 					}
 				}

@@ -163,13 +163,27 @@ func EvalCtx(ctx context.Context, st *store.Store, q *sparql.Query, opts Options
 	if err != nil {
 		return nil, err
 	}
-	if opts.KeepAllVars {
-		if opts.Distinct {
-			return full.Project(full.Vars, true)
-		}
-		return full, nil
+	var out *Result
+	switch {
+	case opts.KeepAllVars && !opts.Distinct:
+		out = full
+	case opts.KeepAllVars:
+		out, err = full.Project(full.Vars, true)
+	default:
+		out, err = full.Project(q.Head, opts.Distinct)
 	}
-	return full.Project(q.Head, opts.Distinct)
+	if err != nil {
+		return nil, err
+	}
+	// Rows produced is the query's final row count — after projection
+	// and DISTINCT — so it is invariant across engines (the cost
+	// differential tests pin this). Bytes is the materialized footprint
+	// of those rows at 8 bytes per dictionary ID.
+	if cost := obs.CostFromContext(ctx); cost != nil {
+		cost.AddRowsProduced(int64(out.Len()))
+		cost.AddBytes(int64(out.Len()) * int64(len(out.Vars)) * 8)
+	}
+	return out, nil
 }
 
 // EvalSet evaluates q with set semantics projected on the head — the
@@ -225,12 +239,20 @@ func evalBody(ctx context.Context, st *store.Store, patterns []sparql.TriplePatt
 	nv := len(vars)
 	steps := planPipeline(st, compiled, nv, opts.ForceNestedLoop)
 
-	// Per-step execution stats exist only under an active trace; nil
-	// stats short-circuit every accounting site below.
+	// Per-step execution stats exist only under an active trace or cost
+	// accumulator; nil stats short-circuit every accounting site below.
+	// Both engines account into the same stats, so one deferred flush
+	// covers the batch engine's early return path too (res is named).
+	cost := obs.CostFromContext(ctx)
 	var stats []stepStat
-	if span != nil {
+	if span != nil || cost != nil {
 		stats = make([]stepStat, len(steps))
-		defer func() { emitStepSpans(span, steps, vars, stats) }()
+		if span != nil {
+			defer func() { emitStepSpans(span, steps, vars, stats) }()
+		}
+		if cost != nil {
+			defer func() { flushCost(cost, stats) }()
+		}
 	}
 
 	if !opts.ForceNestedLoop && !opts.RowPipeline && st.IsFrozen() {
@@ -474,8 +496,9 @@ func joinChunk(ctx context.Context, st *store.Store, compiled []compiledPattern,
 				}
 				if stats != nil {
 					for i := range cs {
-						stepSeeks += int64(cs[i].Seeks)
-						stepNexts += int64(cs[i].Nexts)
+						s, n := cs[i].Counts()
+						stepSeeks += s
+						stepNexts += n
 					}
 				}
 			}

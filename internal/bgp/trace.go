@@ -34,11 +34,34 @@ type stepStat struct {
 func (ss *stepStat) addCursorCounts(cs []store.Cursor) {
 	var seeks, nexts int64
 	for i := range cs {
-		seeks += int64(cs[i].Seeks)
-		nexts += int64(cs[i].Nexts)
+		s, n := cs[i].Counts()
+		seeks += s
+		nexts += n
 	}
 	ss.seeks.Add(seeks)
 	ss.nexts.Add(nexts)
+}
+
+// flushCost folds the per-step execution stats into the query's cost
+// accumulator. Rows scanned counts every triple position visited:
+// nested-probe scans, cursor single-step advances, and cursor seeks
+// (a galloping seek lands on a triple too — and merge/leapfrog steps
+// move almost exclusively by seeking). Rows produced and bytes are
+// accounted by EvalCtx on the final projected result, not here.
+func flushCost(cost *obs.Cost, stats []stepStat) {
+	var scanned, seeks, nexts, batches, busy int64
+	for i := range stats {
+		scanned += stats[i].scanned.Load()
+		seeks += stats[i].seeks.Load()
+		nexts += stats[i].nexts.Load()
+		batches += stats[i].batches.Load()
+		busy += stats[i].busyNs.Load()
+	}
+	cost.AddRowsScanned(scanned + nexts + seeks)
+	cost.AddSeeks(seeks)
+	cost.AddNexts(nexts)
+	cost.AddBatches(batches)
+	cost.AddCPUNs(busy)
 }
 
 // describeStep renders a step's pattern list for the span attrs, e.g.

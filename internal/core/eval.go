@@ -7,6 +7,7 @@ import (
 	"rdfcube/internal/algebra"
 	"rdfcube/internal/bgp"
 	"rdfcube/internal/dict"
+	"rdfcube/internal/obs"
 	"rdfcube/internal/sparql"
 	"rdfcube/internal/store"
 )
@@ -151,7 +152,9 @@ func (e *Evaluator) Pres(q *Query) (*algebra.Relation, error) {
 	// Order columns canonically: root, dims..., KeyCol, v.
 	cols := append([]string{root}, q.Dims()...)
 	cols = append(cols, KeyCol, q.MeasureVar())
-	return joined.Project(cols...), nil
+	out := joined.Project(cols...)
+	obs.CostFromContext(e.context()).AddBytes(out.EstimateBytes())
+	return out, nil
 }
 
 // Answer computes ans(Q) directly from the instance, via Equation (3):
@@ -176,7 +179,9 @@ func (e *Evaluator) AnswerFromPres(q *Query, pres *algebra.Relation) (*algebra.R
 	// π_{x,d1..dn,v} has bag semantics: dropping the key keeps duplicate
 	// measure values as duplicate rows, exactly what γ must see.
 	proj := pres.Project(append([]string{q.Root()}, append(q.Dims(), v)...)...)
-	return proj.GroupAggregate(q.Dims(), v, v, q.Agg, e.resolveNumeric), nil
+	cube := proj.GroupAggregate(q.Dims(), v, v, q.Agg, e.resolveNumeric)
+	obs.CostFromContext(e.context()).AddBytes(cube.EstimateBytes())
+	return cube, nil
 }
 
 // Intermediary computes int(Q) = c ⋈_x m̄ (Definition 3), where m̄ is the

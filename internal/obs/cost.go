@@ -1,0 +1,145 @@
+package obs
+
+// Per-query resource accounting. A Cost rides the request context next
+// to (and independent of) the span tree: the engines meter rows
+// scanned/produced, cursor seeks, batches and materialized bytes into
+// it as they run, and the server snapshots the totals into the
+// X-RDFCube-Cost header, EXPLAIN ANALYZE, the slow-query log and the
+// workload profiler.
+//
+// The same no-cost-when-absent discipline as spans applies: with no
+// Cost on the context, CostFromContext returns nil and every method is
+// a nil-safe no-op, so benchmarks and internal evaluations pay nothing.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// Cost accumulates one query's resource usage. All fields are atomic
+// because parallel join workers account concurrently.
+type Cost struct {
+	rowsScanned  atomic.Int64
+	rowsProduced atomic.Int64
+	seeks        atomic.Int64
+	nexts        atomic.Int64
+	batches      atomic.Int64
+	bytes        atomic.Int64
+	wallNs       atomic.Int64
+	cpuNs        atomic.Int64
+}
+
+type costKey struct{}
+
+// WithCost installs a fresh Cost on ctx and returns it.
+func WithCost(ctx context.Context) (context.Context, *Cost) {
+	c := &Cost{}
+	return context.WithValue(ctx, costKey{}, c), c
+}
+
+// ContextWithCost installs c as the active cost accumulator.
+func ContextWithCost(ctx context.Context, c *Cost) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, costKey{}, c)
+}
+
+// CostFromContext returns the active cost accumulator, or nil.
+func CostFromContext(ctx context.Context) *Cost {
+	c, _ := ctx.Value(costKey{}).(*Cost)
+	return c
+}
+
+// AddRowsScanned etc. meter into the accumulator; all nil-safe.
+func (c *Cost) AddRowsScanned(n int64) {
+	if c != nil {
+		c.rowsScanned.Add(n)
+	}
+}
+func (c *Cost) AddRowsProduced(n int64) {
+	if c != nil {
+		c.rowsProduced.Add(n)
+	}
+}
+func (c *Cost) AddSeeks(n int64) {
+	if c != nil {
+		c.seeks.Add(n)
+	}
+}
+func (c *Cost) AddNexts(n int64) {
+	if c != nil {
+		c.nexts.Add(n)
+	}
+}
+func (c *Cost) AddBatches(n int64) {
+	if c != nil {
+		c.batches.Add(n)
+	}
+}
+func (c *Cost) AddBytes(n int64) {
+	if c != nil {
+		c.bytes.Add(n)
+	}
+}
+func (c *Cost) AddWallNs(n int64) {
+	if c != nil {
+		c.wallNs.Add(n)
+	}
+}
+func (c *Cost) AddCPUNs(n int64) {
+	if c != nil {
+		c.cpuNs.Add(n)
+	}
+}
+
+// CostSnapshot is a point-in-time copy of a Cost, used for JSON
+// rendering and workload aggregation.
+type CostSnapshot struct {
+	RowsScanned  int64 `json:"rows_scanned"`
+	RowsProduced int64 `json:"rows_produced"`
+	Seeks        int64 `json:"seeks"`
+	Nexts        int64 `json:"nexts"`
+	Batches      int64 `json:"batches"`
+	Bytes        int64 `json:"bytes_materialized"`
+	WallNs       int64 `json:"wall_ns"`
+	CPUNs        int64 `json:"cpu_ns"`
+}
+
+// Snapshot copies the current totals. A nil Cost snapshots to zeros.
+func (c *Cost) Snapshot() CostSnapshot {
+	if c == nil {
+		return CostSnapshot{}
+	}
+	return CostSnapshot{
+		RowsScanned:  c.rowsScanned.Load(),
+		RowsProduced: c.rowsProduced.Load(),
+		Seeks:        c.seeks.Load(),
+		Nexts:        c.nexts.Load(),
+		Batches:      c.batches.Load(),
+		Bytes:        c.bytes.Load(),
+		WallNs:       c.wallNs.Load(),
+		CPUNs:        c.cpuNs.Load(),
+	}
+}
+
+// Add merges another snapshot into s.
+func (s *CostSnapshot) Add(o CostSnapshot) {
+	s.RowsScanned += o.RowsScanned
+	s.RowsProduced += o.RowsProduced
+	s.Seeks += o.Seeks
+	s.Nexts += o.Nexts
+	s.Batches += o.Batches
+	s.Bytes += o.Bytes
+	s.WallNs += o.WallNs
+	s.CPUNs += o.CPUNs
+}
+
+// HeaderString renders the snapshot as the compact k=v list carried on
+// the X-RDFCube-Cost response header.
+func (s CostSnapshot) HeaderString() string {
+	return fmt.Sprintf(
+		"scanned=%d produced=%d seeks=%d nexts=%d batches=%d bytes=%d wall_ns=%d cpu_ns=%d",
+		s.RowsScanned, s.RowsProduced, s.Seeks, s.Nexts, s.Batches, s.Bytes, s.WallNs, s.CPUNs)
+}

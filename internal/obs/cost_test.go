@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCostNilSafe: without a Cost on the context every meter call must
+// be a free no-op — the zero-overhead contract the bench gate relies
+// on.
+func TestCostNilSafe(t *testing.T) {
+	if c := CostFromContext(context.Background()); c != nil {
+		t.Fatal("background context reported an active cost")
+	}
+	var c *Cost
+	c.AddRowsScanned(1)
+	c.AddRowsProduced(1)
+	c.AddSeeks(1)
+	c.AddNexts(1)
+	c.AddBatches(1)
+	c.AddBytes(1)
+	c.AddWallNs(1)
+	c.AddCPUNs(1)
+	if snap := c.Snapshot(); snap != (CostSnapshot{}) {
+		t.Fatalf("nil cost snapshot = %+v, want zeros", snap)
+	}
+}
+
+// TestCostAccumulate: concurrent meters sum exactly and the snapshot
+// reflects every field.
+func TestCostAccumulate(t *testing.T) {
+	ctx, c := WithCost(context.Background())
+	if CostFromContext(ctx) != c {
+		t.Fatal("WithCost did not install the accumulator")
+	}
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.AddRowsScanned(2)
+				c.AddRowsProduced(1)
+				c.AddSeeks(3)
+				c.AddNexts(4)
+				c.AddBatches(1)
+				c.AddBytes(8)
+			}
+		}()
+	}
+	wg.Wait()
+	c.AddWallNs(12345)
+	c.AddCPUNs(54321)
+	const n = workers * per
+	want := CostSnapshot{
+		RowsScanned: 2 * n, RowsProduced: n, Seeks: 3 * n, Nexts: 4 * n,
+		Batches: n, Bytes: 8 * n, WallNs: 12345, CPUNs: 54321,
+	}
+	if got := c.Snapshot(); got != want {
+		t.Fatalf("snapshot = %+v, want %+v", got, want)
+	}
+}
+
+// TestCostSnapshotAddAndHeader: snapshots merge field-wise and the
+// header rendering carries every number.
+func TestCostSnapshotAddAndHeader(t *testing.T) {
+	a := CostSnapshot{RowsScanned: 1, RowsProduced: 2, Seeks: 3, Nexts: 4, Batches: 5, Bytes: 6, WallNs: 7, CPUNs: 8}
+	b := a
+	b.Add(a)
+	want := CostSnapshot{RowsScanned: 2, RowsProduced: 4, Seeks: 6, Nexts: 8, Batches: 10, Bytes: 12, WallNs: 14, CPUNs: 16}
+	if b != want {
+		t.Fatalf("merged = %+v, want %+v", b, want)
+	}
+	h := a.HeaderString()
+	for _, frag := range []string{"scanned=1", "produced=2", "seeks=3", "nexts=4", "batches=5", "bytes=6", "wall_ns=7", "cpu_ns=8"} {
+		if !strings.Contains(h, frag) {
+			t.Errorf("header %q missing %q", h, frag)
+		}
+	}
+}

@@ -151,6 +151,11 @@ type Histogram struct {
 
 func newHistogram() *Histogram { return &Histogram{stripes: make([]histStripe, nStripes)} }
 
+// NewHistogram returns a standalone histogram not attached to any
+// registry — for aggregations (the workload profiler's per-shape
+// latency histograms) that render through their own exposition.
+func NewHistogram() *Histogram { return newHistogram() }
+
 // bucketIdx maps a nanosecond value onto its bucket: the smallest k
 // with v <= 2^k, clamped to the finite range.
 func bucketIdx(v int64) int {
@@ -233,6 +238,12 @@ func (h *Histogram) Quantile(q float64) int64 {
 		return 0
 	}
 	rank := q * float64(count)
+	if rank < 1 {
+		// q=0 (or tiny q) must land on the first *occupied* bucket, not
+		// bucket 0's bound: with rank 0 the cumulative test passes on an
+		// empty leading bucket and interpolation returns garbage.
+		rank = 1
+	}
 	var cum int64
 	for i := 0; i < histBuckets; i++ {
 		prev := cum

@@ -120,6 +120,38 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins the degenerate cases: an empty
+// histogram reports 0 at every q, q=0 lands inside the first occupied
+// bucket (not on an empty leading bucket's bound), and a histogram
+// whose whole mass overflowed to +Inf reports the tracked max rather
+// than interpolated garbage.
+func TestHistogramQuantileEdges(t *testing.T) {
+	empty := newHistogram()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty histogram q=%v = %d, want 0", q, got)
+		}
+	}
+
+	h := newHistogram()
+	const v = 100_000 // bucket (65536, 131072], well past bucket 0
+	h.Observe(v)
+	if got := h.Quantile(0); got <= 65536 || got > 131072 {
+		t.Errorf("q=0 = %d, want in the occupied bucket (65536, 131072]", got)
+	}
+
+	inf := newHistogram()
+	huge := int64(1)<<histMaxExp + 999
+	for i := 0; i < 10; i++ {
+		inf.Observe(huge)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := inf.Quantile(q); got != huge {
+			t.Errorf("all-mass-in-+Inf q=%v = %d, want max %d", q, got, huge)
+		}
+	}
+}
+
 // TestNilCollectors: every collector method must be a nil-receiver
 // no-op, so optional instrumentation never branches.
 func TestNilCollectors(t *testing.T) {

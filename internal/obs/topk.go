@@ -1,0 +1,98 @@
+package obs
+
+// A weighted Space-Saving sketch over uint64 keys: bounded memory,
+// approximate heavy hitters. When a new key arrives with the sketch
+// full, the minimum-count entry is evicted and the newcomer inherits
+// its count (the classic Metwally et al. replacement rule); Err records
+// that inherited floor, so Count-Err is a guaranteed lower bound on the
+// key's true weight.
+//
+// The workload registry uses it to keep the top query shapes by total
+// cost without tracking every fingerprint ever seen.
+
+import (
+	"sort"
+	"sync"
+)
+
+// TopKEntry is one sketch slot.
+type TopKEntry struct {
+	Key   uint64
+	Count int64 // estimated total weight (upper bound)
+	Err   int64 // possible overestimate inherited at replacement
+}
+
+// TopK is a concurrency-safe weighted Space-Saving sketch. A mutex is
+// fine here: offers happen once per query, not per row.
+type TopK struct {
+	mu    sync.Mutex
+	k     int
+	slots map[uint64]*TopKEntry
+}
+
+// NewTopK returns a sketch tracking up to k keys. k < 1 is clamped to 1.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, slots: make(map[uint64]*TopKEntry, k)}
+}
+
+// Offer adds weight w for key. Non-positive weights are ignored.
+func (t *TopK) Offer(key uint64, w int64) {
+	if t == nil || w <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.slots[key]; ok {
+		e.Count += w
+		return
+	}
+	if len(t.slots) < t.k {
+		t.slots[key] = &TopKEntry{Key: key, Count: w}
+		return
+	}
+	// Evict the minimum-count slot; ties broken by largest key so the
+	// choice is deterministic regardless of map iteration order.
+	var min *TopKEntry
+	for _, e := range t.slots {
+		if min == nil || e.Count < min.Count || (e.Count == min.Count && e.Key > min.Key) {
+			min = e
+		}
+	}
+	delete(t.slots, min.Key)
+	t.slots[key] = &TopKEntry{Key: key, Count: min.Count + w, Err: min.Count}
+}
+
+// Entries returns the current slots sorted by count descending, key
+// ascending on ties — a fixed merge order, so concurrent recorders
+// always converge to the same output once offers stop.
+func (t *TopK) Entries() []TopKEntry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TopKEntry, 0, len(t.slots))
+	for _, e := range t.slots {
+		out = append(out, *e)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Len returns the number of tracked keys.
+func (t *TopK) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.slots)
+}

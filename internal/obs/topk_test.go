@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTopKExact: below capacity the sketch is exact and Entries comes
+// back count-descending, key-ascending on ties.
+func TestTopKExact(t *testing.T) {
+	tk := NewTopK(8)
+	tk.Offer(1, 10)
+	tk.Offer(2, 30)
+	tk.Offer(3, 10)
+	tk.Offer(2, 5)
+	got := tk.Entries()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	if got[0].Key != 2 || got[0].Count != 35 || got[0].Err != 0 {
+		t.Fatalf("top = %+v, want key 2 count 35 err 0", got[0])
+	}
+	// Tie on 10: key 1 before key 3.
+	if got[1].Key != 1 || got[2].Key != 3 {
+		t.Fatalf("tie order = %d, %d, want 1, 3", got[1].Key, got[2].Key)
+	}
+}
+
+// TestTopKReplacement: a full sketch evicts the minimum slot; the
+// newcomer inherits its count as the error floor, and a true heavy
+// hitter is never displaced.
+func TestTopKReplacement(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Offer(100, 1000) // heavy
+	tk.Offer(1, 5)      // light
+	tk.Offer(2, 3)      // evicts key 1 (min=5): count 5+3, err 5
+	got := tk.Entries()
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	if got[0].Key != 100 || got[0].Count != 1000 {
+		t.Fatalf("heavy hitter displaced: %+v", got[0])
+	}
+	if got[1].Key != 2 || got[1].Count != 8 || got[1].Err != 5 {
+		t.Fatalf("replacement slot = %+v, want key 2 count 8 err 5", got[1])
+	}
+	if got[1].Count-got[1].Err != 3 {
+		t.Fatalf("count-err lower bound = %d, want true weight 3", got[1].Count-got[1].Err)
+	}
+	tk.Offer(0, 1) // ignored weight guard
+	tk.Offer(7, 0)
+	tk.Offer(7, -4)
+	if tk.Len() != 2 {
+		t.Fatalf("len after no-op offers = %d, want 2", tk.Len())
+	}
+}
+
+// TestTopKConcurrentDeterministic: concurrent recorders with a fixed
+// total workload must converge to one deterministic Entries() output —
+// the property the workload registry's -race test leans on. Capacity
+// covers every key, so no replacement races can perturb counts.
+func TestTopKConcurrentDeterministic(t *testing.T) {
+	run := func() []TopKEntry {
+		tk := NewTopK(16)
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				for i := 0; i < 1000; i++ {
+					key := (seed + uint64(i)) % 10
+					tk.Offer(key, int64(key+1))
+				}
+			}(uint64(w))
+		}
+		wg.Wait()
+		return tk.Entries()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 10 {
+		t.Fatalf("lens %d vs %d, want 10", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Count > a[i-1].Count {
+			t.Fatalf("entries not count-descending at %d: %+v", i, a)
+		}
+	}
+}

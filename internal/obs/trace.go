@@ -261,6 +261,27 @@ func (d *SpanDump) walk(depth int, fn func(int, *SpanDump)) {
 type Trace struct {
 	ID   string
 	Root *Span
+
+	// fp is the query-shape fingerprint (viewreg's canonical exact
+	// key), set by the server once the query is parsed; the slow-query
+	// log rate-limits per fingerprint. Atomic because Finish may race a
+	// late SetFingerprint under client cancellation.
+	fp atomic.Uint64
+}
+
+// SetFingerprint tags the trace with a query-shape fingerprint.
+func (t *Trace) SetFingerprint(fp uint64) {
+	if t != nil {
+		t.fp.Store(fp)
+	}
+}
+
+// Fingerprint returns the tagged fingerprint (0 = untagged).
+func (t *Trace) Fingerprint() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.fp.Load()
 }
 
 // TraceDump is the JSON rendering of a finished trace.
@@ -299,9 +320,79 @@ type Tracer struct {
 	next int
 	size int
 
-	// Slow counts traces past the threshold; Started counts traces.
-	Slow    atomic.Int64
-	Started atomic.Int64
+	// Slow counts traces past the threshold; Started counts traces;
+	// SlowSuppressed counts slow traces whose log line was rate-limited
+	// away (they still count in Slow).
+	Slow           atomic.Int64
+	Started        atomic.Int64
+	SlowSuppressed atomic.Int64
+
+	// Per-fingerprint slow-log token buckets: 1 token/s refill, burst
+	// slowBurst (0 = default 1). Fingerprint 0 (untagged traces) is
+	// never limited.
+	slowBurst atomic.Int64
+	limMu     sync.Mutex
+	limiters  map[uint64]*slowLimiter
+}
+
+// slowLimiter is one fingerprint's token bucket plus the count of log
+// lines suppressed since the last emitted one.
+type slowLimiter struct {
+	tokens     float64
+	last       time.Time
+	suppressed int64
+}
+
+// maxSlowLimiters bounds the limiter map; past it the map is reset
+// wholesale (a burst of fresh tokens for everyone beats unbounded
+// growth under fingerprint churn).
+const maxSlowLimiters = 1024
+
+// SetSlowQueryBurst sets the per-fingerprint slow-log burst (minimum
+// 1). The refill rate is fixed at one line per second.
+func (t *Tracer) SetSlowQueryBurst(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.slowBurst.Store(int64(n))
+}
+
+// allowSlowLog runs fp's token bucket: it reports whether this slow
+// trace's log line may be emitted, and how many earlier lines for the
+// same fingerprint were suppressed since the last emit.
+func (t *Tracer) allowSlowLog(fp uint64) (suppressed int64, emit bool) {
+	if fp == 0 {
+		return 0, true
+	}
+	burst := float64(t.slowBurst.Load())
+	if burst < 1 {
+		burst = 1
+	}
+	now := time.Now()
+	t.limMu.Lock()
+	defer t.limMu.Unlock()
+	if t.limiters == nil || len(t.limiters) > maxSlowLimiters {
+		t.limiters = make(map[uint64]*slowLimiter)
+	}
+	l, ok := t.limiters[fp]
+	if !ok {
+		l = &slowLimiter{tokens: burst, last: now}
+		t.limiters[fp] = l
+	}
+	l.tokens += now.Sub(l.last).Seconds() // 1 token/s
+	l.last = now
+	if l.tokens > burst {
+		l.tokens = burst
+	}
+	if l.tokens < 1 {
+		l.suppressed++
+		t.SlowSuppressed.Add(1)
+		return 0, false
+	}
+	l.tokens--
+	suppressed = l.suppressed
+	l.suppressed = 0
+	return suppressed, true
 }
 
 const defaultRingSize = 16
@@ -361,12 +452,22 @@ func (t *Tracer) Finish(tr *Trace, extra ...slog.Attr) bool {
 	slow := t.slowNs.Load()
 	if slow > 0 && tr.Root.DurNs() >= slow {
 		t.Slow.Add(1)
+		suppressed, emit := t.allowSlowLog(tr.Fingerprint())
+		if !emit {
+			return true
+		}
 		if l := t.logger.Load(); l != nil {
 			attrs := append([]slog.Attr{
 				slog.String("trace_id", tr.ID),
 				slog.Duration("elapsed", time.Duration(tr.Root.DurNs())),
 				slog.String("stages", tr.Root.Dump().Render()),
 			}, extra...)
+			if fp := tr.Fingerprint(); fp != 0 {
+				attrs = append(attrs, slog.String("fingerprint", fmt.Sprintf("%016x", fp)))
+			}
+			if suppressed > 0 {
+				attrs = append(attrs, slog.Int64("suppressed", suppressed))
+			}
 			l.LogAttrs(context.Background(), slog.LevelWarn, "slow query", attrs...)
 		}
 		return true

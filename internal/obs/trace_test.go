@@ -175,6 +175,75 @@ func TestSlowQueryLog(t *testing.T) {
 	}
 }
 
+// TestSlowLogRateLimit: slow traces sharing a fingerprint emit at most
+// burst log lines per second; the suppressed count rides the next
+// emitted record; untagged traces (fp 0) are never limited.
+func TestSlowLogRateLimit(t *testing.T) {
+	var tracer Tracer
+	tracer.SetSlowThreshold(time.Nanosecond)
+	tracer.SetSlowQueryBurst(1)
+	var buf bytes.Buffer
+	tracer.SetLogger(slog.New(slog.NewJSONHandler(&buf, nil)))
+
+	slowTrace := func(fp uint64) bool {
+		_, tr := tracer.Start(context.Background(), "/query")
+		tr.SetFingerprint(fp)
+		time.Sleep(time.Microsecond)
+		return tracer.Finish(tr)
+	}
+
+	const fp = uint64(0xabcdef)
+	if !slowTrace(fp) {
+		t.Fatal("first slow trace not reported slow")
+	}
+	first := buf.String()
+	if !strings.Contains(first, "slow query") || !strings.Contains(first, "0000000000abcdef") {
+		t.Fatalf("first slow log missing fingerprint:\n%s", first)
+	}
+	buf.Reset()
+	for i := 0; i < 3; i++ {
+		if !slowTrace(fp) {
+			t.Fatal("suppressed trace must still report slow")
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("burst-exhausted fingerprint still logged:\n%s", buf.String())
+	}
+	if got := tracer.SlowSuppressed.Load(); got != 3 {
+		t.Fatalf("SlowSuppressed = %d, want 3", got)
+	}
+	if got := tracer.Slow.Load(); got != 4 {
+		t.Fatalf("Slow = %d, want 4 (suppression must not hide slowness)", got)
+	}
+
+	// A different fingerprint has its own bucket.
+	slowTrace(fp + 1)
+	if !strings.Contains(buf.String(), "slow query") {
+		t.Fatal("fresh fingerprint was rate-limited")
+	}
+	buf.Reset()
+
+	// Untagged traces bypass the limiter entirely.
+	for i := 0; i < 3; i++ {
+		slowTrace(0)
+	}
+	if got := strings.Count(buf.String(), "slow query"); got != 3 {
+		t.Fatalf("untagged traces logged %d times, want 3", got)
+	}
+	buf.Reset()
+
+	// Refill: hand the fingerprint's bucket a token by backdating its
+	// last refill, then the next emit carries the suppressed count.
+	tracer.limMu.Lock()
+	tracer.limiters[fp].last = time.Now().Add(-2 * time.Second)
+	tracer.limMu.Unlock()
+	slowTrace(fp)
+	out := buf.String()
+	if !strings.Contains(out, `"suppressed":3`) {
+		t.Fatalf("refilled emit lacks suppressed=3:\n%s", out)
+	}
+}
+
 // TestTracerDisabledByDefault: the zero Tracer traces nothing.
 func TestTracerDisabledByDefault(t *testing.T) {
 	var tracer Tracer

@@ -1,0 +1,238 @@
+// Package workload aggregates per-query costs by query-shape
+// fingerprint: the server records one obs.CostSnapshot per answered
+// query (keyed by viewreg's canonical fingerprint) and the registry
+// keeps per-shape call counts, summed costs, a wall-time histogram,
+// and a Space-Saving top-K by total wall cost.
+//
+// It answers the capacity-planning questions — which shapes dominate
+// the workload and what does each cost — and feeds the view registry's
+// cost-based admission: a shape's observed call count is the expected
+// reuse of a view materialized for it.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rdfcube/internal/obs"
+)
+
+// Config sizes the registry.
+type Config struct {
+	// TopK is the Space-Saving sketch size (default 20).
+	TopK int
+	// MaxShapes bounds the per-shape detail map (default 4096); shapes
+	// past the bound still count in the aggregate series but carry no
+	// per-shape detail.
+	MaxShapes int
+	// Metrics, when set, wires the rdfcube_workload_* series.
+	Metrics *obs.Registry
+}
+
+const (
+	defaultTopK      = 20
+	defaultMaxShapes = 4096
+)
+
+// shape is one fingerprint's accumulated detail.
+type shape struct {
+	fp         uint64
+	desc       string
+	calls      int64
+	byStrategy map[string]int64
+	total      obs.CostSnapshot
+	wall       *obs.Histogram
+}
+
+// metrics are the process-wide aggregate series.
+type metrics struct {
+	queries      *obs.Counter
+	rowsScanned  *obs.Counter
+	rowsProduced *obs.Counter
+	seeks        *obs.Counter
+	batches      *obs.Counter
+	bytes        *obs.Counter
+	wall         *obs.Histogram
+}
+
+// Registry is the workload profiler. All methods are safe for
+// concurrent use; recording is once per query, so a single mutex is
+// plenty.
+type Registry struct {
+	mu      sync.Mutex
+	shapes  map[uint64]*shape
+	dropped int64 // records whose shape detail was refused by MaxShapes
+	queries int64
+
+	topk *obs.TopK
+	cfg  Config
+	met  *metrics
+}
+
+// New builds a registry and, when cfg.Metrics is set, registers the
+// rdfcube_workload_* series.
+func New(cfg Config) *Registry {
+	if cfg.TopK <= 0 {
+		cfg.TopK = defaultTopK
+	}
+	if cfg.MaxShapes <= 0 {
+		cfg.MaxShapes = defaultMaxShapes
+	}
+	r := &Registry{
+		shapes: make(map[uint64]*shape),
+		topk:   obs.NewTopK(cfg.TopK),
+		cfg:    cfg,
+	}
+	if m := cfg.Metrics; m != nil {
+		r.met = &metrics{
+			queries:      m.Counter("rdfcube_workload_queries_total", "Queries recorded by the workload profiler."),
+			rowsScanned:  m.Counter("rdfcube_workload_rows_scanned_total", "Rows scanned across all recorded queries."),
+			rowsProduced: m.Counter("rdfcube_workload_rows_produced_total", "Rows produced across all recorded queries."),
+			seeks:        m.Counter("rdfcube_workload_seeks_total", "Cursor seeks across all recorded queries."),
+			batches:      m.Counter("rdfcube_workload_batches_total", "Pipeline batches across all recorded queries."),
+			bytes:        m.Counter("rdfcube_workload_bytes_materialized_total", "Bytes materialized across all recorded queries."),
+			wall:         m.Histogram("rdfcube_workload_wall_seconds", "Recorded per-query wall time."),
+		}
+		m.GaugeFunc("rdfcube_workload_shapes", "Distinct query shapes tracked by the workload profiler.", func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(len(r.shapes))
+		})
+	}
+	return r
+}
+
+// Record aggregates one answered query: fp is the shape fingerprint,
+// desc a human-readable shape label (first writer wins), strategy the
+// answer strategy, snap the measured cost. Nil-safe.
+func (r *Registry) Record(fp uint64, desc, strategy string, snap obs.CostSnapshot) {
+	if r == nil {
+		return
+	}
+	weight := snap.WallNs
+	if weight <= 0 {
+		weight = 1 // zero-cost calls still deserve a sketch slot
+	}
+	r.topk.Offer(fp, weight)
+	if m := r.met; m != nil {
+		m.queries.Inc()
+		m.rowsScanned.Add(snap.RowsScanned)
+		m.rowsProduced.Add(snap.RowsProduced)
+		m.seeks.Add(snap.Seeks)
+		m.batches.Add(snap.Batches)
+		m.bytes.Add(snap.Bytes)
+		m.wall.Observe(snap.WallNs)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queries++
+	s, ok := r.shapes[fp]
+	if !ok {
+		if len(r.shapes) >= r.cfg.MaxShapes {
+			r.dropped++
+			return
+		}
+		s = &shape{fp: fp, desc: desc, byStrategy: map[string]int64{}, wall: obs.NewHistogram()}
+		r.shapes[fp] = s
+	}
+	s.calls++
+	s.byStrategy[strategy]++
+	s.total.Add(snap)
+	s.wall.Observe(snap.WallNs)
+}
+
+// ShapeCost reports a shape's observed call count and summed wall
+// nanoseconds — the expected-reuse and cost signals viewreg's
+// cost-based admission consumes. ok is false for untracked shapes.
+func (r *Registry) ShapeCost(fp uint64) (calls, totalWallNs int64, ok bool) {
+	if r == nil {
+		return 0, 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.shapes[fp]
+	if !ok {
+		return 0, 0, false
+	}
+	return s.calls, s.total.WallNs, true
+}
+
+// ShapeStats is one shape's JSON rendering.
+type ShapeStats struct {
+	Fingerprint string           `json:"fingerprint"`
+	Desc        string           `json:"desc,omitempty"`
+	Calls       int64            `json:"calls"`
+	ByStrategy  map[string]int64 `json:"by_strategy,omitempty"`
+	Cost        obs.CostSnapshot `json:"cost"`
+	TotalCost   int64            `json:"total_cost_ns"`
+	CostErr     int64            `json:"cost_err_ns,omitempty"`
+	WallP50Ns   int64            `json:"wall_p50_ns"`
+	WallP99Ns   int64            `json:"wall_p99_ns"`
+	WallMaxNs   int64            `json:"wall_max_ns"`
+}
+
+// Snapshot is the GET /debug/workload payload.
+type Snapshot struct {
+	Queries       int64        `json:"queries"`
+	Shapes        int          `json:"shapes"`
+	DroppedShapes int64        `json:"dropped_shapes,omitempty"`
+	TopK          []ShapeStats `json:"top_k"`
+}
+
+// Snapshot renders the registry: the sketch's top shapes by total wall
+// cost, joined with their tracked detail, in the sketch's
+// deterministic order.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return &Snapshot{TopK: []ShapeStats{}}
+	}
+	entries := r.topk.Entries()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := &Snapshot{
+		Queries:       r.queries,
+		Shapes:        len(r.shapes),
+		DroppedShapes: r.dropped,
+		TopK:          make([]ShapeStats, 0, len(entries)),
+	}
+	for _, e := range entries {
+		st := ShapeStats{
+			Fingerprint: fmt.Sprintf("%016x", e.Key),
+			TotalCost:   e.Count,
+			CostErr:     e.Err,
+		}
+		if s, ok := r.shapes[e.Key]; ok {
+			st.Desc = s.desc
+			st.Calls = s.calls
+			st.Cost = s.total
+			st.WallP50Ns = s.wall.Quantile(0.5)
+			st.WallP99Ns = s.wall.Quantile(0.99)
+			st.WallMaxNs = s.wall.Max()
+			if len(s.byStrategy) > 0 {
+				st.ByStrategy = make(map[string]int64, len(s.byStrategy))
+				for k, v := range s.byStrategy {
+					st.ByStrategy[k] = v
+				}
+			}
+		}
+		out.TopK = append(out.TopK, st)
+	}
+	return out
+}
+
+// Shapes returns every tracked fingerprint sorted ascending (test
+// hook; the public surface is Snapshot).
+func (r *Registry) Shapes() []uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]uint64, 0, len(r.shapes))
+	for fp := range r.shapes {
+		out = append(out, fp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"rdfcube/internal/obs"
+)
+
+func snap(wallNs, scanned, produced int64) obs.CostSnapshot {
+	return obs.CostSnapshot{
+		RowsScanned: scanned, RowsProduced: produced,
+		Seeks: scanned / 2, Batches: 1, Bytes: produced * 8, WallNs: wallNs,
+	}
+}
+
+// TestRecordAggregates: per-shape call counts, strategy splits and
+// summed costs line up, and the top-K orders by total wall cost.
+func TestRecordAggregates(t *testing.T) {
+	r := New(Config{TopK: 4})
+	r.Record(1, "cheap", "direct", snap(100, 10, 5))
+	r.Record(1, "cheap", "cached", snap(200, 20, 5))
+	r.Record(2, "pricey", "direct", snap(5000, 900, 30))
+
+	calls, wall, ok := r.ShapeCost(1)
+	if !ok || calls != 2 || wall != 300 {
+		t.Fatalf("ShapeCost(1) = (%d, %d, %v), want (2, 300, true)", calls, wall, ok)
+	}
+	if _, _, ok := r.ShapeCost(99); ok {
+		t.Fatal("untracked shape reported ok")
+	}
+
+	s := r.Snapshot()
+	if s.Queries != 3 || s.Shapes != 2 || len(s.TopK) != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	top := s.TopK[0]
+	if top.Fingerprint != fmt.Sprintf("%016x", uint64(2)) || top.TotalCost != 5000 {
+		t.Fatalf("top shape = %+v, want fingerprint 2 cost 5000", top)
+	}
+	second := s.TopK[1]
+	if second.Calls != 2 || second.Cost.RowsScanned != 30 || second.ByStrategy["cached"] != 1 {
+		t.Fatalf("second shape = %+v", second)
+	}
+	if second.WallMaxNs != 200 {
+		t.Fatalf("wall max = %d, want 200", second.WallMaxNs)
+	}
+}
+
+// TestMaxShapesBound: shapes past the bound drop detail but still
+// count toward the aggregate query total and the sketch.
+func TestMaxShapesBound(t *testing.T) {
+	r := New(Config{TopK: 8, MaxShapes: 2})
+	for fp := uint64(1); fp <= 5; fp++ {
+		r.Record(fp, "s", "direct", snap(int64(fp)*100, 1, 1))
+	}
+	s := r.Snapshot()
+	if s.Shapes != 2 || s.DroppedShapes != 3 || s.Queries != 5 {
+		t.Fatalf("snapshot = %+v, want 2 shapes, 3 dropped, 5 queries", s)
+	}
+	if len(s.TopK) != 5 {
+		t.Fatalf("sketch tracked %d shapes, want all 5", len(s.TopK))
+	}
+}
+
+// TestTopKDeterministicUnderRace: concurrent recorders with a fixed
+// total workload converge to one snapshot — same top-K order, same
+// counts — regardless of interleaving. Run under -race this also
+// proves the recording path is synchronization-clean.
+func TestTopKDeterministicUnderRace(t *testing.T) {
+	run := func() *Snapshot {
+		r := New(Config{TopK: 16})
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					fp := uint64((seed+i)%10 + 1)
+					r.Record(fp, fmt.Sprintf("shape-%d", fp), "direct", snap(int64(fp)*10, int64(fp), 1))
+				}
+			}(w)
+		}
+		wg.Wait()
+		return r.Snapshot()
+	}
+	a, b := run(), run()
+	if a.Queries != b.Queries || a.Shapes != b.Shapes || len(a.TopK) != len(b.TopK) {
+		t.Fatalf("snapshots disagree: %+v vs %+v", a, b)
+	}
+	for i := range a.TopK {
+		x, y := a.TopK[i], b.TopK[i]
+		if x.Fingerprint != y.Fingerprint || x.TotalCost != y.TotalCost || x.Calls != y.Calls || x.Cost != y.Cost {
+			t.Fatalf("top-K entry %d differs:\n%+v\nvs\n%+v", i, x, y)
+		}
+	}
+	for i := 1; i < len(a.TopK); i++ {
+		if a.TopK[i].TotalCost > a.TopK[i-1].TotalCost {
+			t.Fatalf("top-K not cost-descending at %d", i)
+		}
+	}
+}
+
+// TestPrometheusSeries: the rdfcube_workload_* series land on a valid
+// exposition and move when queries are recorded.
+func TestPrometheusSeries(t *testing.T) {
+	m := obs.NewRegistry()
+	r := New(Config{Metrics: m})
+	r.Record(7, "shape", "direct", snap(1000, 50, 10))
+	r.Record(7, "shape", "cached", snap(2000, 0, 10))
+
+	var b bytes.Buffer
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := obs.ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+	for _, w := range []string{
+		"rdfcube_workload_queries_total 2",
+		"rdfcube_workload_rows_scanned_total 50",
+		"rdfcube_workload_rows_produced_total 20",
+		"rdfcube_workload_bytes_materialized_total 160",
+		"rdfcube_workload_wall_seconds_count 2",
+		"rdfcube_workload_shapes 1",
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("exposition lacks %q:\n%s", w, out)
+		}
+	}
+}
+
+// TestNilRegistry: a nil registry swallows every call.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Record(1, "x", "direct", snap(1, 1, 1))
+	if _, _, ok := r.ShapeCost(1); ok {
+		t.Fatal("nil registry tracked a shape")
+	}
+	if s := r.Snapshot(); s == nil || len(s.TopK) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	if r.Shapes() != nil {
+		t.Fatal("nil registry returned shapes")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"rdfcube/internal/core"
 	"rdfcube/internal/dict"
 	"rdfcube/internal/obs"
+	"rdfcube/internal/obs/workload"
 	"rdfcube/internal/rdf"
 	"rdfcube/internal/sparql"
 	"rdfcube/internal/viewreg"
@@ -66,11 +67,14 @@ type QueryResponse struct {
 	Rows      [][]string `json:"rows"`
 	Cells     int        `json:"cells"`
 	ElapsedNs int64      `json:"elapsed_ns"`
-	// TraceID and Explain are set by ?explain=analyze: the request's
-	// finished span tree (per-operator timings, rows, seeks). The
-	// result rows above are unaffected by explaining.
-	TraceID string        `json:"trace_id,omitempty"`
-	Explain *obs.SpanDump `json:"explain,omitempty"`
+	// TraceID, Explain and Cost are set by ?explain=analyze: the
+	// request's finished span tree (per-operator timings, rows, seeks)
+	// and its exact resource accounting. The result rows above are
+	// unaffected by explaining; the same cost numbers travel on every
+	// response — explained or not — in the X-RDFCube-Cost header.
+	TraceID string            `json:"trace_id,omitempty"`
+	Explain *obs.SpanDump     `json:"explain,omitempty"`
+	Cost    *obs.CostSnapshot `json:"cost,omitempty"`
 }
 
 // LoadResponse reports a data load.
@@ -148,6 +152,11 @@ type StatsResponse struct {
 	// past the max-in-flight cap).
 	Panics int64 `json:"panics"`
 	Shed   int64 `json:"shed"`
+	// Workload is the workload profiler's fingerprint-aggregated view of
+	// the query mix: per-shape call counts and cost totals plus the
+	// top-K shapes by total cost (the full detail lives at GET
+	// /debug/workload).
+	Workload *workload.Snapshot `json:"workload,omitempty"`
 	// Durability describes the data-dir state; absent on in-memory
 	// servers.
 	Durability *DurabilityStats `json:"durability,omitempty"`
@@ -231,10 +240,14 @@ type RegStats struct {
 	// alive across writes); LazyUpgrades counts entries upgraded to the
 	// maintained form on their first write; NegSkips counts candidate
 	// scans skipped by the negative cache.
-	Maintained   int64            `json:"maintained"`
-	LazyUpgrades int64            `json:"lazy_upgrades"`
-	NegSkips     int64            `json:"neg_skips"`
-	Strategies   map[string]int64 `json:"strategies"`
+	Maintained   int64 `json:"maintained"`
+	LazyUpgrades int64 `json:"lazy_upgrades"`
+	NegSkips     int64 `json:"neg_skips"`
+	// Admitted/Refused count cost-based admission decisions (both zero
+	// unless the server runs with -admission=cost).
+	Admitted   int64            `json:"admitted"`
+	Refused    int64            `json:"refused"`
+	Strategies map[string]int64 `json:"strategies"`
 }
 
 // EndpointStats aggregates per-route request metrics.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"rdfcube/internal/obs"
+	"rdfcube/internal/obs/workload"
 	"rdfcube/internal/persist"
 	"rdfcube/internal/viewreg"
 )
@@ -253,3 +254,15 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) (int, erro
 	s.writeJSON(w, http.StatusOK, traces)
 	return http.StatusOK, nil
 }
+
+// handleWorkload serves the workload profiler's snapshot: every tracked
+// query shape (canonical fingerprint, call counts by strategy,
+// accumulated cost, wall-time quantiles) plus the top-K shapes by total
+// cost from the Space-Saving sketch.
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) (int, error) {
+	s.writeJSON(w, http.StatusOK, s.workload.Snapshot())
+	return http.StatusOK, nil
+}
+
+// Workload exposes the workload profiler (tests, embedding).
+func (s *Server) Workload() *workload.Registry { return s.workload }

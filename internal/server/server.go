@@ -55,6 +55,7 @@ import (
 	"rdfcube/internal/faultfs"
 	"rdfcube/internal/nt"
 	"rdfcube/internal/obs"
+	"rdfcube/internal/obs/workload"
 	"rdfcube/internal/rdf"
 	"rdfcube/internal/rdfs"
 	"rdfcube/internal/store"
@@ -111,6 +112,27 @@ type Config struct {
 	// it implies tracing every query — the trace is the log payload.
 	// Zero disables.
 	SlowQuery time.Duration
+	// SlowQueryBurst bounds the slow-query log per query fingerprint: at
+	// most this many records per shape initially, refilled at one per
+	// second; suppressed records are counted onto the next emitted one.
+	// Zero or negative means the default burst of 1.
+	SlowQueryBurst int
+	// WorkloadTopK sizes the workload profiler's top-K-by-cost sketch
+	// (0 = default 20). The profiler itself is always on: it aggregates
+	// the per-query cost accounting by canonical query fingerprint,
+	// served at GET /debug/workload, in /statsz and as
+	// rdfcube_workload_* series.
+	WorkloadTopK int
+	// AdmissionCost switches the view registry from admit-always to
+	// cost-based admission: a directly evaluated view is materialized
+	// only when its measured evaluation cost times the workload
+	// profiler's observed reuse for the shape outweighs its byte
+	// footprint, and eviction prefers the lowest benefit-per-byte entry
+	// over plain LRU.
+	AdmissionCost bool
+	// AdmissionThreshold scales the byte price of cost-based admission
+	// (0 = 1.0): admit when evalNs × reuse ≥ bytes × threshold.
+	AdmissionThreshold float64
 	// Logger receives the server's structured logs; nil means
 	// slog.Default().
 	Logger *slog.Logger
@@ -147,10 +169,14 @@ type Server struct {
 	sem chan struct{}
 
 	// Observability (obs.go): the metric registry every subsystem
-	// reports into, the per-route request collectors, the query tracer
-	// and the structured logger.
+	// reports into, the per-route request collectors, the query tracer,
+	// the workload profiler and the structured logger. The profiler is
+	// server-owned (not per-registry): its per-shape reuse statistics
+	// survive instance swaps, which is what makes cost-based admission
+	// of the *next* registry informed.
 	obs       *obs.Registry
 	tracer    *obs.Tracer
+	workload  *workload.Registry
 	logger    *slog.Logger
 	met       serverMetrics
 	epMu      sync.Mutex
@@ -176,8 +202,13 @@ func New(base *store.Store, cfg Config) *Server {
 		endpoints: map[string]*endpointMetrics{},
 	}
 	s.met = newServerMetrics(s.obs)
+	s.workload = workload.New(workload.Config{
+		TopK:    cfg.WorkloadTopK,
+		Metrics: s.obs,
+	})
 	s.tracer.SetEnabled(cfg.TraceAll)
 	s.tracer.SetSlowThreshold(cfg.SlowQuery)
+	s.tracer.SetSlowQueryBurst(cfg.SlowQueryBurst)
 	s.tracer.SetLogger(s.slog())
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
@@ -247,9 +278,12 @@ func (s *Server) installInstance(inst *store.Store) {
 	}
 	s.inst = inst
 	s.reg = viewreg.New(inst, viewreg.Config{
-		MaxBytes:   s.cfg.MaxViewBytes,
-		MaxEntries: s.cfg.MaxViewEntries,
-		Metrics:    s.obs,
+		MaxBytes:           s.cfg.MaxViewBytes,
+		MaxEntries:         s.cfg.MaxViewEntries,
+		Metrics:            s.obs,
+		AdmissionCost:      s.cfg.AdmissionCost,
+		AdmissionThreshold: s.cfg.AdmissionThreshold,
+		Workload:           s.workload,
 	})
 }
 
@@ -274,6 +308,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /statsz", s.instrument("/statsz", s.handleStatsz))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.Handle("GET /debug/traces/last", s.instrument("/debug/traces/last", s.handleTraces))
+	mux.Handle("GET /debug/workload", s.instrument("/debug/workload", s.handleWorkload))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	return mux
@@ -698,6 +733,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, error
 			s.met.querySlo.Inc()
 		}
 	}
+	// Every query carries a cost accumulator — with or without tracing —
+	// so the workload profiler and cost-based admission always see real
+	// numbers. The accumulator is context-keyed; evaluation paths that
+	// never look it up pay nothing.
+	ctx, qcost := obs.WithCost(ctx)
+	fp := viewreg.Fingerprint(q)
+	tr.SetFingerprint(fp)
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -730,12 +772,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, error
 	s.met.queries[strategy].Observe(elapsed)
 	resp := renderCube(cube, s.inst.Dict(), strategy, elapsed)
 	rspan.End()
-	finish(slog.String("endpoint", "/query"), slog.String("strategy", string(strategy)))
+	qcost.AddWallNs(elapsed)
+	snap := qcost.Snapshot()
+	s.workload.Record(fp, q.String(), string(strategy), snap)
+	finish(slog.String("endpoint", "/query"), slog.String("strategy", string(strategy)),
+		slog.Int64("rows_scanned", snap.RowsScanned),
+		slog.Int64("rows_produced", snap.RowsProduced),
+		slog.Int64("seeks", snap.Seeks),
+		slog.Int64("batches", snap.Batches),
+		slog.Int64("bytes", snap.Bytes))
 	if explain && tr != nil {
 		dump := tr.Dump()
 		resp.TraceID = dump.ID
 		resp.Explain = dump.Root
+		resp.Cost = &snap
 	}
+	w.Header().Set("X-RDFCube-Cost", snap.HeaderString())
 	s.writeJSONT(w, http.StatusOK, resp, tr)
 	return http.StatusOK, nil
 }
@@ -786,8 +838,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, erro
 			Maintained:        rs.Maintained,
 			LazyUpgrades:      rs.LazyUpgrades,
 			NegSkips:          rs.NegSkips,
+			Admitted:          rs.Admitted,
+			Refused:           rs.Refused,
 			Strategies:        strategies,
 		},
+		Workload:              s.workload.Snapshot(),
 		BackgroundCompactions: s.met.bgCompactions.Value(),
 		Panics:                s.met.panics.Value(),
 		Shed:                  s.met.shed.Value(),

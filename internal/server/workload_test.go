@@ -1,0 +1,187 @@
+package server
+
+// Per-query cost accounting and the workload profiler over HTTP: the
+// X-RDFCube-Cost header, ?explain=analyze's cost block, GET
+// /debug/workload's fingerprint-aggregated top-K, the /statsz workload
+// section, and cost-based admission driven end-to-end through the wire.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rdfcube/internal/obs/workload"
+	"rdfcube/internal/viewreg"
+)
+
+// postQueryResp posts a query and returns the decoded response plus the
+// raw *http.Response (headers).
+func postQueryResp(t *testing.T, client *http.Client, url string, q *QueryRequest) (*QueryResponse, *http.Response) {
+	t.Helper()
+	raw, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d body %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	return &qr, resp
+}
+
+func TestQueryCostHeaderAndWorkload(t *testing.T) {
+	ts, baseQuery := startBloggerServer(t, 200)
+
+	qr, resp := postQueryResp(t, ts.Client(), ts.URL+"/query", baseQuery)
+	hdr := resp.Header.Get("X-RDFCube-Cost")
+	if hdr == "" {
+		t.Fatal("response has no X-RDFCube-Cost header")
+	}
+	for _, field := range []string{"scanned=", "produced=", "seeks=", "bytes=", "wall_ns="} {
+		if !strings.Contains(hdr, field) {
+			t.Errorf("cost header %q lacks %s", hdr, field)
+		}
+	}
+	if qr.Cost != nil {
+		t.Error("cost block attached without ?explain=analyze")
+	}
+
+	// explain=analyze carries the same numbers in the response body. A
+	// direct evaluation (the first query materialized the view, and a
+	// cached answer rightly scans nothing) exercises the full engine.
+	direct := cloneQuery(t, baseQuery)
+	direct.Direct = true
+	qr, _ = postQueryResp(t, ts.Client(), ts.URL+"/query?explain=analyze", direct)
+	if qr.Cost == nil || qr.Cost.RowsProduced == 0 || qr.Cost.WallNs == 0 {
+		t.Fatalf("explain cost block missing or empty: %+v", qr.Cost)
+	}
+	if qr.Cost.RowsScanned == 0 {
+		t.Fatalf("explain cost block has zero rows scanned: %+v", qr.Cost)
+	}
+
+	// The profiler aggregated both calls under the query's canonical
+	// fingerprint — the same one viewreg computes.
+	q, err := buildQuery(baseQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP := fmt.Sprintf("%016x", viewreg.Fingerprint(q))
+
+	wresp, err := ts.Client().Get(ts.URL + "/debug/workload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wresp.Body.Close()
+	var snap workload.Snapshot
+	if err := json.NewDecoder(wresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Queries != 2 {
+		t.Fatalf("workload queries = %d, want 2", snap.Queries)
+	}
+	if len(snap.TopK) == 0 {
+		t.Fatal("workload top-K is empty after two queries")
+	}
+	var found *workload.ShapeStats
+	for i := range snap.TopK {
+		if snap.TopK[i].Fingerprint == wantFP {
+			found = &snap.TopK[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("workload top-K has no shape %s (entries: %d)", wantFP, len(snap.TopK))
+	}
+	if found.Calls != 2 || found.Cost.RowsProduced == 0 {
+		t.Fatalf("shape stats: %+v", found)
+	}
+	if found.ByStrategy["direct"] == 0 {
+		t.Fatalf("shape strategies: %+v", found.ByStrategy)
+	}
+
+	// /statsz embeds the same snapshot; /metrics exposes the series.
+	var stats StatsResponse
+	if status, body := getJSON(t, ts.Client(), ts.URL+"/statsz", &stats); status != http.StatusOK {
+		t.Fatalf("/statsz: %d %s", status, body)
+	}
+	if stats.Workload == nil || stats.Workload.Queries != 2 {
+		t.Fatalf("statsz workload: %+v", stats.Workload)
+	}
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, _ := io.ReadAll(mresp.Body)
+	for _, series := range []string{"rdfcube_workload_queries_total", "rdfcube_workload_rows_scanned_total", "rdfcube_workload_shapes"} {
+		if !strings.Contains(string(mbody), series) {
+			t.Errorf("/metrics lacks %s", series)
+		}
+	}
+}
+
+// TestCostAdmissionOverHTTP drives -admission=cost end to end: the
+// first evaluation of a shape is refused (the profiler has not seen it
+// yet), the second is admitted on its observed reuse, the third is
+// served from the materialized view.
+func TestCostAdmissionOverHTTP(t *testing.T) {
+	// A tiny threshold makes the decision depend only on reuse, not on
+	// machine speed: refuse at reuse 0, admit at reuse ≥ 1.
+	ts, baseQuery := startBloggerServerCfg(t, 200, Config{
+		AdmissionCost:      true,
+		AdmissionThreshold: 1e-9,
+	})
+
+	wantStrategies := []string{"direct", "direct", "cached"}
+	for i, want := range wantStrategies {
+		qr, _ := postQueryResp(t, ts.Client(), ts.URL+"/query", baseQuery)
+		if qr.Strategy != want {
+			t.Fatalf("query %d: strategy %q, want %q", i, qr.Strategy, want)
+		}
+	}
+	var stats StatsResponse
+	if status, body := getJSON(t, ts.Client(), ts.URL+"/statsz", &stats); status != http.StatusOK {
+		t.Fatalf("/statsz: %d %s", status, body)
+	}
+	if stats.Registry.Refused != 1 || stats.Registry.Admitted != 1 {
+		t.Fatalf("admission stats: %d refused / %d admitted, want 1/1",
+			stats.Registry.Refused, stats.Registry.Admitted)
+	}
+	if stats.Registry.Entries != 1 {
+		t.Fatalf("registry entries = %d, want 1", stats.Registry.Entries)
+	}
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, out any) (int, string) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("unmarshal %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode, string(body)
+}

@@ -68,6 +68,16 @@ type Cursor struct {
 	Nexts int
 }
 
+// Counts returns the cursor's accumulated access-path counters — the
+// galloping seeks and single-step advances since construction — for
+// per-query cost accounting.
+func (c *Cursor) Counts() (seeks, nexts int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return int64(c.Seeks), int64(c.Nexts)
+}
+
 // NewCursor returns a cursor over the triples matching pat, in the
 // permuted sorted order of the permutation the pattern resolves to. The
 // store must be frozen (a delta overlay is fine — the cursor merges it);

@@ -248,6 +248,15 @@ func familyKey(q *core.Query) uint64 {
 	return h
 }
 
+// Fingerprint returns q's canonical exact fingerprint — the same key
+// the registry's single-flight and negative-cache tables use. The
+// server tags traces and the workload profiler with it, so the
+// profiler's per-shape reuse counts line up with the registry's
+// admission decisions.
+func Fingerprint(q *core.Query) uint64 {
+	return exactKey(familyKey(q), q)
+}
+
 // exactKey extends q's family key with the canonicalized dimension set
 // and Σ, fingerprinting the answer itself (up to dimension order).
 func exactKey(fam uint64, q *core.Query) uint64 {

@@ -14,15 +14,17 @@ package viewreg
 import "rdfcube/internal/obs"
 
 type regMetrics struct {
-	answers     map[Strategy]*obs.Counter
-	evictions   *obs.Counter
-	invalids    *obs.Counter
-	coalesced   *obs.Counter
+	answers      map[Strategy]*obs.Counter
+	evictions    *obs.Counter
+	invalids     *obs.Counter
+	coalesced    *obs.Counter
 	coalescedRw  *obs.Counter
 	maintained   *obs.Counter
 	lazyUpgrades *obs.Counter
 	negSkips     *obs.Counter
 	maintainSec  *obs.Histogram
+	admitted     *obs.Counter
+	refused      *obs.Counter
 }
 
 func wireMetrics(m *obs.Registry) regMetrics {
@@ -51,5 +53,11 @@ func wireMetrics(m *obs.Registry) regMetrics {
 		"Candidate scans skipped by the negative cache.")
 	mx.maintainSec = m.Histogram("rdfcube_viewreg_maintain_seconds",
 		"Latency of one view's delta-feed maintenance.")
+	mx.admitted = m.Counter("rdfcube_viewreg_admission_total",
+		"Cost-based admission decisions for directly evaluated views.",
+		"decision", "admitted")
+	mx.refused = m.Counter("rdfcube_viewreg_admission_total",
+		"Cost-based admission decisions for directly evaluated views.",
+		"decision", "refused")
 	return mx
 }

@@ -196,6 +196,10 @@ func (r *Registry) Restore(rd io.Reader) (int, error) {
 				ver:        ever,
 			}
 			e.bytes = relationBytes(e.pres) + relationBytes(e.ans) + entryOverhead
+			// The snapshot carries no measured cost; score restored
+			// entries at break-even (~1 eval-ns per byte) so cost-mode
+			// eviction neither pins nor summarily dumps them.
+			e.costNs = e.bytes
 			r.mu.Lock()
 			r.insertLocked(e)
 			admitted := e.elem != nil
@@ -238,6 +242,7 @@ func (r *Registry) Restore(rd io.Reader) (int, error) {
 			ver:   cur,
 		}
 		e.bytes = relationBytes(e.pres) + relationBytes(e.ans) + entryOverhead
+		e.costNs = e.bytes // break-even score; see above
 		r.mu.Lock()
 		r.insertLocked(e)
 		admitted := e.elem != nil

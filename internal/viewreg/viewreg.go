@@ -77,6 +77,17 @@ var Strategies = []Strategy{
 	StrategyCached, StrategyDice, StrategyDrillOut, StrategyDrillIn, StrategyDirect,
 }
 
+// WorkloadStats supplies per-shape observed traffic — the expected-
+// reuse signal cost-based admission weighs against a view's byte
+// footprint. Implemented by internal/obs/workload.Registry; kept as an
+// interface so viewreg does not depend on the profiler package.
+type WorkloadStats interface {
+	// ShapeCost reports how many times the fingerprinted shape was
+	// answered and its summed wall nanoseconds. ok is false for shapes
+	// the profiler has not seen.
+	ShapeCost(fp uint64) (calls, totalWallNs int64, ok bool)
+}
+
 // Config bounds a registry. Zero values mean unbounded.
 type Config struct {
 	// MaxBytes caps the estimated byte footprint of registered views;
@@ -91,6 +102,21 @@ type Config struct {
 	// Registration is idempotent in obs, so a server that swaps its
 	// registry keeps accumulating into the same series.
 	Metrics *obs.Registry
+	// AdmissionCost switches registration from admit-always to the
+	// paper's economics: a directly evaluated view is registered only
+	// when its measured evaluation cost times the shape's expected
+	// reuse (its observed call count in Workload) beats its byte
+	// footprint. Eviction then ranks by benefit-per-byte (measured
+	// rebuild cost × hits / bytes) instead of raw LRU.
+	AdmissionCost bool
+	// Workload, when set with AdmissionCost, supplies the expected-
+	// reuse counts. Nil means every shape looks never-seen (reuse 0):
+	// views are admitted on their second evaluation at the earliest.
+	Workload WorkloadStats
+	// AdmissionThreshold is the break-even price in evaluation
+	// nanoseconds per retained byte (default 1.0): admit when
+	// evalNs × reuse ≥ bytes × threshold.
+	AdmissionThreshold float64
 }
 
 // entry is one registered materialization.
@@ -117,6 +143,14 @@ type entry struct {
 	ans        *algebra.Relation
 	bytes      int64
 	ver        store.Version
+
+	// costNs is the measured direct-evaluation cost at registration —
+	// what eviction would make the next identical query pay again.
+	// hits counts reuses (cached answers and rewrites) since
+	// registration; both feed the benefit-per-byte eviction score.
+	// Written under r.mu.
+	costNs int64
+	hits   int64
 
 	elem *list.Element // position in the LRU list; nil once removed
 }
@@ -177,6 +211,11 @@ type Stats struct {
 	LazyUpgrades int64
 	// NegSkips counts candidate scans skipped by the negative cache.
 	NegSkips int64
+	// Admitted and Refused count cost-based admission decisions for
+	// directly evaluated views (both zero when admission is admit-
+	// always).
+	Admitted int64
+	Refused  int64
 }
 
 // Registry is a shared materialized-view registry over one AnS instance.
@@ -208,6 +247,13 @@ type Registry struct {
 	maintained   int64
 	lazyUpgrades int64
 	negSkips     int64
+	admitted     int64
+	refused      int64
+
+	// Cost-based admission knobs (immutable after New).
+	admissionCost  bool
+	workload       WorkloadStats
+	admissionPrice float64 // eval-ns per byte break-even
 
 	// mx mirrors the counters above into an obs.Registry (zero value =
 	// no-op; see metrics.go for the per-instance vs process-wide split).
@@ -223,18 +269,25 @@ const notifyBatch = 256
 
 // New returns an empty registry over the given AnS instance.
 func New(inst *store.Store, cfg Config) *Registry {
+	price := cfg.AdmissionThreshold
+	if price <= 0 {
+		price = 1.0
+	}
 	return &Registry{
-		ev:         core.NewEvaluator(inst),
-		st:         inst,
-		maxBytes:   cfg.MaxBytes,
-		maxEntries: cfg.MaxEntries,
-		families:   map[uint64][]*entry{},
-		lru:        list.New(),
-		inflight:   map[uint64]*flight{},
-		rwFlight:   map[uint64]*rewriteFlight{},
-		stats:      map[Strategy]int64{},
-		negMiss:    map[uint64]uint64{},
-		mx:         wireMetrics(cfg.Metrics),
+		ev:             core.NewEvaluator(inst),
+		st:             inst,
+		maxBytes:       cfg.MaxBytes,
+		maxEntries:     cfg.MaxEntries,
+		families:       map[uint64][]*entry{},
+		lru:            list.New(),
+		inflight:       map[uint64]*flight{},
+		rwFlight:       map[uint64]*rewriteFlight{},
+		stats:          map[Strategy]int64{},
+		negMiss:        map[uint64]uint64{},
+		mx:             wireMetrics(cfg.Metrics),
+		admissionCost:  cfg.AdmissionCost,
+		workload:       cfg.Workload,
+		admissionPrice: price,
 	}
 }
 
@@ -299,6 +352,8 @@ func (r *Registry) Stats() Stats {
 		Maintained:        r.maintained,
 		LazyUpgrades:      r.lazyUpgrades,
 		NegSkips:          r.negSkips,
+		Admitted:          r.admitted,
+		Refused:           r.refused,
 	}
 }
 
@@ -446,6 +501,7 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (out *algebra.R
 		if e := bucket[i]; e.ver == ver && sameAnswerShape(e.query, q) {
 			if e.elem != nil {
 				r.lru.MoveToFront(e.elem)
+				e.hits++
 			}
 			r.stats[StrategyCached]++
 			r.mx.answers[StrategyCached].Inc()
@@ -506,12 +562,14 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (out *algebra.R
 		pres, cube *algebra.Relation
 		err        error
 	)
+	evalStart := time.Now()
 	evalCtx, evalSpan := obs.StartSpan(ctx, "viewreg.direct")
 	ev := r.ev.WithContext(evalCtx)
 	if pres, err = ev.Pres(q); err == nil {
 		cube, err = ev.AnswerFromPres(q, pres)
 	}
 	evalSpan.End()
+	evalNs := time.Since(evalStart).Nanoseconds()
 
 	r.mu.Lock()
 	if r.inflight[key] == fl {
@@ -524,7 +582,7 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (out *algebra.R
 		// Register only if no write raced the evaluation: an epoch moved
 		// past us means the cube may reflect superseded data.
 		if r.st.Epoch() == epoch {
-			r.insertLocked(&entry{
+			e := &entry{
 				fam:        fam,
 				key:        key,
 				query:      fl.query,
@@ -533,7 +591,11 @@ func (r *Registry) AnswerCtx(ctx context.Context, q *core.Query) (out *algebra.R
 				ans:        cube,
 				bytes:      relationBytes(pres) + relationBytes(cube) + entryOverhead,
 				ver:        ver,
-			})
+				costNs:     evalNs,
+			}
+			if r.admitLocked(key, e, evalNs) {
+				r.insertLocked(e)
+			}
 		}
 	}
 	r.mu.Unlock()
@@ -788,11 +850,13 @@ func (r *Registry) tryRewrite(eq *core.Query, q *core.Query, pres, ans *algebra.
 	return "", nil, nil
 }
 
-// touch marks e most recently used, if it is still registered.
+// touch marks e most recently used and counts the reuse, if it is
+// still registered.
 func (r *Registry) touch(e *entry) {
 	r.mu.Lock()
 	if e.elem != nil {
 		r.lru.MoveToFront(e.elem)
+		e.hits++
 	}
 	r.mu.Unlock()
 }
@@ -803,6 +867,35 @@ func (r *Registry) bump(s Strategy) {
 	r.stats[s]++
 	r.mu.Unlock()
 	r.mx.answers[s].Inc()
+}
+
+// admitLocked decides whether a freshly evaluated view earns its
+// bytes. Admit-always mode says yes unconditionally (and counts
+// nothing). Cost mode applies the paper's economics: the view is worth
+// keeping when the evaluation cost it saves — measured evalNs times
+// the shape's expected reuse, taken from the workload profiler's
+// observed call count — meets the break-even price of its footprint.
+// A shape's first-ever evaluation sees reuse 0 (the profiler records
+// after answering) and is refused: views are admitted on the second
+// touch, when the workload has proven repetition. Caller holds r.mu.
+func (r *Registry) admitLocked(key uint64, e *entry, evalNs int64) bool {
+	if !r.admissionCost {
+		return true
+	}
+	var reuse int64
+	if r.workload != nil {
+		if calls, _, ok := r.workload.ShapeCost(key); ok {
+			reuse = calls
+		}
+	}
+	if float64(evalNs)*float64(reuse) >= float64(e.bytes)*r.admissionPrice {
+		r.admitted++
+		r.mx.admitted.Inc()
+		return true
+	}
+	r.refused++
+	r.mx.refused.Inc()
+	return false
 }
 
 // insertLocked registers e and enforces the budgets. If the entry
@@ -820,17 +913,43 @@ func (r *Registry) insertLocked(e *entry) {
 	}
 }
 
-// evictLocked drops least-recently-used entries until the budgets hold.
+// evictLocked drops entries until the budgets hold. Admit-always mode
+// evicts least-recently-used; cost mode evicts the lowest
+// benefit-per-byte — measured rebuild cost × (hits+1) / bytes — so a
+// cheap-to-rebuild, rarely-hit giant goes before a hot, expensive
+// view, regardless of recency. The scan is O(entries) per eviction,
+// bounded by the same budgets that triggered it.
 func (r *Registry) evictLocked() {
 	for r.lru.Len() > 0 &&
 		((r.maxBytes > 0 && r.bytes > r.maxBytes) ||
 			(r.maxEntries > 0 && r.lru.Len() > r.maxEntries)) {
-		oldest := r.lru.Back().Value.(*entry)
-		r.dropLocked(oldest)
-		r.removeFromFamilyLocked(oldest)
+		victim := r.lru.Back().Value.(*entry)
+		if r.admissionCost && r.lru.Len() > 1 {
+			best := benefitPerByte(victim)
+			for el := r.lru.Back().Prev(); el != nil; el = el.Prev() {
+				e := el.Value.(*entry)
+				if s := benefitPerByte(e); s < best {
+					best, victim = s, e
+				}
+			}
+		}
+		r.dropLocked(victim)
+		r.removeFromFamilyLocked(victim)
 		r.evictions++
 		r.mx.evictions.Inc()
 	}
+}
+
+// benefitPerByte scores an entry for cost-mode eviction: the
+// evaluation nanoseconds retaining it saves per resident byte. hits+1
+// counts the (certain) registration evaluation alongside observed
+// reuses.
+func benefitPerByte(e *entry) float64 {
+	b := e.bytes
+	if b < 1 {
+		b = 1
+	}
+	return float64(e.costNs) * float64(e.hits+1) / float64(b)
 }
 
 // dropLocked unlinks e from the LRU list and the byte budget. The family
@@ -874,25 +993,9 @@ func (r *Registry) Describe() string {
 	return s
 }
 
-// Byte-footprint estimation for the cost-aware budget. Cells dominate;
-// the model charges the Value array, the per-row slice header, and the
-// column names, deliberately ignoring allocator slack.
-const (
-	valueBytes    = 32  // unsafe.Sizeof(algebra.Value{}) on 64-bit
-	rowOverhead   = 24  // slice header per row
-	relOverhead   = 64  // Relation struct + slice headers
-	entryOverhead = 256 // entry struct, query clone, map slots
-)
+// entryOverhead covers the entry struct, query clone and map slots on
+// top of the relations' own footprint (algebra.Relation.EstimateBytes).
+const entryOverhead = 256
 
 // relationBytes estimates rel's resident size.
-func relationBytes(rel *algebra.Relation) int64 {
-	if rel == nil {
-		return 0
-	}
-	b := int64(relOverhead)
-	for _, c := range rel.Cols {
-		b += int64(16 + len(c))
-	}
-	b += int64(len(rel.Rows)) * (rowOverhead + int64(len(rel.Cols))*valueBytes)
-	return b
-}
+func relationBytes(rel *algebra.Relation) int64 { return rel.EstimateBytes() }
