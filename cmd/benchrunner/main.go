@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchrunner [-experiment all|e1|e2|...|e12] [-scale N]
+//	benchrunner [-experiment all|e1|e2|...|e13] [-scale N]
 //	            [-json FILE] [-best-of N]
 //
 // -scale multiplies the default dataset sizes (1 ≈ seconds, 10 ≈ minutes).
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run: all, e1..e12")
+	experiment := flag.String("experiment", "all", "experiment to run: all, e1..e13")
 	scale := flag.Int("scale", 1, "dataset size multiplier")
 	jsonPath := flag.String("json", "", "write a machine-readable report to this file (e.g. BENCH_all.json)")
 	bestOf := flag.Int("best-of", 1, "repetitions per experiment; each row keeps its best times")

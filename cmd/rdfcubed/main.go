@@ -10,6 +10,7 @@
 //
 //	rdfcubed [-addr :8344] [-data graph.nt | -snapshot graph.rdfc]
 //	         [-data-dir DIR] [-checkpoint-every 0]
+//	         [-mmap] [-spill-threshold 0] [-wal-group-commit 0]
 //	         [-saturate] [-max-view-mb 256] [-max-views 0]
 //	         [-compact-threshold 0] [-background-compact]
 //	         [-query-timeout 0] [-max-inflight 0] [-queue-timeout 1s]
@@ -37,6 +38,18 @@
 // Checkpoints happen on POST /snapshot, on structural writes
 // (materialize, freeze, compaction), every -checkpoint-every when set,
 // and once more on graceful shutdown.
+//
+// -mmap serves the base graph straight from the mmap'd durable snapshot
+// (written in the v3 mapped layout): columns are zero-copy views over
+// the file decoded block-at-a-time through a fixed block cache, and the
+// dictionary pages term blocks in lazily, so resident memory stays
+// cache-bounded regardless of dataset size — the bigger-than-RAM
+// serving mode. Writes still land in the heap delta overlay;
+// -spill-threshold bounds that overlay by spilling it to sorted
+// on-disk runs, and compaction folds everything into a new snapshot
+// that is remapped atomically. -wal-group-commit trades bounded commit
+// latency for write throughput: concurrent writers share one fsync
+// when their appends overlap (solo writers never wait).
 //
 // Serving is bounded and self-protecting: -query-timeout caps each
 // analytical query (cancelled cooperatively mid-join, 504), -max-inflight
@@ -108,6 +121,9 @@ func main() {
 	backgroundCompact := flag.Bool("background-compact", true, "fold the delta overlay into a rebuilt base in a background goroutine instead of on the write path")
 	dataDir := flag.String("data-dir", "", "durable state directory (snapshots + write-ahead logs + view registry); non-empty state there wins over -data/-snapshot")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval with -data-dir (0 = only on demand/structural writes/shutdown)")
+	mmap := flag.Bool("mmap", false, "serve the base graph from an mmap'd snapshot (zero-copy columns, lazy dictionary); requires -data-dir")
+	spillThreshold := flag.Int("spill-threshold", 0, "with -mmap: delta-overlay triple count past which the overlay spills to sorted on-disk runs (0 = never spill)")
+	walGroupCommit := flag.Duration("wal-group-commit", 0, "coalesce concurrent WAL appends into one fsync, waiting up to this window when writers overlap (0 = one fsync per batch)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline; an evaluation past it is cancelled cooperatively and answered 504 (0 = unbounded)")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent-request admission cap; excess requests queue then shed 503 (0 = unbounded)")
 	queueTimeout := flag.Duration("queue-timeout", time.Second, "how long a request may wait for an admission slot before it is shed")
@@ -153,6 +169,10 @@ func main() {
 		}
 	}
 
+	if *mmap && *dataDir == "" {
+		fatal("-mmap", fmt.Errorf("requires -data-dir (the mapped base IS the durable snapshot)"))
+	}
+
 	var admissionCost bool
 	switch *admission {
 	case "always":
@@ -181,6 +201,9 @@ func main() {
 		CompactThreshold:     *compactThreshold,
 		BackgroundCompaction: *backgroundCompact,
 		DataDir:              *dataDir,
+		Mapped:               *mmap,
+		SpillThreshold:       *spillThreshold,
+		WALGroupCommit:       *walGroupCommit,
 		FS:                   fsys,
 		QueryTimeout:         *queryTimeout,
 		MaxInFlight:          *maxInFlight,

@@ -775,7 +775,7 @@ func RunE10ColdStart(w io.Writer, bloggers []int) ([]Row, error) {
 }
 
 // ExperimentOrder lists the experiment names in presentation order.
-var ExperimentOrder = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
+var ExperimentOrder = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
 
 // Experiments maps each experiment name to a runner applying the
 // default parameters at the given scale multiplier — the single place
@@ -800,6 +800,7 @@ var Experiments = map[string]func(w io.Writer, scale int) ([]Row, error){
 	},
 	"e11": func(w io.Writer, s int) ([]Row, error) { return RunE11StarJoin(w, 60000*s, StarKs) },
 	"e12": func(w io.Writer, s int) ([]Row, error) { return RunE12Batch(w, 8000*s, 40000*s, WideStarKs) },
+	"e13": func(w io.Writer, s int) ([]Row, error) { return RunE13BiggerThanRAM(w, E13Bloggers*s) },
 }
 
 func scaledSizes(scale int) []int {

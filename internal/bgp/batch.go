@@ -137,11 +137,24 @@ func evalBatch(ctx context.Context, st *store.Store, compiled []compiledPattern,
 	if first.kind == opNested {
 		fp := &compiled[first.pats[0]]
 		pat0, checks0 := fp.instantiate(zeroRow, bound0)
-		if s, p, o, ok := st.PatternColumns(pat0); ok && !checks0[1] && !checks0[2] {
+		if cr, ok := st.PatternColumnRange(pat0); ok && !checks0[1] && !checks0[2] {
 			// Bulk fill: the matching range is contiguous in the frozen
-			// permutation, so each free position is one copy per batch.
-			n := len(s)
+			// permutation, so each free position is one block-wise copy per
+			// batch — straight out of heap arrays or decoded from mapped
+			// delta blocks, whichever backs the store.
+			n := cr.Len()
 			seedScanned = n
+			var sink []dict.ID // one throwaway buffer for positions with no variable
+			dst := func(v int) []dict.ID {
+				if v >= 0 {
+					return nil // filled from the batch's own column below
+				}
+				if sink == nil {
+					sink = make([]dict.ID, batchRows)
+				}
+				return sink
+			}
+			sSink, pSink, oSink := dst(fp.varS), dst(fp.varP), dst(fp.varO)
 			for lo := 0; lo < n; lo += batchRows {
 				hi := lo + batchRows
 				if hi > n {
@@ -152,15 +165,17 @@ func evalBatch(ctx context.Context, st *store.Store, compiled []compiledPattern,
 				}
 				b := newBatch(nv)
 				b.n = hi - lo
+				sCol, pCol, oCol := sSink, pSink, oSink
 				if fp.varS >= 0 {
-					copy(b.cols[fp.varS][:b.n], s[lo:hi])
+					sCol = b.cols[fp.varS]
 				}
 				if fp.varP >= 0 {
-					copy(b.cols[fp.varP][:b.n], p[lo:hi])
+					pCol = b.cols[fp.varP]
 				}
 				if fp.varO >= 0 {
-					copy(b.cols[fp.varO][:b.n], o[lo:hi])
+					oCol = b.cols[fp.varO]
 				}
+				cr.Fill(lo, sCol[:b.n], pCol[:b.n], oCol[:b.n])
 				seeds = append(seeds, b)
 			}
 		} else {
@@ -438,11 +453,126 @@ func batchChunk(ctx context.Context, st *store.Store, compiled []compiledPattern
 				stepSeeks += cs
 				stepNexts += cn
 			}
-		default: // opMerge, opLeapfrog: per-row cursor intersections
+		default: // opMerge, opLeapfrog: cursor intersections
 			if cap(cursors) < len(stp.pats) {
 				cursors = make([]store.Cursor, len(stp.pats))
 			}
 			cs := cursors[:len(stp.pats)]
+			countCursors := func() {
+				if stats == nil {
+					return
+				}
+				for j := range cs {
+					s, n := cs[j].Counts()
+					stepSeeks += s
+					stepNexts += n
+				}
+			}
+			kv := groupKeyVar(compiled, stp, bound)
+			if kv >= -1 {
+				// Batch-native intersection: the group's cursors depend on
+				// at most one bound variable, so the join keys for a given
+				// value of it are the same for every row carrying that
+				// value. Visit the batch's key column in sorted order
+				// (argsort, skipped when it arrives presorted), intersect
+				// once per DISTINCT value, and fan the shared key run back
+				// out in input order — each row still appends its joins in
+				// ascending order, so the sort property is untouched. With
+				// no bound variable at all (a deferred cross-product group)
+				// one intersection serves the entire chunk.
+				var shared []dict.ID
+				sharedDone := false
+				runGroup := func(row []dict.ID) {
+					if openGroupCursors(st, compiled, stp, row, bound, cs) {
+						emit := func(key dict.ID) { tails = append(tails, key) }
+						if stp.kind == opMerge {
+							mergeJoin(&cs[0], &cs[1], emit)
+						} else {
+							leapfrogJoin(cs, emit)
+						}
+						countCursors()
+					}
+				}
+				for _, b := range current {
+					n := b.n
+					if kv < 0 {
+						// Row-independent group: one shared key run.
+						if !sharedDone {
+							tails = tails[:0]
+							runGroup(scratch)
+							shared = append(shared[:0], tails...)
+							sharedDone = true
+						}
+						for i := 0; i < n; i++ {
+							if cancelled() {
+								flush()
+								return w.out
+							}
+							for j := 0; j < nv; j++ {
+								scratch[j] = b.cols[j][i]
+							}
+							for _, key := range shared {
+								scratch[stp.joinVar] = key
+								w.appendRow(scratch)
+							}
+						}
+						continue
+					}
+					keys := b.cols[kv][:n]
+					presorted := true
+					for i := 1; i < n; i++ {
+						if keys[i-1] > keys[i] {
+							presorted = false
+							break
+						}
+					}
+					order = order[:0]
+					for i := 0; i < n; i++ {
+						order = append(order, i)
+					}
+					if !presorted {
+						sort.Slice(order, func(a, c int) bool { return keys[order[a]] < keys[order[c]] })
+					}
+					if cap(mlo) < n {
+						mlo = make([]int32, batchRows)
+						mhi = make([]int32, batchRows)
+					}
+					tails = tails[:0]
+					havePrev := false
+					var prevKey dict.ID
+					var lo, hi int32
+					for _, idx := range order {
+						k := keys[idx]
+						if !havePrev || k != prevKey {
+							if cancelled() {
+								flush()
+								return w.out
+							}
+							lo = int32(len(tails))
+							scratch[kv] = k
+							runGroup(scratch)
+							hi = int32(len(tails))
+							prevKey, havePrev = k, true
+						}
+						mlo[idx], mhi[idx] = lo, hi
+					}
+					for i := 0; i < n; i++ {
+						if mlo[i] == mhi[i] {
+							continue
+						}
+						for j := 0; j < nv; j++ {
+							scratch[j] = b.cols[j][i]
+						}
+						for m := mlo[i]; m < mhi[i]; m++ {
+							scratch[stp.joinVar] = tails[m]
+							w.appendRow(scratch)
+						}
+					}
+				}
+				break
+			}
+			// Two or more distinct bound variables parameterize the group:
+			// no sharing across rows, intersect per row.
 			for _, b := range current {
 				for i := 0; i < b.n; i++ {
 					if cancelled() {
@@ -464,13 +594,7 @@ func batchChunk(ctx context.Context, st *store.Store, compiled []compiledPattern
 					} else {
 						leapfrogJoin(cs, emit)
 					}
-					if stats != nil {
-						for j := range cs {
-							s, n := cs[j].Counts()
-							stepSeeks += s
-							stepNexts += n
-						}
-					}
+					countCursors()
 				}
 			}
 		}
@@ -481,6 +605,32 @@ func batchChunk(ctx context.Context, st *store.Store, compiled []compiledPattern
 		}
 	}
 	return current
+}
+
+// groupKeyVar classifies how a merge/leapfrog step's cursors depend on
+// the input row: every non-join position of a group pattern is a
+// constant or a bound variable (cursorEligible), so the set of bound
+// variables the group references is what parameterizes its
+// intersection. Returns the single referenced variable when there is
+// exactly one (the batch-native path intersects once per distinct
+// value), -1 when the group references none (one intersection serves
+// every row), and -2 when two or more distinct bound variables are
+// referenced (no sharing — per-row fallback).
+func groupKeyVar(compiled []compiledPattern, stp planStep, bound []bool) int {
+	kv := -1
+	for _, pi := range stp.pats {
+		cp := &compiled[pi]
+		for _, pv := range [3]int{cp.varS, cp.varP, cp.varO} {
+			if pv < 0 || pv == stp.joinVar || !bound[pv] {
+				continue
+			}
+			if kv >= 0 && kv != pv {
+				return -2
+			}
+			kv = pv
+		}
+	}
+	return kv
 }
 
 // openStreamCursor opens the shared per-batch cursor of a stream step:

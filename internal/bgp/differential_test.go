@@ -9,6 +9,9 @@ package bgp
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -17,11 +20,9 @@ import (
 	"rdfcube/internal/store"
 )
 
-// diffGraph generates a random attribute/edge graph. Half the triples
-// land before Freeze (the frozen base), half after (the delta overlay)
-// when split is true.
-func diffGraph(rng *rand.Rand, n int, split bool) *store.Store {
-	st := store.New()
+// diffTriples generates the random attribute/edge triples the
+// differential graphs are built from.
+func diffTriples(rng *rand.Rand, n int) []rdf.Triple {
 	var ts []rdf.Triple
 	for i := 0; i < n; i++ {
 		s := iri(fmt.Sprintf("s%d", rng.Intn(20)))
@@ -38,6 +39,15 @@ func diffGraph(rng *rand.Rand, n int, split bool) *store.Store {
 		}
 		ts = append(ts, tr)
 	}
+	return ts
+}
+
+// diffGraph generates a random attribute/edge graph. Half the triples
+// land before Freeze (the frozen base), half after (the delta overlay)
+// when split is true.
+func diffGraph(rng *rand.Rand, n int, split bool) *store.Store {
+	st := store.New()
+	ts := diffTriples(rng, n)
 	cut := len(ts)
 	if split {
 		cut = len(ts) / 2
@@ -133,6 +143,99 @@ func TestCursorJoinDifferentialShapes(t *testing.T) {
 					requireIdentical(t, label, cur, ref)
 				}
 			}
+		}
+	}
+}
+
+// renderRows decodes a result's rows against its own store's dictionary
+// and returns them canonically sorted — comparable across stores whose
+// term IDs differ (heap vs mapped).
+func renderRows(t *testing.T, st *store.Store, r *Result) []string {
+	t.Helper()
+	out := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for j, id := range row {
+			term, ok := st.Dict().Decode(id)
+			if !ok {
+				t.Fatalf("dangling term ID %d in result row", id)
+			}
+			parts[j] = fmt.Sprintf("%v", term)
+		}
+		out = append(out, strings.Join(parts, "\t"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestMappedVsHeapDifferentialShapes runs the 8-shape matrix over the
+// SAME triples served two ways — heap columns and an mmap'd v3 snapshot
+// (tiny block and term caches, so every shape churns through eviction)
+// — on frozen-only and frozen+delta stores, all three engines. The
+// backing must be invisible: decoded results byte-identical.
+func TestMappedVsHeapDifferentialShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	dir := t.TempDir()
+	for trial := 0; trial < 4; trial++ {
+		for _, split := range []bool{false, true} {
+			ts := diffTriples(rng, 150+rng.Intn(250))
+			cut := len(ts)
+			if split {
+				cut = len(ts) / 2
+			}
+			heap := store.New()
+			base := store.New()
+			for _, tr := range ts[:cut] {
+				heap.Add(tr)
+				base.Add(tr)
+			}
+			heap.Freeze()
+			base.Freeze()
+			path := filepath.Join(dir, fmt.Sprintf("t%d-%v.snap", trial, split))
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := base.WriteFrozenBaseV3(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			mapped, err := store.OpenFrozenSnapshotMapped(path, store.MappedOptions{
+				BlockCacheSlots: 8, TermCacheSlots: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mapped.Mapped() {
+				t.Fatal("v3 snapshot did not open mapped")
+			}
+			for _, tr := range ts[cut:] {
+				heap.Add(tr)
+				mapped.Add(tr)
+			}
+			for _, shape := range diffShapes {
+				q := sparql.MustParseDatalog(shape.query, px())
+				for _, bag := range []bool{false, true} {
+					label := fmt.Sprintf("trial %d split=%v %s bag=%v", trial, split, shape.name, bag)
+					hc, href := evalBoth(t, heap, q, bag)
+					requireIdentical(t, label+" (heap)", hc, href)
+					mc, mref := evalBoth(t, mapped, q, bag)
+					requireIdentical(t, label+" (mapped)", mc, mref)
+					hr := renderRows(t, heap, hc)
+					mr := renderRows(t, mapped, mc)
+					if len(hr) != len(mr) {
+						t.Fatalf("%s: heap %d rows, mapped %d", label, len(hr), len(mr))
+					}
+					for i := range hr {
+						if hr[i] != mr[i] {
+							t.Fatalf("%s: row %d differs:\n heap   %s\n mapped %s", label, i, hr[i], mr[i])
+						}
+					}
+				}
+			}
+			mapped.CloseMapped()
 		}
 	}
 }

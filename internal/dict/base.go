@@ -1,0 +1,78 @@
+package dict
+
+// Lazy dictionaries: a Dictionary can sit on top of a read-only Base of
+// already-interned terms — in practice the mmap-backed front-coded term
+// blocks of a mapped snapshot (internal/store). IDs 1..Base.Len()
+// resolve through the base (decoded on demand, never materialized en
+// masse); terms first seen after construction land in the normal
+// in-memory overlay and get the next dense IDs. The Dictionary API is
+// unchanged, so every consumer — stores, the view registry, the WAL's
+// TermsFrom tail logging — works identically over either backing.
+
+import "rdfcube/internal/rdf"
+
+// Base is a read-only term substrate: a bijective ID↔term mapping for
+// IDs 1..Len() that a Dictionary extends with an in-memory overlay.
+// Implementations must be safe for concurrent use (Dictionary calls
+// them under its read lock from many goroutines).
+type Base interface {
+	// Len reports the number of terms in the base; base IDs are exactly
+	// 1..Len().
+	Len() int
+	// Term resolves a base ID. ok is false for IDs outside 1..Len().
+	Term(id ID) (rdf.Term, bool)
+	// Lookup finds the base ID of t. ok is false when t is not a base
+	// term.
+	Lookup(t rdf.Term) (ID, bool)
+	// AppendTerms appends the terms with IDs in (after, Len()] to out in
+	// ID order — the bulk-materialization path behind Dictionary.Terms.
+	AppendTerms(out []rdf.Term, after int) []rdf.Term
+}
+
+// NewOverBase returns a dictionary whose first base.Len() IDs resolve
+// through base; new terms are interned into the in-memory overlay with
+// IDs continuing the base's dense sequence.
+func NewOverBase(base Base) *Dictionary {
+	return &Dictionary{
+		termToI: make(map[rdf.Term]ID, 64),
+		iToTerm: make([]rdf.Term, 1, 65),
+		base:    base,
+		baseLen: base.Len(),
+	}
+}
+
+// Base returns the read-only substrate this dictionary extends, or nil
+// for a plain in-memory dictionary.
+func (d *Dictionary) Base() Base { return d.base }
+
+// BaseLen reports the number of IDs served by the base substrate (0 for
+// a plain dictionary). Terms with larger IDs live in the in-memory
+// overlay.
+func (d *Dictionary) BaseLen() int { return d.baseLen }
+
+// Rebase swaps in a larger base that covers the old base plus a prefix
+// of the overlay — the mapped-compaction install path, where the new
+// snapshot interned every term the store held at prepare time. IDs are
+// stable: overlay terms the new base now serves are dropped from the
+// overlay, and the remaining overlay tail keeps its IDs (its dense
+// sequence continues from the new base length). The caller must
+// serialize Rebase against writers the same way it serializes any
+// store swap; concurrent readers are safe.
+func (d *Dictionary) Rebase(b Base) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	newLen := b.Len()
+	grown := newLen - d.baseLen
+	if grown < 0 || grown > len(d.iToTerm)-1 {
+		panic("dict: Rebase base must cover the old base plus an overlay prefix")
+	}
+	kept := d.iToTerm[1+grown:]
+	iToTerm := make([]rdf.Term, 1, 1+len(kept))
+	iToTerm = append(iToTerm, kept...)
+	termToI := make(map[rdf.Term]ID, len(kept)+64)
+	for i, t := range kept {
+		termToI[t] = ID(newLen + 1 + i)
+	}
+	d.base, d.baseLen = b, newLen
+	d.iToTerm, d.termToI = iToTerm, termToI
+}

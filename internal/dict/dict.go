@@ -28,8 +28,13 @@ type ID uint64
 // Encode takes a write lock only on first sight of a term.
 type Dictionary struct {
 	mu      sync.RWMutex
-	termToI map[rdf.Term]ID
-	iToTerm []rdf.Term // index 0 unused (NoID)
+	termToI map[rdf.Term]ID // overlay terms only (base terms resolve via base)
+	iToTerm []rdf.Term      // index 0 unused (NoID); overlay term i has ID baseLen+i
+
+	// base, when non-nil, serves IDs 1..baseLen read-only (see base.go);
+	// the map/slice above then hold only the overlay interned on top.
+	base    Base
+	baseLen int
 }
 
 // New returns an empty dictionary.
@@ -44,16 +49,29 @@ func New() *Dictionary {
 func (d *Dictionary) Encode(t rdf.Term) ID {
 	d.mu.RLock()
 	id, ok := d.termToI[t]
+	base := d.base
 	d.mu.RUnlock()
 	if ok {
 		return id
+	}
+	if base != nil {
+		if id, ok := base.Lookup(t); ok {
+			return id
+		}
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if id, ok := d.termToI[t]; ok {
 		return id
 	}
-	id = ID(len(d.iToTerm))
+	// The base may have been swapped (Rebase) between the optimistic
+	// probe above and taking the write lock; re-probe the current one.
+	if d.base != nil && d.base != base {
+		if id, ok := d.base.Lookup(t); ok {
+			return id
+		}
+	}
+	id = ID(d.baseLen + len(d.iToTerm))
 	d.termToI[t] = id
 	d.iToTerm = append(d.iToTerm, t)
 	return id
@@ -63,19 +81,34 @@ func (d *Dictionary) Encode(t rdf.Term) ID {
 // never been encoded.
 func (d *Dictionary) Lookup(t rdf.Term) (id ID, ok bool) {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
 	id, ok = d.termToI[t]
+	base := d.base
+	d.mu.RUnlock()
+	if !ok && base != nil {
+		id, ok = base.Lookup(t)
+	}
 	return id, ok
 }
 
 // Decode returns the term for id. ok is false for NoID or out-of-range IDs.
 func (d *Dictionary) Decode(id ID) (t rdf.Term, ok bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if id == NoID || int(id) >= len(d.iToTerm) {
+	if id == NoID {
 		return rdf.Term{}, false
 	}
-	return d.iToTerm[id], true
+	d.mu.RLock()
+	if int(id) > d.baseLen {
+		i := int(id) - d.baseLen
+		if i >= len(d.iToTerm) {
+			d.mu.RUnlock()
+			return rdf.Term{}, false
+		}
+		t = d.iToTerm[i]
+		d.mu.RUnlock()
+		return t, true
+	}
+	base := d.base
+	d.mu.RUnlock()
+	return base.Term(id)
 }
 
 // MustDecode returns the term for id, panicking on unknown IDs. It is
@@ -92,7 +125,7 @@ func (d *Dictionary) MustDecode(id ID) rdf.Term {
 func (d *Dictionary) Len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.iToTerm) - 1
+	return d.baseLen + len(d.iToTerm) - 1
 }
 
 // EncodeTriple interns all three terms of tr.
@@ -128,10 +161,18 @@ func (d *Dictionary) TermsFrom(after int) []rdf.Term {
 	if after < 0 {
 		after = 0
 	}
-	if after >= len(d.iToTerm)-1 {
+	total := d.baseLen + len(d.iToTerm) - 1
+	if after >= total {
 		return nil
 	}
-	out := make([]rdf.Term, len(d.iToTerm)-1-after)
-	copy(out, d.iToTerm[1+after:])
+	out := make([]rdf.Term, 0, total-after)
+	if after < d.baseLen {
+		// Materializing base terms is the slow path by design: only the
+		// bulk exporters (whole-dictionary snapshots, N-Triples dumps)
+		// reach it; WAL tail logging always passes after >= baseLen.
+		out = d.base.AppendTerms(out, after)
+		after = d.baseLen
+	}
+	out = append(out, d.iToTerm[1+after-d.baseLen:]...)
 	return out
 }

@@ -111,5 +111,7 @@ func CrashMatrixPoints() map[string]string {
 		"snap-torn-rename":  "rename:base.snap",
 		"views-torn-rename": "rename:views.snap",
 		"recovery-corrupt":  "read:base.snap:corrupt",
+		"spill-torn-write":  "write:.spill:short",
+		"spill-torn-rename": "rename:.spill",
 	}
 }

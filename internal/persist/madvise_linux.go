@@ -1,0 +1,42 @@
+//go:build linux
+
+package persist
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// Advise hints the kernel about the upcoming access pattern of a mapped
+// region. Failures are ignored — madvise is advisory by definition and
+// some filesystems reject it. The region must lie within a live mapping.
+func Advise(b []byte, kind AdviseKind) {
+	if len(b) == 0 {
+		return
+	}
+	var adv int
+	switch kind {
+	case AdviseSequential:
+		adv = syscall.MADV_SEQUENTIAL
+	case AdviseRandom:
+		adv = syscall.MADV_RANDOM
+	case AdviseDontNeed:
+		adv = syscall.MADV_DONTNEED
+	case AdviseWillNeed:
+		adv = syscall.MADV_WILLNEED
+	default:
+		return
+	}
+	// madvise wants page-aligned addresses; the regions we advise are
+	// section spans inside a mapping, so round the start down and let the
+	// kernel clamp the tail.
+	addr := uintptr(unsafe.Pointer(&b[0]))
+	length := uintptr(len(b))
+	if rem := addr % pageSize; rem != 0 {
+		addr -= rem
+		length += rem
+	}
+	_, _, _ = syscall.Syscall(syscall.SYS_MADVISE, addr, length, uintptr(adv))
+}
+
+var pageSize = uintptr(syscall.Getpagesize())

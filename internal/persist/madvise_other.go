@@ -1,0 +1,6 @@
+//go:build !linux
+
+package persist
+
+// Advise is a no-op on platforms without madvise support wired up.
+func Advise(b []byte, kind AdviseKind) {}

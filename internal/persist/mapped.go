@@ -1,0 +1,210 @@
+package persist
+
+// Zero-copy access to section files: MappedFile parses the header and
+// section table of a section file already resident as one byte slice
+// (normally an mmap of the file, see MapFile) and exposes each payload
+// as a subslice of that buffer — no decode, no copy. Every section CRC
+// is verified eagerly at open, so a byte flip anywhere under the map
+// surfaces as an ArtifactError before any column logic ever slices into
+// the payloads; after that the contents are trusted exactly as far as
+// the heap loader trusts a CRC-validated section.
+//
+// The file also carries the lazy-dictionary helpers: front-coded term
+// blocks can be located (EncodeTermBlockOffsets), decoded individually
+// (DecodeTermsAt) and ordered (CompareTerms) without materializing the
+// whole dictionary.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"strings"
+
+	"rdfcube/internal/rdf"
+)
+
+// AdviseKind names an access-pattern hint for Advise.
+type AdviseKind uint8
+
+// The madvise hints used by the mapped read path.
+const (
+	AdviseSequential AdviseKind = iota + 1
+	AdviseRandom
+	AdviseDontNeed
+	AdviseWillNeed
+)
+
+// MappedFile is a section file parsed in place over one contiguous byte
+// buffer. All section payloads alias that buffer.
+type MappedFile struct {
+	// Version is the format version byte.
+	Version uint8
+	data    []byte
+	spans   map[uint8][2]int // id -> [start, end) within data
+}
+
+// OpenMappedFile parses the section file in data (verifying magic and
+// every section CRC) without copying any payload. path and kind are used
+// only for error context: failures return an *ArtifactError wrapping
+// ErrCorrupt.
+func OpenMappedFile(data []byte, magic, kind, path string) (*MappedFile, error) {
+	fail := func(off int64, err error) (*MappedFile, error) {
+		return nil, artifactErr(kind, path, off, err)
+	}
+	if len(data) < 6 {
+		return fail(0, corruptf("short header: %d bytes", len(data)))
+	}
+	if string(data[:4]) != magic {
+		return fail(0, corruptf("bad magic %q, want %q", data[:4], magic))
+	}
+	f := &MappedFile{Version: data[4], data: data, spans: map[uint8][2]int{}}
+	nSections := int(data[5])
+	tableEnd := 6 + 13*nSections
+	if tableEnd > len(data) {
+		return fail(6, corruptf("section table truncated"))
+	}
+	off := tableEnd
+	type entry struct {
+		id   uint8
+		crc  uint32
+		span [2]int
+	}
+	entries := make([]entry, 0, nSections)
+	for i := 0; i < nSections; i++ {
+		hdr := data[6+13*i:]
+		id := hdr[0]
+		length := binary.LittleEndian.Uint64(hdr[1:9])
+		crc := binary.LittleEndian.Uint32(hdr[9:13])
+		if _, dup := f.spans[id]; dup || id == 0 {
+			return fail(int64(6+13*i), corruptf("bad section id %d", id))
+		}
+		if length > uint64(len(data)-off) {
+			return fail(int64(off), corruptf("section %d claims %d bytes, %d remain", id, length, len(data)-off))
+		}
+		span := [2]int{off, off + int(length)}
+		f.spans[id] = span
+		entries = append(entries, entry{id: id, crc: crc, span: span})
+		off = span[1]
+	}
+	// CRC-validate every payload before anything slices into it. This is
+	// the integrity gate of the mapped read path: it costs one streaming
+	// pass over the file at open (hardware CRC32C), and after it a
+	// malformed-but-authentic payload is exactly as (im)possible as in
+	// the copying reader.
+	for _, e := range entries {
+		payload := data[e.span[0]:e.span[1]]
+		Advise(payload, AdviseSequential)
+		if crc32.Checksum(payload, castagnoli) != e.crc {
+			return fail(int64(e.span[0]), corruptf("section %d checksum mismatch", e.id))
+		}
+	}
+	return f, nil
+}
+
+// SectionBytes returns the raw payload of section id, aliasing the
+// underlying buffer. ok is false when the section is absent.
+func (f *MappedFile) SectionBytes(id uint8) ([]byte, bool) {
+	s, ok := f.spans[id]
+	if !ok {
+		return nil, false
+	}
+	return f.data[s[0]:s[1]], true
+}
+
+// Section returns a decoder over section id, or an ErrCorrupt error when
+// the section is absent.
+func (f *MappedFile) Section(id uint8) (*Dec, error) {
+	p, ok := f.SectionBytes(id)
+	if !ok {
+		return nil, corruptf("missing section %d", id)
+	}
+	return NewDec(p), nil
+}
+
+// HasSection reports whether section id is present.
+func (f *MappedFile) HasSection(id uint8) bool {
+	_, ok := f.spans[id]
+	return ok
+}
+
+// Data returns the whole underlying buffer.
+func (f *MappedFile) Data() []byte { return f.data }
+
+// Raw appends raw bytes to the payload.
+func (e *Enc) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Pos reports the decoder's current byte offset.
+func (d *Dec) Pos() int { return d.off }
+
+// Rest returns the undecoded tail of the payload (aliased, not copied)
+// and leaves the decoder position unchanged.
+func (d *Dec) Rest() []byte { return d.b[d.off:] }
+
+// Skip advances the decoder by n bytes.
+func (d *Dec) Skip(n int) {
+	if d.err != nil {
+		return
+	}
+	if n < 0 || n > d.Remaining() {
+		d.fail("skip %d exceeds %d remaining bytes", n, d.Remaining())
+		return
+	}
+	d.off += n
+}
+
+// EncodeTermBlockOffsets is EncodeTermBlock, additionally returning the
+// byte offset (relative to e's length at call time) of each FrontBlock
+// restart — the block directory a lazy reader needs to decode one block
+// without scanning its predecessors.
+func EncodeTermBlockOffsets(e *Enc, terms []rdf.Term) []uint64 {
+	base := e.Len()
+	offs := make([]uint64, 0, (len(terms)+FrontBlock-1)/FrontBlock)
+	prev := ""
+	for i, t := range terms {
+		if i%FrontBlock == 0 {
+			offs = append(offs, uint64(e.Len()-base))
+			prev = ""
+		}
+		e.Byte(byte(t.Kind()))
+		v := t.Value()
+		if i%FrontBlock == 0 {
+			e.String(v)
+		} else {
+			p := CommonPrefixLen(prev, v)
+			e.Uvarint(uint64(p))
+			e.String(v[p:])
+		}
+		prev = v
+		if t.IsLiteral() {
+			e.String(t.Datatype())
+			e.String(t.Lang())
+		}
+	}
+	return offs
+}
+
+// DecodeTermsAt decodes n front-coded terms starting at a FrontBlock
+// restart boundary — data must begin exactly at an offset reported by
+// EncodeTermBlockOffsets.
+func DecodeTermsAt(data []byte, n int) ([]rdf.Term, error) {
+	return DecodeTermBlock(NewDec(data), n)
+}
+
+// CompareTerms is a total order over RDF terms: by kind, then value,
+// then datatype, then language tag. The order itself is arbitrary but
+// stable — it is the sort key of the snapshot's term-sorted ID section,
+// so writer and reader must agree on it.
+func CompareTerms(a, b rdf.Term) int {
+	if ka, kb := a.Kind(), b.Kind(); ka != kb {
+		if ka < kb {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(a.Value(), b.Value()); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.Datatype(), b.Datatype()); c != 0 {
+		return c
+	}
+	return strings.Compare(a.Lang(), b.Lang())
+}

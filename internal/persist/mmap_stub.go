@@ -1,0 +1,23 @@
+//go:build !unix
+
+package persist
+
+import (
+	"io"
+	"os"
+)
+
+const mmapSupported = false
+
+// MapFile on platforms without mmap reads the whole file into a heap
+// slice: every MappedFile consumer stays correct, only the
+// bounded-by-page-cache memory property is lost.
+func MapFile(f *os.File) ([]byte, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(f)
+}
+
+// Unmap is a no-op for the heap-backed fallback.
+func Unmap(b []byte) error { return nil }

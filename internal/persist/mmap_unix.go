@@ -1,0 +1,37 @@
+//go:build unix
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform serves MapFile with a real
+// memory mapping (as opposed to the read-everything fallback).
+const mmapSupported = true
+
+// MapFile maps the whole of f read-only and shared. The returned bytes
+// alias the page cache: untouched pages cost no physical memory, and
+// reading a cold page faults it in from disk. Unmap releases the
+// mapping. Mapping an empty file returns a nil, zero-length slice.
+func MapFile(f *os.File) ([]byte, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// Unmap releases a mapping returned by MapFile. The caller must
+// guarantee no goroutine still reads the slice: on this platform the
+// pages genuinely go away and a late read faults.
+func Unmap(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,154 @@
+package persist
+
+// StreamFileWriter writes a section file without holding every payload
+// in memory at once: the header and a zeroed section table go out first,
+// payloads are streamed section by section (length and CRC accumulated
+// on the fly), and Finish backpatches the table via WriteAt. FileWriter
+// stays the right tool for small artifacts; this one exists for the
+// mapped compaction path, which streams a merged multi-hundred-megabyte
+// snapshot and must not double it in heap.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+
+	"rdfcube/internal/faultfs"
+)
+
+// StreamFileWriter assembles a section file on a random-access sink.
+type StreamFileWriter struct {
+	f       faultfs.File
+	ids     []uint8
+	lens    []uint64
+	crcs    []uint32
+	cur     int // section currently streaming, -1 between sections
+	written int // sections completed
+	err     error
+}
+
+// NewStreamFileWriter writes the header and a placeholder section table
+// for the given section ids (which must then be streamed in exactly that
+// order) and returns the writer positioned at the first payload byte.
+func NewStreamFileWriter(f faultfs.File, magic string, version uint8, ids []uint8) (*StreamFileWriter, error) {
+	if len(magic) != 4 {
+		panic("persist: magic must be 4 bytes")
+	}
+	if len(ids) > 255 {
+		return nil, fmt.Errorf("persist: too many sections (%d)", len(ids))
+	}
+	head := make([]byte, 0, 6+13*len(ids))
+	head = append(head, magic...)
+	head = append(head, version, uint8(len(ids)))
+	var zero [13]byte
+	for _, id := range ids {
+		zero[0] = id
+		head = append(head, zero[:]...)
+	}
+	if _, err := f.Write(head); err != nil {
+		return nil, err
+	}
+	return &StreamFileWriter{
+		f:    f,
+		ids:  ids,
+		lens: make([]uint64, len(ids)),
+		crcs: make([]uint32, len(ids)),
+		cur:  -1,
+	}, nil
+}
+
+// BeginSection starts streaming the payload of the next section, which
+// must carry the given id (sections go out in the order declared at
+// construction).
+func (w *StreamFileWriter) BeginSection(id uint8) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.cur >= 0 {
+		w.cur = -1
+		w.written++
+	}
+	if w.written >= len(w.ids) || w.ids[w.written] != id {
+		w.err = fmt.Errorf("persist: section %d out of declared order", id)
+		return w.err
+	}
+	w.cur = w.written
+	return nil
+}
+
+// Write streams payload bytes of the current section.
+func (w *StreamFileWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.cur < 0 {
+		w.err = fmt.Errorf("persist: Write outside a section")
+		return 0, w.err
+	}
+	n, err := w.f.Write(p)
+	w.lens[w.cur] += uint64(n)
+	w.crcs[w.cur] = crc32.Update(w.crcs[w.cur], castagnoli, p[:n])
+	if err != nil {
+		w.err = err
+	}
+	return n, err
+}
+
+// Finish closes the last section and backpatches the section table with
+// the accumulated lengths and CRCs. It does not sync or close the file.
+func (w *StreamFileWriter) Finish() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.cur >= 0 {
+		w.cur = -1
+		w.written++
+	}
+	if w.written != len(w.ids) {
+		return fmt.Errorf("persist: %d of %d sections written", w.written, len(w.ids))
+	}
+	var hdr [13]byte
+	for i, id := range w.ids {
+		hdr[0] = id
+		binary.LittleEndian.PutUint64(hdr[1:9], w.lens[i])
+		binary.LittleEndian.PutUint32(hdr[9:13], w.crcs[i])
+		if _, err := w.f.WriteAt(hdr[:], int64(6+13*i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AtomicWriteFile is AtomicWriteFS with random-access to the temp file:
+// write receives the faultfs.File itself (WriteAt included) instead of
+// an io.Writer, which is what StreamFileWriter needs to backpatch its
+// section table. The rename-into-place semantics are identical: path
+// holds either the old or the complete new content, never a torn mix.
+func AtomicWriteFile(fsys faultfs.FS, path string, write func(faultfs.File) error) error {
+	fsys = faultfs.OrOS(fsys)
+	dir := filepath.Dir(path)
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(fsys, dir)
+}
+
+var _ io.Writer = (*StreamFileWriter)(nil)

@@ -26,6 +26,8 @@ import (
 	"path/filepath"
 	"time"
 
+	"sync/atomic"
+
 	"rdfcube/internal/dict"
 	"rdfcube/internal/faultfs"
 	"rdfcube/internal/obs"
@@ -75,17 +77,30 @@ type WALMetrics struct {
 	// counts failed appends (rolled back or log marked broken).
 	AppendedBytes *obs.Counter
 	AppendErrors  *obs.Counter
+	// GroupSyncs counts fsyncs issued by the group committer (one per
+	// leader); GroupCoalesced counts batches made durable by another
+	// caller's fsync. durable_batches / GroupSyncs is the coalescing
+	// factor.
+	GroupSyncs     *obs.Counter
+	GroupCoalesced *obs.Counter
 }
 
 // WAL is an append-only, fsync-per-batch delta log.
 type WAL struct {
-	path    string
-	fsys    faultfs.FS
-	f       faultfs.File
+	path string
+	fsys faultfs.FS
+	f    faultfs.File
+	// batches and bytes are durable counts. They are atomics because a
+	// group-commit leader advances them outside the owner's write lock
+	// (wal_group.go), racing metric scrapes that sample Bytes().
 	epoch   uint64
-	batches int64
-	bytes   int64
+	batches atomic.Int64
+	bytes   atomic.Int64
 	m       *WALMetrics
+	// gc, when non-nil, routes Append through the group committer
+	// (wal_group.go): records are staged by many callers and one leader
+	// fsyncs for all of them.
+	gc *walGroup
 	// broken marks a log whose tail could not be rolled back after a
 	// failed append: further appends would land beyond torn bytes and be
 	// silently dropped by the next replay, so they are refused instead.
@@ -135,8 +150,11 @@ func (w *WAL) writeHeader(baseEpoch uint64) error {
 		return err
 	}
 	w.epoch = baseEpoch
-	w.batches = 0
-	w.bytes = walHdrLen
+	w.batches.Store(0)
+	w.bytes.Store(walHdrLen)
+	if w.gc != nil {
+		w.gc.reset(walHdrLen)
+	}
 	return nil
 }
 
@@ -247,8 +265,8 @@ func OpenWALFS(fsys faultfs.FS, path string, defaultEpoch uint64) (w *WAL, batch
 		f.Close()
 		return nil, nil, 0, err
 	}
-	w.batches = int64(len(batches))
-	w.bytes = good
+	w.batches.Store(int64(len(batches)))
+	w.bytes.Store(good)
 	return w, batches, w.epoch, nil
 }
 
@@ -275,20 +293,9 @@ func intactRecordAt(f faultfs.File, off, size int64) bool {
 	return crc32.Checksum(payload, castagnoli) == crc
 }
 
-// Append encodes b, appends it and fsyncs. The write is durable when
-// Append returns. A failed append rolls the file back to the previous
-// record boundary, so a short write (ENOSPC, I/O error) can never
-// leave torn bytes that would swallow later records at replay; if even
-// the rollback fails, the log refuses further appends.
-func (w *WAL) Append(b Batch) error {
-	if w.broken {
-		w.m.countError()
-		return fmt.Errorf("wal %s: refusing append after unrecoverable write failure", w.path)
-	}
-	var start time.Time
-	if w.m != nil {
-		start = time.Now()
-	}
+// encodeRecord frames one batch as a WAL record: length, checksum,
+// payload.
+func encodeRecord(b Batch) []byte {
 	var e Enc
 	e.Uvarint(uint64(b.DictLen))
 	e.Uvarint(uint64(len(b.Terms)))
@@ -306,6 +313,35 @@ func (w *WAL) Append(b Batch) error {
 	binary.LittleEndian.PutUint32(rec[:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
 	copy(rec[8:], payload)
+	return rec
+}
+
+// Append encodes b, appends it and fsyncs. The write is durable when
+// Append returns. A failed append rolls the file back to the previous
+// record boundary, so a short write (ENOSPC, I/O error) can never
+// leave torn bytes that would swallow later records at replay; if even
+// the rollback fails, the log refuses further appends.
+//
+// With group commit armed (SetGroupCommit), Append is safe for
+// concurrent callers and one fsync covers every batch staged while it
+// runs; without it, the WAL is single-writer.
+func (w *WAL) Append(b Batch) error {
+	if w.gc != nil {
+		p, err := w.Stage(b)
+		if err != nil {
+			return err
+		}
+		return p.Commit()
+	}
+	if w.broken {
+		w.m.countError()
+		return fmt.Errorf("wal %s: refusing append after unrecoverable write failure", w.path)
+	}
+	var start time.Time
+	if w.m != nil {
+		start = time.Now()
+	}
+	rec := encodeRecord(b)
 	_, werr := w.f.Write(rec)
 	if werr == nil {
 		var syncStart time.Time
@@ -319,8 +355,8 @@ func (w *WAL) Append(b Batch) error {
 	}
 	if werr != nil {
 		w.m.countError()
-		if terr := w.f.Truncate(w.bytes); terr == nil {
-			if _, serr := w.f.Seek(w.bytes, io.SeekStart); serr != nil {
+		if terr := w.f.Truncate(w.bytes.Load()); terr == nil {
+			if _, serr := w.f.Seek(w.bytes.Load(), io.SeekStart); serr != nil {
 				w.broken = true
 			}
 		} else {
@@ -328,8 +364,8 @@ func (w *WAL) Append(b Batch) error {
 		}
 		return werr
 	}
-	w.batches++
-	w.bytes += int64(len(rec))
+	w.batches.Add(1)
+	w.bytes.Add(int64(len(rec)))
 	if w.m != nil {
 		w.m.AppendSeconds.Observe(time.Since(start).Nanoseconds())
 		w.m.AppendedBytes.Add(int64(len(rec)))
@@ -427,12 +463,12 @@ func ReplaceWALFS(fsys faultfs.FS, path string, epoch uint64, batches []Batch) (
 // Epoch returns the base epoch the log extends.
 func (w *WAL) Epoch() uint64 { return w.epoch }
 
-// Batches reports the number of records appended since the last Reset
-// (or present at open).
-func (w *WAL) Batches() int64 { return w.batches }
+// Batches reports the number of records durably appended since the last
+// Reset (or present at open).
+func (w *WAL) Batches() int64 { return w.batches.Load() }
 
-// Bytes reports the log's on-disk size.
-func (w *WAL) Bytes() int64 { return w.bytes }
+// Bytes reports the log's durable on-disk size.
+func (w *WAL) Bytes() int64 { return w.bytes.Load() }
 
 // Path returns the log's file path.
 func (w *WAL) Path() string { return w.path }
@@ -449,5 +485,5 @@ func (w *WAL) Close() error {
 
 // String renders the WAL state for logs.
 func (w *WAL) String() string {
-	return fmt.Sprintf("wal %s: epoch %d, %d batches, %d bytes", w.path, w.epoch, w.batches, w.bytes)
+	return fmt.Sprintf("wal %s: epoch %d, %d batches, %d bytes", w.path, w.epoch, w.batches.Load(), w.bytes.Load())
 }

@@ -1,0 +1,252 @@
+package persist
+
+// WAL group commit: many writers, one fsync.
+//
+// The fsync dominates append latency, and under concurrent writers the
+// default one-fsync-per-batch protocol serializes them all behind the
+// disk. Group commit splits an append in two:
+//
+//	Stage   write the framed record into the file (cheap, buffered by
+//	        the page cache) under the group's short mutex. The caller
+//	        typically holds its own ordering lock across Stage, so
+//	        record order matches the order writes were applied — which
+//	        matters, because records carry absolute dictionary IDs and
+//	        replay re-interns terms in record order.
+//	Commit  wait until an fsync covers the staged record. The first
+//	        committer becomes the leader: it fsyncs once for every
+//	        record staged so far, and followers that arrived meanwhile
+//	        return without touching the disk.
+//
+// The bounded wait window trades a little leader latency for a bigger
+// group: when two unsynced records have coexisted since the last sync
+// (detected concurrency), the leader sleeps up to the window before
+// snapshotting its target, letting callers still queued behind the
+// application lock stage into the same fsync. A solo writer never pays
+// the window — with no overlapping stage, the leader syncs immediately
+// and latency matches the non-grouped path.
+//
+// Failure keeps the non-grouped contract: a failed stage rolls the file
+// back to the staged boundary; a failed fsync rolls everything unsynced
+// back to the durable boundary and every waiting committer gets the
+// error (none of their writes were acknowledged). If rollback itself
+// fails the log turns refusing, exactly like the solo path.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// walGroup is the shared state of the group committer.
+type walGroup struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// window bounds the leader's straggler wait (0 = sync immediately).
+	window time.Duration
+
+	written int64 // staged byte offset (>= synced)
+	synced  int64 // durable byte offset
+	staged  int64 // records staged but not yet durable
+	syncing bool  // a leader is inside fsync
+	// concurrent is set when two unsynced records coexist — the signal
+	// that a wait window would actually grow the group.
+	concurrent bool
+	// resetSeq increments whenever unsynced records are discarded after
+	// a failed fsync; pending commits from before the reset observe the
+	// bump and report lastErr.
+	resetSeq uint64
+	lastErr  error
+
+	syncs     int64
+	coalesced int64
+}
+
+func (gc *walGroup) reset(off int64) {
+	gc.mu.Lock()
+	gc.written, gc.synced = off, off
+	gc.staged, gc.concurrent = 0, false
+	gc.mu.Unlock()
+}
+
+// SetGroupCommit arms the group committer with the given straggler
+// window (window <= 0 disarms it and returns the WAL to single-writer
+// fsync-per-append). Arm it before concurrent use; with group commit
+// armed, Append/Stage/Commit are safe for concurrent callers.
+func (w *WAL) SetGroupCommit(window time.Duration) {
+	if window <= 0 {
+		w.gc = nil
+		return
+	}
+	gc := &walGroup{window: window, written: w.bytes.Load(), synced: w.bytes.Load()}
+	gc.cond = sync.NewCond(&gc.mu)
+	w.gc = gc
+}
+
+// GroupCommit reports whether the group committer is armed.
+func (w *WAL) GroupCommit() bool { return w.gc != nil }
+
+// GroupStats reports the committer's lifetime fsync count and how many
+// batches rode another caller's fsync. Zero when not armed.
+func (w *WAL) GroupStats() (syncs, coalesced int64) {
+	gc := w.gc
+	if gc == nil {
+		return 0, 0
+	}
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.syncs, gc.coalesced
+}
+
+// PendingAppend is a staged-but-not-yet-durable WAL record. Commit
+// blocks until an fsync covers it (possibly another caller's).
+type PendingAppend struct {
+	w      *WAL
+	end    int64 // staged byte offset our record reaches
+	seq    uint64
+	recLen int
+	start  time.Time
+}
+
+// Stage frames b and writes it into the log without syncing. The record
+// is NOT durable until Commit returns nil. Callers needing replay order
+// to match application order must serialize their Stage calls
+// externally (the server's write lock does); Commit can then be called
+// outside that lock, which is where the coalescing happens. Without
+// group commit armed, Stage degrades to a full synchronous Append and
+// Commit is a no-op.
+func (w *WAL) Stage(b Batch) (*PendingAppend, error) {
+	gc := w.gc
+	if gc == nil {
+		if err := w.Append(b); err != nil {
+			return nil, err
+		}
+		return &PendingAppend{}, nil
+	}
+	var start time.Time
+	if w.m != nil {
+		start = time.Now()
+	}
+	rec := encodeRecord(b)
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if w.broken {
+		w.m.countError()
+		return nil, fmt.Errorf("wal %s: refusing append after unrecoverable write failure", w.path)
+	}
+	if _, werr := w.f.Write(rec); werr != nil {
+		w.m.countError()
+		if terr := w.f.Truncate(gc.written); terr == nil {
+			if _, serr := w.f.Seek(gc.written, io.SeekStart); serr != nil {
+				w.broken = true
+			}
+		} else {
+			w.broken = true
+		}
+		return nil, werr
+	}
+	if gc.staged > 0 {
+		gc.concurrent = true
+	}
+	gc.staged++
+	gc.written += int64(len(rec))
+	return &PendingAppend{w: w, end: gc.written, seq: gc.resetSeq, recLen: len(rec), start: start}, nil
+}
+
+// Commit blocks until the staged record is durable and returns nil, or
+// returns the error that discarded it. The first committer of a sync
+// generation leads the fsync for everyone staged so far.
+func (p *PendingAppend) Commit() error {
+	w := p.w
+	if w == nil || w.gc == nil {
+		return nil // staged through the non-grouped fallback: already durable
+	}
+	gc := w.gc
+	gc.mu.Lock()
+	for {
+		if gc.resetSeq != p.seq {
+			err := gc.lastErr
+			gc.mu.Unlock()
+			w.m.countError()
+			return err
+		}
+		if gc.synced >= p.end {
+			gc.mu.Unlock()
+			p.observeDurable()
+			return nil
+		}
+		if !gc.syncing {
+			break // become the leader
+		}
+		gc.cond.Wait()
+	}
+	gc.syncing = true
+	if gc.concurrent && gc.window > 0 {
+		// Writers are overlapping: hold the sync briefly so callers still
+		// queued behind the application lock stage into this fsync.
+		gc.mu.Unlock()
+		time.Sleep(gc.window)
+		gc.mu.Lock()
+	}
+	target := gc.written
+	covered := gc.staged
+	gc.staged = 0
+	gc.concurrent = false
+	gc.mu.Unlock()
+
+	var syncStart time.Time
+	if w.m != nil {
+		syncStart = time.Now()
+	}
+	serr := w.f.Sync()
+
+	gc.mu.Lock()
+	gc.syncing = false
+	if serr != nil {
+		// Nothing past the durable boundary was acknowledged; roll it all
+		// back — including records staged during the failed fsync — and
+		// fail every pending commit.
+		gc.lastErr = serr
+		gc.resetSeq++
+		if terr := w.f.Truncate(gc.synced); terr == nil {
+			if _, serr2 := w.f.Seek(gc.synced, io.SeekStart); serr2 != nil {
+				w.broken = true
+			}
+		} else {
+			w.broken = true
+		}
+		gc.written = gc.synced
+		gc.staged = 0
+		gc.concurrent = false
+		gc.cond.Broadcast()
+		gc.mu.Unlock()
+		w.m.countError()
+		return serr
+	}
+	gc.synced = target
+	gc.syncs++
+	gc.coalesced += covered - 1
+	w.bytes.Store(target)
+	w.batches.Add(covered)
+	gc.cond.Broadcast()
+	gc.mu.Unlock()
+	if w.m != nil {
+		w.m.SyncSeconds.Observe(time.Since(syncStart).Nanoseconds())
+		w.m.GroupSyncs.Inc()
+		if covered > 1 {
+			w.m.GroupCoalesced.Add(covered - 1)
+		}
+	}
+	p.observeDurable()
+	return nil
+}
+
+// observeDurable records the per-batch success metrics once the record
+// is known durable.
+func (p *PendingAppend) observeDurable() {
+	if p.w.m == nil {
+		return
+	}
+	p.w.m.AppendSeconds.Observe(time.Since(p.start).Nanoseconds())
+	p.w.m.AppendedBytes.Add(int64(p.recLen))
+}

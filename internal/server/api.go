@@ -160,6 +160,9 @@ type StatsResponse struct {
 	// Durability describes the data-dir state; absent on in-memory
 	// servers.
 	Durability *DurabilityStats `json:"durability,omitempty"`
+	// Mmap describes the mmap read path of the base graph; absent unless
+	// the server serves a mapped snapshot (Config.Mapped / -mmap).
+	Mmap *MmapStats `json:"mmap,omitempty"`
 	// Endpoints maps route to request metrics.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
@@ -182,6 +185,12 @@ type DurabilityStats struct {
 	WALBytes         int64 `json:"wal_bytes"`
 	WALAppendErrors  int64 `json:"wal_append_errors"`
 	CheckpointErrors int64 `json:"checkpoint_errors"`
+	// WALGroupSyncs/WALGroupCoalesced describe WAL group commit (both
+	// zero unless Config.WALGroupCommit / -wal-group-commit): fsyncs
+	// issued by commit leaders, and batches made durable by another
+	// writer's fsync. batches/syncs is the coalescing factor.
+	WALGroupSyncs     int64 `json:"wal_group_syncs,omitempty"`
+	WALGroupCoalesced int64 `json:"wal_group_coalesced,omitempty"`
 	// Recovered* describe what startup found: whether a snapshot was
 	// loaded, and how many WAL batches/triples and registry views were
 	// replayed or warmed.
@@ -198,6 +207,31 @@ type DurabilityStats struct {
 	LastError       string `json:"last_error,omitempty"`
 	DegradedRetries int64  `json:"degraded_retries,omitempty"`
 	NextRetryNs     int64  `json:"next_retry_ns,omitempty"`
+}
+
+// MmapStats describes the bigger-than-RAM read path: the mmap'd
+// snapshot backing the base graph, its block caches, and the delta
+// spill state.
+type MmapStats struct {
+	// Path is the mapped snapshot file; MappedBytes its mmap'd size —
+	// address space, not resident memory, which stays bounded by the
+	// block caches plus whatever the page cache keeps warm.
+	Path        string `json:"path"`
+	MappedBytes int64  `json:"mapped_bytes"`
+	// BlockCache*: the column delta-block cache. TermCache*: the
+	// front-coded dictionary block cache.
+	BlockCacheHits   uint64 `json:"block_cache_hits"`
+	BlockCacheMisses uint64 `json:"block_cache_misses"`
+	TermCacheHits    uint64 `json:"term_cache_hits"`
+	TermCacheMisses  uint64 `json:"term_cache_misses"`
+	// DecodeStallNs accumulates wall time spent decoding column blocks
+	// on cache misses — the page-in stall proxy: on a cold mapping this
+	// is dominated by major faults against the snapshot file.
+	DecodeStallNs uint64 `json:"decode_stall_ns"`
+	// Spill state of the delta overlay (Config.SpillThreshold).
+	SpillRunTriples int    `json:"spill_run_triples"`
+	SpillRunBytes   int64  `json:"spill_run_bytes"`
+	Spills          uint64 `json:"spills"`
 }
 
 // CheckpointResponse reports a POST /snapshot checkpoint.

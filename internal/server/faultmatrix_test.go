@@ -118,6 +118,10 @@ func TestCrashMatrix(t *testing.T) {
 				testRecoveryCorruption(t, spec)
 				return
 			}
+			if strings.HasPrefix(name, "spill-") {
+				testSpillTorn(t, spec)
+				return
+			}
 			dir := t.TempDir()
 			in := faultfs.NewInjector(nil)
 			// RetryMin of an hour pins the server in degraded mode for
@@ -223,6 +227,57 @@ func testRecoveryCorruption(t *testing.T, spec string) {
 		t.Fatal("corruption fault never fired")
 	}
 
+	verifyRecovered(t, dir, h.twin)
+}
+
+// testSpillTorn covers the delta-spill fault points: a torn spill-run
+// write (short write, or the rename that would publish it) must NOT
+// fail the insert — the triples were fsynced to the WAL before the
+// spill ran, and the run file is transient serving state — and the
+// store must degrade to serving the overlay from memory, stay
+// consistent, and recover exactly the acknowledged writes after a
+// crash (open-time cleanup removes whatever the torn spill left).
+func testSpillTorn(t *testing.T, spec string) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	srv, err := Open(nil, Config{
+		DataDir: dir, FS: in,
+		Mapped:         true,
+		SpillThreshold: 10, // one 15-triple insert round crosses it
+		RetryMin:       time.Hour, RetryMax: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close() // srv deliberately not Closed: the crash
+	h := &matrixHarness{t: t, ts: ts, twin: store.New()}
+
+	// Armed before the first insert: the very first spill tears.
+	in.ArmPlan(faultfs.MustParsePlan(spec))
+	if st := h.insert(0); st != http.StatusOK {
+		t.Fatalf("insert over torn spill: status %d, want 200 (spill is not a durability artifact)", st)
+	}
+	if in.Fails() == 0 {
+		t.Fatal("spill fault never fired")
+	}
+	if _, _, _, lastErr := srv.base.SpillStats(); lastErr == nil {
+		t.Fatal("torn spill left no recorded spill error")
+	}
+
+	// Degraded-to-memory contract: writes and reads keep working.
+	for round := 1; round < 3; round++ {
+		if st := h.insert(round); st != http.StatusOK {
+			t.Fatalf("post-fault insert round %d: status %d", round, st)
+		}
+	}
+	if rows, _ := queryRows(t, ts, bloggerQueryRequest()); rows == "" {
+		t.Fatal("post-fault query returned nothing")
+	}
+
+	// Crash (abandon) and recover on a clean filesystem: the WAL holds
+	// every acknowledged triple; torn spill leftovers are swept at open.
+	ts.Close()
 	verifyRecovered(t, dir, h.twin)
 }
 

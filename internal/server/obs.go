@@ -18,6 +18,7 @@ import (
 	"rdfcube/internal/obs"
 	"rdfcube/internal/obs/workload"
 	"rdfcube/internal/persist"
+	"rdfcube/internal/store"
 	"rdfcube/internal/viewreg"
 )
 
@@ -68,6 +69,10 @@ func newServerMetrics(m *obs.Registry) serverMetrics {
 				"Record bytes durably appended to the write-ahead logs."),
 			AppendErrors: m.Counter("rdfcube_wal_append_errors_total",
 				"WAL appends that failed (rolled back or log marked broken)."),
+			GroupSyncs: m.Counter("rdfcube_wal_group_commit_syncs_total",
+				"Fsyncs issued by WAL group-commit leaders (one may cover many batches)."),
+			GroupCoalesced: m.Counter("rdfcube_wal_group_commit_coalesced_total",
+				"WAL batches made durable by another writer's fsync."),
 		},
 	}
 	for _, st := range viewreg.Strategies {
@@ -156,6 +161,50 @@ func (s *Server) wireGauges() {
 			defer s.mu.RUnlock()
 			return float64(s.inst.DeltaLen())
 		}, "graph", "instance")
+	// The mmap read path (Config.Mapped). Like the WAL gauges below,
+	// registered unconditionally and reading 0 when the base graph is
+	// not mapped — the mapping is installed after New returns.
+	mmapGauge := func(name, help string, read func(store.MappedStats, *store.Store) float64) {
+		s.obs.GaugeFunc(name, help, func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			ms, ok := s.base.MappedStats()
+			if !ok {
+				return 0
+			}
+			return read(ms, s.base)
+		})
+	}
+	mmapGauge("rdfcube_mmap_mapped_bytes",
+		"Bytes of base snapshot currently mmap'd (0 when not in mapped mode).",
+		func(ms store.MappedStats, _ *store.Store) float64 { return float64(ms.MappedBytes) })
+	mmapGauge("rdfcube_mmap_block_cache_hits_total",
+		"Column block-cache hits on the mapped snapshot.",
+		func(ms store.MappedStats, _ *store.Store) float64 { return float64(ms.BlockCacheHits) })
+	mmapGauge("rdfcube_mmap_block_cache_misses_total",
+		"Column block-cache misses (each decodes a block from the mapping).",
+		func(ms store.MappedStats, _ *store.Store) float64 { return float64(ms.BlockCacheMisses) })
+	mmapGauge("rdfcube_mmap_term_cache_hits_total",
+		"Dictionary term block-cache hits on the mapped snapshot.",
+		func(ms store.MappedStats, _ *store.Store) float64 { return float64(ms.TermCacheHits) })
+	mmapGauge("rdfcube_mmap_term_cache_misses_total",
+		"Dictionary term block-cache misses.",
+		func(ms store.MappedStats, _ *store.Store) float64 { return float64(ms.TermCacheMisses) })
+	mmapGauge("rdfcube_mmap_decode_stall_seconds_total",
+		"Wall time spent decoding column blocks on cache misses (page-in stall proxy).",
+		func(ms store.MappedStats, _ *store.Store) float64 { return float64(ms.DecodeStallNanos) / 1e9 })
+	mmapGauge("rdfcube_mmap_spill_run_triples",
+		"Delta triples resident in the on-disk spill run.",
+		func(_ store.MappedStats, g *store.Store) float64 {
+			n, _, _, _ := g.SpillStats()
+			return float64(n)
+		})
+	mmapGauge("rdfcube_mmap_spills_total",
+		"Delta spill runs written since startup.",
+		func(_ store.MappedStats, g *store.Store) float64 {
+			_, _, spills, _ := g.SpillStats()
+			return float64(spills)
+		})
 	// Registered unconditionally: s.dur is armed by Open *after* New
 	// returns, so gating on it here would skip durable servers. Reads 0
 	// while (or forever, when) the server is purely in-memory.

@@ -52,6 +52,12 @@ type durability struct {
 	baseWAL *persist.WAL
 	instWAL *persist.WAL // nil while the instance is the base graph
 
+	// commitWG tracks in-flight group-commit waits (stageWrite commits
+	// running outside the write lock). Checkpoints and Close wait on it
+	// before swapping or closing WAL handles; new stages are fenced by
+	// the write lock those callers hold.
+	commitWG sync.WaitGroup
+
 	// baseWALDict / instWALDict track how many dictionary terms are
 	// already durable for each graph (in its snapshot or earlier WAL
 	// records). Batch term tails are computed against THIS, not against
@@ -106,7 +112,7 @@ func Open(seed *store.Store, cfg Config) (*Server, error) {
 	_, baseSnapErr := fsys.Stat(d.path("base.snap"))
 	freshDir := baseSnapErr != nil
 
-	base, baseWAL, err := d.recoverGraph("base.snap", "base.wal", seed, cfg.CompactThreshold)
+	base, baseWAL, err := d.recoverGraph("base.snap", "base.wal", seed, cfg, cfg.Mapped)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +122,7 @@ func Open(seed *store.Store, cfg Config) (*Server, error) {
 	srv.dur = d
 
 	if _, err := fsys.Stat(d.path("inst.snap")); err == nil {
-		inst, instWAL, err := d.recoverGraph("inst.snap", "inst.wal", nil, cfg.CompactThreshold)
+		inst, instWAL, err := d.recoverGraph("inst.snap", "inst.wal", nil, cfg, false)
 		if err != nil {
 			return nil, fmt.Errorf("recovering instance: %w", err)
 		}
@@ -159,7 +165,59 @@ func Open(seed *store.Store, cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	// Mapped mode with a heap base — first boot, a seed, or a pre-mmap
+	// snapshot: checkpoint (mapped mode writes the base snapshot in the
+	// mappable format) and swap the serving base for a mapping of the
+	// file just written, so bigger-than-RAM serving starts now rather
+	// than at the next restart.
+	if cfg.Mapped && !srv.base.Mapped() {
+		if err := srv.remapBase(); err != nil {
+			return nil, err
+		}
+	}
 	return srv, nil
+}
+
+// remapBase (mapped mode, startup) replaces a heap-recovered base graph
+// with an mmap of its freshly checkpointed snapshot. Falls back to heap
+// serving silently if the snapshot is not mappable.
+func (s *Server) remapBase() error {
+	// Fold any delta overlay (a recovered WAL tail) into the heap base
+	// first: base.snap serializes only the frozen base, and the swap
+	// below replaces the whole store — an unfolded overlay would be
+	// silently dropped.
+	if pc := s.base.PrepareCompaction(); pc != nil {
+		s.base.InstallCompaction(pc)
+	}
+	if err := s.checkpointLocked(); err != nil {
+		return err
+	}
+	d := s.dur
+	g, err := store.OpenFrozenSnapshotMapped(d.path("base.snap"), store.MappedOptions{})
+	if err != nil {
+		return &persist.ArtifactError{Path: d.path("base.snap"), Kind: "snapshot", Err: err}
+	}
+	if !g.Mapped() {
+		g.CloseMapped()
+		return nil // keep the heap base
+	}
+	if s.cfg.CompactThreshold > 0 {
+		g.SetCompactThreshold(s.cfg.CompactThreshold)
+	}
+	if s.cfg.SpillThreshold > 0 {
+		if err := d.armSpill(g, s.cfg.SpillThreshold); err != nil {
+			g.CloseMapped()
+			return err
+		}
+	}
+	wasServing := s.inst == s.base
+	s.base = g
+	d.baseWALDict = g.Dict().Len()
+	if wasServing {
+		s.installInstance(g)
+	}
+	s.armWALMetrics()
+	return nil
 }
 
 // recoverGraph loads one graph from its snapshot + WAL pair. A missing
@@ -168,24 +226,46 @@ func Open(seed *store.Store, cfg Config) (*Server, error) {
 // "snapshot" (unreadable/corrupt snapshot), "wal" (log framing), or
 // "dict" (a replayed triple referencing a term the dictionary never
 // assigned) — so operators know which file to restore.
-func (d *durability) recoverGraph(snapName, walName string, seed *store.Store, compactThreshold int) (*store.Store, *persist.WAL, error) {
+//
+// With mapped set (the base graph under Config.Mapped), the snapshot is
+// served by mmap instead of loaded onto the heap: OpenFrozenSnapshotMapped
+// maps the file directly (a pre-mmap v1/v2 snapshot transparently falls
+// back to the heap loader — Open converges it to the mappable format
+// afterwards), leftover spill runs are swept, and delta spill is armed
+// before the WAL replays so a long replay tail never balloons memory.
+func (d *durability) recoverGraph(snapName, walName string, seed *store.Store, cfg Config, mapped bool) (*store.Store, *persist.WAL, error) {
 	var g *store.Store
-	if f, err := d.fsys.Open(d.path(snapName)); err == nil {
+	snapPath := d.path(snapName)
+	if mapped {
+		if _, err := d.fsys.Stat(snapPath); err == nil {
+			g, err = store.OpenFrozenSnapshotMapped(snapPath, store.MappedOptions{})
+			if err != nil {
+				return nil, nil, &persist.ArtifactError{Path: snapPath, Kind: "snapshot", Err: err}
+			}
+			d.recoveredSnap = true
+		}
+	} else if f, err := d.fsys.Open(snapPath); err == nil {
 		g, err = store.OpenFrozenSnapshot(f)
 		f.Close()
 		if err != nil {
-			return nil, nil, &persist.ArtifactError{Path: d.path(snapName), Kind: "snapshot", Err: err}
+			return nil, nil, &persist.ArtifactError{Path: snapPath, Kind: "snapshot", Err: err}
 		}
 		d.recoveredSnap = true
-	} else {
+	}
+	if g == nil {
 		g = seed
 		if g == nil {
 			g = store.New()
 		}
 		g.Freeze()
 	}
-	if compactThreshold > 0 {
-		g.SetCompactThreshold(compactThreshold)
+	if cfg.CompactThreshold > 0 {
+		g.SetCompactThreshold(cfg.CompactThreshold)
+	}
+	if mapped && cfg.SpillThreshold > 0 {
+		if err := d.armSpill(g, cfg.SpillThreshold); err != nil {
+			return nil, nil, err
+		}
 	}
 	w, batches, _, err := persist.OpenWALFS(d.fsys, d.path(walName), g.Version().Base)
 	if err != nil {
@@ -205,6 +285,21 @@ func (d *durability) recoverGraph(snapName, walName string, seed *store.Store, c
 		d.recoveredBatches++
 	}
 	return g, w, nil
+}
+
+// armSpill sweeps leftover spill runs (transient serving state — their
+// triples re-replay from the WAL) and points g's delta spill at the
+// data-dir's spill subdirectory.
+func (d *durability) armSpill(g *store.Store, threshold int) error {
+	dir := d.path("spill")
+	if err := d.fsys.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := store.CleanSpillDir(d.fsys, dir); err != nil {
+		return err
+	}
+	g.SetSpill(d.fsys, dir, threshold)
+	return nil
 }
 
 // applyBatch replays one WAL batch into g: intern the batch's new terms
@@ -248,7 +343,18 @@ func (s *Server) walDictFor(g *store.Store) *int {
 	return &s.dur.instWALDict
 }
 
-// logWrite makes a just-applied write to g durable. Caller holds the
+// logWrite makes a just-applied write to g durable before returning —
+// stageWrite plus the commit wait, for callers that keep the write lock
+// across the acknowledgement anyway.
+func (s *Server) logWrite(ctx context.Context, g *store.Store, before store.Version) error {
+	commit, err := s.stageWrite(ctx, g, before)
+	if err != nil || commit == nil {
+		return err
+	}
+	return commit()
+}
+
+// stageWrite makes a just-applied write to g durable. Caller holds the
 // write lock and captured the graph's version before applying. Delta
 // writes append one fsynced WAL batch carrying every dictionary term
 // not yet durable for this graph (terms may have been interned by
@@ -257,20 +363,28 @@ func (s *Server) walDictFor(g *store.Store) *int {
 // epoch (threshold compaction, map-mode writes, freeze) checkpoints
 // instead — which also truncates the log across the base move, so it
 // cannot grow unboundedly.
-func (s *Server) logWrite(ctx context.Context, g *store.Store, before store.Version) error {
+//
+// Without WAL group commit the append (fsync included) happens inline
+// and the returned commit is nil. With group commit armed, only the
+// record *staging* happens here — under the write lock, so replay order
+// matches apply order — and the returned commit function blocks until a
+// (shared) fsync covers the record. The caller MUST invoke it before
+// acknowledging the write, after releasing the write lock, and treat
+// its error exactly like an append failure.
+func (s *Server) stageWrite(ctx context.Context, g *store.Store, before store.Version) (func() error, error) {
 	if !s.durable() {
-		return nil
+		return nil, nil
 	}
 	after := g.Version()
 	if after == before {
-		return nil // nothing accepted
+		return nil, nil // nothing accepted
 	}
 	w := s.walFor(g)
 	if after.Base != before.Base || !g.IsFrozen() || w == nil {
 		_, span := obs.StartSpan(ctx, "persist.checkpoint")
 		err := s.checkpointLocked()
 		span.End()
-		return err
+		return nil, err
 	}
 	durableDict := s.walDictFor(g)
 	batch := persist.Batch{
@@ -281,16 +395,46 @@ func (s *Server) logWrite(ctx context.Context, g *store.Store, before store.Vers
 	_, span := obs.StartSpan(ctx, "wal.append")
 	span.AttrInt("triples", int64(len(batch.Triples)))
 	span.AttrInt("terms", int64(len(batch.Terms)))
-	err := w.Append(batch)
+	if !w.GroupCommit() {
+		err := w.Append(batch)
+		span.End()
+		if err != nil {
+			s.countWALFailure()
+			return nil, fmt.Errorf("wal append: %w", err)
+		}
+		*durableDict = g.Dict().Len()
+		return nil, nil
+	}
+	p, err := w.Stage(batch)
 	span.End()
 	if err != nil {
-		s.dur.mu.Lock()
-		s.dur.walFailures++
-		s.dur.mu.Unlock()
-		return fmt.Errorf("wal append: %w", err)
+		s.countWALFailure()
+		return nil, fmt.Errorf("wal append: %w", err)
 	}
+	// The record is in the log (though not yet durable): later batches
+	// staged behind it may already reference these terms, so the durable
+	// dictionary length advances now. If the commit fails, the server
+	// degrades read-only and re-baselines everything before the next
+	// write.
 	*durableDict = g.Dict().Len()
-	return nil
+	// Checkpoints (and Close) must not swap the WAL handle out from
+	// under an in-flight commit: they wait on commitWG under the write
+	// lock, which also fences new stages.
+	s.dur.commitWG.Add(1)
+	return func() error {
+		defer s.dur.commitWG.Done()
+		if err := p.Commit(); err != nil {
+			s.countWALFailure()
+			return fmt.Errorf("wal append: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+func (s *Server) countWALFailure() {
+	s.dur.mu.Lock()
+	s.dur.walFailures++
+	s.dur.mu.Unlock()
 }
 
 // maxID returns the largest of a triple's three term IDs — the one a
@@ -361,31 +505,38 @@ func (s *Server) checkpointLocked() error {
 }
 
 // armWALMetrics points the current WAL handles at the server's
-// append/fsync collectors. Must be re-run after every handle swap —
-// checkpoints replace the WALs with fresh ones holding only the delta
-// tail — or the new handles record nothing.
+// append/fsync collectors and (re-)arms group commit. Must be re-run
+// after every handle swap — checkpoints replace the WALs with fresh
+// ones holding only the delta tail — or the new handles record nothing.
 func (s *Server) armWALMetrics() {
 	if s.dur == nil {
 		return
 	}
 	if s.dur.baseWAL != nil {
 		s.dur.baseWAL.SetMetrics(s.met.wal)
+		s.dur.baseWAL.SetGroupCommit(s.cfg.WALGroupCommit)
 	}
 	if s.dur.instWAL != nil {
 		s.dur.instWAL.SetMetrics(s.met.wal)
+		s.dur.instWAL.SetGroupCommit(s.cfg.WALGroupCommit)
 	}
 }
 
 func (s *Server) checkpointFilesLocked() error {
 	d := s.dur
+	// Fence in-flight group commits: they hold PendingAppend handles
+	// into the WALs this checkpoint is about to replace. Their staged
+	// records are covered either way — the snapshot below serializes the
+	// store state those writes already mutated.
+	d.commitWG.Wait()
 	t0 := time.Now()
 	var err error
-	if d.baseWAL, err = checkpointGraph(d.fsys, s.base, d.path("base.snap"), d.baseWAL); err != nil {
+	if d.baseWAL, err = checkpointGraph(d.fsys, s.base, d.path("base.snap"), d.baseWAL, s.cfg.Mapped || s.base.Mapped()); err != nil {
 		return err
 	}
 	d.baseWALDict = s.base.Dict().Len() // the snapshot holds the full dictionary
 	if s.inst != s.base {
-		if d.instWAL, err = checkpointGraph(d.fsys, s.inst, d.path("inst.snap"), d.instWAL); err != nil {
+		if d.instWAL, err = checkpointGraph(d.fsys, s.inst, d.path("inst.snap"), d.instWAL, false); err != nil {
 			return err
 		}
 		d.instWALDict = s.inst.Dict().Len()
@@ -422,12 +573,27 @@ func (s *Server) checkpointFilesLocked() error {
 // frozen graph with no pending delta; a map-mode graph is compacted onto
 // the frozen layout without a version change), snapshot the base
 // columns, swap the WAL down to the delta tail.
-func checkpointGraph(fsys faultfs.FS, g *store.Store, snapPath string, wal *persist.WAL) (*persist.WAL, error) {
+//
+// With v3 set (mapped mode), the snapshot is written in the mappable
+// format — and skipped entirely when the graph's mmap'd file already IS
+// its current frozen base (the common case after a mapped compaction:
+// only the WAL needs trimming).
+func checkpointGraph(fsys faultfs.FS, g *store.Store, snapPath string, wal *persist.WAL, v3 bool) (*persist.WAL, error) {
 	if !g.IsFrozen() {
 		g.Freeze()
 	}
-	if err := persist.AtomicWriteFS(fsys, snapPath, g.WriteFrozenBase); err != nil {
-		return wal, &persist.ArtifactError{Path: snapPath, Kind: "snapshot", Err: err}
+	switch {
+	case g.MappedBaseClean():
+		// base.snap is the mapping we serve from; rewriting it would be
+		// a byte-identical no-op at best and would churn the page cache.
+	case v3:
+		if err := persist.AtomicWriteFS(fsys, snapPath, g.WriteFrozenBaseV3); err != nil {
+			return wal, &persist.ArtifactError{Path: snapPath, Kind: "snapshot", Err: err}
+		}
+	default:
+		if err := persist.AtomicWriteFS(fsys, snapPath, g.WriteFrozenBase); err != nil {
+			return wal, &persist.ArtifactError{Path: snapPath, Kind: "snapshot", Err: err}
+		}
 	}
 	var tail []persist.Batch
 	if g.DeltaLen() > 0 {
@@ -470,11 +636,15 @@ func (s *Server) Close() error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.dur.commitWG.Wait() // in-flight group commits finish before the handles close
 	if s.dur.baseWAL != nil {
 		s.dur.baseWAL.Close()
 	}
 	if s.dur.instWAL != nil {
 		s.dur.instWAL.Close()
+	}
+	if s.base.Mapped() {
+		s.base.CloseMapped()
 	}
 	return nil
 }

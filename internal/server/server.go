@@ -85,6 +85,26 @@ type Config struct {
 	// checkpoints and consulted by Open on startup. Empty means a purely
 	// in-memory server.
 	DataDir string
+	// Mapped serves the base graph from an mmap'd snapshot
+	// (store.OpenFrozenSnapshotMapped): frozen columns and the
+	// dictionary stay on disk behind fixed-size block caches, so
+	// steady-state resident memory is cache-bounded instead of
+	// dataset-bounded. Snapshots are written in the mappable v3 format;
+	// background compaction folds the delta overlay into a new snapshot
+	// file and remaps atomically under the write lock. Requires DataDir
+	// (the mapping needs a real file to serve from).
+	Mapped bool
+	// SpillThreshold, in mapped mode, spills the delta overlay's sorted
+	// side to an on-disk run under DataDir/spill once it holds this many
+	// triples, keeping write bursts between compactions off the heap.
+	// Zero keeps the overlay fully in memory.
+	SpillThreshold int
+	// WALGroupCommit coalesces concurrent writers' WAL appends into
+	// shared fsyncs: each record is staged under the write lock (replay
+	// order = apply order) and the fsync happens outside it, with the
+	// commit leader waiting up to this window for stragglers when
+	// writers overlap. Zero disables (one fsync per write, the default).
+	WALGroupCommit time.Duration
 	// FS routes every durable file operation; nil means the real OS.
 	// Fault-injection tests (and -fault-plan) pass a faultfs.Injector.
 	FS faultfs.FS
@@ -237,18 +257,52 @@ func (s *Server) maybeCompact(g *store.Store) {
 // queries, and only the swap takes the write lock. A prepare raced by a
 // structural change (explicit freeze, re-materialization) is discarded
 // — the next threshold write schedules a fresh one.
+//
+// A durable mapped base graph compacts through the mapped path instead:
+// the merge is serialized straight into a new snapshot file (atomic
+// rename over base.snap) and the install remaps it, so the folded base
+// never becomes a resident heap structure. A mapped store that is
+// serving a diverged heap base (explicit /freeze folded it) falls back
+// to the heap compactor.
 func (s *Server) compactAsync(g *store.Store) {
 	defer s.compactWG.Done()
 	defer s.compacting.Store(false)
+	var (
+		pc *store.PreparedCompaction
+		pm *store.PreparedMappedCompaction
+	)
 	s.mu.RLock()
-	pc := g.PrepareCompaction()
+	if g.Mapped() && g == s.base && s.durable() {
+		var err error
+		pm, err = g.PrepareMappedCompaction(s.dur.fsys, s.dur.path("base.snap"), store.MappedOptions{})
+		if err != nil {
+			s.mu.RUnlock()
+			// The fold could not be written (disk full, I/O error): the
+			// durability contract for the *next* compaction checkpoint is
+			// already in doubt, so degrade now, like a failed checkpoint.
+			s.enterDegraded("compaction prepare", err)
+			return
+		}
+	}
+	if pm == nil {
+		pc = g.PrepareCompaction()
+	}
 	s.mu.RUnlock()
-	if pc == nil {
+	if pm == nil && pc == nil {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !g.InstallCompaction(pc) {
+	if pm != nil {
+		ok, err := g.InstallMappedCompaction(pm)
+		if err != nil {
+			s.enterDegraded("compaction install", err)
+			return
+		}
+		if !ok {
+			return
+		}
+	} else if !g.InstallCompaction(pc) {
 		return
 	}
 	s.met.bgCompactions.Inc()
@@ -423,7 +477,6 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) (int, error)
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	ver0 := s.base.Version()
 	instVer0 := s.inst.Version()
 	added := 0
@@ -449,22 +502,38 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) (int, error)
 		// unchanged.
 		s.reg.NotifyWrite()
 	}
+	var commit func() error
 	if s.durable() && s.inst != s.base && s.inst.Version() != instVer0 {
 		// The freeze also compacted the serving instance: its WAL must
 		// re-baseline with it, so checkpoint everything (covers the base
 		// write too).
 		if err := s.checkpointLocked(); err != nil {
+			s.mu.Unlock()
 			return s.failDurable(w, "checkpoint", err)
 		}
-	} else if err := s.logWrite(r.Context(), s.base, ver0); err != nil {
-		return s.failDurable(w, "wal append", err)
+	} else {
+		var err error
+		if commit, err = s.stageWrite(r.Context(), s.base, ver0); err != nil {
+			s.mu.Unlock()
+			return s.failDurable(w, "wal append", err)
+		}
 	}
 	s.maybeCompact(s.base) // a ?freeze=0 load can fill the overlay
-	s.writeJSON(w, http.StatusOK, LoadResponse{
+	resp := LoadResponse{
 		Added:   added,
 		Triples: s.base.Len(),
 		Frozen:  s.base.IsFrozen(),
-	})
+	}
+	s.mu.Unlock()
+	// With group commit the fsync wait runs outside the write lock, so
+	// concurrent loads share it; the 200 still only goes out once the
+	// record is durable.
+	if commit != nil {
+		if err := commit(); err != nil {
+			return s.failDurable(w, "wal append", err)
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
 }
 
@@ -498,7 +567,6 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, erro
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	target := s.inst
 	if r.URL.Query().Get("graph") == "base" {
 		target = s.base
@@ -524,18 +592,30 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, erro
 			nspan.End()
 		}
 	}
-	if err := s.logWrite(ctx, target, ver0); err != nil {
+	commit, err := s.stageWrite(ctx, target, ver0)
+	if err != nil {
+		s.mu.Unlock()
 		return s.failDurable(w, "wal append", err)
 	}
 	s.maybeCompact(target)
-	s.writeJSON(w, http.StatusOK, InsertResponse{
+	resp := InsertResponse{
 		Added:       added,
 		Triples:     target.Len(),
 		Delta:       target.DeltaLen(),
 		Frozen:      target.IsFrozen(),
 		Maintained:  maintained,
 		Invalidated: invalidated,
-	})
+	}
+	s.mu.Unlock()
+	// The fsync wait runs outside the write lock when group commit is
+	// armed — concurrent inserts stage in lock order and share one
+	// fsync — and the 200 is still withheld until the record is durable.
+	if commit != nil {
+		if err := commit(); err != nil {
+			return s.failDurable(w, "wal append", err)
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
 }
 
@@ -811,6 +891,22 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, erro
 	}
 	baseStats := graphStats(s.base)
 	instStats := graphStats(s.inst)
+	var mmap *MmapStats
+	if ms, ok := s.base.MappedStats(); ok {
+		runTriples, runBytes, spills, _ := s.base.SpillStats()
+		mmap = &MmapStats{
+			Path:             ms.Path,
+			MappedBytes:      ms.MappedBytes,
+			BlockCacheHits:   ms.BlockCacheHits,
+			BlockCacheMisses: ms.BlockCacheMisses,
+			TermCacheHits:    ms.TermCacheHits,
+			TermCacheMisses:  ms.TermCacheMisses,
+			DecodeStallNs:    ms.DecodeStallNanos,
+			SpillRunTriples:  runTriples,
+			SpillRunBytes:    runBytes,
+			Spills:           spills,
+		}
+	}
 	reg := s.reg
 	s.mu.RUnlock()
 	rs := reg.Stats()
@@ -846,6 +942,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, erro
 		BackgroundCompactions: s.met.bgCompactions.Value(),
 		Panics:                s.met.panics.Value(),
 		Shed:                  s.met.shed.Value(),
+		Mmap:                  mmap,
 		Endpoints:             map[string]EndpointStats{},
 	}
 	if s.durable() {
@@ -877,10 +974,16 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) (int, erro
 		if d.baseWAL != nil {
 			ds.WALBatches += d.baseWAL.Batches()
 			ds.WALBytes += d.baseWAL.Bytes()
+			gs, gc := d.baseWAL.GroupStats()
+			ds.WALGroupSyncs += gs
+			ds.WALGroupCoalesced += gc
 		}
 		if d.instWAL != nil {
 			ds.WALBatches += d.instWAL.Batches()
 			ds.WALBytes += d.instWAL.Bytes()
+			gs, gc := d.instWAL.GroupStats()
+			ds.WALGroupSyncs += gs
+			ds.WALGroupCoalesced += gc
 		}
 		s.mu.RUnlock()
 		resp.Durability = ds

@@ -1,0 +1,154 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"rdfcube/internal/rdf"
+)
+
+func TestMappedCompactionRoundtrip(t *testing.T) {
+	src := buildTestStore(t, 250)
+	src.Freeze()
+	path := writeV3File(t, src)
+	mapped := openMappedT(t, path, MappedOptions{})
+	heap, err := OpenFrozenSnapshot(func() *bytes.Reader {
+		b, _ := os.ReadFile(path)
+		return bytes.NewReader(b)
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addBatch := func(lo, hi int) {
+		t.Helper()
+		for i := lo; i < hi; i++ {
+			tr := rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("http://ex.org/user%d", i%100)),
+				P: rdf.NewIRI("http://ex.org/visited"),
+				O: rdf.NewIRI(fmt.Sprintf("http://ex.org/place%d", i)), // new terms
+			}
+			if mapped.Add(tr) != heap.Add(tr) {
+				t.Fatalf("add %d: newness diverges", i)
+			}
+		}
+	}
+	addBatch(0, 90)
+
+	verBefore := mapped.Version()
+	pm, err := mapped.PrepareMappedCompaction(nil, path, MappedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm == nil || pm.Pending() != 90 {
+		t.Fatalf("prepare: pm=%v", pm)
+	}
+	// Writes racing the prepare must be requeued by the install.
+	addBatch(90, 110)
+
+	ok, err := mapped.InstallMappedCompaction(pm)
+	if err != nil || !ok {
+		t.Fatalf("install: ok=%v err=%v", ok, err)
+	}
+	if got := mapped.Version(); got.Base != verBefore.Base+1 || got.Seq != 20 {
+		t.Fatalf("post-install version %+v, want base %d seq 20", got, verBefore.Base+1)
+	}
+	if !mapped.Mapped() || !mapped.MappedBaseClean() {
+		t.Fatal("store lost its clean mapped base after install")
+	}
+	diffStores(t, heap, mapped)
+
+	// Dictionary IDs must be stable across the rebase: terms interned
+	// into the overlay before compaction now resolve through the new
+	// mapping with the same IDs.
+	for i := 0; i < 110; i++ {
+		term := rdf.NewIRI(fmt.Sprintf("http://ex.org/place%d", i))
+		wantID, ok1 := heap.Dict().Lookup(term)
+		gotID, ok2 := mapped.Dict().Lookup(term)
+		if !ok1 || !ok2 || wantID != gotID {
+			t.Fatalf("term %v: ID %d vs %d", term, wantID, gotID)
+		}
+	}
+
+	// A second cycle over the already-compacted base, draining the delta
+	// completely this time, must also converge.
+	pm, err = mapped.PrepareMappedCompaction(nil, path, MappedOptions{})
+	if err != nil || pm == nil {
+		t.Fatalf("second prepare: pm=%v err=%v", pm, err)
+	}
+	if ok, err := mapped.InstallMappedCompaction(pm); err != nil || !ok {
+		t.Fatalf("second install: ok=%v err=%v", ok, err)
+	}
+	if mapped.DeltaLen() != 0 {
+		t.Fatalf("delta not drained: %d", mapped.DeltaLen())
+	}
+	diffStores(t, heap, mapped)
+
+	// A reopen from the compacted file must serve the full folded state.
+	reopened := openMappedT(t, path, MappedOptions{VerifyFull: true})
+	if reopened.Version().Base != mapped.Version().Base {
+		t.Fatalf("reopened base epoch %d, want %d", reopened.Version().Base, mapped.Version().Base)
+	}
+	diffStores(t, heap, reopened)
+}
+
+func TestMappedCompactionRaceDiscards(t *testing.T) {
+	src := buildTestStore(t, 100)
+	src.Freeze()
+	path := writeV3File(t, src)
+	mapped := openMappedT(t, path, MappedOptions{})
+	mapped.Add(rdf.Triple{S: rdf.NewIRI("http://ex.org/a"), P: rdf.NewIRI("http://ex.org/b"), O: rdf.NewIRI("http://ex.org/c")})
+
+	pm, err := mapped.PrepareMappedCompaction(nil, path, MappedOptions{})
+	if err != nil || pm == nil {
+		t.Fatalf("prepare: pm=%v err=%v", pm, err)
+	}
+	// A structural change (explicit freeze-compaction) wins the race.
+	mapped.Freeze()
+	if ok, _ := mapped.InstallMappedCompaction(pm); ok {
+		t.Fatal("install accepted a stale prepare")
+	}
+}
+
+func TestMappedCompactionWithSpilledDelta(t *testing.T) {
+	src := buildTestStore(t, 150)
+	src.Freeze()
+	path := writeV3File(t, src)
+	mapped := openMappedT(t, path, MappedOptions{})
+	heap, err := OpenFrozenSnapshot(func() *bytes.Reader {
+		b, _ := os.ReadFile(path)
+		return bytes.NewReader(b)
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spillDir := t.TempDir()
+	mapped.SetSpill(nil, spillDir, 20)
+	for i := 0; i < 75; i++ {
+		tr := rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://ex.org/user%d", i%40)),
+			P: rdf.NewIRI("http://ex.org/rated"),
+			O: rdf.NewInt(int64(i % 13)),
+		}
+		if mapped.Add(tr) != heap.Add(tr) {
+			t.Fatalf("add %d diverges", i)
+		}
+	}
+	if _, _, spills, _ := mapped.SpillStats(); spills == 0 {
+		t.Fatal("no spills before compaction")
+	}
+	pm, err := mapped.PrepareMappedCompaction(nil, path, MappedOptions{})
+	if err != nil || pm == nil {
+		t.Fatalf("prepare: %v %v", pm, err)
+	}
+	if ok, err := mapped.InstallMappedCompaction(pm); err != nil || !ok {
+		t.Fatalf("install: %v %v", ok, err)
+	}
+	// The spilled run was folded into the base and its file discarded.
+	if runTriples, _, _, _ := mapped.SpillStats(); runTriples != 0 {
+		t.Fatalf("spill run still holds %d triples after compaction", runTriples)
+	}
+	diffStores(t, heap, mapped)
+}

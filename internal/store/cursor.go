@@ -40,12 +40,18 @@ type Cursor struct {
 	// Base side: a [bpos, bhi) range of one frozen permutation; bcol is
 	// the key column of that permutation (c1/c2/c3 per keyCol).
 	px   *permIndex
-	bcol []dict.ID
+	bcol column
 	bpos int
 	bhi  int
 
-	// Delta side: the matching [dpos, dhi) range of the overlay's run of
-	// the same permutation.
+	// Spilled-run side: the matching [rpos, rhi) range of the delta's
+	// on-disk run of the same permutation (empty when nothing spilled).
+	rts  []IDTriple
+	rpos int
+	rhi  int
+
+	// In-memory delta side: the matching [dpos, dhi) range of the
+	// overlay's sorted tail of the same permutation.
 	ts   []IDTriple
 	dpos int
 	dhi  int
@@ -54,10 +60,10 @@ type Cursor struct {
 	keyCol int
 	total  int
 
-	// Current position: the minimum of the two sides in permuted order.
+	// Current position: the minimum of the three sides in permuted order.
 	cur       IDTriple
 	key       dict.ID
-	onBase    bool
+	src       int8 // cursorBase / cursorRun / cursorMem
 	exhausted bool
 
 	// Seeks and Nexts count the cursor's galloping seeks and single-step
@@ -67,6 +73,13 @@ type Cursor struct {
 	Seeks int
 	Nexts int
 }
+
+// The side the cursor is currently positioned on.
+const (
+	cursorBase int8 = iota
+	cursorRun
+	cursorMem
+)
 
 // Counts returns the cursor's accumulated access-path counters — the
 // galloping seeks and single-step advances since construction — for
@@ -89,9 +102,13 @@ func (st *Store) NewCursor(pat Pattern) Cursor {
 		c.exhausted = true
 		return c
 	}
-	// mergedRange resolves both sides with the shared shape-to-
-	// permutation mapping, so base and overlay interleave in one order.
-	c.px, c.bpos, c.bhi, c.ts, c.dpos, c.dhi = st.mergedRange(pat)
+	// mergedRange resolves all sides with the shared shape-to-
+	// permutation mapping, so base, spilled run and in-memory tail
+	// interleave in one order.
+	var ds dspan
+	c.px, c.bpos, c.bhi, ds = st.mergedRange(pat)
+	c.rts, c.rpos, c.rhi = ds.run, ds.rlo, ds.rhi
+	c.ts, c.dpos, c.dhi = ds.mem, ds.mlo, ds.mhi
 	c.kind = c.px.kind
 	sB, pB, oB := pat.S != Wild, pat.P != Wild, pat.O != Wild
 	c.keyCol = 0
@@ -108,7 +125,7 @@ func (st *Store) NewCursor(pat Pattern) Cursor {
 	default: // two or three bound; c3 is the last (possibly pinned) column
 		c.bcol = c.px.c3
 	}
-	c.total = (c.bhi - c.bpos) + (c.dhi - c.dpos)
+	c.total = (c.bhi - c.bpos) + (c.rhi - c.rpos) + (c.dhi - c.dpos)
 	c.settle()
 	return c
 }
@@ -132,10 +149,14 @@ func (st *Store) NewCursorPSO(p dict.ID) Cursor {
 	c.bpos, c.bhi = c.px.keyRange(p)
 	c.ts = st.dlt.pso
 	c.dpos, c.dhi = searchPrefix(permPSO, st.dlt.pso, 1, p, 0, 0)
+	if run := st.dlt.runPerm(permPSO); len(run) > 0 {
+		c.rts = run
+		c.rpos, c.rhi = searchPrefix(permPSO, run, 1, p, 0, 0)
+	}
 	c.kind = permPSO
 	c.keyCol = 1
 	c.bcol = c.px.c2
-	c.total = (c.bhi - c.bpos) + (c.dhi - c.dpos)
+	c.total = (c.bhi - c.bpos) + (c.rhi - c.rpos) + (c.dhi - c.dpos)
 	c.settle()
 	return c
 }
@@ -161,9 +182,12 @@ func (c *Cursor) Next() {
 		return
 	}
 	c.Nexts++
-	if c.onBase {
+	switch c.src {
+	case cursorBase:
 		c.bpos++
-	} else {
+	case cursorRun:
+		c.rpos++
+	default:
 		c.dpos++
 	}
 	c.settle()
@@ -178,33 +202,38 @@ func (c *Cursor) Seek(v dict.ID) {
 		return
 	}
 	c.Seeks++
-	c.bpos = gallopIDs(c.bcol, c.bpos, c.bhi, v)
-	c.dpos = c.gallopDelta(v)
+	c.bpos = c.bcol.gallop(c.bpos, c.bhi, v)
+	if c.rpos < c.rhi {
+		c.rpos = gallopTriples(c.kind, c.keyCol, c.rts, c.rpos, c.rhi, v)
+	}
+	c.dpos = gallopTriples(c.kind, c.keyCol, c.ts, c.dpos, c.dhi, v)
 	c.settle()
 }
 
-// settle positions the cursor on the smaller of the two sides (full
+// settle positions the cursor on the smallest of the three sides (full
 // permuted-key comparison, so the merged stream is totally ordered) and
 // caches the key component.
 func (c *Cursor) settle() {
-	bOK := c.bpos < c.bhi
-	dOK := c.dpos < c.dhi
-	switch {
-	case !bOK && !dOK:
+	src := int8(-1)
+	var best IDTriple
+	if c.bpos < c.bhi {
+		best, src = c.px.triple(c.bpos), cursorBase
+	}
+	if c.rpos < c.rhi {
+		if t := c.rts[c.rpos]; src < 0 || permLess(c.kind, t, best) {
+			best, src = t, cursorRun
+		}
+	}
+	if c.dpos < c.dhi {
+		if t := c.ts[c.dpos]; src < 0 || permLess(c.kind, t, best) {
+			best, src = t, cursorMem
+		}
+	}
+	if src < 0 {
 		c.exhausted = true
 		return
-	case bOK && dOK:
-		bt := c.px.triple(c.bpos)
-		if permLess(c.kind, c.ts[c.dpos], bt) {
-			c.cur, c.onBase = c.ts[c.dpos], false
-		} else {
-			c.cur, c.onBase = bt, true
-		}
-	case bOK:
-		c.cur, c.onBase = c.px.triple(c.bpos), true
-	default:
-		c.cur, c.onBase = c.ts[c.dpos], false
 	}
+	c.cur, c.src = best, src
 	a, b, c3 := permuteTriple(c.kind, c.cur)
 	switch c.keyCol {
 	case 0:
@@ -216,36 +245,36 @@ func (c *Cursor) settle() {
 	}
 }
 
-// deltaKey extracts the key component of overlay entry j.
-func (c *Cursor) deltaKey(j int) dict.ID {
-	a, b, c3 := permuteTriple(c.kind, c.ts[j])
-	switch c.keyCol {
+// permKeyAt extracts one key component of a triple under a permutation.
+func permKeyAt(kind permKind, keyCol int, t IDTriple) dict.ID {
+	a, b, c := permuteTriple(kind, t)
+	switch keyCol {
 	case 0:
 		return a
 	case 1:
 		return b
 	default:
-		return c3
+		return c
 	}
 }
 
-// gallopDelta finds the first overlay position in [dpos, dhi) whose key
-// is >= v.
-func (c *Cursor) gallopDelta(v dict.ID) int {
-	lo, hi := c.dpos, c.dhi
-	if lo >= hi || c.deltaKey(lo) >= v {
+// gallopTriples finds the first position in [lo, hi) of the sorted
+// triple run ts whose key component is >= v — the overlay-side
+// counterpart of column.gallop.
+func gallopTriples(kind permKind, keyCol int, ts []IDTriple, lo, hi int, v dict.ID) int {
+	if lo >= hi || permKeyAt(kind, keyCol, ts[lo]) >= v {
 		return lo
 	}
 	step := 1
-	for lo+step < hi && c.deltaKey(lo+step) < v {
+	for lo+step < hi && permKeyAt(kind, keyCol, ts[lo+step]) < v {
 		lo += step
 		step <<= 1
 	}
-	lo++ // c.deltaKey(lo) < v held for the old lo
+	lo++ // the key at the old lo was < v
 	if bound := lo + step; bound < hi {
 		hi = bound
 	}
-	return lo + sort.Search(hi-lo, func(i int) bool { return c.deltaKey(lo+i) >= v })
+	return lo + sort.Search(hi-lo, func(i int) bool { return permKeyAt(kind, keyCol, ts[lo+i]) >= v })
 }
 
 // gallopIDs finds the first index in [lo, hi) of the sorted column col

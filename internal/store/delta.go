@@ -35,15 +35,55 @@ import (
 // per store.
 const DefaultCompactThreshold = 8192
 
-// delta is the mutable overlay on a frozen base.
+// delta is the mutable overlay on a frozen base. Its sorted side is
+// two-tier: the four in-memory permutations hold the tail accepted
+// since the last spill, and run (when delta spill is enabled and the
+// tail outgrew the spill threshold) holds the older prefix as one
+// sorted on-disk run per permutation, mmap'd back in. The feed (log)
+// always stays fully in memory — it is the maintenance contract of
+// DeltaSince and is bounded by the compaction threshold.
 type delta struct {
 	log                []IDTriple // arrival order: the maintenance feed
 	spo, pos, osp, pso []IDTriple // sorted by the respective permuted key
+	run                *spillRun  // spilled sorted prefix, nil when none
 }
 
 func (d *delta) len() int { return len(d.log) }
 
-func (d *delta) reset() { d.log, d.spo, d.pos, d.osp, d.pso = nil, nil, nil, nil, nil }
+// memLen reports the size of the in-memory sorted tail (the spill
+// trigger; len() counts spilled triples too).
+func (d *delta) memLen() int { return len(d.spo) }
+
+func (d *delta) reset() {
+	d.log, d.spo, d.pos, d.osp, d.pso = nil, nil, nil, nil, nil
+	if d.run != nil {
+		d.run.discard()
+		d.run = nil
+	}
+}
+
+// memPerm returns the in-memory sorted tail of one permutation.
+func (d *delta) memPerm(kind permKind) []IDTriple {
+	switch kind {
+	case permPOS:
+		return d.pos
+	case permOSP:
+		return d.osp
+	case permPSO:
+		return d.pso
+	default:
+		return d.spo
+	}
+}
+
+// runPerm returns the spilled sorted prefix of one permutation (nil
+// when nothing is spilled).
+func (d *delta) runPerm(kind permKind) []IDTriple {
+	if d.run == nil {
+		return nil
+	}
+	return d.run.perm(kind)
+}
 
 // add appends t to the feed and sorted-inserts it into the four
 // permutations: O(len) per permutation, bounded by the compaction
@@ -114,87 +154,122 @@ func searchPrefix(kind permKind, ts []IDTriple, n int, a, b, c dict.ID) (lo, hi 
 	return lo, hi
 }
 
-// patternRange resolves pat to a contiguous range of one delta
-// permutation — the same shape-to-permutation mapping as
-// frozen.patternRange, so base and delta ranges merge in one order.
-func (d *delta) patternRange(pat Pattern) (kind permKind, ts []IDTriple, lo, hi int) {
+// shapeSpec maps a pattern to the permutation it resolves on and the
+// bound-prefix (n, a, b, c) within that permutation — the single
+// shape-to-permutation mapping shared by frozen.patternRange, the delta
+// tiers and the cursors, so all sides merge in one order.
+func shapeSpec(pat Pattern) (kind permKind, n int, a, b, c dict.ID) {
 	sB, pB, oB := pat.S != Wild, pat.P != Wild, pat.O != Wild
 	switch {
 	case sB && pB && oB:
-		lo, hi = searchPrefix(permSPO, d.spo, 3, pat.S, pat.P, pat.O)
-		return permSPO, d.spo, lo, hi
+		return permSPO, 3, pat.S, pat.P, pat.O
 	case sB && pB:
-		lo, hi = searchPrefix(permSPO, d.spo, 2, pat.S, pat.P, 0)
-		return permSPO, d.spo, lo, hi
+		return permSPO, 2, pat.S, pat.P, 0
 	case pB:
-		n := 1
 		if oB {
-			n = 2
+			return permPOS, 2, pat.P, pat.O, 0
 		}
-		lo, hi = searchPrefix(permPOS, d.pos, n, pat.P, pat.O, 0)
-		return permPOS, d.pos, lo, hi
+		return permPOS, 1, pat.P, 0, 0
 	case oB:
-		n := 1
 		if sB {
-			n = 2
+			return permOSP, 2, pat.O, pat.S, 0
 		}
-		lo, hi = searchPrefix(permOSP, d.osp, n, pat.O, pat.S, 0)
-		return permOSP, d.osp, lo, hi
+		return permOSP, 1, pat.O, 0, 0
 	case sB:
-		lo, hi = searchPrefix(permSPO, d.spo, 1, pat.S, 0, 0)
-		return permSPO, d.spo, lo, hi
+		return permSPO, 1, pat.S, 0, 0
 	default:
-		return permSPO, d.spo, 0, len(d.spo)
+		return permSPO, 0, 0, 0, 0
 	}
+}
+
+// dspan is the delta side of a pattern resolution: the matching ranges
+// of the spilled run and the in-memory tail of one permutation. Either
+// range may be empty; the two are disjoint.
+type dspan struct {
+	kind     permKind
+	run      []IDTriple
+	rlo, rhi int
+	mem      []IDTriple
+	mlo, mhi int
+}
+
+func (ds *dspan) count() int { return (ds.rhi - ds.rlo) + (ds.mhi - ds.mlo) }
+
+// spans resolves pat to its delta-side ranges.
+func (d *delta) spans(pat Pattern) dspan {
+	kind, n, a, b, c := shapeSpec(pat)
+	ds := dspan{kind: kind, mem: d.memPerm(kind)}
+	ds.mlo, ds.mhi = searchPrefix(kind, ds.mem, n, a, b, c)
+	if d.run != nil {
+		ds.run = d.run.perm(kind)
+		ds.rlo, ds.rhi = searchPrefix(kind, ds.run, n, a, b, c)
+	}
+	return ds
 }
 
 // count returns the number of delta triples matching pat.
 func (d *delta) count(pat Pattern) int {
-	_, _, lo, hi := d.patternRange(pat)
-	return hi - lo
+	ds := d.spans(pat)
+	return ds.count()
 }
 
 // mergedRange resolves pat to its base and delta ranges in one pass —
-// the same permutation on both sides — so callers that need the total
+// the same permutation on all sides — so callers that need the total
 // size and the iteration share one resolution.
-func (st *Store) mergedRange(pat Pattern) (px *permIndex, blo, bhi int, ts []IDTriple, dlo, dhi int) {
+func (st *Store) mergedRange(pat Pattern) (px *permIndex, blo, bhi int, ds dspan) {
 	px, blo, bhi = st.frz.patternRange(pat)
-	_, ts, dlo, dhi = st.dlt.patternRange(pat)
+	ds = st.dlt.spans(pat)
 	return
 }
 
-// mergeRanges iterates a base range and a delta range of the same
-// permutation in merged sorted order. fn's early-stop contract matches
-// Store.ForEach.
-func mergeRanges(px *permIndex, blo, bhi int, ts []IDTriple, dlo, dhi int, fn func(IDTriple) bool) {
-	i, j := blo, dlo
-	for i < bhi && j < dhi {
-		bt := px.triple(i)
-		if permLess(px.kind, ts[j], bt) {
-			if !fn(ts[j]) {
-				return
+// mergeRanges iterates a base range and the delta-side ranges of the
+// same permutation in merged sorted order — a three-way merge of base,
+// spilled run and in-memory tail, all pairwise disjoint. fn's
+// early-stop contract matches Store.ForEach.
+func mergeRanges(px *permIndex, blo, bhi int, ds dspan, fn func(IDTriple) bool) {
+	i, r, m := blo, ds.rlo, ds.mlo
+	for r < ds.rhi || m < ds.mhi {
+		// The smaller delta-side candidate...
+		var dt IDTriple
+		fromRun := false
+		switch {
+		case r < ds.rhi && m < ds.mhi:
+			if permLess(ds.kind, ds.run[r], ds.mem[m]) {
+				dt, fromRun = ds.run[r], true
+			} else {
+				dt = ds.mem[m]
 			}
-			j++
-		} else {
+		case r < ds.rhi:
+			dt, fromRun = ds.run[r], true
+		default:
+			dt = ds.mem[m]
+		}
+		// ...drains the base up to its position.
+		for i < bhi {
+			bt := px.triple(i)
+			if permLess(px.kind, dt, bt) {
+				break
+			}
 			if !fn(bt) {
 				return
 			}
 			i++
 		}
-	}
-	if !px.forEachRange(i, bhi, fn) {
-		return
-	}
-	for ; j < dhi; j++ {
-		if !fn(ts[j]) {
+		if !fn(dt) {
 			return
 		}
+		if fromRun {
+			r++
+		} else {
+			m++
+		}
 	}
+	px.forEachRange(i, bhi, fn)
 }
 
 // forEachMerged iterates the triples matching pat in permuted order,
-// merging the frozen base range with the delta range.
+// merging the frozen base range with the delta-side ranges.
 func (st *Store) forEachMerged(pat Pattern, fn func(IDTriple) bool) {
-	px, blo, bhi, ts, dlo, dhi := st.mergedRange(pat)
-	mergeRanges(px, blo, bhi, ts, dlo, dhi, fn)
+	px, blo, bhi, ds := st.mergedRange(pat)
+	mergeRanges(px, blo, bhi, ds, fn)
 }

@@ -1,0 +1,177 @@
+package store
+
+// mappedDict is the lazy dictionary of a mapped snapshot: a dict.Base
+// over the front-coded term blocks that stay resident only as mapped
+// bytes. ID→term decodes one FrontBlock-term block through a small
+// fixed-size cache; term→ID binary-searches the snapshot's term-sorted
+// ID section, decoding O(log n) probe terms. Nothing is materialized at
+// open, so a dictionary of millions of terms costs a few block
+// directories of heap.
+//
+// Decoded terms are heap copies (the persist decoder builds fresh
+// strings), so values handed out remain valid after the snapshot is
+// unmapped. Like mapped columns, term bytes are CRC-verified at open;
+// a decode failure afterwards panics with *persist.ArtifactError.
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync/atomic"
+
+	"rdfcube/internal/dict"
+	"rdfcube/internal/persist"
+	"rdfcube/internal/rdf"
+)
+
+// defaultTermCacheSlots bounds the decoded-term cache at slots ×
+// FrontBlock terms (256 × 16 = 4096 resident terms).
+const defaultTermCacheSlots = 256
+
+// mappedDict serves IDs 1..n from mapped front-coded term data. It is
+// safe for concurrent use: the block cache is the same lock-free
+// direct-mapped design as blockCache.
+type mappedDict struct {
+	n      int
+	data   []byte   // term payload (after the count uvarint), aliasing the map
+	offs   []uint64 // byte offset of each FrontBlock restart within data
+	sorted []byte   // n × u32 LE term IDs in persist.CompareTerms order
+	path   string   // error context
+
+	slots  []atomic.Pointer[termBlock]
+	mask   uint32
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type termBlock struct {
+	idx   int
+	terms []rdf.Term
+}
+
+var _ dict.Base = (*mappedDict)(nil)
+
+func newMappedDict(n int, data []byte, offs []uint64, sorted []byte, slots int, path string) *mappedDict {
+	if slots <= 0 {
+		slots = defaultTermCacheSlots
+	}
+	size := 1
+	for size < slots {
+		size <<= 1
+	}
+	return &mappedDict{
+		n: n, data: data, offs: offs, sorted: sorted, path: path,
+		slots: make([]atomic.Pointer[termBlock], size),
+		mask:  uint32(size - 1),
+	}
+}
+
+func (md *mappedDict) Len() int { return md.n }
+
+// Term resolves a base ID by decoding its block through the cache.
+func (md *mappedDict) Term(id dict.ID) (rdf.Term, bool) {
+	i := int(id) - 1
+	if id == dict.NoID || i < 0 || i >= md.n {
+		return rdf.Term{}, false
+	}
+	b := i / persist.FrontBlock
+	return md.block(b)[i%persist.FrontBlock], true
+}
+
+// Lookup binary-searches the term-sorted ID section. Each probe decodes
+// one term (through the block cache, so hot probe paths stay cheap).
+func (md *mappedDict) Lookup(t rdf.Term) (dict.ID, bool) {
+	i := sort.Search(md.n, func(i int) bool {
+		return persist.CompareTerms(md.termAt(md.sortedID(i)), t) >= 0
+	})
+	if i < md.n {
+		if id := md.sortedID(i); persist.CompareTerms(md.termAt(id), t) == 0 {
+			return id, true
+		}
+	}
+	return dict.NoID, false
+}
+
+// AppendTerms appends the terms with IDs in (after, n] in ID order —
+// the bulk path behind Dictionary.Terms, decoding block by block.
+func (md *mappedDict) AppendTerms(out []rdf.Term, after int) []rdf.Term {
+	if after < 0 {
+		after = 0
+	}
+	for i := after; i < md.n; {
+		b := i / persist.FrontBlock
+		terms := md.block(b)
+		out = append(out, terms[i-b*persist.FrontBlock:]...)
+		i = b*persist.FrontBlock + len(terms)
+	}
+	return out
+}
+
+// sortedID returns the i-th ID of the term-sorted section. The opener
+// has range-checked every entry, so no bounds validation here.
+func (md *mappedDict) sortedID(i int) dict.ID {
+	return dict.ID(binary.LittleEndian.Uint32(md.sorted[4*i:]))
+}
+
+// termAt is Term for IDs known to be in range (the sorted section).
+func (md *mappedDict) termAt(id dict.ID) rdf.Term {
+	i := int(id) - 1
+	b := i / persist.FrontBlock
+	return md.block(b)[i%persist.FrontBlock]
+}
+
+// blockLen returns the term count of block b.
+func (md *mappedDict) blockLen(b int) int {
+	if n := md.n - b*persist.FrontBlock; n < persist.FrontBlock {
+		return n
+	}
+	return persist.FrontBlock
+}
+
+// block returns the decoded terms of block b through the cache. A
+// decode failure panics with *persist.ArtifactError (see file comment).
+func (md *mappedDict) block(b int) []rdf.Term {
+	slot := (uint32(b)*0x9E3779B1 + 1) & md.mask
+	if e := md.slots[slot].Load(); e != nil && e.idx == b {
+		md.hits.Add(1)
+		return e.terms
+	}
+	md.misses.Add(1)
+	terms, err := md.decodeBlockTerms(b)
+	if err != nil {
+		panic(err)
+	}
+	md.slots[slot].Store(&termBlock{idx: b, terms: terms})
+	return terms
+}
+
+// decodeBlockTerms decodes block b from the mapped term data.
+func (md *mappedDict) decodeBlockTerms(b int) ([]rdf.Term, error) {
+	terms, err := persist.DecodeTermsAt(md.data[md.offs[b]:], md.blockLen(b))
+	if err != nil {
+		return nil, &persist.ArtifactError{Path: md.path, Kind: "snapshot", Offset: -1, Err: err}
+	}
+	return terms, nil
+}
+
+// counts returns the accumulated term-cache hit/miss counters.
+func (md *mappedDict) counts() (hits, misses uint64) {
+	return md.hits.Load(), md.misses.Load()
+}
+
+// verify decodes every term block and checks the term-sorted section is
+// strictly ascending under persist.CompareTerms — the VerifyFull pass,
+// returning errors instead of trusting the CRC.
+func (md *mappedDict) verify() error {
+	nb := len(md.offs)
+	for b := 0; b < nb; b++ {
+		if _, err := md.decodeBlockTerms(b); err != nil {
+			return err
+		}
+	}
+	for i := 1; i < md.n; i++ {
+		if persist.CompareTerms(md.termAt(md.sortedID(i-1)), md.termAt(md.sortedID(i))) >= 0 {
+			return errBadSnapshotf("term-sorted section not strictly ascending at %d", i)
+		}
+	}
+	return nil
+}

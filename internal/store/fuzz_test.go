@@ -4,16 +4,22 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"rdfcube/internal/persist"
 	"rdfcube/internal/rdf"
 )
 
 // FuzzOpenFrozenSnapshot asserts the snapshot readers' contract on
-// arbitrary input: parse successfully or return an error wrapping
-// ErrBadSnapshot — never panic, never hang, never return a store whose
-// read paths blow up. Covers both the v2 frozen format and the v1 flat
-// fallback (the corpus seeds one of each plus targeted mutations).
+// arbitrary input: parse successfully or return a classified error
+// (ErrBadSnapshot, or persist.ErrCorrupt from the mapped framing) —
+// never panic, never hang, never return a store whose read paths blow
+// up. Every input goes through both the streaming reader (v1 flat and
+// v2 frozen formats) and the mmap opener with its CRC-verifying full
+// pass (v3 mapped format, falling back to the streaming reader for
+// v1/v2); the corpus seeds one of each format plus targeted mutations.
 func FuzzOpenFrozenSnapshot(f *testing.F) {
 	seedStore := func(n int) *Store {
 		st := New()
@@ -41,17 +47,22 @@ func FuzzOpenFrozenSnapshot(f *testing.F) {
 	mut := append([]byte(nil), v2.Bytes()...)
 	mut[30] ^= 0x10
 	f.Add(mut)
+	var v3 bytes.Buffer
+	st3 := seedStore(20)
+	st3.Freeze()
+	if err := st3.WriteFrozenBaseV3(&v3); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v3.Bytes())
+	f.Add(v3.Bytes()[:len(v3.Bytes())/2])
+	mut3 := append([]byte(nil), v3.Bytes()...)
+	mut3[len(mut3)/2] ^= 0x40
+	f.Add(mut3)
 
-	f.Fuzz(func(t *testing.T, data []byte) {
-		st, err := OpenFrozenSnapshot(bytes.NewReader(data))
-		if err != nil {
-			if !errors.Is(err, ErrBadSnapshot) {
-				t.Fatalf("non-ErrBadSnapshot error: %v", err)
-			}
-			return
-		}
-		// A store the reader accepted must hold up under the read and
-		// write paths.
+	// exercise runs the read and write paths a fuzz-accepted store must
+	// survive.
+	exercise := func(t *testing.T, st *Store) {
+		t.Helper()
 		if st.Len() < 0 {
 			t.Fatal("negative length")
 		}
@@ -68,5 +79,40 @@ func FuzzOpenFrozenSnapshot(f *testing.F) {
 			return n < 100
 		})
 		st.Add(rdf.Triple{S: rdf.NewIRI("urn:x"), P: rdf.NewIRI("urn:y"), O: rdf.NewIRI("urn:z")})
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := OpenFrozenSnapshot(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("non-ErrBadSnapshot error: %v", err)
+			}
+		} else {
+			// A store the reader accepted must hold up under the read and
+			// write paths.
+			exercise(t, st)
+		}
+
+		// The mapped opener holds the same contract on the same bytes:
+		// open (with the CRC-verifying full pass) or refuse with
+		// ErrBadSnapshot — never panic, never serve garbage. Its heap
+		// fallback also accepts v1/v2, so any byte string the streaming
+		// reader takes must not crash the mapped path either.
+		path := filepath.Join(t.TempDir(), "fuzz.snap")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mst, err := OpenFrozenSnapshotMapped(path, MappedOptions{VerifyFull: true})
+		if err != nil {
+			// Structural file corruption (bad framing, checksum mismatch)
+			// surfaces as persist.ErrCorrupt; semantic snapshot problems as
+			// ErrBadSnapshot. Anything else is a contract violation.
+			if !errors.Is(err, ErrBadSnapshot) && !errors.Is(err, persist.ErrCorrupt) {
+				t.Fatalf("mapped: unclassified error: %v", err)
+			}
+			return
+		}
+		exercise(t, mst)
+		mst.CloseMapped()
 	})
 }

@@ -48,7 +48,7 @@ const (
 // ascending order and off[i:i+2] bounds keys[i]'s run.
 type permIndex struct {
 	kind       permKind
-	c1, c2, c3 []dict.ID
+	c1, c2, c3 column
 	keys       []dict.ID
 	off        []int
 }
@@ -103,10 +103,10 @@ func (st *Store) compact() {
 // and PrepareCompaction.
 func (st *Store) mergedFrozen() *frozen {
 	f := &frozen{}
-	f.spo = mergePerm(&st.frz.spo, st.dlt.spo)
-	f.pos = mergePerm(&st.frz.pos, st.dlt.pos)
-	f.osp = mergePerm(&st.frz.osp, st.dlt.osp)
-	f.pso = mergePerm(&st.frz.pso, st.dlt.pso)
+	f.spo = mergePerm(&st.frz.spo, st.dlt.runPerm(permSPO), st.dlt.spo)
+	f.pos = mergePerm(&st.frz.pos, st.dlt.runPerm(permPOS), st.dlt.pos)
+	f.osp = mergePerm(&st.frz.osp, st.dlt.runPerm(permOSP), st.dlt.osp)
+	f.pso = mergePerm(&st.frz.pso, st.dlt.runPerm(permPSO), st.dlt.pso)
 	f.computeStats(len(st.predCount))
 	return f
 }
@@ -166,36 +166,88 @@ func (st *Store) InstallCompaction(pc *PreparedCompaction) bool {
 	return true
 }
 
-// mergePerm merges a frozen permutation with the sorted delta run of the
-// same permutation into a fresh columnar index. The two sides are
-// disjoint by construction, so the merge never deduplicates.
-func mergePerm(px *permIndex, ts []IDTriple) permIndex {
+// mergePerm merges a frozen permutation with the (up to two) sorted
+// delta runs of the same permutation — the spilled run and the
+// in-memory tail — into a fresh heap-backed columnar index. The three
+// sides are pairwise disjoint by construction, so the merge never
+// deduplicates.
+func mergePerm(px *permIndex, run, mem []IDTriple) permIndex {
+	ts := run
+	if len(ts) == 0 {
+		ts = mem
+	} else if len(mem) > 0 {
+		// Pre-merge the two delta sides; they are small relative to the
+		// base, so the extra pass is noise next to the base merge.
+		ts = mergeTripleRuns(px.kind, run, mem)
+	}
 	n := px.len() + len(ts)
 	out := permIndex{kind: px.kind}
 	cols := make([]dict.ID, 3*n)
-	out.c1, out.c2, out.c3 = cols[:n:n], cols[n:2*n:2*n], cols[2*n:]
-	i, j, w := 0, 0, 0
-	for i < px.len() && j < len(ts) {
-		da, db, dc := permuteTriple(px.kind, ts[j])
-		if colsLess(da, db, dc, px.c1[i], px.c2[i], px.c3[i]) {
-			out.c1[w], out.c2[w], out.c3[w] = da, db, dc
-			j++
-		} else {
-			out.c1[w], out.c2[w], out.c3[w] = px.c1[i], px.c2[i], px.c3[i]
-			i++
+	o1, o2, o3 := cols[:n:n], cols[n:2*n:2*n], cols[2*n:]
+	w := 0
+	j := 0
+	if b1, b2, b3 := px.c1.arr, px.c2.arr, px.c3.arr; b1 != nil {
+		i := 0
+		for i < len(b1) && j < len(ts) {
+			da, db, dc := permuteTriple(px.kind, ts[j])
+			if colsLess(da, db, dc, b1[i], b2[i], b3[i]) {
+				o1[w], o2[w], o3[w] = da, db, dc
+				j++
+			} else {
+				o1[w], o2[w], o3[w] = b1[i], b2[i], b3[i]
+				i++
+			}
+			w++
 		}
-		w++
-	}
-	for ; i < px.len(); i++ {
-		out.c1[w], out.c2[w], out.c3[w] = px.c1[i], px.c2[i], px.c3[i]
-		w++
+		for ; i < len(b1); i++ {
+			o1[w], o2[w], o3[w] = b1[i], b2[i], b3[i]
+			w++
+		}
+	} else {
+		// Generic backing (a mapped base being folded to heap): iterate
+		// triples through the column layer.
+		i, bn := 0, px.len()
+		for i < bn && j < len(ts) {
+			da, db, dc := permuteTriple(px.kind, ts[j])
+			ba, bb, bc := permuteTriple(px.kind, px.triple(i))
+			if colsLess(da, db, dc, ba, bb, bc) {
+				o1[w], o2[w], o3[w] = da, db, dc
+				j++
+			} else {
+				o1[w], o2[w], o3[w] = ba, bb, bc
+				i++
+			}
+			w++
+		}
+		for ; i < bn; i++ {
+			o1[w], o2[w], o3[w] = permuteTriple(px.kind, px.triple(i))
+			w++
+		}
 	}
 	for ; j < len(ts); j++ {
-		out.c1[w], out.c2[w], out.c3[w] = permuteTriple(px.kind, ts[j])
+		o1[w], o2[w], o3[w] = permuteTriple(px.kind, ts[j])
 		w++
 	}
+	out.c1, out.c2, out.c3 = heapCol(o1), heapCol(o2), heapCol(o3)
 	out.buildDirectory()
 	return out
+}
+
+// mergeTripleRuns merges two triple runs sorted by the permuted key.
+func mergeTripleRuns(kind permKind, a, b []IDTriple) []IDTriple {
+	out := make([]IDTriple, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if permLess(kind, b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // colsLess orders two permuted component triples lexicographically.
@@ -264,15 +316,36 @@ func (f *frozen) computeStats(sizeHint int) {
 	f.predDistinctS = make(map[dict.ID]int, sizeHint)
 	f.predDistinctO = make(map[dict.ID]int, sizeHint)
 	spo := &f.spo
-	for i := range spo.c1 {
-		if i == 0 || spo.c1[i] != spo.c1[i-1] || spo.c2[i] != spo.c2[i-1] {
-			f.predDistinctS[spo.c2[i]]++
+	if c1, c2 := spo.c1.arr, spo.c2.arr; c1 != nil {
+		for i := range c1 {
+			if i == 0 || c1[i] != c1[i-1] || c2[i] != c2[i-1] {
+				f.predDistinctS[c2[i]]++
+			}
+		}
+	} else {
+		// c1 changes exactly at directory boundaries, so each run is one
+		// subject and the distinct (s, p) pairs are the distinct c2
+		// values per run.
+		var scratch []dict.ID
+		for j := 0; j+1 < len(spo.off); j++ {
+			scratch = spo.c2.distinctTo(scratch[:0], spo.off[j], spo.off[j+1])
+			for _, p := range scratch {
+				f.predDistinctS[p]++
+			}
 		}
 	}
 	pos := &f.pos
-	for i := range pos.c1 {
-		if i == 0 || pos.c1[i] != pos.c1[i-1] || pos.c2[i] != pos.c2[i-1] {
-			f.predDistinctO[pos.c1[i]]++
+	if c1, c2 := pos.c1.arr, pos.c2.arr; c1 != nil {
+		for i := range c1 {
+			if i == 0 || c1[i] != c1[i-1] || c2[i] != c2[i-1] {
+				f.predDistinctO[c1[i]]++
+			}
+		}
+	} else {
+		var scratch []dict.ID
+		for j := 0; j+1 < len(pos.off); j++ {
+			scratch = pos.c2.distinctTo(scratch[:0], pos.off[j], pos.off[j+1])
+			f.predDistinctO[pos.keys[j]] += len(scratch)
 		}
 	}
 }
@@ -318,21 +391,23 @@ func (px *permIndex) build(kind permKind, base, scratch []IDTriple) {
 	copy(perm, base)
 	sort.Slice(perm, func(i, j int) bool { return permLess(kind, perm[i], perm[j]) })
 	cols := make([]dict.ID, 3*n)
-	px.c1, px.c2, px.c3 = cols[:n:n], cols[n:2*n:2*n], cols[2*n:]
+	a1, a2, a3 := cols[:n:n], cols[n:2*n:2*n], cols[2*n:]
 	for i, t := range perm {
-		px.c1[i], px.c2[i], px.c3[i] = permuteTriple(kind, t)
+		a1[i], a2[i], a3[i] = permuteTriple(kind, t)
 	}
+	px.c1, px.c2, px.c3 = heapCol(a1), heapCol(a2), heapCol(a3)
 	px.buildDirectory()
 }
 
 // buildDirectory derives the first-level offset directory from the
 // sorted c1 column.
 func (px *permIndex) buildDirectory() {
-	n := len(px.c1)
+	c1 := px.c1.arr // directories are built only over heap columns
+	n := len(c1)
 	px.keys, px.off = px.keys[:0], px.off[:0]
 	for i := 0; i < n; i++ {
-		if i == 0 || px.c1[i] != px.c1[i-1] {
-			px.keys = append(px.keys, px.c1[i])
+		if i == 0 || c1[i] != c1[i-1] {
+			px.keys = append(px.keys, c1[i])
 			px.off = append(px.off, i)
 		}
 	}
@@ -340,7 +415,7 @@ func (px *permIndex) buildDirectory() {
 }
 
 // len reports the triple count.
-func (px *permIndex) len() int { return len(px.c1) }
+func (px *permIndex) len() int { return px.c1.length() }
 
 // keyRange returns the [lo, hi) run of first-component value v, or an
 // empty range when v is absent.
@@ -355,8 +430,8 @@ func (px *permIndex) keyRange(v dict.ID) (int, int) {
 // pairRange narrows a first-component run [lo, hi) to the subrange where
 // the second component equals v.
 func (px *permIndex) pairRange(lo, hi int, v dict.ID) (int, int) {
-	l := lo + sort.Search(hi-lo, func(i int) bool { return px.c2[lo+i] >= v })
-	r := l + sort.Search(hi-l, func(i int) bool { return px.c2[l+i] > v })
+	l := px.c2.search(lo, hi, v)
+	r := px.c2.searchAbove(l, hi, v)
 	return l, r
 }
 
@@ -364,21 +439,22 @@ func (px *permIndex) pairRange(lo, hi int, v dict.ID) (int, int) {
 func (px *permIndex) contains(a, b, c dict.ID) bool {
 	lo, hi := px.keyRange(a)
 	lo, hi = px.pairRange(lo, hi, b)
-	i := lo + sort.Search(hi-lo, func(i int) bool { return px.c3[lo+i] >= c })
-	return i < hi && px.c3[i] == c
+	i := px.c3.search(lo, hi, c)
+	return i < hi && px.c3.at(i) == c
 }
 
 // triple reconstructs the i-th triple in (S, P, O) orientation.
 func (px *permIndex) triple(i int) IDTriple {
+	v1, v2, v3 := px.c1.at(i), px.c2.at(i), px.c3.at(i)
 	switch px.kind {
 	case permPOS:
-		return IDTriple{S: px.c3[i], P: px.c1[i], O: px.c2[i]}
+		return IDTriple{S: v3, P: v1, O: v2}
 	case permOSP:
-		return IDTriple{S: px.c2[i], P: px.c3[i], O: px.c1[i]}
+		return IDTriple{S: v2, P: v3, O: v1}
 	case permPSO:
-		return IDTriple{S: px.c2[i], P: px.c1[i], O: px.c3[i]}
+		return IDTriple{S: v2, P: v1, O: v3}
 	default:
-		return IDTriple{S: px.c1[i], P: px.c2[i], O: px.c3[i]}
+		return IDTriple{S: v1, P: v2, O: v3}
 	}
 }
 
@@ -386,28 +462,65 @@ func (px *permIndex) triple(i int) IDTriple {
 // stop. The per-kind loops keep triple reconstruction branch-free inside
 // the hot loop.
 func (px *permIndex) forEachRange(lo, hi int, fn func(IDTriple) bool) bool {
-	switch px.kind {
-	case permPOS:
-		for i := lo; i < hi; i++ {
-			if !fn(IDTriple{S: px.c3[i], P: px.c1[i], O: px.c2[i]}) {
-				return false
+	if c1 := px.c1.arr; c1 != nil {
+		c2, c3 := px.c2.arr, px.c3.arr
+		switch px.kind {
+		case permPOS:
+			for i := lo; i < hi; i++ {
+				if !fn(IDTriple{S: c3[i], P: c1[i], O: c2[i]}) {
+					return false
+				}
+			}
+		case permOSP:
+			for i := lo; i < hi; i++ {
+				if !fn(IDTriple{S: c2[i], P: c3[i], O: c1[i]}) {
+					return false
+				}
+			}
+		case permPSO:
+			for i := lo; i < hi; i++ {
+				if !fn(IDTriple{S: c2[i], P: c1[i], O: c3[i]}) {
+					return false
+				}
+			}
+		default:
+			for i := lo; i < hi; i++ {
+				if !fn(IDTriple{S: c1[i], P: c2[i], O: c3[i]}) {
+					return false
+				}
 			}
 		}
-	case permOSP:
-		for i := lo; i < hi; i++ {
-			if !fn(IDTriple{S: px.c2[i], P: px.c3[i], O: px.c1[i]}) {
-				return false
+		return true
+	}
+	// Mapped backing: iterate block-sized slabs of c2/c3 and ride the
+	// run directory for c1, so the scan decodes each block exactly once
+	// instead of paying a cache probe per row.
+	if lo >= hi {
+		return true
+	}
+	ki := sort.Search(len(px.keys), func(j int) bool { return px.off[j+1] > lo })
+	i := lo
+	for i < hi {
+		v2, b2 := px.c2.block(i)
+		v3, b3 := px.c3.block(i)
+		end := min(hi, min(b2+len(v2), b3+len(v3)))
+		for ; i < end; i++ {
+			for px.off[ki+1] <= i {
+				ki++
 			}
-		}
-	case permPSO:
-		for i := lo; i < hi; i++ {
-			if !fn(IDTriple{S: px.c2[i], P: px.c1[i], O: px.c3[i]}) {
-				return false
+			k, x2, x3 := px.keys[ki], v2[i-b2], v3[i-b3]
+			var t IDTriple
+			switch px.kind {
+			case permPOS:
+				t = IDTriple{S: x3, P: k, O: x2}
+			case permOSP:
+				t = IDTriple{S: x2, P: x3, O: k}
+			case permPSO:
+				t = IDTriple{S: x2, P: k, O: x3}
+			default:
+				t = IDTriple{S: k, P: x2, O: x3}
 			}
-		}
-	default:
-		for i := lo; i < hi; i++ {
-			if !fn(IDTriple{S: px.c1[i], P: px.c2[i], O: px.c3[i]}) {
+			if !fn(t) {
 				return false
 			}
 		}
@@ -439,8 +552,8 @@ func (f *frozen) patternRange(pat Pattern) (px *permIndex, lo, hi int) {
 		lo, hi = px.keyRange(pat.S)
 		lo, hi = px.pairRange(lo, hi, pat.P)
 		if oB {
-			l := lo + sort.Search(hi-lo, func(i int) bool { return px.c3[lo+i] >= pat.O })
-			if l < hi && px.c3[l] == pat.O {
+			l := px.c3.search(lo, hi, pat.O)
+			if l < hi && px.c3.at(l) == pat.O {
 				return px, l, l + 1
 			}
 			return px, 0, 0
@@ -527,16 +640,16 @@ func (f *frozen) subjects(p, o dict.ID) []dict.ID {
 		// POS run (p, o): c3 holds the subjects, sorted and distinct.
 		lo, hi := f.pos.keyRange(p)
 		lo, hi = f.pos.pairRange(lo, hi, o)
-		return append(make([]dict.ID, 0, hi-lo), f.pos.c3[lo:hi]...)
+		return f.pos.c3.appendTo(make([]dict.ID, 0, hi-lo), lo, hi)
 	case pB:
 		// POS run p: subjects repeat across object runs; gather and
 		// sort-dedup (one allocation, no map).
 		lo, hi := f.pos.keyRange(p)
-		return sortDedup(append(make([]dict.ID, 0, hi-lo), f.pos.c3[lo:hi]...))
+		return sortDedup(f.pos.c3.appendTo(make([]dict.ID, 0, hi-lo), lo, hi))
 	case oB:
 		// OSP run o: c2 holds the subjects, sorted with duplicates.
 		lo, hi := f.osp.keyRange(o)
-		return distinctRuns(nil, f.osp.c2, lo, hi)
+		return f.osp.c2.distinctTo(nil, lo, hi)
 	default:
 		// All distinct subjects: the SPO directory keys.
 		return append(make([]dict.ID, 0, len(f.spo.keys)), f.spo.keys...)
@@ -551,15 +664,15 @@ func (f *frozen) objects(s, p dict.ID) []dict.ID {
 		// SPO run (s, p): c3 holds the objects, sorted and distinct.
 		lo, hi := f.spo.keyRange(s)
 		lo, hi = f.spo.pairRange(lo, hi, p)
-		return append(make([]dict.ID, 0, hi-lo), f.spo.c3[lo:hi]...)
+		return f.spo.c3.appendTo(make([]dict.ID, 0, hi-lo), lo, hi)
 	case sB:
 		// SPO run s: objects sorted only within each predicate run.
 		lo, hi := f.spo.keyRange(s)
-		return sortDedup(append(make([]dict.ID, 0, hi-lo), f.spo.c3[lo:hi]...))
+		return sortDedup(f.spo.c3.appendTo(make([]dict.ID, 0, hi-lo), lo, hi))
 	case pB:
 		// POS run p: c2 holds the objects, sorted with duplicates.
 		lo, hi := f.pos.keyRange(p)
-		return distinctRuns(nil, f.pos.c2, lo, hi)
+		return f.pos.c2.distinctTo(nil, lo, hi)
 	default:
 		// All distinct objects: the OSP directory keys.
 		return append(make([]dict.ID, 0, len(f.osp.keys)), f.osp.keys...)

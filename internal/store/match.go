@@ -1,6 +1,10 @@
 package store
 
-import "rdfcube/internal/dict"
+import (
+	"sort"
+
+	"rdfcube/internal/dict"
+)
 
 // Wild is the wildcard ID in a pattern: it matches any term. It equals
 // dict.NoID, so an unbound pattern position is simply the zero value.
@@ -100,15 +104,21 @@ func (st *Store) ForEach(pat Pattern, fn func(t IDTriple) bool) {
 // column slices in (S, P, O) orientation — direct, zero-copy views into
 // the frozen permutation the pattern resolves to, in that permutation's
 // sorted order (the same order ForEach visits). It reports ok = false
-// when the store is not frozen or a delta overlay is pending (the
-// merged view is not contiguous); callers then fall back to ForEach.
-// The batch engine's seed scans bulk-copy from these slices.
+// when the store is not frozen, a delta overlay is pending (the merged
+// view is not contiguous), or the base is mmap-backed (there are no
+// materialized arrays to alias — use PatternColumnRange, which fills
+// caller buffers block-wise, instead); callers then fall back to
+// ForEach. The batch engine's seed scans bulk-copy from these slices.
 func (st *Store) PatternColumns(pat Pattern) (s, p, o []dict.ID, ok bool) {
 	if st.frz == nil || st.dlt.len() > 0 {
 		return nil, nil, nil, false
 	}
 	px, lo, hi := st.frz.patternRange(pat)
-	c1, c2, c3 := px.c1[lo:hi], px.c2[lo:hi], px.c3[lo:hi]
+	a1, a2, a3 := px.c1.arr, px.c2.arr, px.c3.arr
+	if a1 == nil && px.len() > 0 {
+		return nil, nil, nil, false
+	}
+	c1, c2, c3 := a1[lo:hi], a2[lo:hi], a3[lo:hi]
 	switch px.kind {
 	case permPOS:
 		return c3, c1, c2, true
@@ -121,6 +131,69 @@ func (st *Store) PatternColumns(pat Pattern) (s, p, o []dict.ID, ok bool) {
 	}
 }
 
+// ColumnRange is a window onto the triples matching one pattern on a
+// frozen store with no pending delta — the copying counterpart of
+// PatternColumns for bases whose columns are not materialized in heap
+// (the mmap-backed read path). Fill decodes into caller buffers
+// block-at-a-time, so the batch engine's seed scans stay bulk
+// operations on either backing.
+type ColumnRange struct {
+	px     *permIndex
+	lo, hi int
+}
+
+// Len reports the number of matching triples.
+func (cr *ColumnRange) Len() int { return cr.hi - cr.lo }
+
+// Fill copies up to len(s) triples starting at row off of the range
+// into s, p, o (parallel, equal-length buffers) in (S, P, O)
+// orientation and returns the count copied. The c1 component is
+// reconstructed from the run directory; c2/c3 are bulk block copies.
+func (cr *ColumnRange) Fill(off int, s, p, o []dict.ID) int {
+	lo := cr.lo + off
+	hi := min(cr.hi, lo+len(s))
+	if lo >= hi {
+		return 0
+	}
+	px := cr.px
+	var d1, d2, d3 []dict.ID
+	switch px.kind {
+	case permPOS:
+		d1, d2, d3 = p, o, s
+	case permOSP:
+		d1, d2, d3 = o, s, p
+	case permPSO:
+		d1, d2, d3 = p, s, o
+	default:
+		d1, d2, d3 = s, p, o
+	}
+	n := hi - lo
+	px.c2.copyRange(d2[:n], lo, hi)
+	px.c3.copyRange(d3[:n], lo, hi)
+	// c1 via the run directory: each directory run is one constant value.
+	ki := sort.Search(len(px.keys), func(j int) bool { return px.off[j+1] > lo })
+	for i := lo; i < hi; {
+		end := min(hi, px.off[ki+1])
+		v := px.keys[ki]
+		for ; i < end; i++ {
+			d1[i-lo] = v
+		}
+		ki++
+	}
+	return n
+}
+
+// PatternColumnRange resolves pat to a fillable column range. Like
+// PatternColumns it reports ok = false when the store is not frozen or
+// a delta overlay is pending; unlike it, it works over mapped bases.
+func (st *Store) PatternColumnRange(pat Pattern) (ColumnRange, bool) {
+	if st.frz == nil || st.dlt.len() > 0 {
+		return ColumnRange{}, false
+	}
+	px, lo, hi := st.frz.patternRange(pat)
+	return ColumnRange{px: px, lo: lo, hi: hi}, true
+}
+
 // Match returns all triples matching pat. Prefer ForEach when the caller
 // can consume triples incrementally. On a frozen store the result is
 // preallocated to its exact size.
@@ -129,13 +202,13 @@ func (st *Store) Match(pat Pattern) []IDTriple {
 		if st.dlt.len() == 0 {
 			return st.frz.match(pat)
 		}
-		px, blo, bhi, ts, dlo, dhi := st.mergedRange(pat)
-		n := (bhi - blo) + (dhi - dlo)
+		px, blo, bhi, ds := st.mergedRange(pat)
+		n := (bhi - blo) + ds.count()
 		if n == 0 {
 			return nil
 		}
 		out := make([]IDTriple, 0, n)
-		mergeRanges(px, blo, bhi, ts, dlo, dhi, func(t IDTriple) bool {
+		mergeRanges(px, blo, bhi, ds, func(t IDTriple) bool {
 			out = append(out, t)
 			return true
 		})
@@ -203,9 +276,12 @@ func (st *Store) Subjects(p, o dict.ID) []dict.ID {
 		if st.dlt.len() == 0 {
 			return base
 		}
-		_, ts, lo, hi := st.dlt.patternRange(Pattern{P: p, O: o})
-		for i := lo; i < hi; i++ {
-			base = append(base, ts[i].S)
+		ds := st.dlt.spans(Pattern{P: p, O: o})
+		for i := ds.rlo; i < ds.rhi; i++ {
+			base = append(base, ds.run[i].S)
+		}
+		for i := ds.mlo; i < ds.mhi; i++ {
+			base = append(base, ds.mem[i].S)
 		}
 		return sortDedup(base)
 	}
@@ -229,9 +305,12 @@ func (st *Store) Objects(s, p dict.ID) []dict.ID {
 		if st.dlt.len() == 0 {
 			return base
 		}
-		_, ts, lo, hi := st.dlt.patternRange(Pattern{S: s, P: p})
-		for i := lo; i < hi; i++ {
-			base = append(base, ts[i].O)
+		ds := st.dlt.spans(Pattern{S: s, P: p})
+		for i := ds.rlo; i < ds.rhi; i++ {
+			base = append(base, ds.run[i].O)
+		}
+		for i := ds.mlo; i < ds.mhi; i++ {
+			base = append(base, ds.mem[i].O)
 		}
 		return sortDedup(base)
 	}

@@ -116,7 +116,7 @@ func permsEqual(a, b *permIndex) bool {
 		}
 	}
 	for i := 0; i < a.len(); i++ {
-		if a.c1[i] != b.c1[i] || a.c2[i] != b.c2[i] || a.c3[i] != b.c3[i] {
+		if a.c1.at(i) != b.c1.at(i) || a.c2.at(i) != b.c2.at(i) || a.c3.at(i) != b.c3.at(i) {
 			return false
 		}
 	}

@@ -114,11 +114,16 @@ func encodePerm(e *persist.Enc, px *permIndex) {
 	for i := 0; i < k; i++ {
 		e.Uvarint(uint64(px.off[i+1] - px.off[i]))
 	}
-	for _, col := range [][]dict.ID{px.c2, px.c3} {
+	for _, col := range []*column{&px.c2, &px.c3} {
 		prev = 0
-		for _, v := range col {
-			e.Varint(int64(v) - int64(prev))
-			prev = v
+		for i := 0; i < n; {
+			vals, base := col.block(i)
+			end := min(n, base+len(vals))
+			for ; i < end; i++ {
+				v := vals[i-base]
+				e.Varint(int64(v) - int64(prev))
+				prev = v
+			}
 		}
 	}
 }
@@ -178,13 +183,13 @@ func decodePerm(d *persist.Dec, kind permKind, wantN uint64, termCount uint64) (
 		return px, fmt.Errorf("%w: run lengths cover %d of %d triples", ErrBadSnapshot, total, n)
 	}
 	cols := make([]dict.ID, 3*n)
-	px.c1, px.c2, px.c3 = cols[:n:n], cols[n:2*n:2*n], cols[2*n:]
+	a1, a2, a3 := cols[:n:n], cols[n:2*n:2*n], cols[2*n:]
 	for i := 0; i < k; i++ {
 		for j := px.off[i]; j < px.off[i+1]; j++ {
-			px.c1[j] = px.keys[i]
+			a1[j] = px.keys[i]
 		}
 	}
-	for _, col := range [][]dict.ID{px.c2, px.c3} {
+	for _, col := range [][]dict.ID{a2, a3} {
 		acc := int64(0)
 		for i := 0; i < n; i++ {
 			acc += d.Varint()
@@ -202,12 +207,13 @@ func decodePerm(d *persist.Dec, kind permKind, wantN uint64, termCount uint64) (
 	// depend on it.
 	for i := 0; i < k; i++ {
 		for j := px.off[i] + 1; j < px.off[i+1]; j++ {
-			if px.c2[j-1] > px.c2[j] ||
-				(px.c2[j-1] == px.c2[j] && px.c3[j-1] >= px.c3[j]) {
+			if a2[j-1] > a2[j] ||
+				(a2[j-1] == a2[j] && a3[j-1] >= a3[j]) {
 				return px, fmt.Errorf("%w: unsorted run at row %d", ErrBadSnapshot, j)
 			}
 		}
 	}
+	px.c1, px.c2, px.c3 = heapCol(a1), heapCol(a2), heapCol(a3)
 	return px, nil
 }
 
@@ -231,6 +237,9 @@ func OpenFrozenSnapshot(r io.Reader) (*Store, error) {
 	f, err := persist.ReadFile(br, snapshotMagic)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if f.Version == snapshotVersionMapped {
+		return openFrozenV3Heap(f)
 	}
 	if f.Version != snapshotVersionFrozen {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, f.Version)

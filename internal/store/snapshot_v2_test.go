@@ -299,11 +299,11 @@ func TestMergeCompactionMatchesBuild(t *testing.T) {
 		{"pos", &a.frz.pos, &b.frz.pos},
 		{"osp", &a.frz.osp, &b.frz.osp},
 	} {
-		if len(pair.pa.c1) != len(pair.pb.c1) {
-			t.Fatalf("%s: %d vs %d rows", pair.name, len(pair.pa.c1), len(pair.pb.c1))
+		if pair.pa.len() != pair.pb.len() {
+			t.Fatalf("%s: %d vs %d rows", pair.name, pair.pa.len(), pair.pb.len())
 		}
-		for i := range pair.pa.c1 {
-			if pair.pa.c1[i] != pair.pb.c1[i] || pair.pa.c2[i] != pair.pb.c2[i] || pair.pa.c3[i] != pair.pb.c3[i] {
+		for i := 0; i < pair.pa.len(); i++ {
+			if pair.pa.c1.at(i) != pair.pb.c1.at(i) || pair.pa.c2.at(i) != pair.pb.c2.at(i) || pair.pa.c3.at(i) != pair.pb.c3.at(i) {
 				t.Fatalf("%s: row %d differs", pair.name, i)
 			}
 		}

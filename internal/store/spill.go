@@ -1,0 +1,265 @@
+package store
+
+// Delta spill: bigger-than-RAM handling for the write side. When the
+// in-memory sorted tail of the delta overlay outgrows the spill
+// threshold, the whole sorted side (previous spilled run merged with
+// the tail) is rewritten as ONE on-disk run file and mmap'd back, and
+// the in-memory permutations shrink to empty. Reads stay bounded
+// three-way merges (frozen base + spilled run + in-memory tail); the
+// arrival-ordered feed stays fully in memory, so DeltaSince and WAL
+// logging are untouched.
+//
+// The run file is transient node-local serving state, not a durability
+// artifact: triples in it are already in the WAL, recovery replays the
+// WAL and re-spills, and the server deletes orphaned *.spill files at
+// open. That is why the format can be the cheapest possible one — a
+// 24-byte header and four native-endian IDTriple arrays viewed in
+// place via unsafe.Slice, no varints, no portability. A short header
+// CRC over the triple payload guards against torn writes surviving the
+// atomic-rename protocol (a crashed spill normally leaves only a temp
+// file, which cleanup removes).
+//
+// At most one run exists per store: each spill re-merges run + tail.
+// Spilling is therefore O(run) per trigger — quadratic in the worst
+// case over a whole compaction cycle, which is fine because compaction
+// bounds the delta and the spill exists to cap the delta's resident
+// set, not to be an LSM tree.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"unsafe"
+
+	"rdfcube/internal/faultfs"
+	"rdfcube/internal/persist"
+)
+
+const (
+	spillMagic      = "RDCS"
+	spillVersion    = 1
+	spillHeaderSize = 24
+	spillTripleSize = 24
+)
+
+// Compile-time check that IDTriple has the exact wire layout the
+// unsafe.Slice views assume (three uint64s, no padding).
+var _ [spillTripleSize]byte = [unsafe.Sizeof(IDTriple{})]byte{}
+
+var spillCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// spillRun is one mmap'd on-disk run of delta triples: four sorted
+// permutations of the same n triples, viewed zero-copy.
+type spillRun struct {
+	fsys  faultfs.FS
+	path  string
+	f     *os.File
+	data  []byte
+	n     int
+	perms [4][]IDTriple // indexed by permKind
+}
+
+func (r *spillRun) perm(kind permKind) []IDTriple { return r.perms[kind] }
+
+// discard unmaps and deletes the run file. Errors are ignored: the file
+// is transient state that open-time cleanup also removes.
+func (r *spillRun) discard() {
+	if r.data != nil {
+		persist.Unmap(r.data)
+		r.data = nil
+	}
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+	if r.path != "" {
+		faultfs.OrOS(r.fsys).Remove(r.path)
+	}
+}
+
+// triplesBytes views a triple slice as raw bytes (native endianness).
+func triplesBytes(ts []IDTriple) []byte {
+	if len(ts) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&ts[0])), len(ts)*spillTripleSize)
+}
+
+// bytesTriples views raw bytes as n triples. b must be 8-byte aligned
+// and at least n*spillTripleSize long.
+func bytesTriples(b []byte, n int) []IDTriple {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*IDTriple)(unsafe.Pointer(&b[0])), n)
+}
+
+// writeSpillRun writes the four permutations (each n sorted triples) to
+// path via the atomic temp-and-rename protocol and returns the payload
+// CRC it stamped into the header.
+func writeSpillRun(fsys faultfs.FS, path string, n int, perms *[4][]IDTriple) error {
+	return persist.AtomicWriteFile(fsys, path, func(f faultfs.File) error {
+		var hdr [spillHeaderSize]byte
+		copy(hdr[:4], spillMagic)
+		hdr[4] = spillVersion
+		putU64(hdr[8:16], uint64(n))
+		if _, err := f.Write(hdr[:]); err != nil {
+			return err
+		}
+		crc := uint32(0)
+		for k := range perms {
+			b := triplesBytes(perms[k])
+			crc = crc32.Update(crc, spillCRC, b)
+			if _, err := f.Write(b); err != nil {
+				return err
+			}
+		}
+		putU32(hdr[16:20], crc)
+		_, err := f.WriteAt(hdr[16:20], 16)
+		return err
+	})
+}
+
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func getU64(b []byte) uint64    { return binary.LittleEndian.Uint64(b) }
+func getU32(b []byte) uint32    { return binary.LittleEndian.Uint32(b) }
+
+// openSpillRun maps a run file written by writeSpillRun and validates
+// its header and payload CRC.
+func openSpillRun(fsys faultfs.FS, path string) (*spillRun, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := persist.MapFile(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fail := func(format string, args ...any) (*spillRun, error) {
+		persist.Unmap(data)
+		f.Close()
+		return nil, &persist.ArtifactError{
+			Path: path, Kind: "spill", Offset: -1,
+			Err: fmt.Errorf("%w: %s", persist.ErrCorrupt, fmt.Sprintf(format, args...)),
+		}
+	}
+	if len(data) < spillHeaderSize {
+		return fail("short header: %d bytes", len(data))
+	}
+	if string(data[:4]) != spillMagic {
+		return fail("bad magic %q", data[:4])
+	}
+	if data[4] != spillVersion {
+		return fail("unsupported version %d", data[4])
+	}
+	n64 := getU64(data[8:16])
+	want := uint64(spillHeaderSize) + 4*n64*spillTripleSize
+	if n64 > uint64(len(data)) || uint64(len(data)) != want {
+		return fail("file is %d bytes, header claims %d triples (%d bytes)", len(data), n64, want)
+	}
+	n := int(n64)
+	payload := data[spillHeaderSize:]
+	if crc := crc32.Checksum(payload, spillCRC); crc != getU32(data[16:20]) {
+		return fail("payload checksum mismatch")
+	}
+	r := &spillRun{fsys: fsys, path: path, f: f, data: data, n: n}
+	for k := 0; k < 4; k++ {
+		r.perms[k] = bytesTriples(payload[k*n*spillTripleSize:], n)
+	}
+	return r, nil
+}
+
+// SetSpill enables delta spill on this store: once the in-memory sorted
+// tail of the delta overlay reaches threshold triples, the sorted side
+// is spilled to a single mmap'd run file under dir (which must exist).
+// threshold < 1 disables spilling again. fsys is the filesystem spill
+// files are written through (nil for the OS); reads always map the real
+// file. Spill files are transient — see CleanSpillDir.
+func (st *Store) SetSpill(fsys faultfs.FS, dir string, threshold int) {
+	if threshold < 1 {
+		st.spillDir, st.spillThreshold = "", 0
+		return
+	}
+	st.spillFS = fsys
+	st.spillDir = dir
+	st.spillThreshold = threshold
+}
+
+// SpillStats reports the spill state: triples resident in the on-disk
+// run, its mapped size in bytes, the number of spills performed, and
+// the last spill error (spilling degrades to in-memory on error).
+func (st *Store) SpillStats() (runTriples int, runBytes int64, spills uint64, lastErr error) {
+	if st.dlt.run != nil {
+		runTriples = st.dlt.run.n
+		runBytes = int64(len(st.dlt.run.data))
+	}
+	return runTriples, runBytes, st.spillCount, st.spillErr
+}
+
+// maybeSpill spills the delta's sorted side when the in-memory tail has
+// reached the spill threshold. A spill failure is recorded and serving
+// continues from memory (the overlay is still bounded by compaction).
+func (st *Store) maybeSpill() {
+	if st.spillDir == "" || st.dlt.memLen() < st.spillThreshold {
+		return
+	}
+	if err := st.spillDelta(); err != nil {
+		st.spillErr = err
+	}
+}
+
+// spillDelta merges the current run (if any) with the in-memory sorted
+// tail into a fresh run file, maps it, and drops the in-memory
+// permutations. The feed (dlt.log) is untouched.
+func (st *Store) spillDelta() error {
+	d := &st.dlt
+	var merged [4][]IDTriple
+	n := 0
+	for k := 0; k < 4; k++ {
+		kind := permKind(k)
+		merged[k] = d.memPerm(kind)
+		if run := d.runPerm(kind); len(run) > 0 {
+			merged[k] = mergeTripleRuns(kind, run, merged[k])
+		}
+		n = len(merged[k])
+	}
+	st.spillSeq++
+	path := filepath.Join(st.spillDir, fmt.Sprintf("delta-%06d.spill", st.spillSeq))
+	if err := writeSpillRun(st.spillFS, path, n, &merged); err != nil {
+		return err
+	}
+	run, err := openSpillRun(st.spillFS, path)
+	if err != nil {
+		faultfs.OrOS(st.spillFS).Remove(path)
+		return err
+	}
+	if d.run != nil {
+		d.run.discard()
+	}
+	d.run = run
+	d.spo, d.pos, d.osp, d.pso = nil, nil, nil, nil
+	st.spillCount++
+	return nil
+}
+
+// CleanSpillDir removes leftover spill artifacts (*.spill and their
+// temp files) under dir — run at open, before any store serves from the
+// directory: spill files are transient serving state whose triples are
+// re-replayed from the WAL.
+func CleanSpillDir(fsys faultfs.FS, dir string) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.spill*"))
+	if err != nil {
+		return err
+	}
+	fs := faultfs.OrOS(fsys)
+	for _, m := range matches {
+		if err := fs.Remove(m); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"rdfcube/internal/dict"
+	"rdfcube/internal/faultfs"
 	"rdfcube/internal/rdf"
 )
 
@@ -72,6 +73,19 @@ type Store struct {
 	// InstallCompaction (the server's background compactor). Explicit
 	// Freeze still compacts synchronously.
 	noInlineCompact bool
+
+	// Delta-spill configuration and state (see spill.go). spillDir == ""
+	// means spilling is disabled.
+	spillFS        faultfs.FS
+	spillDir       string
+	spillThreshold int
+	spillSeq       int
+	spillCount     uint64
+	spillErr       error
+
+	// mapped, when non-nil, owns the mmap'd snapshot the frozen base
+	// aliases (see snapshot_mapped.go). The store must not outlive it.
+	mapped *mappedSnapshot
 
 	// ver packs the two-part write version (baseEpoch << 32 | deltaSeq).
 	// deltaSeq counts the triples accepted into the current delta
@@ -207,6 +221,8 @@ func (st *Store) AddID(t IDTriple) bool {
 		st.ver.Add(1)
 		if st.dlt.len() >= st.compactThreshold && !st.noInlineCompact {
 			st.compact()
+		} else {
+			st.maybeSpill()
 		}
 		return true
 	}
@@ -222,6 +238,8 @@ func (st *Store) AddID(t IDTriple) bool {
 		st.ver.Add(1)
 		if st.dlt.len() >= st.compactThreshold && !st.noInlineCompact {
 			st.compact()
+		} else {
+			st.maybeSpill()
 		}
 	} else {
 		st.bumpBase()
@@ -292,7 +310,14 @@ func (st *Store) ContainsID(t IDTriple) bool {
 			return false
 		}
 		lo, hi := searchPrefix(permSPO, st.dlt.spo, 3, t.S, t.P, t.O)
-		return lo < hi
+		if lo < hi {
+			return true
+		}
+		if run := st.dlt.runPerm(permSPO); len(run) > 0 {
+			lo, hi = searchPrefix(permSPO, run, 3, t.S, t.P, t.O)
+			return lo < hi
+		}
+		return false
 	}
 	m2, ok := st.spo[t.S]
 	if !ok {
